@@ -1,0 +1,267 @@
+//! Conservative basic-block recovery.
+
+use crate::disasm::Disasm;
+use redfat_x86::Op;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Upper bound on instructions per recovered block (defensive cap).
+pub const MAX_BLOCK: usize = 4096;
+
+/// A recovered basic block: straight-line code ending at a terminator or
+/// the next leader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Address of the first instruction.
+    pub start: u64,
+    /// Addresses of all member instructions, in order.
+    pub insts: Vec<u64>,
+    /// Direct successors (fall-through and/or branch target). Empty when
+    /// the block ends in `ret`, indirect jump, or unknown code.
+    pub succs: Vec<u64>,
+    /// `true` if control can leave to statically unknown targets.
+    pub opaque_exit: bool,
+}
+
+/// The recovered control-flow graph.
+#[derive(Debug, Clone, Default)]
+pub struct Cfg {
+    /// Blocks keyed by start address.
+    pub blocks: BTreeMap<u64, Block>,
+    /// Every address that is (conservatively) a potential jump/call
+    /// target. Instructions at these addresses must stay addressable:
+    /// the rewriter may not displace them as the *interior* of a
+    /// multi-instruction patch.
+    pub leaders: BTreeSet<u64>,
+}
+
+impl Cfg {
+    /// Returns `true` if `addr` is a potential control-flow target.
+    pub fn is_leader(&self, addr: u64) -> bool {
+        self.leaders.contains(&addr)
+    }
+
+    /// Returns the block containing `addr`, if any.
+    pub fn block_of(&self, addr: u64) -> Option<&Block> {
+        let (_, b) = self.blocks.range(..=addr).next_back()?;
+        if b.insts.binary_search(&addr).is_ok() {
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    /// Recovers the CFG from a disassembly.
+    ///
+    /// `extra_leaders` lets the caller add addresses discovered by other
+    /// means (e.g. scanning data for code pointers); conservatism only
+    /// ever *adds* leaders.
+    pub fn recover(disasm: &Disasm, entry: u64, extra_leaders: &[u64]) -> Cfg {
+        let mut leaders: BTreeSet<u64> = BTreeSet::new();
+        leaders.insert(entry);
+        leaders.extend(extra_leaders.iter().copied());
+
+        // Pass 1: collect leaders.
+        for (addr, inst, len) in disasm.iter() {
+            if let Some(t) = inst.branch_target() {
+                leaders.insert(t);
+            }
+            let next = addr + len as u64;
+            match inst.op {
+                // After any control transfer the next instruction starts a
+                // block. `call` also makes the return site a leader (the
+                // `ret` will target it).
+                Op::Jmp | Op::JmpInd | Op::Jcc(_) | Op::Call | Op::CallInd | Op::Ret
+                | Op::Ud2 | Op::Int3 => {
+                    if disasm.at(next).is_some() {
+                        leaders.insert(next);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Unknown-gap boundaries are leaders too: code after a gap might
+        // be reached in ways we cannot see.
+        for &(_, end) in &disasm.unknown {
+            if disasm.at(end).is_some() {
+                leaders.insert(end);
+            }
+        }
+
+        // Pass 2: slice into blocks.
+        let mut blocks = BTreeMap::new();
+        for &leader in &leaders {
+            if disasm.at(leader).is_none() {
+                continue;
+            }
+            let mut insts = Vec::new();
+            let mut addr = leader;
+            let mut succs = Vec::new();
+            let mut opaque = false;
+            loop {
+                let Some((inst, len)) = disasm.at(addr) else {
+                    // Fell into unknown bytes.
+                    opaque = true;
+                    break;
+                };
+                insts.push(addr);
+                let next = addr + *len as u64;
+                match inst.op {
+                    Op::Jmp => {
+                        if let Some(t) = inst.branch_target() {
+                            succs.push(t);
+                        }
+                        break;
+                    }
+                    Op::Jcc(_) => {
+                        if let Some(t) = inst.branch_target() {
+                            succs.push(t);
+                        }
+                        if disasm.at(next).is_some() {
+                            succs.push(next);
+                        }
+                        break;
+                    }
+                    Op::JmpInd | Op::Ret | Op::Ud2 | Op::Int3 => {
+                        opaque = true;
+                        break;
+                    }
+                    Op::Call | Op::CallInd => {
+                        // The callee is opaque; treat the return site as
+                        // the fall-through successor but mark the exit
+                        // opaque so liveness stays conservative.
+                        if disasm.at(next).is_some() {
+                            succs.push(next);
+                        }
+                        opaque = true;
+                        break;
+                    }
+                    _ => {
+                        if leaders.contains(&next) || insts.len() >= MAX_BLOCK {
+                            if disasm.at(next).is_some() {
+                                succs.push(next);
+                            }
+                            break;
+                        }
+                        if disasm.at(next).is_none() {
+                            opaque = true;
+                            break;
+                        }
+                        addr = next;
+                    }
+                }
+            }
+            blocks.insert(
+                leader,
+                Block {
+                    start: leader,
+                    insts,
+                    succs,
+                    opaque_exit: opaque,
+                },
+            );
+        }
+
+        Cfg { blocks, leaders }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+    use redfat_elf::{Image, ImageKind, SegFlags, Segment};
+    use redfat_x86::{AluOp, Asm, Cond, Reg, Width};
+
+    fn build(f: impl FnOnce(&mut Asm)) -> (Image, u64) {
+        let mut a = Asm::new(0x40_0000);
+        f(&mut a);
+        let p = a.finish().unwrap();
+        (
+            Image {
+                kind: ImageKind::Exec,
+                entry: 0x40_0000,
+                segments: vec![Segment::new(p.base, SegFlags::RX, p.bytes)],
+                symbols: vec![],
+            },
+            0x40_0000,
+        )
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (img, entry) = build(|a| {
+            a.mov_ri(Width::W64, Reg::Rax, 1);
+            a.mov_ri(Width::W64, Reg::Rbx, 2);
+            a.alu_rr(AluOp::Add, Width::W64, Reg::Rax, Reg::Rbx);
+            a.ret();
+        });
+        let cfg = Cfg::recover(&disassemble(&img), entry, &[]);
+        assert_eq!(cfg.blocks.len(), 1);
+        let b = &cfg.blocks[&entry];
+        assert_eq!(b.insts.len(), 4);
+        assert!(b.opaque_exit, "ret is opaque");
+        assert!(b.succs.is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks() {
+        let (img, entry) = build(|a| {
+            let l = a.label();
+            a.alu_ri(AluOp::Sub, Width::W64, Reg::Rcx, 1); // block 1
+            a.jcc_label(Cond::Ne, l);
+            a.nop(); // block 2 (fallthrough)
+            a.bind(l).unwrap();
+            a.ret(); // block 3 (target)
+        });
+        let cfg = Cfg::recover(&disassemble(&img), entry, &[]);
+        assert_eq!(cfg.blocks.len(), 3);
+        let first = &cfg.blocks[&entry];
+        assert_eq!(first.succs.len(), 2);
+    }
+
+    #[test]
+    fn loop_back_edge_found() {
+        let (img, entry) = build(|a| {
+            let top = a.label();
+            a.bind(top).unwrap();
+            a.alu_ri(AluOp::Sub, Width::W64, Reg::Rcx, 1);
+            a.jcc_label(Cond::Ne, top);
+            a.ret();
+        });
+        let cfg = Cfg::recover(&disassemble(&img), entry, &[]);
+        let first = &cfg.blocks[&entry];
+        assert!(first.succs.contains(&entry), "back edge to self");
+    }
+
+    #[test]
+    fn call_marks_return_site_leader_and_opaque() {
+        let (img, entry) = build(|a| {
+            let f = a.label();
+            a.call_label(f);
+            a.nop();
+            a.ret();
+            a.bind(f).unwrap();
+            a.ret();
+        });
+        let cfg = Cfg::recover(&disassemble(&img), entry, &[]);
+        let first = &cfg.blocks[&entry];
+        assert!(first.opaque_exit);
+        // The nop after the call starts a block.
+        assert_eq!(first.insts.len(), 1);
+        assert!(cfg.is_leader(first.succs[0]));
+    }
+
+    #[test]
+    fn block_of_locates_interior_instructions() {
+        let (img, entry) = build(|a| {
+            a.mov_ri(Width::W64, Reg::Rax, 1);
+            a.mov_ri(Width::W64, Reg::Rbx, 2);
+            a.ret();
+        });
+        let d = disassemble(&img);
+        let cfg = Cfg::recover(&d, entry, &[]);
+        let second = d.next_addr(entry).unwrap();
+        assert_eq!(cfg.block_of(second).unwrap().start, entry);
+        assert!(cfg.block_of(0x50_0000).is_none());
+    }
+}

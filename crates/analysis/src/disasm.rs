@@ -1,0 +1,137 @@
+//! Linear-sweep disassembly with explicit unknown gaps.
+
+use redfat_elf::Image;
+use redfat_x86::{decode_one, Inst};
+use std::collections::BTreeMap;
+
+/// Disassembly of an image's executable segments.
+#[derive(Debug, Clone, Default)]
+pub struct Disasm {
+    /// Decoded instructions keyed by address, with encoded length.
+    pub insts: BTreeMap<u64, (Inst, u8)>,
+    /// Byte ranges that failed to decode (`[start, end)`), which the
+    /// rewriter must leave untouched.
+    pub unknown: Vec<(u64, u64)>,
+}
+
+impl Disasm {
+    /// Returns the instruction at exactly `addr`.
+    pub fn at(&self, addr: u64) -> Option<&(Inst, u8)> {
+        self.insts.get(&addr)
+    }
+
+    /// Returns the address of the instruction following `addr`.
+    pub fn next_addr(&self, addr: u64) -> Option<u64> {
+        let (inst, len) = self.insts.get(&addr)?;
+        let _ = inst;
+        Some(addr + *len as u64)
+    }
+
+    /// Iterates instructions in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Inst, u8)> {
+        self.insts.iter().map(|(&a, (i, l))| (a, i, *l))
+    }
+
+    /// Total decoded instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if no instructions were decoded.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// Disassembles all executable segments of `image`.
+///
+/// Uses linear sweep with single-byte resynchronization: undecodable
+/// bytes are recorded as unknown gaps and skipped one byte at a time.
+/// For binaries produced by this workspace's assembler/compiler the
+/// unknown set is empty; the mechanism exists so that foreign byte
+/// sequences degrade coverage rather than correctness, matching the
+/// paper's conservative stance.
+pub fn disassemble(image: &Image) -> Disasm {
+    let mut out = Disasm::default();
+    for seg in image.exec_segments() {
+        let mut off = 0usize;
+        let mut gap_start: Option<u64> = None;
+        while off < seg.data.len() {
+            let addr = seg.vaddr + off as u64;
+            match decode_one(&seg.data[off..], addr) {
+                Ok((inst, len)) => {
+                    if let Some(gs) = gap_start.take() {
+                        out.unknown.push((gs, addr));
+                    }
+                    out.insts.insert(addr, (inst, len));
+                    off += len as usize;
+                }
+                Err(_) => {
+                    if gap_start.is_none() {
+                        gap_start = Some(addr);
+                    }
+                    off += 1;
+                }
+            }
+        }
+        if let Some(gs) = gap_start {
+            out.unknown.push((gs, seg.vaddr + seg.data.len() as u64));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redfat_elf::{ImageKind, SegFlags, Segment};
+    use redfat_x86::{Asm, Reg, Width};
+
+    fn image_with(code: Vec<u8>) -> Image {
+        Image {
+            kind: ImageKind::Exec,
+            entry: 0x40_0000,
+            segments: vec![Segment::new(0x40_0000, SegFlags::RX, code)],
+            symbols: vec![],
+        }
+    }
+
+    #[test]
+    fn disassembles_clean_code() {
+        let mut a = Asm::new(0x40_0000);
+        a.mov_ri(Width::W64, Reg::Rax, 5);
+        a.push_r(Reg::Rax);
+        a.pop_r(Reg::Rbx);
+        a.ret();
+        let p = a.finish().unwrap();
+        let d = disassemble(&image_with(p.bytes));
+        assert_eq!(d.len(), 4);
+        assert!(d.unknown.is_empty());
+        assert!(d.at(0x40_0000).is_some());
+    }
+
+    #[test]
+    fn records_unknown_gaps() {
+        // nop, SSE junk, nop.
+        let code = vec![0x90, 0x0F, 0x28, 0xC1, 0x90];
+        let d = disassemble(&image_with(code));
+        // The 0x0F 0x28 fails; resync lands on 0x28 0xC1 (sub), then 0x90.
+        assert!(!d.unknown.is_empty());
+        assert!(d.at(0x40_0000).is_some());
+    }
+
+    #[test]
+    fn skips_data_segments() {
+        let img = Image {
+            kind: ImageKind::Exec,
+            entry: 0x40_0000,
+            segments: vec![
+                Segment::new(0x40_0000, SegFlags::RX, vec![0xC3]),
+                Segment::new(0x60_0000, SegFlags::RW, vec![0x90; 16]),
+            ],
+            symbols: vec![],
+        };
+        let d = disassemble(&img);
+        assert_eq!(d.len(), 1);
+    }
+}

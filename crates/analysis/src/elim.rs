@@ -1,0 +1,69 @@
+//! Check elimination (paper §6): memory operands that provably cannot
+//! reach low-fat heap memory need no instrumentation.
+
+use redfat_vm::layout;
+use redfat_x86::{Mem, Reg};
+
+/// Returns `true` if the operand might address low-fat heap memory and
+/// therefore needs a check.
+///
+/// The paper's rule: a check can be eliminated for any memory operand
+///
+/// 1. with no index register; **and**
+/// 2. with no base register, or a base register that provably stays more
+///    than ±2 GiB (the displacement range) away from heap memory.
+///
+/// Statically-known bases in that category are the instruction pointer
+/// (RIP-relative operands address code/globals, far below the heap) and
+/// the stack pointer (the layout pins the stack more than 2 GiB below
+/// region #1). Absolute operands encode a signed 32-bit address, which is
+/// also below the heap. Any other base register could hold a heap pointer,
+/// so the check stays.
+pub fn can_reach_heap(mem: &Mem) -> bool {
+    if mem.index.is_some() {
+        // An index register can move the address anywhere.
+        return true;
+    }
+    if mem.rip {
+        return false;
+    }
+    match mem.base {
+        None => {
+            // Absolute disp32: |addr| < 2^31 < heap_start.
+            debug_assert!((mem.disp.unsigned_abs()) < layout::heap_start());
+            false
+        }
+        Some(Reg::Rsp) => false,
+        Some(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_and_rip_eliminated() {
+        assert!(!can_reach_heap(&Mem::abs(0x60_0000)));
+        assert!(!can_reach_heap(&Mem::rip(0x40_1000)));
+    }
+
+    #[test]
+    fn rsp_based_eliminated() {
+        assert!(!can_reach_heap(&Mem::base_disp(Reg::Rsp, 0x18)));
+        assert!(!can_reach_heap(&Mem::base_disp(Reg::Rsp, -0x7FFF_0000)));
+    }
+
+    #[test]
+    fn general_registers_kept() {
+        assert!(can_reach_heap(&Mem::base(Reg::Rax)));
+        assert!(can_reach_heap(&Mem::base_disp(Reg::Rbp, -8)));
+    }
+
+    #[test]
+    fn index_always_kept() {
+        // Even an rsp base cannot be eliminated with an index present.
+        assert!(can_reach_heap(&Mem::bis(Reg::Rsp, Reg::Rcx, 8, 0)));
+        assert!(can_reach_heap(&Mem::index_scale(Reg::Rcx, 8, 0)));
+    }
+}

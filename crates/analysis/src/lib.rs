@@ -1,0 +1,33 @@
+//! Static binary analyses for the RedFat rewriter (paper §6).
+//!
+//! Everything here is *conservative over-approximation*, in the precise
+//! sense the paper requires: imprecision may shrink an optimization's
+//! applicability (smaller batches, fewer free scratch registers) but can
+//! never change program behavior.
+//!
+//! * [`disasm`]: linear-sweep disassembly of executable segments, with
+//!   explicit *unknown gaps* where bytes do not decode -- unknown code is
+//!   left untouched by the rewriter.
+//! * [`cfg`]: basic-block recovery. Any direct branch/call target is a
+//!   leader; indirect control flow marks the function boundary as opaque.
+//! * [`liveness`]: backward register/flags liveness, used to find
+//!   *clobbered* (dead) registers so trampolines can skip save/restore
+//!   work (§6 "additional low-level optimizations"). Unknown successors
+//!   are treated as reading everything.
+//! * [`batch`]: grouping of checkable memory accesses into per-basic-
+//!   block batches (§6 "check batching") and shape-compatible merge
+//!   groups (§6 "check merging").
+//! * [`elim`]: the check-elimination rule -- memory operands that provably
+//!   cannot reach low-fat heap memory (§6 "check elimination").
+
+pub mod batch;
+pub mod cfg;
+pub mod disasm;
+pub mod elim;
+pub mod liveness;
+
+pub use batch::{merge_checks, plan_batches, Batch, MergedCheck};
+pub use cfg::{Cfg, MAX_BLOCK};
+pub use disasm::{disassemble, Disasm};
+pub use elim::can_reach_heap;
+pub use liveness::Liveness;

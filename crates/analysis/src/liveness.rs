@@ -1,0 +1,233 @@
+//! Backward register and flags liveness.
+//!
+//! The instrumentation needs scratch registers and may destroy the flags;
+//! saving and restoring them costs instructions. This analysis finds, for
+//! each instrumentation site, which registers (and whether the flags) are
+//! *dead* -- i.e. overwritten before any use on every path -- so the
+//! trampoline generator can clobber them for free (paper §6, "additional
+//! low-level optimizations").
+//!
+//! Conservatism: any opaque exit (indirect control flow, `ret`, calls,
+//! unknown bytes) is assumed to read every register and the flags.
+
+use crate::cfg::Cfg;
+use crate::disasm::Disasm;
+use std::collections::HashMap;
+
+/// Bitmask over the 16 GPRs, plus a flags bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LiveSet {
+    regs: u16,
+    flags: bool,
+}
+
+impl LiveSet {
+    const ALL: LiveSet = LiveSet {
+        regs: u16::MAX,
+        flags: true,
+    };
+    const NONE: LiveSet = LiveSet {
+        regs: 0,
+        flags: false,
+    };
+
+    fn union(self, other: LiveSet) -> LiveSet {
+        LiveSet {
+            regs: self.regs | other.regs,
+            flags: self.flags || other.flags,
+        }
+    }
+}
+
+/// Per-site liveness results.
+pub struct Liveness {
+    /// Live-before set per instruction address.
+    live_before: HashMap<u64, (u16, bool)>,
+}
+
+impl Liveness {
+    /// Computes liveness over a recovered CFG.
+    pub fn compute(disasm: &Disasm, cfg: &Cfg) -> Liveness {
+        // Iterate blocks to a fixed point (the graph is small).
+        let mut live_in: HashMap<u64, LiveSet> = HashMap::new();
+        let mut changed = true;
+        let mut rounds = 0usize;
+        while changed && rounds < 64 {
+            changed = false;
+            rounds += 1;
+            for (&start, block) in cfg.blocks.iter().rev() {
+                let mut live = if block.opaque_exit {
+                    LiveSet::ALL
+                } else {
+                    block
+                        .succs
+                        .iter()
+                        .filter_map(|s| live_in.get(s).copied())
+                        .fold(LiveSet::NONE, LiveSet::union)
+                };
+                // Successors not yet computed: be conservative.
+                if !block.opaque_exit
+                    && block.succs.iter().any(|s| !live_in.contains_key(s))
+                {
+                    live = live.union(LiveSet::ALL);
+                }
+                for &addr in block.insts.iter().rev() {
+                    let (inst, _) = disasm.at(addr).expect("block member decoded");
+                    live = transfer(inst, live);
+                }
+                if live_in.get(&start) != Some(&live) {
+                    live_in.insert(start, live);
+                    changed = true;
+                }
+            }
+        }
+
+        // Second pass: record live-before per instruction.
+        let mut live_before = HashMap::new();
+        for block in cfg.blocks.values() {
+            let mut live = if block.opaque_exit {
+                LiveSet::ALL
+            } else {
+                block
+                    .succs
+                    .iter()
+                    .filter_map(|s| live_in.get(s).copied())
+                    .fold(LiveSet::NONE, LiveSet::union)
+            };
+            for &addr in block.insts.iter().rev() {
+                let (inst, _) = disasm.at(addr).expect("block member decoded");
+                live = transfer(inst, live);
+                live_before.insert(addr, (live.regs, live.flags));
+            }
+        }
+        Liveness { live_before }
+    }
+
+    /// Registers that are dead immediately before the instruction at
+    /// `addr` (safe to clobber by code inserted before it).
+    pub fn dead_regs_before(&self, addr: u64) -> Vec<redfat_x86::Reg> {
+        let (live, _) = self.live_before.get(&addr).copied().unwrap_or((u16::MAX, true));
+        (0u8..16)
+            .filter(|&c| live & (1 << c) == 0)
+            .map(redfat_x86::Reg::from_code)
+            .collect()
+    }
+
+    /// Returns `true` if the flags are dead immediately before `addr`
+    /// (code inserted before it may trash them without saving).
+    pub fn flags_dead_before(&self, addr: u64) -> bool {
+        match self.live_before.get(&addr) {
+            Some((_, flags_live)) => !*flags_live,
+            None => false,
+        }
+    }
+}
+
+fn transfer(inst: &redfat_x86::Inst, after: LiveSet) -> LiveSet {
+    let mut regs = after.regs;
+    let mut flags = after.flags;
+    // Kill writes first, then add reads (standard backward transfer).
+    for r in inst.regs_written() {
+        regs &= !(1u16 << r.code());
+    }
+    if inst.writes_flags() {
+        flags = false;
+    }
+    for r in inst.regs_read() {
+        regs |= 1u16 << r.code();
+    }
+    if inst.reads_flags() {
+        flags = true;
+    }
+    LiveSet { regs, flags }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+    use redfat_elf::{Image, ImageKind, SegFlags, Segment};
+    use redfat_x86::{AluOp, Asm, Mem, Reg, Width};
+
+    fn analyze(f: impl FnOnce(&mut Asm) -> Vec<u64>) -> (Liveness, Vec<u64>) {
+        let mut a = Asm::new(0x40_0000);
+        let marks = f(&mut a);
+        let p = a.finish().unwrap();
+        let img = Image {
+            kind: ImageKind::Exec,
+            entry: 0x40_0000,
+            segments: vec![Segment::new(p.base, SegFlags::RX, p.bytes)],
+            symbols: vec![],
+        };
+        let d = disassemble(&img);
+        let cfg = Cfg::recover(&d, img.entry, &[]);
+        (Liveness::compute(&d, &cfg), marks)
+    }
+
+    #[test]
+    fn overwritten_reg_is_dead() {
+        let (lv, marks) = analyze(|a| {
+            a.mov_ri(Width::W64, Reg::Rax, 1);
+            let site = a.here();
+            // rbx is written before any read: dead at `site`.
+            a.mov_ri(Width::W64, Reg::Rbx, 2);
+            a.ret();
+            vec![site]
+        });
+        let dead = lv.dead_regs_before(marks[0]);
+        assert!(dead.contains(&Reg::Rbx));
+        // rax escapes through ret (opaque): live.
+        assert!(!dead.contains(&Reg::Rax));
+    }
+
+    #[test]
+    fn flags_dead_when_rewritten_before_use() {
+        let (lv, marks) = analyze(|a| {
+            let site = a.here();
+            // cmp writes flags before anything reads them.
+            a.alu_rr(AluOp::Cmp, Width::W64, Reg::Rax, Reg::Rbx);
+            a.setcc_r(redfat_x86::Cond::E, Reg::Rcx);
+            a.ret();
+            vec![site]
+        });
+        assert!(lv.flags_dead_before(marks[0]));
+    }
+
+    #[test]
+    fn flags_live_when_branch_reads_them() {
+        let (lv, marks) = analyze(|a| {
+            a.alu_rr(AluOp::Cmp, Width::W64, Reg::Rax, Reg::Rbx);
+            let site = a.here();
+            a.mov_ri(Width::W64, Reg::Rcx, 0); // does not touch flags
+            let l = a.label();
+            a.jcc_label(redfat_x86::Cond::E, l);
+            a.bind(l).unwrap();
+            a.ret();
+            vec![site]
+        });
+        assert!(!lv.flags_dead_before(marks[0]));
+    }
+
+    #[test]
+    fn memory_operand_regs_are_live() {
+        let (lv, marks) = analyze(|a| {
+            let site = a.here();
+            a.mov_rm(Width::W64, Reg::Rax, Mem::bis(Reg::Rbx, Reg::Rcx, 8, 0));
+            a.ret();
+            vec![site]
+        });
+        let dead = lv.dead_regs_before(marks[0]);
+        assert!(!dead.contains(&Reg::Rbx));
+        assert!(!dead.contains(&Reg::Rcx));
+    }
+
+    #[test]
+    fn unknown_site_is_fully_conservative() {
+        let (lv, _) = analyze(|a| {
+            a.ret();
+            vec![]
+        });
+        assert!(lv.dead_regs_before(0xDEAD).is_empty());
+        assert!(!lv.flags_dead_before(0xDEAD));
+    }
+}

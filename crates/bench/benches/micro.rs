@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks for the substrates and the hardening
+//! pipeline itself (host-side costs; the guest-side overheads are the
+//! table1/figure8 binaries' business).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use redfat_core::{harden, run_once, HardenConfig, LowFatPolicy};
+use redfat_emu::ErrorMode;
+use redfat_lowfat::{LowFatConfig, RedFatHeap};
+use redfat_minic::compile;
+use redfat_vm::Vm;
+use redfat_x86::{decode_one, encode, Inst, Mem, Op, Operands, Reg, Width};
+
+fn bench_codec(c: &mut Criterion) {
+    let inst = Inst::new(
+        Op::Mov,
+        Width::W64,
+        Operands::MR {
+            dst: Mem::bis(Reg::Rax, Reg::Rcx, 8, 0x40),
+            src: Reg::Rdx,
+        },
+    );
+    let bytes = encode(&inst, 0x40_0000).unwrap();
+    let mut g = c.benchmark_group("x86-codec");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode-mov-sib", |b| {
+        b.iter(|| encode(std::hint::black_box(&inst), 0x40_0000).unwrap())
+    });
+    g.bench_function("decode-mov-sib", |b| {
+        b.iter(|| decode_one(std::hint::black_box(&bytes), 0x40_0000).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lowfat-allocator");
+    g.bench_function("malloc-free-64B", |b| {
+        b.iter_batched(
+            || {
+                let mut vm = Vm::new();
+                let heap = RedFatHeap::new(LowFatConfig::default());
+                heap.install(&mut vm);
+                (heap, vm)
+            },
+            |(mut heap, mut vm)| {
+                for _ in 0..128 {
+                    let p = heap.malloc(&mut vm, 48).unwrap();
+                    heap.free(&mut vm, p).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("base-size-lookup", |b| {
+        let ptr = redfat_vm::layout::region_base(4) + 4096 + 24;
+        b.iter(|| {
+            std::hint::black_box(redfat_vm::layout::lowfat_base(std::hint::black_box(ptr)))
+                + std::hint::black_box(redfat_vm::layout::lowfat_size(ptr))
+        })
+    });
+    g.finish();
+}
+
+fn demo_image() -> redfat_elf::Image {
+    compile(
+        "fn main() {
+            var a = malloc(64 * 8);
+            var sum = 0;
+            for (var it = 0; it < 200; it = it + 1) {
+                for (var i = 0; i < 64; i = i + 1) { a[i] = i * it; }
+                for (var i = 0; i < 64; i = i + 1) { sum = sum + a[i]; }
+            }
+            print(sum);
+            return 0;
+        }",
+    )
+    .expect("compiles")
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let image = demo_image();
+    let mut g = c.benchmark_group("hardening-pipeline");
+    g.bench_function("harden-small-binary", |b| {
+        b.iter(|| {
+            harden(
+                std::hint::black_box(&image),
+                &HardenConfig::with_merge(LowFatPolicy::All),
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_guest_execution(c: &mut Criterion) {
+    let image = demo_image();
+    let hardened = harden(&image, &HardenConfig::with_merge(LowFatPolicy::All))
+        .unwrap()
+        .image;
+    let redzone = harden(&image, &HardenConfig::with_merge(LowFatPolicy::Disabled))
+        .unwrap()
+        .image;
+    let mut g = c.benchmark_group("guest-execution");
+    g.bench_function("baseline", |b| {
+        b.iter(|| run_once(&image, vec![], ErrorMode::Log, u64::MAX))
+    });
+    g.bench_function("hardened-full", |b| {
+        b.iter(|| run_once(&hardened, vec![], ErrorMode::Log, u64::MAX))
+    });
+    g.bench_function("hardened-redzone-only", |b| {
+        b.iter(|| run_once(&redzone, vec![], ErrorMode::Log, u64::MAX))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_allocator,
+    bench_pipeline,
+    bench_guest_execution
+);
+criterion_main!(benches);

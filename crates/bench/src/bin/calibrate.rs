@@ -1,0 +1,20 @@
+//! Quick calibration: baseline instruction counts per workload.
+use redfat_emu::{Emu, ErrorMode, HostRuntime};
+use redfat_workloads::spec;
+
+fn main() {
+    for wl in spec::all() {
+        let image = wl.image();
+        let mut counts = Vec::new();
+        for input in [&wl.train_input, &wl.ref_input] {
+            let rt = HostRuntime::new(ErrorMode::Log).with_input(input.clone());
+            let mut emu = Emu::load_image(&image, rt);
+            let r = emu.run(2_000_000_000);
+            counts.push((r, emu.counters.instructions, emu.counters.cycles));
+        }
+        println!(
+            "{:12} train {:?} {:>10} ref {:?} {:>11}",
+            wl.name, counts[0].0, counts[0].1, counts[1].0, counts[1].1
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Emulator throughput probe: guest instructions per second on a
+//! representative workload (host-side performance diagnostic).
+
+use redfat_emu::{Emu, ErrorMode, HostRuntime};
+use redfat_workloads::spec;
+use std::time::Instant;
+
+fn main() {
+    for name in ["lbm", "gcc", "omnetpp"] {
+        let wl = spec::by_name(name).expect("known benchmark");
+        let image = wl.image();
+        let rt = HostRuntime::new(ErrorMode::Log).with_input(wl.ref_input.clone());
+        let mut emu = Emu::load_image(&image, rt);
+        let t = Instant::now();
+        let r = emu.run(2_000_000_000);
+        let dt = t.elapsed().as_secs_f64();
+        println!(
+            "{name:10} {r:?}: {} instructions in {dt:.2}s = {:.1} M/s",
+            emu.counters.instructions,
+            emu.counters.instructions as f64 / dt / 1e6
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! The experiment harness: shared pipeline code behind the `table1`,
+//! `falsepos`, `table2` and `figure8` binaries (one per paper artifact)
+//! and the criterion micro-benchmarks.
+
+use redfat_core::{
+    collect_allowlist, harden, instrument_profile, run_once, HardenConfig,
+    LowFatPolicy,
+};
+use redfat_elf::Image;
+use redfat_emu::{Emu, ErrorMode, RunResult};
+use redfat_memcheck::{MemcheckLimits, MemcheckRuntime};
+use redfat_workloads::Workload;
+use std::collections::BTreeSet;
+
+/// Step budget for any single guest run.
+pub const MAX_STEPS: u64 = 4_000_000_000;
+
+/// The Table 1 measurements for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Source language of the original.
+    pub lang: redfat_workloads::Lang,
+    /// Coverage: fraction of ref-executed sites with the full check.
+    pub coverage: f64,
+    /// Baseline modeled cycles on ref.
+    pub baseline_cycles: u64,
+    /// Slowdown factors, Table 1 column order:
+    /// unoptimized, +elim, +batch, +merge, -size, -reads.
+    pub redfat: [f64; 6],
+    /// Memcheck slowdown, or `None` for NR.
+    pub memcheck: Option<f64>,
+    /// Distinct real-error sites detected during the ref run (fully
+    /// optimized config, log mode).
+    pub errors_detected: usize,
+}
+
+/// Runs the complete §5 + Table 1 pipeline for one workload.
+pub fn table1_row(wl: &Workload) -> Table1Row {
+    let image = wl.image();
+
+    // Baseline.
+    let base = run_once(&image, wl.ref_input.clone(), ErrorMode::Log, MAX_STEPS);
+    assert!(
+        matches!(base.result, RunResult::Exited(_)),
+        "{}: baseline must exit ({:?})",
+        wl.name,
+        base.result
+    );
+    let baseline_cycles = base.counters.cycles;
+    let baseline_digest = base.io.digest();
+
+    // Profiling phase on the train input.
+    let prof = instrument_profile(&image).expect("profile instrumentation");
+    let train = run_once(
+        &prof.image,
+        wl.train_input.clone(),
+        ErrorMode::Log,
+        MAX_STEPS,
+    );
+    assert!(
+        matches!(train.result, RunResult::Exited(_)),
+        "{}: profile run must exit ({:?})",
+        wl.name,
+        train.result
+    );
+    let allow = collect_allowlist(&train.profile);
+
+    // Coverage accounting: sites dynamically reached on ref.
+    let cov = run_once(&prof.image, wl.ref_input.clone(), ErrorMode::Log, MAX_STEPS);
+    let executed: BTreeSet<u64> = cov.profile.keys().copied().collect();
+    let covered = executed.iter().filter(|s| allow.contains(**s)).count();
+    let coverage = if executed.is_empty() {
+        0.0
+    } else {
+        covered as f64 / executed.len() as f64
+    };
+
+    // The six RedFat configurations.
+    let configs: [HardenConfig; 6] = [
+        HardenConfig::unoptimized(LowFatPolicy::AllowList(allow.clone())),
+        HardenConfig::with_elim(LowFatPolicy::AllowList(allow.clone())),
+        HardenConfig::with_batch(LowFatPolicy::AllowList(allow.clone())),
+        HardenConfig::with_merge(LowFatPolicy::AllowList(allow.clone())),
+        HardenConfig::minus_size(LowFatPolicy::AllowList(allow.clone())),
+        HardenConfig::minus_reads(LowFatPolicy::AllowList(allow.clone())),
+    ];
+    let mut redfat = [0.0; 6];
+    let mut errors_detected = 0usize;
+    for (i, cfg) in configs.iter().enumerate() {
+        let hardened = harden(&image, cfg).expect("hardening");
+        let out = run_once(
+            &hardened.image,
+            wl.ref_input.clone(),
+            ErrorMode::Log,
+            MAX_STEPS,
+        );
+        assert!(
+            matches!(out.result, RunResult::Exited(_)),
+            "{}: hardened run ({i}) must exit ({:?})",
+            wl.name,
+            out.result
+        );
+        assert_eq!(
+            out.io.digest(),
+            baseline_digest,
+            "{}: hardened output differs (config {i})",
+            wl.name
+        );
+        redfat[i] = out.counters.cycles as f64 / baseline_cycles as f64;
+        if i == 3 {
+            // Fully optimized (+merge): report detected real errors.
+            let sites: BTreeSet<u64> = out.errors.iter().map(|e| e.site).collect();
+            errors_detected = sites.len();
+        }
+    }
+
+    // Memcheck baseline (or NR).
+    let memcheck = match MemcheckLimits::default().check(&image, wl.requires_x87) {
+        Err(_) => None,
+        Ok(()) => {
+            let rt = MemcheckRuntime::new(ErrorMode::Log).with_input(wl.ref_input.clone());
+            let mut emu = Emu::load_image(&image, rt);
+            emu.cost = MemcheckRuntime::cost_model();
+            let r = emu.run(MAX_STEPS);
+            assert!(
+                matches!(r, RunResult::Exited(_)),
+                "{}: memcheck run must exit ({r:?})",
+                wl.name
+            );
+            Some(emu.counters.cycles as f64 / baseline_cycles as f64)
+        }
+    };
+
+    Table1Row {
+        name: wl.name,
+        lang: wl.lang,
+        coverage,
+        baseline_cycles,
+        redfat,
+        memcheck,
+        errors_detected,
+    }
+}
+
+/// False-positive measurement (§7.1): harden with LowFat on *all* sites
+/// (no allow-list), run ref in log mode, and count distinct erroring
+/// sites that are not planted real errors.
+pub fn false_positive_sites(wl: &Workload) -> usize {
+    let image = wl.image();
+    // Merging would attribute a merged check's error to its first member
+    // site; measure without merging for exact per-site attribution.
+    let cfg = HardenConfig::with_batch(LowFatPolicy::All);
+    let hardened = harden(&image, &cfg).expect("hardening");
+    let out = run_once(
+        &hardened.image,
+        wl.ref_input.clone(),
+        ErrorMode::Log,
+        MAX_STEPS,
+    );
+    let sites: BTreeSet<u64> = out.errors.iter().map(|e| e.site).collect();
+    sites.len().saturating_sub(wl.planted_errors)
+}
+
+/// Detection verdict for a vulnerable program under RedFat hardening.
+pub fn redfat_detects(image: &Image, attack_input: &[i64]) -> bool {
+    let cfg = HardenConfig::with_merge(LowFatPolicy::All);
+    let hardened = harden(image, &cfg).expect("hardening");
+    let out = run_once(&hardened.image, attack_input.to_vec(), ErrorMode::Abort, MAX_STEPS);
+    matches!(out.result, RunResult::MemoryError(_))
+}
+
+/// Detection verdict under the Memcheck baseline.
+pub fn memcheck_detects(image: &Image, attack_input: &[i64]) -> bool {
+    let rt = MemcheckRuntime::new(ErrorMode::Abort).with_input(attack_input.to_vec());
+    let mut emu = Emu::load_image(image, rt);
+    emu.cost = MemcheckRuntime::cost_model();
+    let r = emu.run(MAX_STEPS);
+    matches!(r, RunResult::MemoryError(_)) || !emu.runtime.errors.is_empty()
+}
+
+/// Geometric mean helper.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Runs closures in parallel over a work list with crossbeam threads,
+/// preserving input order in the output.
+pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, U)>();
+    let items_ref = &items;
+    let f_ref = &f;
+    let next_ref = &next;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f_ref(&items_ref[i]);
+                tx.send((i, out)).expect("receiver alive");
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for (i, out) in rx {
+            results[i] = Some(out);
+        }
+        results.into_iter().map(|r| r.expect("computed")).collect()
+    })
+    .expect("worker panicked")
+}

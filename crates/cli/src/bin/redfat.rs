@@ -1,0 +1,12 @@
+//! The `redfat` binary: thin wrapper over [`redfat_cli::run_cli`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match redfat_cli::run_cli(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("redfat: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

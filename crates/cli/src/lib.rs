@@ -1,0 +1,409 @@
+//! The `redfat` command-line tool: the user-facing shape of the paper's
+//! released artifact (<https://github.com/GJDuck/RedFat>), adapted to
+//! this reproduction's substrate.
+//!
+//! ```text
+//! redfat compile  prog.mc  -o prog.elf          # mini-C → ELF
+//! redfat harden   prog.elf -o prog.hard [opts]  # production hardening
+//! redfat profile  prog.elf -o prog.prof         # §5 profiling binary
+//! redfat genlist  prog.prof --input .. -o allow.lst
+//! redfat run      prog.elf [--input ..] [--log] [--memcheck]
+//! redfat disasm   prog.elf
+//! redfat stats    prog.elf
+//! ```
+//!
+//! The library half ([`run_cli`]) is what the binary calls and what the
+//! tests exercise: it performs all I/O through the filesystem and
+//! returns the text it would print.
+
+use redfat_core::{
+    collect_allowlist, harden, instrument_profile, run_once, AllowList, HardenConfig,
+    LowFatPolicy,
+};
+use redfat_elf::Image;
+use redfat_emu::{Emu, ErrorMode, RunResult};
+use redfat_memcheck::MemcheckRuntime;
+use std::fmt::Write as _;
+
+/// A CLI failure: message for stderr, suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 1,
+    }
+}
+
+const USAGE: &str = "usage: redfat <command> [args]
+
+commands:
+  compile <src.mc> -o <out.elf>        compile mini-C to an ELF image
+  harden  <in.elf> -o <out.elf> [opts] harden a binary (drop-in output)
+  profile <in.elf> -o <out.elf>        build the profiling binary (step 1 of Fig. 5)
+  genlist <prof.elf> -o <allow.lst> [--input v,v,..]
+                                       run the profiling binary, emit allow.lst
+  fuzzlist <in.elf> -o <allow.lst> [--input seed,..] [--iters N]
+                                       coverage-guided profiling (E9AFL-style)
+  run     <in.elf> [--input v,v,..] [--log] [--memcheck] [--max-steps N]
+  disasm  <in.elf>                     linear disassembly of code segments
+  stats   <in.elf>                     image and instrumentation-plan statistics
+
+harden options:
+  --allowlist <allow.lst>   full check only on listed sites (Fig. 5 step 2)
+  --redzone-only            disable the LowFat component entirely
+  --lowfat-only             ablation: pure class-size bounds checks
+  --writes-only             do not instrument reads (-reads column)
+  --no-size                 disable metadata hardening (-size column)
+  --no-elim | --no-batch | --no-merge  disable an optimization (Table 1)
+  --strip                   strip symbols before hardening";
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::BTreeMap<String, Option<String>>,
+}
+
+/// Flags that take a value.
+const VALUE_FLAGS: [&str; 5] = ["-o", "--input", "--max-steps", "--allowlist", "--iters"];
+
+fn parse_args(argv: &[String]) -> Result<Args, CliError> {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::BTreeMap::new();
+    let mut it = argv.iter().peekable();
+    while let Some(a) = it.next() {
+        if a.starts_with('-') {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err(format!("{a} requires a value")))?;
+                flags.insert(a.clone(), Some(v.clone()));
+            } else {
+                flags.insert(a.clone(), None);
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Args { positional, flags })
+}
+
+impl Args {
+    fn out(&self) -> Result<&str, CliError> {
+        self.flags
+            .get("-o")
+            .and_then(|v| v.as_deref())
+            .ok_or_else(|| err("missing -o <output>"))
+    }
+
+    fn has(&self, f: &str) -> bool {
+        self.flags.contains_key(f)
+    }
+
+    fn input_values(&self) -> Result<Vec<i64>, CliError> {
+        match self.flags.get("--input").and_then(|v| v.as_deref()) {
+            None => Ok(Vec::new()),
+            Some(s) => s
+                .split(',')
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    p.trim()
+                        .parse::<i64>()
+                        .map_err(|e| err(format!("bad --input value {p:?}: {e}")))
+                })
+                .collect(),
+        }
+    }
+
+    fn max_steps(&self) -> Result<u64, CliError> {
+        match self.flags.get("--max-steps").and_then(|v| v.as_deref()) {
+            None => Ok(1_000_000_000),
+            Some(s) => s
+                .parse()
+                .map_err(|e| err(format!("bad --max-steps: {e}"))),
+        }
+    }
+}
+
+fn load_image(path: &str) -> Result<Image, CliError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    Image::parse(&bytes).map_err(|e| err(format!("{path}: {e}")))
+}
+
+fn save_image(image: &Image, path: &str) -> Result<(), CliError> {
+    std::fs::write(path, image.to_bytes()).map_err(|e| err(format!("cannot write {path}: {e}")))
+}
+
+fn harden_config(args: &Args) -> Result<HardenConfig, CliError> {
+    let policy = if args.has("--redzone-only") {
+        LowFatPolicy::Disabled
+    } else if let Some(Some(path)) = args.flags.get("--allowlist") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        LowFatPolicy::AllowList(AllowList::from_text(&text).map_err(err)?)
+    } else {
+        LowFatPolicy::All
+    };
+    let mut cfg = HardenConfig::with_merge(policy);
+    if args.has("--no-elim") {
+        cfg.elim = false;
+    }
+    if args.has("--no-batch") {
+        cfg.batch = false;
+    }
+    if args.has("--no-merge") {
+        cfg.merge = false;
+    }
+    if args.has("--no-size") {
+        cfg.size_harden = false;
+    }
+    if args.has("--writes-only") {
+        cfg.instrument_reads = false;
+    }
+    if args.has("--lowfat-only") {
+        cfg.lowfat_only = true;
+    }
+    Ok(cfg)
+}
+
+/// Executes one CLI invocation; returns the stdout text.
+pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(err(USAGE));
+    };
+    let args = parse_args(rest)?;
+    let mut out = String::new();
+
+    match cmd.as_str() {
+        "compile" => {
+            let [src] = &args.positional[..] else {
+                return Err(err("compile needs exactly one source file"));
+            };
+            let text = std::fs::read_to_string(src)
+                .map_err(|e| err(format!("cannot read {src}: {e}")))?;
+            let image = redfat_minic::compile(&text).map_err(|e| err(e.to_string()))?;
+            save_image(&image, args.out()?)?;
+            let code: u64 = image.exec_segments().map(|s| s.data.len() as u64).sum();
+            writeln!(out, "compiled {src}: {code} bytes of code").expect("string write");
+        }
+        "harden" => {
+            let [input] = &args.positional[..] else {
+                return Err(err("harden needs exactly one input binary"));
+            };
+            let mut image = load_image(input)?;
+            if args.has("--strip") {
+                image.strip();
+            }
+            let cfg = harden_config(&args)?;
+            let hardened = harden(&image, &cfg).map_err(|e| err(e.to_string()))?;
+            save_image(&hardened.image, args.out()?)?;
+            let s = hardened.stats;
+            writeln!(
+                out,
+                "hardened {input}: {} sites ({} full, {} redzone-only, {} eliminated), \
+                 {} trampolines ({} jmp, {} int3), {} trampoline bytes",
+                s.sites_considered,
+                s.sites_lowfat,
+                s.sites_redzone,
+                s.sites_eliminated,
+                s.batches,
+                s.rewrite.jmp_patches,
+                s.rewrite.trap_patches,
+                s.rewrite.trampoline_bytes
+            )
+            .expect("string write");
+        }
+        "profile" => {
+            let [input] = &args.positional[..] else {
+                return Err(err("profile needs exactly one input binary"));
+            };
+            let image = load_image(input)?;
+            let prof = instrument_profile(&image).map_err(|e| err(e.to_string()))?;
+            save_image(&prof.image, args.out()?)?;
+            writeln!(
+                out,
+                "profiling binary written: {} instrumented sites",
+                prof.stats.sites_lowfat
+            )
+            .expect("string write");
+        }
+        "genlist" => {
+            let [prof] = &args.positional[..] else {
+                return Err(err("genlist needs exactly one profiling binary"));
+            };
+            let image = load_image(prof)?;
+            let run = run_once(&image, args.input_values()?, ErrorMode::Log, args.max_steps()?);
+            if !matches!(run.result, RunResult::Exited(_)) {
+                return Err(err(format!("profiling run did not exit: {:?}", run.result)));
+            }
+            let allow = collect_allowlist(&run.profile);
+            std::fs::write(args.out()?, allow.to_text())
+                .map_err(|e| err(format!("cannot write allow-list: {e}")))?;
+            writeln!(
+                out,
+                "observed {} sites, allow-listed {}",
+                run.profile.len(),
+                allow.len()
+            )
+            .expect("string write");
+        }
+        "fuzzlist" => {
+            let [input] = &args.positional[..] else {
+                return Err(err("fuzzlist needs exactly one binary"));
+            };
+            let image = load_image(input)?;
+            let iters = match args.flags.get("--iters").and_then(|v| v.as_deref()) {
+                None => 200,
+                Some(s) => s.parse().map_err(|e| err(format!("bad --iters: {e}")))?,
+            };
+            let seeds = vec![args.input_values()?];
+            let outcome = redfat_core::fuzz_profile(
+                &image,
+                &seeds,
+                &redfat_core::FuzzConfig {
+                    iterations: iters,
+                    max_steps: args.max_steps()?,
+                    ..redfat_core::FuzzConfig::default()
+                },
+            )
+            .map_err(|e| err(e.to_string()))?;
+            let allow = collect_allowlist(&outcome.profile);
+            std::fs::write(args.out()?, allow.to_text())
+                .map_err(|e| err(format!("cannot write allow-list: {e}")))?;
+            writeln!(
+                out,
+                "{} executions, corpus {}, observed {} sites, allow-listed {}",
+                outcome.executions,
+                outcome.corpus.len(),
+                outcome.profile.len(),
+                allow.len()
+            )
+            .expect("string write");
+        }
+        "run" => {
+            let [input] = &args.positional[..] else {
+                return Err(err("run needs exactly one binary"));
+            };
+            let image = load_image(input)?;
+            let inputs = args.input_values()?;
+            let steps = args.max_steps()?;
+            if args.has("--memcheck") {
+                let rt = MemcheckRuntime::new(ErrorMode::Log).with_input(inputs);
+                let mut emu = Emu::load_image(&image, rt);
+                emu.cost = MemcheckRuntime::cost_model();
+                let r = emu.run(steps);
+                writeln!(out, "memcheck: {r:?}").expect("string write");
+                for e in &emu.runtime.errors {
+                    writeln!(out, "memcheck error: {e}").expect("string write");
+                }
+                writeln!(
+                    out,
+                    "instructions {}  cycles {}",
+                    emu.counters.instructions, emu.counters.cycles
+                )
+                .expect("string write");
+            } else {
+                let mode = if args.has("--log") {
+                    ErrorMode::Log
+                } else {
+                    ErrorMode::Abort
+                };
+                let result = run_once(&image, inputs, mode, steps);
+                writeln!(out, "{:?}", result.result).expect("string write");
+                for v in &result.io.out_ints {
+                    writeln!(out, "{v}").expect("string write");
+                }
+                if !result.io.out_bytes.is_empty() {
+                    writeln!(out, "{}", String::from_utf8_lossy(&result.io.out_bytes))
+                        .expect("string write");
+                }
+                for e in &result.errors {
+                    writeln!(out, "error: {}", symbolize(&image, e)).expect("string write");
+                }
+                writeln!(
+                    out,
+                    "instructions {}  cycles {}",
+                    result.counters.instructions, result.counters.cycles
+                )
+                .expect("string write");
+            }
+        }
+        "disasm" => {
+            let [input] = &args.positional[..] else {
+                return Err(err("disasm needs exactly one binary"));
+            };
+            let image = load_image(input)?;
+            let d = redfat_analysis::disassemble(&image);
+            for (addr, inst, _) in d.iter() {
+                writeln!(out, "{addr:#x}: {inst}").expect("string write");
+            }
+            for (start, end) in &d.unknown {
+                writeln!(out, "{start:#x}..{end:#x}: <undecodable>").expect("string write");
+            }
+        }
+        "stats" => {
+            let [input] = &args.positional[..] else {
+                return Err(err("stats needs exactly one binary"));
+            };
+            let image = load_image(input)?;
+            let d = redfat_analysis::disassemble(&image);
+            let cfg = redfat_analysis::Cfg::recover(&d, image.entry, &[]);
+            let accesses = d
+                .iter()
+                .filter(|(_, i, _)| i.memory_access().is_some())
+                .count();
+            let eliminable = d
+                .iter()
+                .filter(|(_, i, _)| {
+                    i.memory_access()
+                        .is_some_and(|m| !redfat_analysis::can_reach_heap(&m))
+                })
+                .count();
+            writeln!(out, "kind:            {:?}", image.kind).expect("string write");
+            writeln!(out, "entry:           {:#x}", image.entry).expect("string write");
+            writeln!(out, "segments:        {}", image.segments.len()).expect("string write");
+            writeln!(out, "memory:          {} bytes", image.memory_footprint())
+                .expect("string write");
+            writeln!(out, "symbols:         {}", image.symbols.len()).expect("string write");
+            writeln!(out, "instructions:    {}", d.len()).expect("string write");
+            writeln!(out, "basic blocks:    {}", cfg.blocks.len()).expect("string write");
+            writeln!(out, "memory accesses: {accesses}").expect("string write");
+            writeln!(out, "eliminable:      {eliminable}").expect("string write");
+        }
+        "--help" | "-h" | "help" => writeln!(out, "{USAGE}").expect("string write"),
+        other => return Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+    Ok(out)
+}
+
+/// Renders a memory error with the enclosing function name when the
+/// image still carries symbols (bug-finding deployments keep them).
+pub fn symbolize(image: &Image, e: &redfat_emu::MemoryError) -> String {
+    let mut best: Option<(&str, u64)> = None;
+    for s in &image.symbols {
+        if s.value <= e.site {
+            match best {
+                Some((_, v)) if v >= s.value => {}
+                _ => best = Some((&s.name, s.value)),
+            }
+        }
+    }
+    match best {
+        Some((name, v)) => format!("{e} in {name}+{:#x}", e.site - v),
+        None => e.to_string(),
+    }
+}

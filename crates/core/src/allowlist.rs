@@ -1,0 +1,122 @@
+//! Allow-lists: the output of the §5 profiling phase.
+
+use std::collections::BTreeSet;
+
+/// The set of instrumentation sites (original-binary instruction
+/// addresses) deemed safe for the full (Redzone)+(LowFat) check.
+///
+/// Serializes to the same shape as the paper's `allow.lst`: one lowercase
+/// hex address per line, comments starting with `#`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllowList {
+    sites: BTreeSet<u64>,
+}
+
+impl AllowList {
+    /// An empty allow-list (everything falls back to (Redzone)-only).
+    pub fn new() -> AllowList {
+        AllowList::default()
+    }
+
+    /// Builds from an iterator of site addresses.
+    pub fn from_sites(sites: impl IntoIterator<Item = u64>) -> AllowList {
+        AllowList {
+            sites: sites.into_iter().collect(),
+        }
+    }
+
+    /// Adds a site.
+    pub fn insert(&mut self, site: u64) {
+        self.sites.insert(site);
+    }
+
+    /// Membership test used by the hardening pipeline.
+    pub fn contains(&self, site: u64) -> bool {
+        self.sites.contains(&site)
+    }
+
+    /// Number of allow-listed sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Returns `true` if no sites are allow-listed.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Iterates the sites in address order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sites.iter().copied()
+    }
+
+    /// Merges another allow-list in (for combining coverage from
+    /// multiple training runs after intersecting their fail-sets).
+    pub fn union(&mut self, other: &AllowList) {
+        self.sites.extend(other.sites.iter().copied());
+    }
+
+    /// Serializes to `allow.lst` text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::from("# RedFat allow-list: sites safe for (Redzone)+(LowFat)\n");
+        for site in &self.sites {
+            s.push_str(&format!("{site:x}\n"));
+        }
+        s
+    }
+
+    /// Parses the `allow.lst` text format.
+    ///
+    /// Lines that are empty or start with `#` are ignored; anything else
+    /// must be a hex address.
+    pub fn from_text(text: &str) -> Result<AllowList, String> {
+        let mut sites = BTreeSet::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let v = u64::from_str_radix(line, 16)
+                .map_err(|e| format!("line {}: bad address {line:?}: {e}", i + 1))?;
+            sites.insert(v);
+        }
+        Ok(AllowList { sites })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_membership() {
+        let mut l = AllowList::new();
+        assert!(l.is_empty());
+        l.insert(0x40_1000);
+        assert!(l.contains(0x40_1000));
+        assert!(!l.contains(0x40_1001));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let l = AllowList::from_sites([0x40_1000, 0x40_2000, 0x7FFF_FFFF]);
+        let text = l.to_text();
+        let back = AllowList::from_text(&text).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert!(AllowList::from_text("zzz").is_err());
+        assert!(AllowList::from_text("# comment\n\n401000\n").is_ok());
+    }
+
+    #[test]
+    fn union_combines() {
+        let mut a = AllowList::from_sites([1, 2]);
+        let b = AllowList::from_sites([2, 3]);
+        a.union(&b);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Hardening configuration: the knobs of Table 1.
+
+use crate::allowlist::AllowList;
+
+/// Which memory operations receive the full (Redzone)+(LowFat) check, as
+/// opposed to the (Redzone)-only fallback (paper §3, "opportunistic
+/// hardening").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowFatPolicy {
+    /// Never use the LowFat component: (Redzone)-only everywhere. This is
+    /// the methodology of redzone-only state-of-the-art tools.
+    Disabled,
+    /// Full (Redzone)+(LowFat) on every instrumented site, risking false
+    /// positives on intentional out-of-bounds pointers (paper §7.1,
+    /// "false positives" experiment).
+    All,
+    /// Full check only on allow-listed sites; (Redzone)-only elsewhere.
+    /// The production configuration of the §5 workflow.
+    AllowList(AllowList),
+}
+
+/// Hardening configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HardenConfig {
+    /// Check elimination (§6): skip operands that provably cannot reach
+    /// the heap.
+    pub elim: bool,
+    /// Check batching (§6): one trampoline per reorderable group.
+    pub batch: bool,
+    /// Check merging (§6): one range check per operand shape in a batch.
+    pub merge: bool,
+    /// Metadata hardening (§4.2): validate `SIZE` against the immutable
+    /// class size. Disabled by the `-size` column.
+    pub size_harden: bool,
+    /// Instrument reads as well as writes. Disabled by the `-reads`
+    /// column (write-only hardening).
+    pub instrument_reads: bool,
+    /// The LowFat component policy.
+    pub lowfat: LowFatPolicy,
+    /// Ablation: emit the *pure* (LowFat) check of §2.1 -- class-size
+    /// bounds from the base register only, no redzone fallback, no
+    /// metadata -- instead of the combined Figure 4 check. Used by the
+    /// complementarity experiment; never set in production.
+    pub lowfat_only: bool,
+}
+
+impl HardenConfig {
+    /// Table 1 "unoptimized": no optimizations, full checks everywhere
+    /// the policy allows.
+    pub fn unoptimized(lowfat: LowFatPolicy) -> HardenConfig {
+        HardenConfig {
+            elim: false,
+            batch: false,
+            merge: false,
+            size_harden: true,
+            instrument_reads: true,
+            lowfat,
+            lowfat_only: false,
+        }
+    }
+
+    /// Table 1 "+elim".
+    pub fn with_elim(lowfat: LowFatPolicy) -> HardenConfig {
+        HardenConfig {
+            elim: true,
+            ..HardenConfig::unoptimized(lowfat)
+        }
+    }
+
+    /// Table 1 "+batch".
+    pub fn with_batch(lowfat: LowFatPolicy) -> HardenConfig {
+        HardenConfig {
+            batch: true,
+            ..HardenConfig::with_elim(lowfat)
+        }
+    }
+
+    /// Table 1 "+merge" (fully optimized).
+    pub fn with_merge(lowfat: LowFatPolicy) -> HardenConfig {
+        HardenConfig {
+            merge: true,
+            ..HardenConfig::with_batch(lowfat)
+        }
+    }
+
+    /// Table 1 "-size": fully optimized minus metadata hardening. The
+    /// configuration that most closely matches Valgrind Memcheck's
+    /// feature set.
+    pub fn minus_size(lowfat: LowFatPolicy) -> HardenConfig {
+        HardenConfig {
+            size_harden: false,
+            ..HardenConfig::with_merge(lowfat)
+        }
+    }
+
+    /// Table 1 "-reads": write-only hardening, the cheapest production
+    /// configuration.
+    pub fn minus_reads(lowfat: LowFatPolicy) -> HardenConfig {
+        HardenConfig {
+            instrument_reads: false,
+            ..HardenConfig::minus_size(lowfat)
+        }
+    }
+
+    /// Ablation: the pure low-fat-pointer methodology of §2.1, without
+    /// the redzone component (detects non-incremental skips; misses
+    /// use-after-free, redzone hits and padding overflows).
+    pub fn lowfat_only() -> HardenConfig {
+        HardenConfig {
+            lowfat_only: true,
+            ..HardenConfig::with_merge(LowFatPolicy::All)
+        }
+    }
+}
+
+impl Default for HardenConfig {
+    /// Fully optimized with full LowFat coverage (callers wanting the
+    /// production workflow substitute an allow-list policy).
+    fn default() -> HardenConfig {
+        HardenConfig::with_merge(LowFatPolicy::All)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_form_a_ladder() {
+        let u = HardenConfig::unoptimized(LowFatPolicy::All);
+        assert!(!u.elim && !u.batch && !u.merge);
+        let e = HardenConfig::with_elim(LowFatPolicy::All);
+        assert!(e.elim && !e.batch);
+        let b = HardenConfig::with_batch(LowFatPolicy::All);
+        assert!(b.elim && b.batch && !b.merge);
+        let m = HardenConfig::with_merge(LowFatPolicy::All);
+        assert!(m.elim && m.batch && m.merge && m.size_harden && m.instrument_reads);
+        let s = HardenConfig::minus_size(LowFatPolicy::All);
+        assert!(!s.size_harden && s.instrument_reads);
+        let r = HardenConfig::minus_reads(LowFatPolicy::All);
+        assert!(!r.size_harden && !r.instrument_reads);
+    }
+}

@@ -1,0 +1,37 @@
+//! RedFat: complementary memory-error hardening for binaries.
+//!
+//! This crate is the paper's primary contribution -- the tool that takes
+//! a (possibly stripped) binary image and produces a hardened binary in
+//! which every heap-reachable memory access is guarded by the combined
+//! **(Redzone)+(LowFat)** check of Figure 4, subject to the policy and
+//! optimization configuration of §3, §5 and §6:
+//!
+//! * [`HardenConfig`] selects the optimization levels of Table 1
+//!   (`unoptimized`, `+elim`, `+batch`, `+merge`, `-size`, `-reads`) and
+//!   the low-fat policy (disabled / all sites / allow-list).
+//! * [`harden`] runs the full pipeline: disassemble → recover CFG →
+//!   plan batches → synthesize machine-code checks → trampoline rewrite.
+//! * [`instrument_profile`] builds the *profiling* binary of the §5
+//!   two-phase workflow; [`collect_allowlist`] turns the recorded
+//!   per-site pass/fail counters into an [`AllowList`]; hardening with
+//!   [`LowFatPolicy::AllowList`] closes the loop.
+//! * [`run_once`] is a convenience runner used by tests, examples and the
+//!   experiment harness.
+//!
+//! The generated checks are real x86-64 code operating on the low-fat
+//! SIZES/MAGICS tables installed by the runtime; no host-side shortcut
+//! participates in detection.
+
+mod allowlist;
+mod checks;
+mod config;
+mod fuzz;
+mod pipeline;
+mod runner;
+
+pub use allowlist::AllowList;
+pub use checks::CHECK_SCRATCH_CANDIDATES;
+pub use config::{HardenConfig, LowFatPolicy};
+pub use pipeline::{collect_allowlist, harden, harden_with_bases, instrument_profile, HardenError, HardenStats, Hardened};
+pub use fuzz::{fuzz_profile, FuzzConfig, FuzzOutcome};
+pub use runner::{run_once, RunOutcome};

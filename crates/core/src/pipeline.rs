@@ -1,0 +1,240 @@
+//! The hardening pipeline: disassemble → CFG → batches → checks →
+//! trampoline rewrite, plus the §5 two-phase profiling workflow.
+
+use crate::allowlist::AllowList;
+use crate::checks::{BatchPayload, CheckSpec, PayloadMode};
+use crate::config::{HardenConfig, LowFatPolicy};
+use redfat_analysis::{disassemble, merge_checks, plan_batches, Batch, Cfg, Liveness};
+use redfat_analysis::can_reach_heap;
+use redfat_elf::Image;
+use redfat_emu::ProfileStats;
+use redfat_rewriter::{rewrite_with_bases, Patch, RewriteBases, RewriteError, RewriteStats};
+use redfat_x86::Inst;
+use std::collections::HashMap;
+
+/// A hardening failure.
+#[derive(Debug)]
+pub enum HardenError {
+    /// The underlying rewrite failed.
+    Rewrite(RewriteError),
+}
+
+impl std::fmt::Display for HardenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HardenError::Rewrite(e) => write!(f, "rewrite failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HardenError {}
+
+impl From<RewriteError> for HardenError {
+    fn from(e: RewriteError) -> HardenError {
+        HardenError::Rewrite(e)
+    }
+}
+
+/// Instrumentation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HardenStats {
+    /// Memory-access instructions considered (post read/write filter).
+    pub sites_considered: usize,
+    /// Sites whose checks were eliminated (provably non-heap).
+    pub sites_eliminated: usize,
+    /// Sites instrumented with the full (Redzone)+(LowFat) check.
+    pub sites_lowfat: usize,
+    /// Sites instrumented with the (Redzone)-only fallback.
+    pub sites_redzone: usize,
+    /// Batches (= trampolines) emitted.
+    pub batches: usize,
+    /// Merged checks emitted across all batches.
+    pub checks: usize,
+    /// Underlying rewriter statistics.
+    pub rewrite: RewriteStats,
+}
+
+/// A hardened (or profiling-instrumented) binary.
+pub struct Hardened {
+    /// The rewritten image, a drop-in replacement for the original.
+    pub image: Image,
+    /// Statistics.
+    pub stats: HardenStats,
+}
+
+/// Hardens `image` under `config` (paper §3/§6; production phase of §5
+/// when the policy is an allow-list).
+pub fn harden(image: &Image, config: &HardenConfig) -> Result<Hardened, HardenError> {
+    instrument(image, config, PayloadMode::Harden, RewriteBases::default())
+}
+
+/// Hardens `image` with explicit trampoline/trap-table bases, for
+/// instrumenting several images into one address space (separately
+/// instrumented shared objects, paper §7.4).
+pub fn harden_with_bases(
+    image: &Image,
+    config: &HardenConfig,
+    bases: RewriteBases,
+) -> Result<Hardened, HardenError> {
+    instrument(image, config, PayloadMode::Harden, bases)
+}
+
+/// Builds the §5 *profiling* binary: every heap-reachable access is
+/// instrumented to record whether its (LowFat) check passes, via
+/// `PROFILE_EVENT`. Run it against a test suite with
+/// [`crate::run_once`], then feed the collected counters to
+/// [`collect_allowlist`].
+pub fn instrument_profile(image: &Image) -> Result<Hardened, HardenError> {
+    let bases = RewriteBases::default();
+    let config = HardenConfig {
+        elim: true,
+        batch: false, // singleton batches: exact per-site attribution
+        merge: false,
+        size_harden: true,
+        instrument_reads: true,
+        lowfat: LowFatPolicy::All,
+        lowfat_only: false,
+    };
+    instrument(image, &config, PayloadMode::Profile, bases)
+}
+
+/// Builds the allow-list from profiling counters: a site is allowed iff
+/// it was observed and its (LowFat) check never failed (§5's hypothesis:
+/// "each memory operation is always a false positive or never a false
+/// positive").
+pub fn collect_allowlist(profile: &HashMap<u64, ProfileStats>) -> AllowList {
+    AllowList::from_sites(
+        profile
+            .iter()
+            .filter(|(_, s)| s.fails == 0 && s.passes > 0)
+            .map(|(&site, _)| site),
+    )
+}
+
+fn instrument(
+    image: &Image,
+    config: &HardenConfig,
+    mode: PayloadMode,
+    bases: RewriteBases,
+) -> Result<Hardened, HardenError> {
+    let disasm = disassemble(image);
+    let cfg = Cfg::recover(&disasm, image.entry, &[]);
+    let liveness = Liveness::compute(&disasm, &cfg);
+
+    let mut stats = HardenStats::default();
+
+    // Site filter: read/write policy + (optionally) check elimination.
+    let filter = |_: u64, inst: &Inst| {
+        let Some(mem) = inst.memory_access() else {
+            return false;
+        };
+        if !config.instrument_reads && !inst.writes_memory() {
+            return false;
+        }
+        if config.elim && !can_reach_heap(&mem) {
+            return false;
+        }
+        true
+    };
+
+    // Count considered/eliminated for statistics (independent of filter
+    // composition order).
+    for (_, inst, _) in disasm.iter() {
+        if let Some(mem) = inst.memory_access() {
+            if !config.instrument_reads && !inst.writes_memory() {
+                continue;
+            }
+            stats.sites_considered += 1;
+            if config.elim && !can_reach_heap(&mem) {
+                stats.sites_eliminated += 1;
+            }
+        }
+    }
+
+    let batching = config.batch && mode == PayloadMode::Harden;
+    let batches = plan_batches(&disasm, &cfg, batching, filter);
+
+    // Build payloads; split any batch whose operand registers starve the
+    // scratch allocator (extremely rare; singletons always succeed).
+    let mut planned: Vec<(u64, BatchPayload)> = Vec::new();
+    let mut queue: Vec<Batch> = batches;
+    let mut qi = 0;
+    while qi < queue.len() {
+        let batch = queue[qi].clone();
+        qi += 1;
+
+        let allowed = |site: u64| match (&config.lowfat, mode) {
+            (_, PayloadMode::Profile) => true,
+            (LowFatPolicy::Disabled, _) => false,
+            (LowFatPolicy::All, _) => true,
+            (LowFatPolicy::AllowList(l), _) => l.contains(site),
+        };
+
+        // Partition members by policy so merging never mixes policies.
+        let (lf_members, rz_members): (Vec<u64>, Vec<u64>) =
+            batch.members.iter().partition(|&&m| allowed(m));
+        let mut specs: Vec<CheckSpec> = Vec::new();
+        for (members, lowfat) in [(lf_members, true), (rz_members, false)] {
+            if members.is_empty() {
+                continue;
+            }
+            let sub = Batch {
+                anchor: batch.anchor,
+                members,
+            };
+            for check in merge_checks(&disasm, &sub, config.merge) {
+                specs.push(CheckSpec { check, lowfat });
+            }
+        }
+        if specs.is_empty() {
+            continue;
+        }
+
+        let dead = liveness.dead_regs_before(batch.anchor);
+        let flags_dead = liveness.flags_dead_before(batch.anchor);
+        let n_specs = specs.len();
+        let site_counts: Vec<(usize, bool)> = specs
+            .iter()
+            .map(|s| (s.check.sites.len(), s.lowfat))
+            .collect();
+        match BatchPayload::plan(specs, &dead, flags_dead, config.size_harden, config.lowfat_only, mode) {
+            Some(p) => {
+                stats.checks += n_specs;
+                for (n, lowfat) in site_counts {
+                    if lowfat {
+                        stats.sites_lowfat += n;
+                    } else {
+                        stats.sites_redzone += n;
+                    }
+                }
+                planned.push((batch.anchor, p));
+            }
+            None => {
+                // Scratch starvation: fall back to singleton batches.
+                for &m in &batch.members {
+                    queue.push(Batch {
+                        anchor: m,
+                        members: vec![m],
+                    });
+                }
+            }
+        }
+    }
+    planned.sort_by_key(|(anchor, _)| *anchor);
+    stats.batches = planned.len();
+
+    let patches: Vec<Patch> = planned
+        .iter()
+        .map(|(anchor, payload)| Patch {
+            anchor: *anchor,
+            payload: Box::new(move |a: &mut redfat_x86::Asm| payload.emit(a)),
+        })
+        .collect();
+
+    let out = rewrite_with_bases(image, &disasm, &cfg, patches, bases)?;
+    stats.rewrite = out.stats;
+    Ok(Hardened {
+        image: out.image,
+        stats,
+    })
+}

@@ -1,0 +1,48 @@
+//! Convenience runner used by tests, examples and the experiment
+//! harness.
+
+use redfat_elf::Image;
+use redfat_emu::{
+    Counters, Emu, ErrorMode, GuestIo, HostRuntime, MemoryError, ProfileStats, RunResult,
+};
+use std::collections::HashMap;
+
+/// Everything a single guest run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// How the run ended.
+    pub result: RunResult,
+    /// Instruction/cycle counters (the performance metric).
+    pub counters: Counters,
+    /// Guest I/O streams.
+    pub io: GuestIo,
+    /// Memory errors reported by instrumentation.
+    pub errors: Vec<MemoryError>,
+    /// Per-site profiling counters (profiling binaries only).
+    pub profile: HashMap<u64, ProfileStats>,
+}
+
+impl RunOutcome {
+    /// `true` if the run exited cleanly with status 0.
+    pub fn ok(&self) -> bool {
+        matches!(self.result, RunResult::Exited(0))
+    }
+}
+
+/// Loads `image`, runs it with the given input under the standard
+/// RedFat runtime, and collects the outcome.
+///
+/// `mode` selects abort-on-error (hardening) or log-and-continue
+/// (bug finding / profiling).
+pub fn run_once(image: &Image, input: Vec<i64>, mode: ErrorMode, max_steps: u64) -> RunOutcome {
+    let runtime = HostRuntime::new(mode).with_input(input);
+    let mut emu = Emu::load_image(image, runtime);
+    let result = emu.run(max_steps);
+    RunOutcome {
+        result,
+        counters: emu.counters,
+        io: emu.runtime.io,
+        errors: emu.runtime.errors,
+        profile: emu.runtime.profile,
+    }
+}

@@ -1,0 +1,235 @@
+//! In-memory representation of an ELF64 image.
+
+/// Segment permission flags (`p_flags` bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegFlags(pub u32);
+
+impl SegFlags {
+    /// Execute permission.
+    pub const X: SegFlags = SegFlags(1);
+    /// Write permission.
+    pub const W: SegFlags = SegFlags(2);
+    /// Read permission.
+    pub const R: SegFlags = SegFlags(4);
+    /// Read + execute (text segments).
+    pub const RX: SegFlags = SegFlags(5);
+    /// Read + write (data segments).
+    pub const RW: SegFlags = SegFlags(6);
+
+    /// Returns `true` if the executable bit is set.
+    pub fn executable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Returns `true` if the writable bit is set.
+    pub fn writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// Returns `true` if the readable bit is set.
+    pub fn readable(self) -> bool {
+        self.0 & 4 != 0
+    }
+}
+
+impl std::ops::BitOr for SegFlags {
+    type Output = SegFlags;
+    fn bitor(self, rhs: SegFlags) -> SegFlags {
+        SegFlags(self.0 | rhs.0)
+    }
+}
+
+/// A loadable segment (`PT_LOAD`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Virtual load address.
+    pub vaddr: u64,
+    /// Permissions.
+    pub flags: SegFlags,
+    /// File contents (`p_filesz` bytes).
+    pub data: Vec<u8>,
+    /// In-memory size; any excess over `data.len()` is zero-filled (BSS).
+    pub mem_size: u64,
+}
+
+impl Segment {
+    /// Builds a segment whose memory size equals its file size.
+    pub fn new(vaddr: u64, flags: SegFlags, data: Vec<u8>) -> Segment {
+        let mem_size = data.len() as u64;
+        Segment {
+            vaddr,
+            flags,
+            data,
+            mem_size,
+        }
+    }
+
+    /// One past the last in-memory byte.
+    pub fn end(&self) -> u64 {
+        self.vaddr + self.mem_size
+    }
+
+    /// Returns `true` if `addr` falls within this segment's memory image.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.vaddr && addr < self.end()
+    }
+}
+
+/// ELF file type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageKind {
+    /// Position-dependent executable (`ET_EXEC`).
+    Exec,
+    /// Position-independent executable / shared object (`ET_DYN`).
+    Dyn,
+}
+
+/// A symbol table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Symbol value (address).
+    pub value: u64,
+    /// Symbol size in bytes.
+    pub size: u64,
+}
+
+/// A parsed or constructed ELF64 image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// File type.
+    pub kind: ImageKind,
+    /// Entry point virtual address.
+    pub entry: u64,
+    /// Loadable segments, sorted by `vaddr` at parse time.
+    pub segments: Vec<Segment>,
+    /// Optional symbols. Empty for stripped binaries.
+    pub symbols: Vec<Symbol>,
+}
+
+impl Image {
+    /// Removes all symbol information, as `strip(1)` would.
+    ///
+    /// The RedFat pipeline is exercised against stripped images in tests
+    /// to prove it never depends on symbols.
+    pub fn strip(&mut self) {
+        self.symbols.clear();
+    }
+
+    /// Returns the segment containing `addr`, if any.
+    pub fn segment_at(&self, addr: u64) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.contains(addr))
+    }
+
+    /// Returns a mutable reference to the segment containing `addr`.
+    pub fn segment_at_mut(&mut self, addr: u64) -> Option<&mut Segment> {
+        self.segments.iter_mut().find(|s| s.contains(addr))
+    }
+
+    /// Iterates over executable segments (instrumentation targets).
+    pub fn exec_segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.iter().filter(|s| s.flags.executable())
+    }
+
+    /// Reads `len` bytes at virtual address `addr` from segment data.
+    ///
+    /// Returns `None` if the range is not fully contained in one segment's
+    /// file data (BSS reads return `None`; callers treat that as zeroes if
+    /// they wish).
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Option<&[u8]> {
+        let seg = self.segment_at(addr)?;
+        let off = (addr - seg.vaddr) as usize;
+        seg.data.get(off..off + len)
+    }
+
+    /// Overwrites bytes at virtual address `addr` in place.
+    ///
+    /// Returns `false` if the range is not fully contained in one
+    /// segment's file data.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> bool {
+        let Some(seg) = self.segment_at_mut(addr) else {
+            return false;
+        };
+        let off = (addr - seg.vaddr) as usize;
+        let Some(slot) = seg.data.get_mut(off..off + bytes.len()) else {
+            return false;
+        };
+        slot.copy_from_slice(bytes);
+        true
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Total in-memory size of all segments (a scalability metric).
+    pub fn memory_footprint(&self) -> u64 {
+        self.segments.iter().map(|s| s.mem_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Image {
+        Image {
+            kind: ImageKind::Exec,
+            entry: 0x40_0010,
+            segments: vec![
+                Segment::new(0x40_0000, SegFlags::RX, vec![0x90; 64]),
+                Segment {
+                    vaddr: 0x60_0000,
+                    flags: SegFlags::RW,
+                    data: vec![1, 2, 3, 4],
+                    mem_size: 4096,
+                },
+            ],
+            symbols: vec![Symbol {
+                name: "main".into(),
+                value: 0x40_0010,
+                size: 32,
+            }],
+        }
+    }
+
+    #[test]
+    fn segment_lookup() {
+        let img = sample();
+        assert!(img.segment_at(0x40_0000).is_some());
+        assert!(img.segment_at(0x40_003F).is_some());
+        assert!(img.segment_at(0x40_0040).is_none());
+        // BSS tail is part of the segment.
+        assert!(img.segment_at(0x60_0FFF).is_some());
+    }
+
+    #[test]
+    fn read_write_bytes() {
+        let mut img = sample();
+        assert_eq!(img.read_bytes(0x60_0000, 4), Some(&[1u8, 2, 3, 4][..]));
+        // Reads beyond file data fail even though memory extends further.
+        assert_eq!(img.read_bytes(0x60_0002, 4), None);
+        assert!(img.write_bytes(0x40_0000, &[0xC3]));
+        assert_eq!(img.read_bytes(0x40_0000, 1), Some(&[0xC3u8][..]));
+        assert!(!img.write_bytes(0x70_0000, &[0]));
+    }
+
+    #[test]
+    fn strip_removes_symbols() {
+        let mut img = sample();
+        assert!(img.symbol("main").is_some());
+        img.strip();
+        assert!(img.symbol("main").is_none());
+    }
+
+    #[test]
+    fn flags_decompose() {
+        assert!(SegFlags::RX.executable());
+        assert!(SegFlags::RX.readable());
+        assert!(!SegFlags::RX.writable());
+        assert!(SegFlags::RW.writable());
+        assert_eq!(SegFlags::R | SegFlags::X, SegFlags::RX);
+    }
+}

@@ -1,0 +1,41 @@
+//! Minimal ELF64 images: the binary container format for the RedFat
+//! reproduction.
+//!
+//! This crate reads and writes a real (if minimal) subset of the ELF64
+//! object format: file header, `PT_LOAD` program headers, and an optional
+//! `.symtab`/`.strtab` pair. That is exactly what a *stripped* binary
+//! carries -- the hardening pipeline never consults symbols, mirroring the
+//! paper's "minimal assumptions" requirement (§1): no relocations, no
+//! DWARF, no language runtime metadata.
+//!
+//! Both position-dependent (`ET_EXEC`) and position-independent (`ET_DYN`)
+//! binaries are supported; RedFat instruments either (§7).
+//!
+//! # Examples
+//!
+//! ```
+//! use redfat_elf::{Image, ImageKind, Segment, SegFlags};
+//!
+//! let img = Image {
+//!     kind: ImageKind::Exec,
+//!     entry: 0x40_0000,
+//!     segments: vec![Segment {
+//!         vaddr: 0x40_0000,
+//!         flags: SegFlags::RX,
+//!         data: vec![0xC3],
+//!         mem_size: 1,
+//!     }],
+//!     symbols: vec![],
+//! };
+//! let bytes = img.to_bytes();
+//! let back = Image::parse(&bytes).unwrap();
+//! assert_eq!(back.entry, 0x40_0000);
+//! assert_eq!(back.segments[0].data, vec![0xC3]);
+//! ```
+
+mod image;
+mod read;
+mod write;
+
+pub use image::{Image, ImageKind, SegFlags, Segment, Symbol};
+pub use read::ElfError;

@@ -1,0 +1,234 @@
+//! ELF64 parsing.
+
+use crate::image::{Image, ImageKind, SegFlags, Segment, Symbol};
+
+/// An ELF parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElfError {
+    /// Magic bytes or class/encoding are wrong.
+    NotElf64,
+    /// Machine is not `EM_X86_64`.
+    WrongMachine(u16),
+    /// File type is neither `ET_EXEC` nor `ET_DYN`.
+    WrongType(u16),
+    /// A header or table extends past the end of the file.
+    Truncated(&'static str),
+}
+
+impl std::fmt::Display for ElfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElfError::NotElf64 => write!(f, "not an ELF64 little-endian file"),
+            ElfError::WrongMachine(m) => write!(f, "unexpected machine {m}"),
+            ElfError::WrongType(t) => write!(f, "unexpected file type {t}"),
+            ElfError::Truncated(what) => write!(f, "truncated {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+fn get<'a>(b: &'a [u8], off: usize, len: usize, what: &'static str) -> Result<&'a [u8], ElfError> {
+    b.get(off..off + len).ok_or(ElfError::Truncated(what))
+}
+
+fn u16le(b: &[u8], off: usize) -> Result<u16, ElfError> {
+    Ok(u16::from_le_bytes(
+        get(b, off, 2, "u16")?.try_into().expect("2 bytes"),
+    ))
+}
+
+fn u32le(b: &[u8], off: usize) -> Result<u32, ElfError> {
+    Ok(u32::from_le_bytes(
+        get(b, off, 4, "u32")?.try_into().expect("4 bytes"),
+    ))
+}
+
+fn u64le(b: &[u8], off: usize) -> Result<u64, ElfError> {
+    Ok(u64::from_le_bytes(
+        get(b, off, 8, "u64")?.try_into().expect("8 bytes"),
+    ))
+}
+
+impl Image {
+    /// Parses ELF64 bytes into an [`Image`].
+    ///
+    /// Only `PT_LOAD` program headers and (optionally) `.symtab` are
+    /// consumed -- the information available for a stripped binary, plus
+    /// symbols when present.
+    pub fn parse(bytes: &[u8]) -> Result<Image, ElfError> {
+        let ident = get(bytes, 0, 8, "ident")?;
+        if ident[..4] != [0x7F, b'E', b'L', b'F'] || ident[4] != 2 || ident[5] != 1 {
+            return Err(ElfError::NotElf64);
+        }
+        let e_type = u16le(bytes, 16)?;
+        let kind = match e_type {
+            2 => ImageKind::Exec,
+            3 => ImageKind::Dyn,
+            other => return Err(ElfError::WrongType(other)),
+        };
+        let machine = u16le(bytes, 18)?;
+        if machine != 62 {
+            return Err(ElfError::WrongMachine(machine));
+        }
+        let entry = u64le(bytes, 24)?;
+        let phoff = u64le(bytes, 32)? as usize;
+        let shoff = u64le(bytes, 40)? as usize;
+        let phentsize = u16le(bytes, 54)? as usize;
+        let phnum = u16le(bytes, 56)? as usize;
+        let shentsize = u16le(bytes, 58)? as usize;
+        let shnum = u16le(bytes, 60)? as usize;
+
+        let mut segments = Vec::new();
+        for i in 0..phnum {
+            let ph = phoff + i * phentsize;
+            let p_type = u32le(bytes, ph)?;
+            if p_type != 1 {
+                continue; // not PT_LOAD
+            }
+            let flags = u32le(bytes, ph + 4)?;
+            let off = u64le(bytes, ph + 8)? as usize;
+            let vaddr = u64le(bytes, ph + 16)?;
+            let filesz = u64le(bytes, ph + 32)? as usize;
+            let memsz = u64le(bytes, ph + 40)?;
+            let data = get(bytes, off, filesz, "segment data")?.to_vec();
+            segments.push(Segment {
+                vaddr,
+                flags: SegFlags(flags),
+                data,
+                mem_size: memsz,
+            });
+        }
+        segments.sort_by_key(|s| s.vaddr);
+
+        // Optional symbols: find SHT_SYMTAB.
+        let mut symbols = Vec::new();
+        if shoff != 0 && shnum != 0 {
+            let mut symtab: Option<(usize, usize, usize)> = None; // off, size, link
+            for i in 0..shnum {
+                let sh = shoff + i * shentsize;
+                let sh_type = u32le(bytes, sh + 4)?;
+                if sh_type == 2 {
+                    let off = u64le(bytes, sh + 24)? as usize;
+                    let size = u64le(bytes, sh + 32)? as usize;
+                    let link = u32le(bytes, sh + 40)? as usize;
+                    symtab = Some((off, size, link));
+                    break;
+                }
+            }
+            if let Some((off, size, link)) = symtab {
+                let str_sh = shoff + link * shentsize;
+                let str_off = u64le(bytes, str_sh + 24)? as usize;
+                let str_size = u64le(bytes, str_sh + 32)? as usize;
+                let strtab = get(bytes, str_off, str_size, "strtab")?;
+                let nsyms = size / 24;
+                for i in 1..nsyms {
+                    let s = off + i * 24;
+                    let name_off = u32le(bytes, s)? as usize;
+                    let value = u64le(bytes, s + 8)?;
+                    let sym_size = u64le(bytes, s + 16)?;
+                    let name_bytes = strtab
+                        .get(name_off..)
+                        .ok_or(ElfError::Truncated("symbol name"))?;
+                    let end = name_bytes
+                        .iter()
+                        .position(|&c| c == 0)
+                        .ok_or(ElfError::Truncated("symbol name nul"))?;
+                    let name = String::from_utf8_lossy(&name_bytes[..end]).into_owned();
+                    symbols.push(Symbol {
+                        name,
+                        value,
+                        size: sym_size,
+                    });
+                }
+            }
+        }
+
+        Ok(Image {
+            kind,
+            entry,
+            segments,
+            symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Image {
+        Image {
+            kind: ImageKind::Exec,
+            entry: 0x40_0020,
+            segments: vec![
+                Segment::new(0x40_0000, SegFlags::RX, (0..200u8).collect()),
+                Segment {
+                    vaddr: 0x60_0100,
+                    flags: SegFlags::RW,
+                    data: vec![9; 32],
+                    mem_size: 8192,
+                },
+            ],
+            symbols: vec![
+                Symbol {
+                    name: "main".into(),
+                    value: 0x40_0020,
+                    size: 64,
+                },
+                Symbol {
+                    name: "helper".into(),
+                    value: 0x40_0080,
+                    size: 16,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_symbols() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        let back = Image::parse(&bytes).expect("parses");
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn roundtrip_stripped() {
+        let mut img = sample();
+        img.strip();
+        let bytes = img.to_bytes();
+        let back = Image::parse(&bytes).expect("parses");
+        assert_eq!(back, img);
+        assert!(back.symbols.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_pie() {
+        let mut img = sample();
+        img.kind = ImageKind::Dyn;
+        let back = Image::parse(&img.to_bytes()).expect("parses");
+        assert_eq!(back.kind, ImageKind::Dyn);
+    }
+
+    #[test]
+    fn rejects_junk() {
+        assert_eq!(Image::parse(&[0; 16]), Err(ElfError::NotElf64));
+        assert!(Image::parse(b"\x7fELF").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_machine() {
+        let mut bytes = sample().to_bytes();
+        bytes[18] = 0x03; // EM_386
+        assert_eq!(Image::parse(&bytes), Err(ElfError::WrongMachine(3)));
+    }
+
+    #[test]
+    fn bss_memsize_preserved() {
+        let img = sample();
+        let back = Image::parse(&img.to_bytes()).unwrap();
+        assert_eq!(back.segments[1].mem_size, 8192);
+        assert_eq!(back.segments[1].data.len(), 32);
+    }
+}

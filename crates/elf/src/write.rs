@@ -1,0 +1,217 @@
+//! ELF64 serialization.
+
+use crate::image::{Image, ImageKind};
+
+const EHDR_SIZE: u64 = 64;
+const PHDR_SIZE: u64 = 56;
+const SHDR_SIZE: u64 = 64;
+const SYM_SIZE: u64 = 24;
+
+fn align_up(v: u64, a: u64) -> u64 {
+    (v + a - 1) & !(a - 1)
+}
+
+impl Image {
+    /// Serializes the image to ELF64 bytes.
+    ///
+    /// Layout: `Ehdr`, program headers, segment data (each segment's file
+    /// offset congruent to its `vaddr` modulo the 4 KiB page size, as the
+    /// System V ABI requires for loadable segments), then `.symtab` /
+    /// `.strtab` / `.shstrtab` sections and the section header table when
+    /// symbols are present.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let phnum = self.segments.len() as u64;
+        let mut out = Vec::new();
+
+        // Compute file offsets for segment data.
+        let mut cursor = EHDR_SIZE + phnum * PHDR_SIZE;
+        let mut seg_offsets = Vec::with_capacity(self.segments.len());
+        for seg in &self.segments {
+            // Page-congruent placement.
+            let want = seg.vaddr % 4096;
+            if cursor % 4096 != want {
+                let bump = (want + 4096 - cursor % 4096) % 4096;
+                cursor += bump;
+            }
+            seg_offsets.push(cursor);
+            cursor += seg.data.len() as u64;
+        }
+
+        // Optional symbol machinery.
+        let has_syms = !self.symbols.is_empty();
+        let (symtab_off, strtab_off, shstr_off, shoff, shnum);
+        let mut strtab = vec![0u8]; // index 0: empty string
+        let mut sym_name_offsets = Vec::new();
+        if has_syms {
+            for s in &self.symbols {
+                sym_name_offsets.push(strtab.len() as u32);
+                strtab.extend_from_slice(s.name.as_bytes());
+                strtab.push(0);
+            }
+            symtab_off = align_up(cursor, 8);
+            let symtab_len = (self.symbols.len() as u64 + 1) * SYM_SIZE;
+            strtab_off = symtab_off + symtab_len;
+            shstr_off = strtab_off + strtab.len() as u64;
+            // Section names: "\0.symtab\0.strtab\0.shstrtab\0".
+            shoff = align_up(shstr_off + 28, 8);
+            shnum = 4u64; // null + symtab + strtab + shstrtab
+        } else {
+            symtab_off = 0;
+            strtab_off = 0;
+            shstr_off = 0;
+            shoff = 0;
+            shnum = 0;
+        }
+
+        // ---- Ehdr ----
+        out.extend_from_slice(&[0x7F, b'E', b'L', b'F', 2, 1, 1, 0]); // ident
+        out.extend_from_slice(&[0; 8]); // padding
+        let e_type: u16 = match self.kind {
+            ImageKind::Exec => 2,
+            ImageKind::Dyn => 3,
+        };
+        out.extend_from_slice(&e_type.to_le_bytes());
+        out.extend_from_slice(&62u16.to_le_bytes()); // EM_X86_64
+        out.extend_from_slice(&1u32.to_le_bytes()); // version
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&EHDR_SIZE.to_le_bytes()); // phoff
+        out.extend_from_slice(&shoff.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // flags
+        out.extend_from_slice(&(EHDR_SIZE as u16).to_le_bytes());
+        out.extend_from_slice(&(PHDR_SIZE as u16).to_le_bytes());
+        out.extend_from_slice(&(phnum as u16).to_le_bytes());
+        out.extend_from_slice(&(SHDR_SIZE as u16).to_le_bytes());
+        out.extend_from_slice(&(shnum as u16).to_le_bytes());
+        let shstrndx: u16 = if has_syms { 3 } else { 0 };
+        out.extend_from_slice(&shstrndx.to_le_bytes());
+        debug_assert_eq!(out.len() as u64, EHDR_SIZE);
+
+        // ---- Phdrs ----
+        for (seg, &off) in self.segments.iter().zip(&seg_offsets) {
+            out.extend_from_slice(&1u32.to_le_bytes()); // PT_LOAD
+            out.extend_from_slice(&seg.flags.0.to_le_bytes());
+            out.extend_from_slice(&off.to_le_bytes());
+            out.extend_from_slice(&seg.vaddr.to_le_bytes()); // vaddr
+            out.extend_from_slice(&seg.vaddr.to_le_bytes()); // paddr
+            out.extend_from_slice(&(seg.data.len() as u64).to_le_bytes());
+            out.extend_from_slice(&seg.mem_size.to_le_bytes());
+            out.extend_from_slice(&4096u64.to_le_bytes()); // align
+        }
+
+        // ---- Segment data ----
+        for (seg, &off) in self.segments.iter().zip(&seg_offsets) {
+            while (out.len() as u64) < off {
+                out.push(0);
+            }
+            out.extend_from_slice(&seg.data);
+        }
+
+        if has_syms {
+            // ---- .symtab ----
+            while (out.len() as u64) < symtab_off {
+                out.push(0);
+            }
+            out.extend_from_slice(&[0u8; SYM_SIZE as usize]); // null symbol
+            for (s, &name_off) in self.symbols.iter().zip(&sym_name_offsets) {
+                out.extend_from_slice(&name_off.to_le_bytes());
+                out.push(0x12); // STB_GLOBAL | STT_FUNC
+                out.push(0); // st_other
+                out.extend_from_slice(&1u16.to_le_bytes()); // st_shndx (fake)
+                out.extend_from_slice(&s.value.to_le_bytes());
+                out.extend_from_slice(&s.size.to_le_bytes());
+            }
+            // ---- .strtab ----
+            debug_assert_eq!(out.len() as u64, strtab_off);
+            out.extend_from_slice(&strtab);
+            // ---- .shstrtab ----
+            debug_assert_eq!(out.len() as u64, shstr_off);
+            out.extend_from_slice(b"\0.symtab\0.strtab\0.shstrtab\0");
+            out.push(0); // pad to the 28 bytes assumed above
+            // ---- Shdrs ----
+            while (out.len() as u64) < shoff {
+                out.push(0);
+            }
+            let shdr = |out: &mut Vec<u8>,
+                        name: u32,
+                        ty: u32,
+                        off: u64,
+                        size: u64,
+                        link: u32,
+                        entsize: u64| {
+                out.extend_from_slice(&name.to_le_bytes());
+                out.extend_from_slice(&ty.to_le_bytes());
+                out.extend_from_slice(&0u64.to_le_bytes()); // flags
+                out.extend_from_slice(&0u64.to_le_bytes()); // addr
+                out.extend_from_slice(&off.to_le_bytes());
+                out.extend_from_slice(&size.to_le_bytes());
+                out.extend_from_slice(&link.to_le_bytes());
+                out.extend_from_slice(&0u32.to_le_bytes()); // info
+                out.extend_from_slice(&8u64.to_le_bytes()); // addralign
+                out.extend_from_slice(&entsize.to_le_bytes());
+            };
+            shdr(&mut out, 0, 0, 0, 0, 0, 0); // null
+            let symtab_len = (self.symbols.len() as u64 + 1) * SYM_SIZE;
+            shdr(&mut out, 1, 2, symtab_off, symtab_len, 2, SYM_SIZE); // .symtab -> link .strtab
+            shdr(&mut out, 9, 3, strtab_off, strtab.len() as u64, 0, 0); // .strtab
+            shdr(&mut out, 17, 3, shstr_off, 28, 0, 0); // .shstrtab
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::image::{Image, ImageKind, SegFlags, Segment, Symbol};
+
+    #[test]
+    fn magic_and_machine() {
+        let img = Image {
+            kind: ImageKind::Exec,
+            entry: 0x40_0000,
+            segments: vec![Segment::new(0x40_0000, SegFlags::RX, vec![0xC3])],
+            symbols: vec![],
+        };
+        let b = img.to_bytes();
+        assert_eq!(&b[..4], &[0x7F, b'E', b'L', b'F']);
+        assert_eq!(b[4], 2); // ELFCLASS64
+        assert_eq!(u16::from_le_bytes([b[18], b[19]]), 62); // EM_X86_64
+    }
+
+    #[test]
+    fn segment_offsets_page_congruent() {
+        let img = Image {
+            kind: ImageKind::Exec,
+            entry: 0x40_0000,
+            segments: vec![
+                Segment::new(0x40_0000, SegFlags::RX, vec![0x90; 100]),
+                Segment::new(0x60_0123, SegFlags::RW, vec![1; 8]),
+            ],
+            symbols: vec![],
+        };
+        let b = img.to_bytes();
+        // Parse the second phdr offset/vaddr.
+        let ph1 = 64 + 56;
+        let off = u64::from_le_bytes(b[ph1 + 8..ph1 + 16].try_into().unwrap());
+        let vaddr = u64::from_le_bytes(b[ph1 + 16..ph1 + 24].try_into().unwrap());
+        assert_eq!(off % 4096, vaddr % 4096);
+    }
+
+    #[test]
+    fn symbols_serialize() {
+        let img = Image {
+            kind: ImageKind::Dyn,
+            entry: 0,
+            segments: vec![Segment::new(0, SegFlags::RX, vec![0xC3])],
+            symbols: vec![Symbol {
+                name: "f".into(),
+                value: 0,
+                size: 1,
+            }],
+        };
+        let b = img.to_bytes();
+        // Section header count in Ehdr.
+        let shnum = u16::from_le_bytes([b[60], b[61]]);
+        assert_eq!(shnum, 4);
+    }
+}

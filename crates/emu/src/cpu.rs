@@ -1,0 +1,180 @@
+//! CPU state: registers and arithmetic flags.
+
+use redfat_x86::{Cond, Reg, Width};
+
+/// The arithmetic flags modeled by the emulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Carry.
+    pub cf: bool,
+    /// Zero.
+    pub zf: bool,
+    /// Sign.
+    pub sf: bool,
+    /// Overflow.
+    pub of: bool,
+    /// Parity (of the low result byte).
+    pub pf: bool,
+}
+
+impl Flags {
+    /// Encodes into the RFLAGS bit layout (for `pushfq`).
+    pub fn to_rflags(self) -> u64 {
+        let mut f = 0x2u64; // bit 1 is always set
+        if self.cf {
+            f |= 1;
+        }
+        if self.pf {
+            f |= 1 << 2;
+        }
+        if self.zf {
+            f |= 1 << 6;
+        }
+        if self.sf {
+            f |= 1 << 7;
+        }
+        if self.of {
+            f |= 1 << 11;
+        }
+        f
+    }
+
+    /// Decodes from the RFLAGS bit layout (for `popfq`).
+    pub fn from_rflags(v: u64) -> Flags {
+        Flags {
+            cf: v & 1 != 0,
+            pf: v & (1 << 2) != 0,
+            zf: v & (1 << 6) != 0,
+            sf: v & (1 << 7) != 0,
+            of: v & (1 << 11) != 0,
+        }
+    }
+
+    /// Evaluates a condition code against the flags.
+    pub fn cond(&self, c: Cond) -> bool {
+        match c {
+            Cond::O => self.of,
+            Cond::No => !self.of,
+            Cond::B => self.cf,
+            Cond::Ae => !self.cf,
+            Cond::E => self.zf,
+            Cond::Ne => !self.zf,
+            Cond::Be => self.cf || self.zf,
+            Cond::A => !self.cf && !self.zf,
+            Cond::S => self.sf,
+            Cond::Ns => !self.sf,
+            Cond::P => self.pf,
+            Cond::Np => !self.pf,
+            Cond::L => self.sf != self.of,
+            Cond::Ge => self.sf == self.of,
+            Cond::Le => self.zf || self.sf != self.of,
+            Cond::G => !self.zf && self.sf == self.of,
+        }
+    }
+}
+
+/// Guest CPU state.
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    /// The sixteen general-purpose registers, indexed by [`Reg::code`].
+    pub regs: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Arithmetic flags.
+    pub flags: Flags,
+}
+
+impl Cpu {
+    /// Reads a register at the given width (zero-extended).
+    #[inline]
+    pub fn read(&self, r: Reg, w: Width) -> u64 {
+        let v = self.regs[r.code() as usize];
+        match w {
+            Width::W8 => v & 0xFF,
+            Width::W32 => v & 0xFFFF_FFFF,
+            Width::W64 => v,
+        }
+    }
+
+    /// Writes a register at the given width with x86-64 semantics:
+    /// 8-bit writes preserve the upper bits, 32-bit writes zero-extend.
+    #[inline]
+    pub fn write(&mut self, r: Reg, w: Width, v: u64) {
+        let slot = &mut self.regs[r.code() as usize];
+        match w {
+            Width::W8 => *slot = (*slot & !0xFF) | (v & 0xFF),
+            Width::W32 => *slot = v & 0xFFFF_FFFF,
+            Width::W64 => *slot = v,
+        }
+    }
+
+    /// Convenience 64-bit register read.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u64 {
+        self.regs[r.code() as usize]
+    }
+
+    /// Convenience 64-bit register write.
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u64) {
+        self.regs[r.code() as usize] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_write_semantics() {
+        let mut cpu = Cpu::default();
+        cpu.set(Reg::Rax, 0xFFFF_FFFF_FFFF_FFFF);
+        cpu.write(Reg::Rax, Width::W8, 0x12);
+        assert_eq!(cpu.get(Reg::Rax), 0xFFFF_FFFF_FFFF_FF12);
+        cpu.write(Reg::Rax, Width::W32, 0x3456);
+        assert_eq!(cpu.get(Reg::Rax), 0x3456, "32-bit write zero-extends");
+        cpu.write(Reg::Rax, Width::W64, u64::MAX);
+        assert_eq!(cpu.read(Reg::Rax, Width::W32), 0xFFFF_FFFF);
+        assert_eq!(cpu.read(Reg::Rax, Width::W8), 0xFF);
+    }
+
+    #[test]
+    fn rflags_roundtrip() {
+        for bits in 0..32u8 {
+            let f = Flags {
+                cf: bits & 1 != 0,
+                zf: bits & 2 != 0,
+                sf: bits & 4 != 0,
+                of: bits & 8 != 0,
+                pf: bits & 16 != 0,
+            };
+            assert_eq!(Flags::from_rflags(f.to_rflags()), f);
+        }
+    }
+
+    #[test]
+    fn signed_conditions() {
+        // 3 - 5: sf=1, of=0 -> L true, G false.
+        let f = Flags {
+            sf: true,
+            ..Flags::default()
+        };
+        assert!(f.cond(Cond::L));
+        assert!(!f.cond(Cond::Ge));
+        assert!(!f.cond(Cond::G));
+        assert!(f.cond(Cond::Le));
+    }
+
+    #[test]
+    fn unsigned_conditions() {
+        let f = Flags {
+            cf: true,
+            zf: false,
+            ..Flags::default()
+        };
+        assert!(f.cond(Cond::B));
+        assert!(f.cond(Cond::Be));
+        assert!(!f.cond(Cond::A));
+        assert!(!f.cond(Cond::Ae));
+    }
+}

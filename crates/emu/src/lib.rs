@@ -1,0 +1,37 @@
+//! An x86-64 subset emulator over the simulated address space.
+//!
+//! This is the reproduction's "CPU": it executes the machine code produced
+//! by the assembler / mini-C compiler -- original or rewritten -- against
+//! a [`redfat_vm::Vm`], with:
+//!
+//! * faithful flags semantics for the modeled instruction subset;
+//! * a `syscall` trap into a pluggable [`Runtime`] (the `malloc`/`free`/
+//!   IO/profiling interface; swapping runtimes is the reproduction's
+//!   `LD_PRELOAD` analogue);
+//! * a transparent **cost model** ([`CostModel`]) whose cycle counter is
+//!   the performance metric of the experiments: slowdowns in the Table 1
+//!   reproduction are ratios of modeled cycles, so the overhead of
+//!   instrumentation *emerges* from the extra instructions the rewriter
+//!   inserted rather than being assumed;
+//! * support for the rewriter's `int3` fallback patch tactic via an
+//!   in-binary trap table (see [`TRAP_TABLE_MAGIC`]);
+//! * a per-access hook on [`Runtime`] so that DBI-style tools (the
+//!   Memcheck baseline) can interpose on every load/store exactly as
+//!   dynamic binary instrumentation would.
+//!
+//! Self-modifying guest code is unsupported (instructions are decode-
+//! cached), mirroring E9Patch's documented limitation (paper §7.4).
+
+mod cost;
+mod cpu;
+mod exec;
+mod loader;
+mod runtime;
+
+pub use cost::{CostModel, Counters};
+pub use cpu::{Cpu, Flags};
+pub use exec::{Emu, EmuError, RunResult, TRAP_TABLE_MAGIC};
+pub use runtime::{
+    ErrorMode, GuestIo, HostRuntime, MemErrKind, MemoryError, ProfileStats, Runtime,
+    SyscallOutcome, syscalls,
+};

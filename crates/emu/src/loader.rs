@@ -1,0 +1,205 @@
+//! Image loading: ELF segments → guest address space, stack setup, and
+//! trap-table discovery.
+
+use crate::exec::{Emu, TRAP_TABLE_MAGIC};
+use crate::runtime::Runtime;
+use redfat_elf::Image;
+use redfat_vm::{layout, Prot, Vm};
+
+impl<R: Runtime> Emu<R> {
+    /// Loads an ELF image into a fresh address space and prepares a guest
+    /// ready to run: segments mapped with their declared protections, the
+    /// stack mapped, `rsp`/`rip` initialized, the runtime's `on_load`
+    /// hook fired (installing allocator tables), and any rewriter trap
+    /// table registered.
+    pub fn load_image(image: &Image, runtime: R) -> Emu<R> {
+        Self::load_images(&[image], runtime)
+    }
+
+    /// Loads several images into one address space (e.g. a main program
+    /// plus separately (un)hardened libraries, paper §7.4). Execution
+    /// starts at the first image's entry point; trap tables of every
+    /// image are registered.
+    pub fn load_images(images: &[&Image], mut runtime: R) -> Emu<R> {
+        let image = images.first().expect("at least one image");
+        let mut vm = Vm::new();
+        for (n, image) in images.iter().enumerate() {
+        for (i, seg) in image.segments.iter().enumerate() {
+            let mut prot = Prot(0);
+            if seg.flags.readable() {
+                prot = prot | Prot::R;
+            }
+            if seg.flags.writable() {
+                prot = prot | Prot::W;
+            }
+            if seg.flags.executable() {
+                prot = prot | Prot::X;
+            }
+            vm.map_with_data(
+                seg.vaddr,
+                seg.mem_size,
+                prot,
+                &format!("img{n}.seg{i}"),
+                &seg.data,
+            );
+        }
+        }
+        vm.map(
+            layout::STACK_TOP - layout::STACK_SIZE,
+            layout::STACK_SIZE,
+            Prot::RW,
+            "stack",
+        );
+        runtime.on_load(&mut vm);
+
+        let mut emu = Emu::new(vm, runtime);
+        emu.cpu.rip = image.entry;
+        // 16-byte aligned stack with a small headroom; the sentinel return
+        // address 0 is never popped because entry code ends in `exit`.
+        emu.cpu.set(redfat_x86::Reg::Rsp, layout::STACK_TOP - 64);
+
+        // Discover int3 trap tables: data segments beginning with the
+        // magic quadword, then a count, then (addr, target) pairs.
+        for seg in images.iter().flat_map(|img| &img.segments) {
+            if seg.data.len() >= 16 {
+                let magic = u64::from_le_bytes(seg.data[..8].try_into().expect("8 bytes"));
+                if magic == TRAP_TABLE_MAGIC {
+                    let count =
+                        u64::from_le_bytes(seg.data[8..16].try_into().expect("8 bytes")) as usize;
+                    for i in 0..count {
+                        let off = 16 + i * 16;
+                        if off + 16 > seg.data.len() {
+                            break;
+                        }
+                        let addr = u64::from_le_bytes(
+                            seg.data[off..off + 8].try_into().expect("8 bytes"),
+                        );
+                        let target = u64::from_le_bytes(
+                            seg.data[off + 8..off + 16].try_into().expect("8 bytes"),
+                        );
+                        emu.add_trap(addr, target);
+                    }
+                }
+            }
+        }
+        emu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::{ErrorMode, HostRuntime};
+    use crate::{Emu, RunResult};
+    use redfat_elf::{Image, ImageKind, SegFlags, Segment};
+    use redfat_vm::layout;
+    use redfat_x86::{Asm, Reg, Width};
+
+    /// Builds a tiny image from assembled code at CODE_BASE.
+    fn image_of(build: impl FnOnce(&mut Asm)) -> Image {
+        let mut a = Asm::new(layout::CODE_BASE);
+        build(&mut a);
+        let p = a.finish().expect("assembles");
+        Image {
+            kind: ImageKind::Exec,
+            entry: p.base,
+            segments: vec![Segment::new(p.base, SegFlags::RX, p.bytes)],
+            symbols: vec![],
+        }
+    }
+
+    fn exit_with(a: &mut Asm, reg_holding_code: Reg) {
+        if reg_holding_code != Reg::Rdi {
+            a.mov_rr(Width::W64, Reg::Rdi, reg_holding_code);
+        }
+        a.mov_ri(Width::W64, Reg::Rax, crate::runtime::syscalls::EXIT as i64);
+        a.syscall();
+    }
+
+    #[test]
+    fn loads_and_exits() {
+        let img = image_of(|a| {
+            a.mov_ri(Width::W64, Reg::Rbx, 42);
+            exit_with(a, Reg::Rbx);
+        });
+        let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort));
+        assert_eq!(emu.run(1000), RunResult::Exited(42));
+        assert!(emu.counters.instructions >= 3);
+        assert!(emu.counters.cycles > emu.counters.instructions);
+    }
+
+    #[test]
+    fn stack_is_usable() {
+        let img = image_of(|a| {
+            a.mov_ri(Width::W64, Reg::Rcx, 7);
+            a.push_r(Reg::Rcx);
+            a.pop_r(Reg::Rdi);
+            a.mov_ri(Width::W64, Reg::Rax, 0);
+            a.syscall();
+        });
+        let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort));
+        assert_eq!(emu.run(1000), RunResult::Exited(7));
+    }
+
+    #[test]
+    fn malloc_returns_heap_pointer() {
+        let img = image_of(|a| {
+            a.mov_ri(Width::W64, Reg::Rdi, 100);
+            a.mov_ri(Width::W64, Reg::Rax, crate::runtime::syscalls::MALLOC as i64);
+            a.syscall();
+            // Store and reload through the pointer.
+            a.mov_ri(Width::W64, Reg::Rcx, 123);
+            a.mov_mr(Width::W64, redfat_x86::Mem::base(Reg::Rax), Reg::Rcx);
+            a.mov_rm(Width::W64, Reg::Rdi, redfat_x86::Mem::base(Reg::Rax));
+            a.mov_ri(Width::W64, Reg::Rax, 0);
+            a.syscall();
+        });
+        let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort));
+        assert_eq!(emu.run(1000), RunResult::Exited(123));
+    }
+
+    #[test]
+    fn trap_table_dispatches_int3() {
+        // Code: int3 at a known address; trampoline sets rdi=9 and exits.
+        let mut code = Asm::new(layout::CODE_BASE);
+        code.int3();
+        // Unreachable fallthrough.
+        code.ud2();
+        let code_p = code.finish().unwrap();
+
+        let mut tramp = Asm::new(layout::TRAMPOLINE_BASE);
+        tramp.mov_ri(Width::W64, Reg::Rdi, 9);
+        tramp.mov_ri(Width::W64, Reg::Rax, 0);
+        tramp.syscall();
+        let tramp_p = tramp.finish().unwrap();
+
+        let mut table = Vec::new();
+        table.extend_from_slice(&crate::TRAP_TABLE_MAGIC.to_le_bytes());
+        table.extend_from_slice(&1u64.to_le_bytes());
+        table.extend_from_slice(&layout::CODE_BASE.to_le_bytes());
+        table.extend_from_slice(&layout::TRAMPOLINE_BASE.to_le_bytes());
+
+        let img = Image {
+            kind: ImageKind::Exec,
+            entry: layout::CODE_BASE,
+            segments: vec![
+                Segment::new(code_p.base, SegFlags::RX, code_p.bytes),
+                Segment::new(tramp_p.base, SegFlags::RX, tramp_p.bytes),
+                Segment::new(layout::GLOBALS_BASE, SegFlags::R, table),
+            ],
+            symbols: vec![],
+        };
+        let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort));
+        assert_eq!(emu.run(100), RunResult::Exited(9));
+        assert_eq!(emu.counters.int3_traps, 1);
+    }
+
+    #[test]
+    fn stray_int3_is_an_error() {
+        let img = image_of(|a| a.int3());
+        let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort));
+        assert!(matches!(
+            emu.run(10),
+            RunResult::Error(crate::EmuError::UnhandledInt3 { .. })
+        ));
+    }
+}

@@ -1,0 +1,292 @@
+//! The RedFat `malloc` wrapper: redzone + in-band metadata over the
+//! low-fat allocator (paper §4.1, Figure 3).
+
+use crate::alloc::{AllocError, AllocStats, LowFatAlloc, LowFatConfig};
+use redfat_vm::layout;
+use redfat_vm::Vm;
+
+/// Redzone size in bytes, which doubles as the metadata block size.
+pub const REDZONE_SIZE: u64 = 16;
+
+/// The RedFat heap: `malloc(SIZE) = lowfat_malloc(SIZE + 16) + 16`.
+///
+/// Object layout (paper Figure 3, addresses growing up):
+///
+/// ```text
+///   base+0   SIZE            u64: malloc size; 0 encodes Free
+///   base+8   canary          u64: metadata integrity cookie
+///   base+16  OBJECT          user data (SIZE bytes)
+///   ...      (padding)       up to the class size
+/// ```
+///
+/// The 16-byte prefix is the *redzone*: user code holding `ptr = base+16`
+/// never legitimately accesses `[base, base+16)`, so any access there is
+/// an out-of-bounds error. Because the next object in memory begins with
+/// its own redzone, every object is also protected at its end (paper:
+/// "the redzone at the start of the next object serves as a redzone at
+/// the end of the current object").
+pub struct RedFatHeap {
+    alloc: LowFatAlloc,
+    canary: u64,
+}
+
+impl RedFatHeap {
+    /// Creates the heap with the given low-fat configuration.
+    pub fn new(config: LowFatConfig) -> RedFatHeap {
+        let canary = 0x5AFE_C0DE_5AFE_C0DE ^ config.seed.rotate_left(17);
+        RedFatHeap {
+            alloc: LowFatAlloc::new(config),
+            canary,
+        }
+    }
+
+    /// Installs runtime tables into the guest (see
+    /// [`LowFatAlloc::install`]).
+    pub fn install(&self, vm: &mut Vm) {
+        self.alloc.install(vm);
+    }
+
+    /// Allocates `size` bytes and returns the user pointer (`base + 16`).
+    pub fn malloc(&mut self, vm: &mut Vm, size: u64) -> Result<u64, AllocError> {
+        let base = self.alloc.lowfat_malloc(vm, size + REDZONE_SIZE)?;
+        vm.write_privileged(base, &size.to_le_bytes())
+            .expect("fresh object mapped");
+        vm.write_privileged(base + 8, &self.canary.to_le_bytes())
+            .expect("fresh object mapped");
+        Ok(base + REDZONE_SIZE)
+    }
+
+    /// Frees the object at user pointer `ptr`.
+    ///
+    /// Detects invalid frees (not an allocation) and double frees (the
+    /// merged `SIZE == 0` state).
+    pub fn free(&mut self, vm: &mut Vm, ptr: u64) -> Result<(), AllocError> {
+        let base = layout::lowfat_base(ptr);
+        if base == 0 || ptr != base + REDZONE_SIZE {
+            return Err(AllocError::InvalidFree(ptr));
+        }
+        let size = vm.read_u64(base).map_err(|_| AllocError::InvalidFree(ptr))?;
+        if size == 0 {
+            return Err(AllocError::DoubleFree(ptr));
+        }
+        // Merged state representation: SIZE = 0 ⇒ Free. The object stays
+        // mapped (and quarantined), so dangling dereferences hit the
+        // metadata check rather than unmapped memory.
+        vm.write_privileged(base, &0u64.to_le_bytes())
+            .expect("object mapped");
+        self.alloc.lowfat_free(vm, base)
+    }
+
+    /// `calloc`: zeroed allocation.
+    pub fn calloc(&mut self, vm: &mut Vm, count: u64, elem: u64) -> Result<u64, AllocError> {
+        let size = count
+            .checked_mul(elem)
+            .ok_or(AllocError::TooLarge(u64::MAX))?;
+        let ptr = self.malloc(vm, size)?;
+        // Fresh subheap memory is already zero, but reused objects are
+        // not: clear explicitly.
+        let zeros = vec![0u8; size as usize];
+        vm.write_privileged(ptr, &zeros).expect("object mapped");
+        Ok(ptr)
+    }
+
+    /// `realloc`: grow/shrink preserving contents.
+    pub fn realloc(&mut self, vm: &mut Vm, ptr: u64, new_size: u64) -> Result<u64, AllocError> {
+        if ptr == 0 {
+            return self.malloc(vm, new_size);
+        }
+        let old_size = self
+            .object_size(vm, ptr)
+            .ok_or(AllocError::InvalidFree(ptr))?;
+        let new_ptr = self.malloc(vm, new_size)?;
+        let copy = old_size.min(new_size) as usize;
+        let data = vm.read_bytes(ptr, copy).expect("old object mapped");
+        vm.write_privileged(new_ptr, &data).expect("new object mapped");
+        self.free(vm, ptr)?;
+        Ok(new_ptr)
+    }
+
+    /// Returns the malloc size of the live object containing `ptr`, or
+    /// `None` if `ptr` is not inside a live heap object's user area.
+    pub fn object_size(&self, vm: &Vm, ptr: u64) -> Option<u64> {
+        let base = layout::lowfat_base(ptr);
+        if base == 0 {
+            return None;
+        }
+        let size = vm.read_u64(base).ok()?;
+        if size == 0 || ptr < base + REDZONE_SIZE {
+            return None;
+        }
+        Some(size)
+    }
+
+    /// Validates the metadata canary of the object containing `ptr`.
+    ///
+    /// Metadata hardening (paper §4.2) limits what an attacker can do by
+    /// corrupting the in-band metadata from *uninstrumented* code; the
+    /// canary gives the runtime an independent tamper signal used by
+    /// failure-injection tests.
+    pub fn check_canary(&self, vm: &Vm, ptr: u64) -> bool {
+        let base = layout::lowfat_base(ptr);
+        if base == 0 {
+            return false;
+        }
+        vm.read_u64(base + 8).map(|c| c == self.canary).unwrap_or(false)
+    }
+
+    /// Returns allocator statistics.
+    pub fn stats(&self) -> AllocStats {
+        self.alloc.stats()
+    }
+
+    /// Reference implementation of the paper's Figure 4 `state()`:
+    /// `Redzone` if `ptr` is within 16 bytes of the base, otherwise the
+    /// merged allocated/free state read from metadata.
+    pub fn state(&self, vm: &Vm, ptr: u64) -> ObjState {
+        let base = layout::lowfat_base(ptr);
+        if base == 0 {
+            return ObjState::NonFat;
+        }
+        if ptr - base < REDZONE_SIZE {
+            return ObjState::Redzone;
+        }
+        match vm.read_u64(base) {
+            Ok(0) | Err(_) => ObjState::Free,
+            Ok(size) => {
+                if ptr - base - REDZONE_SIZE < size {
+                    ObjState::Allocated
+                } else {
+                    ObjState::Padding
+                }
+            }
+        }
+    }
+}
+
+/// The shadow state of an address under the RedFat heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjState {
+    /// Not a heap address.
+    NonFat,
+    /// Inside a live object's user data.
+    Allocated,
+    /// Inside the 16-byte metadata redzone.
+    Redzone,
+    /// Inside a free (or never-allocated) object.
+    Free,
+    /// Between the object's malloc size and its class size.
+    Padding,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::LowFatConfig;
+
+    fn setup() -> (RedFatHeap, Vm) {
+        let mut vm = Vm::new();
+        let heap = RedFatHeap::new(LowFatConfig::default());
+        heap.install(&mut vm);
+        (heap, vm)
+    }
+
+    #[test]
+    fn malloc_layout_matches_figure3() {
+        let (mut h, mut vm) = setup();
+        let p = h.malloc(&mut vm, 40).unwrap();
+        let base = layout::lowfat_base(p);
+        assert_eq!(p, base + 16);
+        // 40 + 16 rounds into the 64-byte class.
+        assert_eq!(layout::lowfat_size(p), 64);
+        assert_eq!(vm.read_u64(base).unwrap(), 40);
+        assert_eq!(h.object_size(&vm, p), Some(40));
+        assert!(h.check_canary(&vm, p));
+    }
+
+    #[test]
+    fn state_classification() {
+        let (mut h, mut vm) = setup();
+        let p = h.malloc(&mut vm, 20).unwrap();
+        let base = p - 16;
+        assert_eq!(h.state(&vm, base), ObjState::Redzone);
+        assert_eq!(h.state(&vm, base + 15), ObjState::Redzone);
+        assert_eq!(h.state(&vm, p), ObjState::Allocated);
+        assert_eq!(h.state(&vm, p + 19), ObjState::Allocated);
+        // 20+16=36 -> class 48; bytes 20..32 of the object are padding.
+        assert_eq!(h.state(&vm, p + 20), ObjState::Padding);
+        assert_eq!(h.state(&vm, layout::CODE_BASE), ObjState::NonFat);
+        h.free(&mut vm, p).unwrap();
+        assert_eq!(h.state(&vm, p), ObjState::Free);
+    }
+
+    #[test]
+    fn free_rejects_interior_and_foreign_pointers() {
+        let (mut h, mut vm) = setup();
+        let p = h.malloc(&mut vm, 24).unwrap();
+        assert!(matches!(
+            h.free(&mut vm, p + 4),
+            Err(AllocError::InvalidFree(_))
+        ));
+        assert!(matches!(
+            h.free(&mut vm, 0x1234),
+            Err(AllocError::InvalidFree(_))
+        ));
+        h.free(&mut vm, p).unwrap();
+        assert!(matches!(h.free(&mut vm, p), Err(AllocError::DoubleFree(_))));
+    }
+
+    #[test]
+    fn calloc_zeroes_reused_memory() {
+        let mut vm = Vm::new();
+        let mut h = RedFatHeap::new(LowFatConfig {
+            quarantine: 0,
+            ..LowFatConfig::default()
+        });
+        h.install(&mut vm);
+        let p = h.malloc(&mut vm, 32).unwrap();
+        vm.write_u64(p, 0xFFFF_FFFF).unwrap();
+        h.free(&mut vm, p).unwrap();
+        // Drain quarantine and reuse.
+        let q = h.calloc(&mut vm, 8, 4).unwrap();
+        let r = h.calloc(&mut vm, 8, 4).unwrap();
+        for ptr in [q, r] {
+            assert_eq!(vm.read_u64(ptr).unwrap(), 0, "calloc must zero");
+        }
+    }
+
+    #[test]
+    fn realloc_preserves_prefix() {
+        let (mut h, mut vm) = setup();
+        let p = h.malloc(&mut vm, 16).unwrap();
+        vm.write_u64(p, 0xAABB).unwrap();
+        vm.write_u64(p + 8, 0xCCDD).unwrap();
+        let q = h.realloc(&mut vm, p, 64).unwrap();
+        assert_eq!(vm.read_u64(q).unwrap(), 0xAABB);
+        assert_eq!(vm.read_u64(q + 8).unwrap(), 0xCCDD);
+        // Old object is now free.
+        assert_eq!(h.state(&vm, p), ObjState::Free);
+    }
+
+    #[test]
+    fn adjacent_object_starts_with_redzone() {
+        // The "end redzone" of object A is the start redzone of the next
+        // object in the same class (paper Figure 3).
+        let (mut h, mut vm) = setup();
+        let a = h.malloc(&mut vm, 48).unwrap(); // class 64
+        let b = h.malloc(&mut vm, 48).unwrap();
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if hi - lo == 64 {
+            // Contiguous: the byte just past lo's padding is hi's redzone.
+            assert_eq!(h.state(&vm, hi - 16), ObjState::Redzone);
+        }
+    }
+
+    #[test]
+    fn overflow_mul_in_calloc_detected() {
+        let (mut h, mut vm) = setup();
+        assert!(matches!(
+            h.calloc(&mut vm, u64::MAX, 2),
+            Err(AllocError::TooLarge(_))
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests over the low-fat allocator and the RedFat wrapper:
+//! the base/size laws of §2.1 and structural invariants under random
+//! malloc/free traffic.
+
+use proptest::prelude::*;
+use redfat_lowfat::{LowFatConfig, RedFatHeap, REDZONE_SIZE};
+use redfat_vm::{layout, Vm};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Malloc(u64),
+    FreeNth(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..5000).prop_map(Op::Malloc),
+            (0usize..64).prop_map(Op::FreeNth),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn allocator_invariants_under_random_traffic(script in ops(), randomize in any::<bool>()) {
+        let mut vm = Vm::new();
+        let mut heap = RedFatHeap::new(LowFatConfig {
+            randomize,
+            seed: 1234,
+            ..LowFatConfig::default()
+        });
+        heap.install(&mut vm);
+
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (ptr, size)
+        for op in script {
+            match op {
+                Op::Malloc(size) => {
+                    let ptr = heap.malloc(&mut vm, size).expect("small allocs succeed");
+                    // Law 1: user pointer = base + 16, base is class-aligned.
+                    let base = layout::lowfat_base(ptr);
+                    prop_assert_eq!(ptr, base + REDZONE_SIZE);
+                    let class = layout::region_index(ptr);
+                    prop_assert!(class >= 1 && class <= layout::NUM_CLASSES);
+                    let csize = layout::class_size(class);
+                    prop_assert_eq!(base % csize, 0);
+                    prop_assert!(size + REDZONE_SIZE <= csize);
+                    // Law 2: every interior pointer maps back to base.
+                    for probe in [0, size / 2, size.saturating_sub(1)] {
+                        prop_assert_eq!(layout::lowfat_base(ptr + probe), base);
+                        prop_assert_eq!(layout::lowfat_size(ptr + probe), csize);
+                    }
+                    // Law 3: metadata reflects the malloc size.
+                    prop_assert_eq!(heap.object_size(&vm, ptr), Some(size));
+                    // Law 4: no overlap with any live object.
+                    for &(other, osize) in &live {
+                        let a0 = base;
+                        let a1 = base + csize;
+                        let b0 = layout::lowfat_base(other);
+                        let b1 = b0 + layout::lowfat_size(other);
+                        let _ = osize;
+                        prop_assert!(a1 <= b0 || b1 <= a0, "overlap {a0:#x} {b0:#x}");
+                    }
+                    live.push((ptr, size));
+                }
+                Op::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (ptr, _) = live.swap_remove(n % live.len());
+                        heap.free(&mut vm, ptr).expect("live object frees");
+                        // Freed metadata reads as Free (size 0).
+                        prop_assert_eq!(heap.object_size(&vm, ptr), None);
+                    }
+                }
+            }
+        }
+
+        // Stats agree with the script.
+        let stats = heap.stats();
+        prop_assert_eq!(stats.live as usize, live.len());
+    }
+
+    #[test]
+    fn nonfat_pointers_never_get_bases(addr in 0u64..layout::heap_start()) {
+        prop_assert_eq!(layout::lowfat_base(addr), 0);
+        prop_assert_eq!(layout::lowfat_size(addr), u64::MAX);
+    }
+
+    #[test]
+    fn magic_division_matches_u128_reference(
+        class in 1usize..=layout::NUM_CLASSES,
+        offset in 0u64..layout::REGION_SIZE,
+    ) {
+        // The machine-code path computes base via mulhi(ptr, magic);
+        // verify against exact 128-bit division for random pointers.
+        let ptr = layout::region_base(class) + offset;
+        let size = layout::class_size(class);
+        let magic = layout::class_magic(class);
+        let q_magic = ((ptr as u128 * magic as u128) >> 64) as u64;
+        prop_assert_eq!(q_magic, ptr / size, "class {} ptr {:#x}", class, ptr);
+    }
+
+    #[test]
+    fn state_partitions_the_object(size in 1u64..2000) {
+        let mut vm = Vm::new();
+        let mut heap = RedFatHeap::new(LowFatConfig::default());
+        heap.install(&mut vm);
+        let ptr = heap.malloc(&mut vm, size).unwrap();
+        let base = layout::lowfat_base(ptr);
+        let csize = layout::lowfat_size(ptr);
+        use redfat_lowfat::ObjState;
+        for off in 0..csize.min(256) {
+            let st = heap.state(&vm, base + off);
+            let expect = if off < REDZONE_SIZE {
+                ObjState::Redzone
+            } else if off - REDZONE_SIZE < size {
+                ObjState::Allocated
+            } else {
+                ObjState::Padding
+            };
+            prop_assert_eq!(st, expect, "offset {}", off);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Abstract syntax tree for mini-C.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed)
+    Div,
+    /// `%` (signed)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise not.
+    Not,
+    /// Logical not (`!`): 1 if zero, else 0.
+    LNot,
+}
+
+/// Expressions. All values are 64-bit integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable (local, parameter or global scalar) read.
+    Var(String),
+    /// Address of a global array's first element.
+    GlobalAddr(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// 8-byte indexed load: `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var name = init;`
+    Decl(String, Expr),
+    /// `name = value;` (local or global scalar)
+    Assign(String, Expr),
+    /// `base[index] = value;` (8-byte store)
+    Store(Expr, Expr, Expr),
+    /// Expression statement (e.g. a call).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) { .. }` -- desugared by the parser into
+    /// `init; while (cond) { body; step; }` but kept structured so
+    /// `continue` jumps to `step`.
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+    /// `return expr;`
+    Return(Expr),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Parameter names (at most 6).
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Element count: 1 for scalars, N for `global name[N];`.
+    pub elems: u64,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Globals in declaration order.
+    pub globals: Vec<Global>,
+    /// Functions in declaration order. Must contain `main`.
+    pub functions: Vec<Function>,
+}

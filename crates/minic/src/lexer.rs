@@ -1,0 +1,253 @@
+//! Lexer for mini-C.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+    /// Keyword `fn`.
+    Fn,
+    /// Keyword `var`.
+    Var,
+    /// Keyword `global`.
+    Global,
+    /// Keyword `if`.
+    If,
+    /// Keyword `else`.
+    Else,
+    /// Keyword `while`.
+    While,
+    /// Keyword `for`.
+    For,
+    /// Keyword `return`.
+    Return,
+    /// Keyword `break`.
+    Break,
+    /// Keyword `continue`.
+    Continue,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `=`.
+    Assign,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Pipe,
+    /// `^`.
+    Caret,
+    /// `~`.
+    Tilde,
+    /// `!`.
+    Bang,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+}
+
+/// A lexical error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Lexes mini-C source into tokens. `//` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let err = |line: usize, msg: String| LexError {
+        line,
+        message: msg,
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                // Hex literal support.
+                if c == b'0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = &src[start + 2..i];
+                    let v = i64::from_str_radix(text, 16)
+                        .map_err(|e| err(line, format!("bad hex literal: {e}")))?;
+                    out.push(Token::Int(v));
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|e| err(line, format!("bad literal: {e}")))?;
+                    out.push(Token::Int(v));
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                out.push(match word {
+                    "fn" => Token::Fn,
+                    "var" => Token::Var,
+                    "global" => Token::Global,
+                    "if" => Token::If,
+                    "else" => Token::Else,
+                    "while" => Token::While,
+                    "for" => Token::For,
+                    "return" => Token::Return,
+                    "break" => Token::Break,
+                    "continue" => Token::Continue,
+                    _ => Token::Ident(word.to_owned()),
+                });
+            }
+            _ => {
+                let two = bytes.get(i..i + 2).unwrap_or(&[]);
+                let (tok, adv) = match two {
+                    b"<<" => (Token::Shl, 2),
+                    b">>" => (Token::Shr, 2),
+                    b"<=" => (Token::Le, 2),
+                    b">=" => (Token::Ge, 2),
+                    b"==" => (Token::EqEq, 2),
+                    b"!=" => (Token::NotEq, 2),
+                    b"&&" => (Token::AndAnd, 2),
+                    b"||" => (Token::OrOr, 2),
+                    _ => match c {
+                        b'(' => (Token::LParen, 1),
+                        b')' => (Token::RParen, 1),
+                        b'{' => (Token::LBrace, 1),
+                        b'}' => (Token::RBrace, 1),
+                        b'[' => (Token::LBracket, 1),
+                        b']' => (Token::RBracket, 1),
+                        b';' => (Token::Semi, 1),
+                        b',' => (Token::Comma, 1),
+                        b'=' => (Token::Assign, 1),
+                        b'+' => (Token::Plus, 1),
+                        b'-' => (Token::Minus, 1),
+                        b'*' => (Token::Star, 1),
+                        b'/' => (Token::Slash, 1),
+                        b'%' => (Token::Percent, 1),
+                        b'&' => (Token::Amp, 1),
+                        b'|' => (Token::Pipe, 1),
+                        b'^' => (Token::Caret, 1),
+                        b'~' => (Token::Tilde, 1),
+                        b'!' => (Token::Bang, 1),
+                        b'<' => (Token::Lt, 1),
+                        b'>' => (Token::Gt, 1),
+                        other => {
+                            return Err(err(line, format!("unexpected byte {:?}", other as char)))
+                        }
+                    },
+                };
+                out.push(tok);
+                i += adv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_program() {
+        let toks = lex("fn main() { var x = 0x10 + 2; } // comment").unwrap();
+        assert_eq!(toks[0], Token::Fn);
+        assert_eq!(toks[1], Token::Ident("main".into()));
+        assert!(toks.contains(&Token::Int(16)));
+        assert!(toks.contains(&Token::Int(2)));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = lex("a <= b >> 2 && c != d").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Shr));
+        assert!(toks.contains(&Token::AndAnd));
+        assert!(toks.contains(&Token::NotEq));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("fn main() { @ }").is_err());
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let e = lex("fn ok()\n{\n  @\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+}

@@ -1,0 +1,531 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::{BinOp, Expr, Function, Global, Program, Stmt, UnOp};
+use crate::lexer::Token;
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Token index where the error occurred.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct P<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            message: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn try_eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next().cloned() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn program(&mut self, require_main: bool) -> Result<Program, ParseError> {
+        let mut p = Program::default();
+        while let Some(tok) = self.peek() {
+            match tok {
+                Token::Global => {
+                    self.pos += 1;
+                    let name = self.ident()?;
+                    let elems = if self.try_eat(&Token::LBracket) {
+                        let n = match self.next().cloned() {
+                            Some(Token::Int(v)) if v > 0 => v as u64,
+                            other => {
+                                return self.err(format!("expected array size, got {other:?}"))
+                            }
+                        };
+                        self.eat(&Token::RBracket)?;
+                        n
+                    } else {
+                        1
+                    };
+                    self.eat(&Token::Semi)?;
+                    p.globals.push(Global { name, elems });
+                }
+                Token::Fn => {
+                    self.pos += 1;
+                    let name = self.ident()?;
+                    self.eat(&Token::LParen)?;
+                    let mut params = Vec::new();
+                    if !self.try_eat(&Token::RParen) {
+                        loop {
+                            params.push(self.ident()?);
+                            if self.try_eat(&Token::RParen) {
+                                break;
+                            }
+                            self.eat(&Token::Comma)?;
+                        }
+                    }
+                    if params.len() > 6 {
+                        return self.err("at most 6 parameters supported");
+                    }
+                    let body = self.block()?;
+                    p.functions.push(Function { name, params, body });
+                }
+                other => return self.err(format!("expected fn/global, got {other:?}")),
+            }
+        }
+        if require_main && !p.functions.iter().any(|f| f.name == "main") {
+            return self.err("program has no main function");
+        }
+        Ok(p)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.try_eat(&Token::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Token::Var) => {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.eat(&Token::Assign)?;
+                let init = self.expr()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Decl(name, init))
+            }
+            Some(Token::If) => {
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                let then = self.block()?;
+                let els = if self.try_eat(&Token::Else) {
+                    if self.peek() == Some(&Token::If) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Some(Token::While) => {
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Some(Token::For) => {
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let init = self.simple_stmt()?;
+                self.eat(&Token::Semi)?;
+                let cond = self.expr()?;
+                self.eat(&Token::Semi)?;
+                let step = self.simple_stmt_no_semi()?;
+                self.eat(&Token::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For(Box::new(init), cond, Box::new(step), body))
+            }
+            Some(Token::Return) => {
+                self.pos += 1;
+                let e = if self.peek() == Some(&Token::Semi) {
+                    Expr::Int(0)
+                } else {
+                    self.expr()?
+                };
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            Some(Token::Break) => {
+                self.pos += 1;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Some(Token::Continue) => {
+                self.pos += 1;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            _ => {
+                let s = self.simple_stmt_no_semi()?;
+                self.eat(&Token::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A statement allowed in `for` headers: decl, assignment, store or
+    /// expression (no trailing semicolon consumed).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.peek() == Some(&Token::Var) {
+            self.pos += 1;
+            let name = self.ident()?;
+            self.eat(&Token::Assign)?;
+            let init = self.expr()?;
+            return Ok(Stmt::Decl(name, init));
+        }
+        self.simple_stmt_no_semi()
+    }
+
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt, ParseError> {
+        // Lookahead: `ident = ...` is assignment, `expr [ e ] = ...` is a
+        // store; anything else is an expression statement.
+        let start = self.pos;
+        let e = self.expr()?;
+        if self.try_eat(&Token::Assign) {
+            let value = self.expr()?;
+            match e {
+                Expr::Var(name) => return Ok(Stmt::Assign(name, value)),
+                Expr::Index(base, index) => return Ok(Stmt::Store(*base, *index, value)),
+                _ => {
+                    self.pos = start;
+                    return self.err("invalid assignment target");
+                }
+            }
+        }
+        Ok(Stmt::Expr(e))
+    }
+
+    // Precedence climbing: || < && < |&^ < ==/!= < cmp < shifts < +- < */%.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.lor()
+    }
+
+    fn lor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.land()?;
+        while self.try_eat(&Token::OrOr) {
+            let r = self.land()?;
+            e = Expr::Bin(BinOp::LOr, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn land(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bitor()?;
+        while self.try_eat(&Token::AndAnd) {
+            let r = self.bitor()?;
+            e = Expr::Bin(BinOp::LAnd, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bitxor()?;
+        while self.try_eat(&Token::Pipe) {
+            let r = self.bitxor()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.bitand()?;
+        while self.try_eat(&Token::Caret) {
+            let r = self.bitand()?;
+            e = Expr::Bin(BinOp::Xor, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn bitand(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.equality()?;
+        while self.try_eat(&Token::Amp) {
+            let r = self.equality()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.relational()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::EqEq) => BinOp::Eq,
+                Some(Token::NotEq) => BinOp::Ne,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.relational()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.shift()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Lt) => BinOp::Lt,
+                Some(Token::Le) => BinOp::Le,
+                Some(Token::Gt) => BinOp::Gt,
+                Some(Token::Ge) => BinOp::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.shift()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Shl) => BinOp::Shl,
+                Some(Token::Shr) => BinOp::Shr,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.additive()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.multiplicative()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let r = self.unary()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Some(Token::Tilde) => {
+                self.pos += 1;
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Some(Token::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Un(UnOp::LNot, Box::new(self.unary()?)))
+            }
+            Some(Token::Amp) => {
+                // `&name`: address of a global array.
+                self.pos += 1;
+                let name = self.ident()?;
+                Ok(Expr::GlobalAddr(name))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.try_eat(&Token::LBracket) {
+            let idx = self.expr()?;
+            self.eat(&Token::RBracket)?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next().cloned() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::Ident(name)) => {
+                if self.try_eat(&Token::LParen) {
+                    let mut args = Vec::new();
+                    if !self.try_eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.try_eat(&Token::RParen) {
+                                break;
+                            }
+                            self.eat(&Token::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(e)
+            }
+            other => self.err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+/// Parses a token stream into a [`Program`] (requires a `main`).
+pub fn parse(tokens: &[Token]) -> Result<Program, ParseError> {
+    let mut p = P {
+        toks: tokens,
+        pos: 0,
+    };
+    p.program(true)
+}
+
+/// Parses a library translation unit (no `main` required).
+pub fn parse_library(tokens: &[Token]) -> Result<Program, ParseError> {
+    let mut p = P {
+        toks: tokens,
+        pos: 0,
+    };
+    p.program(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Program, ParseError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_minimal_main() {
+        let p = parse_src("fn main() { return 0; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+    }
+
+    #[test]
+    fn requires_main() {
+        assert!(parse_src("fn f() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn parses_globals() {
+        let p = parse_src("global x; global arr[10]; fn main() { return 0; }").unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[1].elems, 10);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_src("fn main() { return 1 + 2 * 3; }").unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::Return(Expr::Bin(BinOp::Add, l, r)) => {
+                assert_eq!(**l, Expr::Int(1));
+                assert!(matches!(**r, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_indexed_store_and_load() {
+        let p = parse_src("fn main() { var a = malloc(8); a[0] = a[0] + 1; return 0; }").unwrap();
+        assert!(matches!(p.functions[0].body[1], Stmt::Store(..)));
+    }
+
+    #[test]
+    fn parses_for_loop() {
+        let p =
+            parse_src("fn main() { for (var i = 0; i < 10; i = i + 1) { print(i); } return 0; }")
+                .unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::For(..)));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse_src(
+            "fn main() { if (1) { return 1; } else if (2) { return 2; } else { return 3; } }",
+        )
+        .unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::If(_, _, els) => assert!(matches!(els[0], Stmt::If(..))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_many_params_rejected() {
+        assert!(parse_src("fn f(a,b,c,d,e,g,h) { return 0; } fn main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn nested_index_parses() {
+        let p = parse_src("fn main() { var a = 0; return a[a[1]]; }").unwrap();
+        match &p.functions[0].body[1] {
+            Stmt::Return(Expr::Index(_, idx)) => {
+                assert!(matches!(**idx, Expr::Index(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

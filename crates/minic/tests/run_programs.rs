@@ -1,0 +1,280 @@
+//! Compile-and-run tests: mini-C semantics verified end to end on the
+//! emulator, plus interaction with the stripped-binary path.
+
+use redfat_emu::{Emu, ErrorMode, HostRuntime, RunResult};
+use redfat_minic::compile;
+
+fn run(src: &str, input: Vec<i64>) -> (i64, Vec<i64>, Vec<u8>) {
+    let image = compile(src).expect("compiles");
+    let rt = HostRuntime::new(ErrorMode::Abort).with_input(input);
+    let mut emu = Emu::load_image(&image, rt);
+    match emu.run(50_000_000) {
+        RunResult::Exited(code) => (
+            code,
+            emu.runtime.io.out_ints.clone(),
+            emu.runtime.io.out_bytes.clone(),
+        ),
+        other => panic!("program did not exit cleanly: {other:?}"),
+    }
+}
+
+fn run_ints(src: &str, input: Vec<i64>) -> Vec<i64> {
+    run(src, input).1
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    let out = run_ints(
+        "fn main() { print(1 + 2 * 3); print((1 + 2) * 3); print(10 - 3 - 4); print(7 / 2); print(7 % 3); return 0; }",
+        vec![],
+    );
+    assert_eq!(out, vec![7, 9, 3, 3, 1]);
+}
+
+#[test]
+fn negative_division_truncates_toward_zero() {
+    let out = run_ints(
+        "fn main() { print(0 - 7 / 2); print((0 - 7) / 2); print((0-7) % 3); return 0; }",
+        vec![],
+    );
+    assert_eq!(out, vec![-3, -3, -1]);
+}
+
+#[test]
+fn bitwise_and_shifts() {
+    let out = run_ints(
+        "fn main() { print(12 & 10); print(12 | 3); print(12 ^ 10); print(1 << 10); print(1024 >> 3); print(~0); return 0; }",
+        vec![],
+    );
+    assert_eq!(out, vec![8, 15, 6, 1024, 128, -1]);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    let out = run_ints(
+        "fn main() {
+            print(3 < 5); print(5 < 3); print(3 <= 3); print(4 > 5);
+            print(2 == 2); print(2 != 2); print(1 && 2); print(0 || 5);
+            print(!0); print(!7);
+            print(0-1 < 1); // signed comparison
+            return 0;
+        }",
+        vec![],
+    );
+    assert_eq!(out, vec![1, 0, 1, 0, 1, 0, 1, 1, 1, 0, 1]);
+}
+
+#[test]
+fn short_circuit_skips_side_effects() {
+    let out = run_ints(
+        "global hits;
+         fn bump() { hits = hits + 1; return 1; }
+         fn main() {
+            var x = 0 && bump();
+            var y = 1 || bump();
+            print(hits); print(x); print(y);
+            return 0;
+         }",
+        vec![],
+    );
+    assert_eq!(out, vec![0, 0, 1]);
+}
+
+#[test]
+fn loops_and_control_flow() {
+    let out = run_ints(
+        "fn main() {
+            var sum = 0;
+            for (var i = 0; i < 10; i = i + 1) {
+                if (i == 3) { continue; }
+                if (i == 8) { break; }
+                sum = sum + i;
+            }
+            print(sum); // 0+1+2+4+5+6+7 = 25
+            var n = 5;
+            var fact = 1;
+            while (n > 0) { fact = fact * n; n = n - 1; }
+            print(fact);
+            return 0;
+        }",
+        vec![],
+    );
+    assert_eq!(out, vec![25, 120]);
+}
+
+#[test]
+fn functions_recursion_and_args() {
+    let out = run_ints(
+        "fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+         fn six(a, b, c, d, e, f) { return a + 2*b + 3*c + 4*d + 5*e + 6*f; }
+         fn main() { print(fib(15)); print(six(1, 1, 1, 1, 1, 1)); return 0; }",
+        vec![],
+    );
+    assert_eq!(out, vec![610, 21]);
+}
+
+#[test]
+fn heap_arrays() {
+    let out = run_ints(
+        "fn main() {
+            var a = malloc(10 * 8);
+            for (var i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+            var sum = 0;
+            for (var i = 0; i < 10; i = i + 1) { sum = sum + a[i]; }
+            print(sum);
+            print(a[9]);
+            free(a);
+            return 0;
+        }",
+        vec![],
+    );
+    assert_eq!(out, vec![285, 81]);
+}
+
+#[test]
+fn constant_index_runs() {
+    // Exercises the batching peephole: consecutive p[k] = leaf stores.
+    let out = run_ints(
+        "fn main() {
+            var p = malloc(4 * 8);
+            var v = 42;
+            p[0] = 1;
+            p[1] = v;
+            p[2] = 3;
+            p[3] = v;
+            print(p[0] + p[1] + p[2] + p[3]);
+            return 0;
+        }",
+        vec![],
+    );
+    assert_eq!(out, vec![88]);
+}
+
+#[test]
+fn globals_and_global_arrays() {
+    let out = run_ints(
+        "global counter;
+         global table[8];
+         fn main() {
+            counter = 5;
+            var t = &table;
+            for (var i = 0; i < 8; i = i + 1) { t[i] = i + counter; }
+            print(t[0]); print(t[7]); print(counter);
+            return 0;
+         }",
+        vec![],
+    );
+    assert_eq!(out, vec![5, 12, 5]);
+}
+
+#[test]
+fn byte_access_intrinsics() {
+    let (_, ints, bytes) = run(
+        "fn main() {
+            var buf = malloc(16);
+            store8(buf, 0, 72);
+            store8(buf, 1, 105);
+            store8(buf, 2, 300); // truncates to 44
+            print(load8(buf, 0));
+            print(load8(buf, 2));
+            putc(load8(buf, 0));
+            putc(load8(buf, 1));
+            return 0;
+        }",
+        vec![],
+    );
+    assert_eq!(ints, vec![72, 44]);
+    assert_eq!(bytes, b"Hi".to_vec());
+}
+
+#[test]
+fn input_stream_and_eof() {
+    let out = run_ints(
+        "fn main() {
+            var v = input();
+            var sum = 0;
+            while (v != 0-1) { sum = sum + v; v = input(); }
+            print(sum);
+            return 0;
+        }",
+        vec![10, 20, 30],
+    );
+    assert_eq!(out, vec![60]);
+}
+
+#[test]
+fn calloc_realloc() {
+    let out = run_ints(
+        "fn main() {
+            var a = calloc(4, 8);
+            print(a[0] + a[3]);
+            a[0] = 7;
+            var b = realloc(a, 16 * 8);
+            print(b[0]);
+            b[15] = 9;
+            print(b[15]);
+            return 0;
+        }",
+        vec![],
+    );
+    assert_eq!(out, vec![0, 7, 9]);
+}
+
+#[test]
+fn exit_code_from_main() {
+    let (code, _, _) = run("fn main() { return 42; }", vec![]);
+    assert_eq!(code, 42);
+}
+
+#[test]
+fn nested_scopes_shadowing() {
+    let out = run_ints(
+        "fn main() {
+            var x = 1;
+            if (1) { var x = 2; print(x); }
+            print(x);
+            return 0;
+        }",
+        vec![],
+    );
+    assert_eq!(out, vec![2, 1]);
+}
+
+#[test]
+fn pointer_arithmetic_anti_idiom_runs_clean_unhardened() {
+    // The paper's snippet (c): intentional OOB base pointer, always
+    // accessed in bounds.
+    let out = run_ints(
+        "fn main() {
+            var a = malloc(8 * 8);
+            var b = a - 64; // b[8] is a[0]
+            for (var i = 8; i < 16; i = i + 1) { b[i] = i; }
+            print(b[8]); print(a[0]); print(a[7]);
+            return 0;
+        }",
+        vec![],
+    );
+    assert_eq!(out, vec![8, 8, 15]);
+}
+
+#[test]
+fn compile_errors_are_reported() {
+    assert!(compile("fn main() { return undefined_var; }").is_err());
+    assert!(compile("fn main() { return missing_fn(); }").is_err());
+    assert!(compile("fn f(a) { return a; } fn main() { return f(1, 2); }").is_err());
+    assert!(compile("fn main() { break; }").is_err());
+    assert!(compile("fn f() { return 0; } fn f() { return 1; } fn main() { return 0; }").is_err());
+}
+
+#[test]
+fn stripped_binary_still_runs() {
+    let mut image = compile("fn main() { print(1); return 0; }").unwrap();
+    assert!(!image.symbols.is_empty());
+    image.strip();
+    let bytes = image.to_bytes();
+    let image = redfat_elf::Image::parse(&bytes).unwrap();
+    let rt = HostRuntime::new(ErrorMode::Abort);
+    let mut emu = Emu::load_image(&image, rt);
+    assert_eq!(emu.run(100_000), RunResult::Exited(0));
+    assert_eq!(emu.runtime.io.out_ints, vec![1]);
+}

@@ -1,0 +1,486 @@
+//! E9Patch-style static binary rewriting by trampoline (paper §2.2).
+//!
+//! The rewriter takes an ELF image plus a list of *patches* -- an anchor
+//! instruction address and a payload generator -- and produces a new
+//! image in which each anchor has been replaced by a jump to a trampoline
+//! that executes:
+//!
+//! 1. the payload (e.g. a RedFat check),
+//! 2. the displaced original instruction(s), re-encoded at their new
+//!    location (RIP-relative operands and branch targets are fixed up
+//!    automatically because the instruction model stores them as
+//!    absolute addresses), and
+//! 3. a jump back to the instruction after the patch site.
+//!
+//! # Patch tactics
+//!
+//! A `jmp rel32` needs 5 bytes. Real E9Patch reaches 100% patchability
+//! with instruction punning; this reproduction implements a simplified
+//! but behavior-complete tactic set:
+//!
+//! * **T-jmp**: displace a run of consecutive instructions totaling ≥ 5
+//!   bytes into the trampoline, provided no interior instruction is a
+//!   potential jump target (conservative CFG). The patch site becomes a
+//!   `jmp rel32` plus NOP padding.
+//! * **T-trap**: when no safe 5-byte run exists, the anchor's first byte
+//!   becomes `int3` and an entry is added to an in-binary *trap table*
+//!   that the loader registers with the emulator -- the analogue of
+//!   E9Patch's signal-based fallback, and priced accordingly by the cost
+//!   model.
+//!
+//! Rewriting never moves a jump target and never changes program-visible
+//! behavior of unpatched code; integration tests assert output equality
+//! between original and rewritten binaries with empty payloads.
+
+use redfat_analysis::{Cfg, Disasm};
+use redfat_elf::{Image, SegFlags, Segment};
+use redfat_vm::layout;
+use redfat_x86::{encode, Asm, AsmError, Inst, Op, Operands, Width};
+
+/// A payload generator: emits instrumentation into the trampoline
+/// assembler. It must fall through on the success path (the displaced
+/// instructions follow immediately).
+pub type Payload<'a> = Box<dyn FnMut(&mut Asm) -> Result<(), AsmError> + 'a>;
+
+/// One requested patch.
+pub struct Patch<'a> {
+    /// Address of the anchor instruction.
+    pub anchor: u64,
+    /// Instrumentation to run before the anchor executes.
+    pub payload: Payload<'a>,
+}
+
+/// Rewrite statistics (reported by the scalability experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Patches applied with the 5-byte jump tactic.
+    pub jmp_patches: usize,
+    /// Patches that fell back to the `int3` trap tactic.
+    pub trap_patches: usize,
+    /// Total instructions displaced into trampolines.
+    pub displaced: usize,
+    /// Bytes of trampoline code emitted.
+    pub trampoline_bytes: usize,
+}
+
+/// A rewrite failure.
+#[derive(Debug)]
+pub enum RewriteError {
+    /// A patch anchor does not decode to an instruction.
+    BadAnchor(u64),
+    /// Trampoline assembly failed.
+    Asm(AsmError),
+    /// Patch anchors were not strictly increasing / unique.
+    UnorderedPatches(u64),
+    /// The code bytes at a patch site could not be written back.
+    PatchWrite(u64),
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::BadAnchor(a) => write!(f, "patch anchor {a:#x} is not an instruction"),
+            RewriteError::Asm(e) => write!(f, "trampoline assembly failed: {e}"),
+            RewriteError::UnorderedPatches(a) => {
+                write!(f, "patch anchors must be unique and sorted (at {a:#x})")
+            }
+            RewriteError::PatchWrite(a) => write!(f, "cannot write patch bytes at {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<AsmError> for RewriteError {
+    fn from(e: AsmError) -> RewriteError {
+        RewriteError::Asm(e)
+    }
+}
+
+/// The outcome of a rewrite.
+pub struct RewriteOutput {
+    /// The rewritten image (original segments modified in place, plus a
+    /// trampoline segment and, if needed, a trap-table segment).
+    pub image: Image,
+    /// Statistics.
+    pub stats: RewriteStats,
+}
+
+/// Magic quadword marking the trap-table segment (shared with the
+/// emulator's loader).
+pub const TRAP_TABLE_MAGIC: u64 = 0x5041_5254_4642_5244;
+
+/// Where a rewrite places its new segments. The defaults suit a single
+/// image at the standard layout; hardening several images into one
+/// address space (separately instrumented shared objects, paper §7.4)
+/// passes disjoint bases per image.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteBases {
+    /// First byte of emitted trampoline code.
+    pub trampoline: u64,
+    /// Base of the `int3` trap-table segment (if any traps are used).
+    pub trap_table: u64,
+}
+
+impl Default for RewriteBases {
+    fn default() -> RewriteBases {
+        RewriteBases {
+            trampoline: layout::TRAMPOLINE_BASE,
+            trap_table: layout::TRAP_TABLE_BASE,
+        }
+    }
+}
+
+/// Applies `patches` to `image` at the default segment bases.
+///
+/// `disasm`/`cfg` must describe `image` (callers already have them from
+/// planning). Patches must be sorted by strictly increasing anchor.
+pub fn rewrite(
+    image: &Image,
+    disasm: &Disasm,
+    cfg: &Cfg,
+    patches: Vec<Patch<'_>>,
+) -> Result<RewriteOutput, RewriteError> {
+    rewrite_with_bases(image, disasm, cfg, patches, RewriteBases::default())
+}
+
+/// Applies `patches` to `image`, placing trampolines and trap table at
+/// the given bases.
+pub fn rewrite_with_bases(
+    image: &Image,
+    disasm: &Disasm,
+    cfg: &Cfg,
+    mut patches: Vec<Patch<'_>>,
+    bases: RewriteBases,
+) -> Result<RewriteOutput, RewriteError> {
+    let mut out = image.clone();
+    let mut stats = RewriteStats::default();
+    let mut tramp = Asm::new(bases.trampoline);
+    let mut traps: Vec<(u64, u64)> = Vec::new();
+
+    // Validate ordering.
+    for w in patches.windows(2) {
+        if w[1].anchor <= w[0].anchor {
+            return Err(RewriteError::UnorderedPatches(w[1].anchor));
+        }
+    }
+    let anchors: Vec<u64> = patches.iter().map(|p| p.anchor).collect();
+
+    for (i, patch) in patches.iter_mut().enumerate() {
+        let anchor = patch.anchor;
+        let next_anchor = anchors.get(i + 1).copied();
+        let (_, _) = *disasm.at(anchor).ok_or(RewriteError::BadAnchor(anchor))?;
+
+        // Select the displaced group.
+        let group = select_group(disasm, cfg, anchor, next_anchor);
+
+        let tramp_start = tramp.here();
+        (patch.payload)(&mut tramp)?;
+
+        match group {
+            Some(members) => {
+                // T-jmp: re-encode displaced instructions in the
+                // trampoline, then jump back.
+                let mut group_len = 0u64;
+                let mut terminal = false;
+                for &addr in &members {
+                    let (inst, len) = *disasm.at(addr).expect("group member decodes");
+                    group_len += len as u64;
+                    tramp.emit(reencode_check(inst))?;
+                    stats.displaced += 1;
+                    terminal = always_transfers(&inst);
+                }
+                let resume = anchor + group_len;
+                if !terminal {
+                    tramp.jmp_abs(resume)?;
+                }
+                // Patch site: jmp rel32 + NOP padding.
+                let jmp = encode(
+                    &Inst::new(Op::Jmp, Width::W64, Operands::Rel(tramp_start)),
+                    anchor,
+                )
+                .map_err(|e| RewriteError::Asm(AsmError::Encode(e)))?;
+                let mut site = Vec::with_capacity(group_len as usize);
+                if jmp.len() == 2 {
+                    // Encoder picked rel8 (trampoline unusually close);
+                    // keep it and pad the rest.
+                    site.extend_from_slice(&jmp);
+                } else {
+                    debug_assert_eq!(jmp.len(), 5);
+                    site.extend_from_slice(&jmp);
+                }
+                while (site.len() as u64) < group_len {
+                    site.push(0x90);
+                }
+                if !out.write_bytes(anchor, &site) {
+                    return Err(RewriteError::PatchWrite(anchor));
+                }
+                stats.jmp_patches += 1;
+            }
+            None => {
+                // T-trap: int3 at the anchor's first byte; the displaced
+                // instruction is just the anchor.
+                let (inst, len) = *disasm.at(anchor).expect("anchor decodes");
+                tramp.emit(reencode_check(inst))?;
+                stats.displaced += 1;
+                if !always_transfers(&inst) {
+                    tramp.jmp_abs(anchor + len as u64)?;
+                }
+                if !out.write_bytes(anchor, &[0xCC]) {
+                    return Err(RewriteError::PatchWrite(anchor));
+                }
+                traps.push((anchor, tramp_start));
+                stats.trap_patches += 1;
+            }
+        }
+    }
+
+    let tramp_prog = tramp.finish()?;
+    stats.trampoline_bytes = tramp_prog.bytes.len();
+    if !tramp_prog.bytes.is_empty() {
+        out.segments
+            .push(Segment::new(tramp_prog.base, SegFlags::RX, tramp_prog.bytes));
+    }
+    if !traps.is_empty() {
+        let mut table = Vec::with_capacity(16 + traps.len() * 16);
+        table.extend_from_slice(&TRAP_TABLE_MAGIC.to_le_bytes());
+        table.extend_from_slice(&(traps.len() as u64).to_le_bytes());
+        for (a, t) in traps {
+            table.extend_from_slice(&a.to_le_bytes());
+            table.extend_from_slice(&t.to_le_bytes());
+        }
+        out.segments
+            .push(Segment::new(bases.trap_table, SegFlags::R, table));
+    }
+
+    Ok(RewriteOutput { image: out, stats })
+}
+
+/// Chooses the run of instructions to displace for a 5-byte jump patch,
+/// or `None` if the trap tactic must be used.
+fn select_group(
+    disasm: &Disasm,
+    cfg: &Cfg,
+    anchor: u64,
+    next_anchor: Option<u64>,
+) -> Option<Vec<u64>> {
+    let mut members = Vec::new();
+    let mut total = 0u64;
+    let mut addr = anchor;
+    loop {
+        let (_, len) = *disasm.at(addr)?;
+        members.push(addr);
+        total += len as u64;
+        if total >= 5 {
+            return Some(members);
+        }
+        let next = addr + len as u64;
+        // The next instruction would become patch-interior: it must not
+        // be a potential jump target, another patch's anchor, or unknown.
+        if cfg.is_leader(next) || next_anchor == Some(next) || disasm.at(next).is_none() {
+            return None;
+        }
+        addr = next;
+    }
+}
+
+/// Returns `true` if the instruction unconditionally transfers control
+/// (so the trampoline's jump-back would be unreachable).
+fn always_transfers(inst: &Inst) -> bool {
+    matches!(inst.op, Op::Jmp | Op::JmpInd | Op::Ret | Op::Ud2)
+}
+
+/// Sanity hook for displaced instructions; exists so future tactics can
+/// transform instructions during displacement.
+fn reencode_check(inst: Inst) -> Inst {
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use redfat_analysis::{disassemble, Cfg};
+    use redfat_elf::{Image, ImageKind, SegFlags, Segment};
+    use redfat_x86::{AluOp, Asm, Cond, Mem, Reg, Width};
+
+    fn build_image(f: impl FnOnce(&mut Asm)) -> Image {
+        let mut a = Asm::new(layout::CODE_BASE);
+        f(&mut a);
+        let p = a.finish().unwrap();
+        Image {
+            kind: ImageKind::Exec,
+            entry: layout::CODE_BASE,
+            segments: vec![Segment::new(p.base, SegFlags::RX, p.bytes)],
+            symbols: vec![],
+        }
+    }
+
+    fn no_payload<'a>() -> Payload<'a> {
+        Box::new(|_| Ok(()))
+    }
+
+    #[test]
+    fn patches_long_instruction_with_jmp() {
+        // mov $1, %rax is 7 bytes: direct jmp tactic.
+        let img = build_image(|a| {
+            a.mov_ri(Width::W64, Reg::Rax, 1);
+            a.ret();
+        });
+        let d = disassemble(&img);
+        let cfg = Cfg::recover(&d, img.entry, &[]);
+        let out = rewrite(
+            &img,
+            &d,
+            &cfg,
+            vec![Patch {
+                anchor: layout::CODE_BASE,
+                payload: no_payload(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.stats.jmp_patches, 1);
+        assert_eq!(out.stats.trap_patches, 0);
+        // Site now starts with E9 (jmp rel32).
+        assert_eq!(out.image.read_bytes(layout::CODE_BASE, 1).unwrap()[0], 0xE9);
+        // A trampoline segment exists.
+        assert!(out
+            .image
+            .segment_at(layout::TRAMPOLINE_BASE)
+            .is_some());
+    }
+
+    #[test]
+    fn short_instruction_displaces_group() {
+        // push (1 byte) followed by a 7-byte mov: group of 2.
+        let img = build_image(|a| {
+            a.push_r(Reg::Rax); // 1 byte
+            a.mov_ri(Width::W64, Reg::Rbx, 2); // 7 bytes
+            a.ret();
+        });
+        let d = disassemble(&img);
+        let cfg = Cfg::recover(&d, img.entry, &[]);
+        let out = rewrite(
+            &img,
+            &d,
+            &cfg,
+            vec![Patch {
+                anchor: layout::CODE_BASE,
+                payload: no_payload(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.stats.jmp_patches, 1);
+        assert_eq!(out.stats.displaced, 2);
+    }
+
+    #[test]
+    fn leader_blocks_group_forcing_trap() {
+        // A 3-byte store whose next instruction is a jump target: cannot
+        // displace a 5-byte group, must trap.
+        let img = build_image(|a| {
+            let l = a.label();
+            a.mov_mr(Width::W64, Mem::base(Reg::Rax), Reg::Rcx); // 3 bytes
+            a.bind(l).unwrap();
+            a.alu_ri(AluOp::Sub, Width::W64, Reg::Rcx, 1);
+            a.jcc_label(Cond::Ne, l);
+            a.ret();
+        });
+        let d = disassemble(&img);
+        let cfg = Cfg::recover(&d, img.entry, &[]);
+        let out = rewrite(
+            &img,
+            &d,
+            &cfg,
+            vec![Patch {
+                anchor: layout::CODE_BASE,
+                payload: no_payload(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.stats.trap_patches, 1);
+        assert_eq!(out.image.read_bytes(layout::CODE_BASE, 1).unwrap()[0], 0xCC);
+        // Trap table segment emitted with one entry.
+        let seg = out.image.segment_at(layout::TRAP_TABLE_BASE).unwrap();
+        let count = u64::from_le_bytes(seg.data[8..16].try_into().unwrap());
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn adjacent_patches_do_not_overlap() {
+        // Two 3-byte stores back to back, both patched: the first cannot
+        // take the second (the second is its own anchor), so it traps;
+        // the second extends into the following mov.
+        let img = build_image(|a| {
+            a.mov_mr(Width::W64, Mem::base(Reg::Rax), Reg::Rcx);
+            a.mov_mr(Width::W64, Mem::base(Reg::Rbx), Reg::Rdx);
+            a.mov_ri(Width::W64, Reg::Rax, 0);
+            a.ret();
+        });
+        let d = disassemble(&img);
+        let cfg = Cfg::recover(&d, img.entry, &[]);
+        let a2 = d.next_addr(layout::CODE_BASE).unwrap();
+        let out = rewrite(
+            &img,
+            &d,
+            &cfg,
+            vec![
+                Patch {
+                    anchor: layout::CODE_BASE,
+                    payload: no_payload(),
+                },
+                Patch {
+                    anchor: a2,
+                    payload: no_payload(),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.stats.trap_patches, 1);
+        assert_eq!(out.stats.jmp_patches, 1);
+    }
+
+    #[test]
+    fn unsorted_patches_rejected() {
+        let img = build_image(|a| {
+            a.mov_ri(Width::W64, Reg::Rax, 1);
+            a.mov_ri(Width::W64, Reg::Rbx, 2);
+            a.ret();
+        });
+        let d = disassemble(&img);
+        let cfg = Cfg::recover(&d, img.entry, &[]);
+        let a2 = d.next_addr(layout::CODE_BASE).unwrap();
+        let err = rewrite(
+            &img,
+            &d,
+            &cfg,
+            vec![
+                Patch {
+                    anchor: a2,
+                    payload: no_payload(),
+                },
+                Patch {
+                    anchor: layout::CODE_BASE,
+                    payload: no_payload(),
+                },
+            ],
+        );
+        assert!(matches!(err, Err(RewriteError::UnorderedPatches(_))));
+    }
+
+    #[test]
+    fn bad_anchor_rejected() {
+        let img = build_image(|a| a.ret());
+        let d = disassemble(&img);
+        let cfg = Cfg::recover(&d, img.entry, &[]);
+        let err = rewrite(
+            &img,
+            &d,
+            &cfg,
+            vec![Patch {
+                anchor: 0x12345,
+                payload: no_payload(),
+            }],
+        );
+        assert!(matches!(err, Err(RewriteError::BadAnchor(0x12345))));
+    }
+}

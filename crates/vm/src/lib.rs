@@ -1,0 +1,17 @@
+//! Simulated 64-bit virtual address space for the RedFat reproduction.
+//!
+//! The paper's low-fat allocator partitions the program's virtual address
+//! space into 32 GiB regions (paper Figure 2). Reserving terabytes of real
+//! address space is exactly the kind of environment-specific trick this
+//! reproduction replaces with a substrate: [`Vm`] provides a sparse,
+//! segment-backed 64-bit address space with protection bits, on which the
+//! allocator, emulator and runtime operate.
+//!
+//! The canonical address-space layout -- where code, globals, stack,
+//! runtime tables, trampolines and the low-fat regions live -- is defined
+//! in [`layout`], shared by every crate that reasons about addresses.
+
+pub mod layout;
+mod space;
+
+pub use space::{Prot, Vm, VmFault, VmFaultKind, VmSegmentInfo};

@@ -1,0 +1,474 @@
+//! The sparse segment-backed address space.
+
+use std::cell::Cell;
+
+/// Memory protection bits for a mapped segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prot(pub u8);
+
+impl Prot {
+    /// Readable.
+    pub const R: Prot = Prot(1);
+    /// Writable.
+    pub const W: Prot = Prot(2);
+    /// Executable.
+    pub const X: Prot = Prot(4);
+    /// Read + write.
+    pub const RW: Prot = Prot(3);
+    /// Read + execute.
+    pub const RX: Prot = Prot(5);
+
+    /// Returns `true` if all bits of `other` are present.
+    pub fn allows(self, other: Prot) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl std::ops::BitOr for Prot {
+    type Output = Prot;
+    fn bitor(self, rhs: Prot) -> Prot {
+        Prot(self.0 | rhs.0)
+    }
+}
+
+/// The kind of access that faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmFaultKind {
+    /// Address not mapped by any segment.
+    Unmapped,
+    /// Mapped but lacking the required permission.
+    Protection,
+    /// Access crosses a segment boundary.
+    Straddle,
+}
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmFault {
+    /// Faulting address.
+    pub addr: u64,
+    /// Fault kind.
+    pub kind: VmFaultKind,
+    /// Whether the faulting access was a write.
+    pub write: bool,
+}
+
+impl std::fmt::Display for VmFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} fault at {:#x} ({:?})",
+            if self.write { "write" } else { "read" },
+            self.addr,
+            self.kind
+        )
+    }
+}
+
+impl std::error::Error for VmFault {}
+
+struct Segment {
+    base: u64,
+    data: Vec<u8>,
+    prot: Prot,
+    name: String,
+}
+
+impl Segment {
+    fn end(&self) -> u64 {
+        self.base + self.data.len() as u64
+    }
+}
+
+/// Public view of a mapped segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmSegmentInfo {
+    /// Base address.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Protections.
+    pub prot: Prot,
+    /// Debug name.
+    pub name: String,
+}
+
+/// A sparse 64-bit address space backed by disjoint segments.
+///
+/// Segments are kept sorted by base address; lookups use a one-entry
+/// last-hit cache followed by binary search, which keeps the emulator's
+/// hot loop fast without a page-table walk.
+pub struct Vm {
+    segments: Vec<Segment>,
+    last_hit: Cell<usize>,
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vm {
+    /// Creates an empty address space.
+    pub fn new() -> Vm {
+        Vm {
+            segments: Vec::new(),
+            last_hit: Cell::new(0),
+        }
+    }
+
+    /// Maps `size` zeroed bytes at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new segment overlaps an existing one -- mapping is a
+    /// host-level setup operation, not a guest-reachable code path.
+    pub fn map(&mut self, base: u64, size: u64, prot: Prot, name: &str) {
+        assert!(size > 0, "cannot map empty segment {name}");
+        assert!(base.checked_add(size).is_some(), "segment wraps: {name}");
+        let idx = self.segments.partition_point(|s| s.base < base);
+        if let Some(next) = self.segments.get(idx) {
+            assert!(base + size <= next.base, "segment {name} overlaps {}", next.name);
+        }
+        if idx > 0 {
+            let prev = &self.segments[idx - 1];
+            assert!(prev.end() <= base, "segment {name} overlaps {}", prev.name);
+        }
+        self.segments.insert(
+            idx,
+            Segment {
+                base,
+                data: vec![0; size as usize],
+                prot,
+                name: name.to_owned(),
+            },
+        );
+        self.last_hit.set(0);
+    }
+
+    /// Maps a segment and copies `data` into its start.
+    pub fn map_with_data(&mut self, base: u64, mem_size: u64, prot: Prot, name: &str, data: &[u8]) {
+        let size = mem_size.max(data.len() as u64);
+        self.map(base, size, prot, name);
+        let seg = self.find_mut(base).expect("just mapped");
+        seg.data[..data.len()].copy_from_slice(data);
+    }
+
+    /// Grows the segment based at `base` to `new_size` bytes (zero-fill).
+    ///
+    /// Used by the allocator to extend subheap regions on demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no segment is based at `base`, if `new_size` shrinks it,
+    /// or if growth would overlap the next segment.
+    pub fn grow(&mut self, base: u64, new_size: u64) {
+        let idx = self
+            .segments
+            .binary_search_by_key(&base, |s| s.base)
+            .unwrap_or_else(|_| panic!("no segment based at {base:#x}"));
+        assert!(new_size >= self.segments[idx].data.len() as u64);
+        if let Some(next) = self.segments.get(idx + 1) {
+            assert!(base + new_size <= next.base, "grow would overlap");
+        }
+        self.segments[idx].data.resize(new_size as usize, 0);
+    }
+
+    /// Lists mapped segments.
+    pub fn segments(&self) -> Vec<VmSegmentInfo> {
+        self.segments
+            .iter()
+            .map(|s| VmSegmentInfo {
+                base: s.base,
+                size: s.data.len() as u64,
+                prot: s.prot,
+                name: s.name.clone(),
+            })
+            .collect()
+    }
+
+    /// Returns `true` if `addr` is mapped.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Returns `(base, size)` of the segment containing `addr`.
+    pub fn segment_span(&self, addr: u64) -> Option<(u64, u64)> {
+        self.find(addr).map(|s| (s.base, s.data.len() as u64))
+    }
+
+    #[inline]
+    fn find(&self, addr: u64) -> Option<&Segment> {
+        let hint = self.last_hit.get();
+        if let Some(s) = self.segments.get(hint) {
+            if addr >= s.base && addr < s.end() {
+                return Some(s);
+            }
+        }
+        let idx = self.segments.partition_point(|s| s.base <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let s = &self.segments[idx - 1];
+        if addr < s.end() {
+            self.last_hit.set(idx - 1);
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn find_mut(&mut self, addr: u64) -> Option<&mut Segment> {
+        let idx = self.segments.partition_point(|s| s.base <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let s = &mut self.segments[idx - 1];
+        if addr < s.base + s.data.len() as u64 {
+            self.last_hit.set(idx - 1);
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// Reads `N` bytes at `addr` with permission checking.
+    #[inline]
+    pub fn read<const N: usize>(&self, addr: u64, prot: Prot) -> Result<[u8; N], VmFault> {
+        let seg = self.find(addr).ok_or(VmFault {
+            addr,
+            kind: VmFaultKind::Unmapped,
+            write: false,
+        })?;
+        if !seg.prot.allows(prot) {
+            return Err(VmFault {
+                addr,
+                kind: VmFaultKind::Protection,
+                write: false,
+            });
+        }
+        let off = (addr - seg.base) as usize;
+        let slice = seg.data.get(off..off + N).ok_or(VmFault {
+            addr,
+            kind: VmFaultKind::Straddle,
+            write: false,
+        })?;
+        Ok(slice.try_into().expect("N bytes"))
+    }
+
+    /// Writes bytes at `addr` with permission checking.
+    #[inline]
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), VmFault> {
+        let seg = self.find_mut(addr).ok_or(VmFault {
+            addr,
+            kind: VmFaultKind::Unmapped,
+            write: true,
+        })?;
+        if !seg.prot.allows(Prot::W) {
+            return Err(VmFault {
+                addr,
+                kind: VmFaultKind::Protection,
+                write: true,
+            });
+        }
+        let off = (addr - seg.base) as usize;
+        let slot = seg.data.get_mut(off..off + bytes.len()).ok_or(VmFault {
+            addr,
+            kind: VmFaultKind::Straddle,
+            write: true,
+        })?;
+        slot.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a `u8`.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> Result<u8, VmFault> {
+        Ok(self.read::<1>(addr, Prot::R)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn read_u32(&self, addr: u64) -> Result<u32, VmFault> {
+        Ok(u32::from_le_bytes(self.read::<4>(addr, Prot::R)?))
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn read_u64(&self, addr: u64) -> Result<u64, VmFault> {
+        Ok(u64::from_le_bytes(self.read::<8>(addr, Prot::R)?))
+    }
+
+    /// Writes a `u8`.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, v: u8) -> Result<(), VmFault> {
+        self.write(addr, &[v])
+    }
+
+    /// Writes a little-endian `u32`.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), VmFault> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64`.
+    #[inline]
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), VmFault> {
+        self.write(addr, &v.to_le_bytes())
+    }
+
+    /// Reads `len` bytes for instruction fetch (requires `X`).
+    pub fn fetch(&self, addr: u64, len: usize) -> Result<&[u8], VmFault> {
+        let seg = self.find(addr).ok_or(VmFault {
+            addr,
+            kind: VmFaultKind::Unmapped,
+            write: false,
+        })?;
+        if !seg.prot.allows(Prot::X) {
+            return Err(VmFault {
+                addr,
+                kind: VmFaultKind::Protection,
+                write: false,
+            });
+        }
+        let off = (addr - seg.base) as usize;
+        let end = (off + len).min(seg.data.len());
+        Ok(&seg.data[off..end])
+    }
+
+    /// Copies out an arbitrary byte range (readable memory).
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, VmFault> {
+        let seg = self.find(addr).ok_or(VmFault {
+            addr,
+            kind: VmFaultKind::Unmapped,
+            write: false,
+        })?;
+        if !seg.prot.allows(Prot::R) {
+            return Err(VmFault {
+                addr,
+                kind: VmFaultKind::Protection,
+                write: false,
+            });
+        }
+        let off = (addr - seg.base) as usize;
+        let slice = seg.data.get(off..off + len).ok_or(VmFault {
+            addr,
+            kind: VmFaultKind::Straddle,
+            write: false,
+        })?;
+        Ok(slice.to_vec())
+    }
+
+    /// Writes bytes ignoring protections (host/runtime privilege, e.g.
+    /// loading an image or the allocator updating metadata).
+    pub fn write_privileged(&mut self, addr: u64, bytes: &[u8]) -> Result<(), VmFault> {
+        let seg = self.find_mut(addr).ok_or(VmFault {
+            addr,
+            kind: VmFaultKind::Unmapped,
+            write: true,
+        })?;
+        let off = (addr - seg.base) as usize;
+        let slot = seg.data.get_mut(off..off + bytes.len()).ok_or(VmFault {
+            addr,
+            kind: VmFaultKind::Straddle,
+            write: true,
+        })?;
+        slot.copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_read_write() {
+        let mut vm = Vm::new();
+        vm.map(0x1000, 0x1000, Prot::RW, "data");
+        vm.write_u64(0x1008, 0xDEAD_BEEF).unwrap();
+        assert_eq!(vm.read_u64(0x1008).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(vm.read_u8(0x1000).unwrap(), 0);
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let vm = Vm::new();
+        let err = vm.read_u64(0x1000).unwrap_err();
+        assert_eq!(err.kind, VmFaultKind::Unmapped);
+        assert!(!err.write);
+    }
+
+    #[test]
+    fn protection_enforced() {
+        let mut vm = Vm::new();
+        vm.map(0x1000, 0x1000, Prot::R, "ro");
+        assert_eq!(
+            vm.write_u8(0x1000, 1).unwrap_err().kind,
+            VmFaultKind::Protection
+        );
+        // Privileged writes bypass protection.
+        vm.write_privileged(0x1000, &[7]).unwrap();
+        assert_eq!(vm.read_u8(0x1000).unwrap(), 7);
+    }
+
+    #[test]
+    fn exec_required_for_fetch() {
+        let mut vm = Vm::new();
+        vm.map(0x1000, 0x10, Prot::RX, "code");
+        vm.map(0x2000, 0x10, Prot::RW, "data");
+        assert!(vm.fetch(0x1000, 4).is_ok());
+        assert_eq!(
+            vm.fetch(0x2000, 4).unwrap_err().kind,
+            VmFaultKind::Protection
+        );
+    }
+
+    #[test]
+    fn straddle_faults() {
+        let mut vm = Vm::new();
+        vm.map(0x1000, 0x10, Prot::RW, "a");
+        let err = vm.read_u64(0x100C).unwrap_err();
+        assert_eq!(err.kind, VmFaultKind::Straddle);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_panics() {
+        let mut vm = Vm::new();
+        vm.map(0x1000, 0x1000, Prot::RW, "a");
+        vm.map(0x1800, 0x1000, Prot::RW, "b");
+    }
+
+    #[test]
+    fn grow_extends() {
+        let mut vm = Vm::new();
+        vm.map(0x1000, 0x10, Prot::RW, "heap");
+        assert!(vm.read_u8(0x1010).is_err());
+        vm.grow(0x1000, 0x20);
+        assert_eq!(vm.read_u8(0x101F).unwrap(), 0);
+    }
+
+    #[test]
+    fn map_with_data_copies() {
+        let mut vm = Vm::new();
+        vm.map_with_data(0x4000, 0x100, Prot::RX, "text", &[0xC3, 0x90]);
+        assert_eq!(vm.fetch(0x4000, 2).unwrap(), &[0xC3, 0x90]);
+    }
+
+    #[test]
+    fn lookup_cache_survives_many_segments() {
+        let mut vm = Vm::new();
+        for i in 0..32u64 {
+            vm.map(i * 0x10000, 0x100, Prot::RW, &format!("s{i}"));
+        }
+        for i in (0..32u64).rev() {
+            vm.write_u8(i * 0x10000 + 5, i as u8).unwrap();
+        }
+        for i in 0..32u64 {
+            assert_eq!(vm.read_u8(i * 0x10000 + 5).unwrap(), i as u8);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Reproductions of the four non-incremental-overflow CVEs of Table 2.
+//!
+//! Each case models the vulnerable pattern of its CVE: an
+//! attacker-controlled value indexes a heap object without an upper (or
+//! lower) bound check, and a crafted value lands the access in an
+//! *adjacent live object's user data* -- past every redzone -- which is
+//! exactly the class of error redzone-only tools cannot see (paper
+//! Problem #1, §7.2).
+//!
+//! Every case provides a benign input (the program behaves) and an
+//! attack input (the access skips over the victim's redzone). Allocation
+//! sizes are chosen so `size + 16` fills its low-fat class exactly and
+//! the adjacent allocation is live, so a redzone-only checker sees a
+//! perfectly addressable access.
+
+use crate::{Lang, Workload, PRELUDE};
+
+/// A CVE test case: a workload plus its benign/attack inputs.
+pub struct CveCase {
+    /// The program.
+    pub workload: Workload,
+    /// Input for normal behavior.
+    pub benign_input: Vec<i64>,
+    /// Input whose access skips redzones into a neighboring object.
+    pub attack_input: Vec<i64>,
+    /// CVE identifier.
+    pub cve: &'static str,
+}
+
+fn case(
+    cve: &'static str,
+    name: &'static str,
+    source: String,
+    benign: Vec<i64>,
+    attack: Vec<i64>,
+) -> CveCase {
+    CveCase {
+        workload: Workload {
+            name,
+            lang: Lang::C,
+            source,
+            train_input: benign.clone(),
+            ref_input: benign.clone(),
+            requires_x87: false,
+            planted_errors: 0,
+            anti_idiom_sites: 0,
+        },
+        benign_input: benign,
+        attack_input: attack,
+        cve,
+    }
+}
+
+/// CVE-2007-3476 (php/libgd): `imagecreate` color-index overflow --
+/// an attacker-controlled palette index writes past the palette array.
+pub fn php_2007_3476() -> CveCase {
+    let src = format!(
+        "{PRELUDE}
+fn main() {{
+    // gdImageColorAllocate-style palette: 32 entries...
+    var palette = malloc(32 * 8);
+    var neighbor = malloc(32 * 8); // adjacent heap object (same class)
+    for (var i = 0; i < 32; i = i + 1) {{ palette[i] = 0; neighbor[i] = 7; }}
+    // Attacker controls the color index from image data.
+    var idx = input();
+    palette[idx] = 255; // no bounds check in vulnerable gd
+    print(palette[0] + neighbor[0]);
+    return 0;
+}}"
+    );
+    // 32*8 + 16 = 272 = exactly class 272: the adjacent object's user
+    // data starts 34 elements past the palette.
+    case("CVE-2007-3476", "php-gd-palette", src, vec![3], vec![36])
+}
+
+/// CVE-2016-1903 (php/libgd): `gdImageRotateInterpolated` out-of-range
+/// read through an attacker-controlled background index.
+pub fn php_2016_1903() -> CveCase {
+    let src = format!(
+        "{PRELUDE}
+fn main() {{
+    var row = malloc(64 * 8);
+    var secret = malloc(64 * 8); // adjacent object holding \"secrets\"
+    for (var i = 0; i < 64; i = i + 1) {{ row[i] = i; secret[i] = 0x5ec; }}
+    var bgd = input(); // attacker-controlled background color index
+    var leak = row[bgd]; // unchecked read
+    print(leak);
+    return 0;
+}}"
+    );
+    // 64*8 + 16 = 528 = exactly class 528: stride 66 elements.
+    case("CVE-2016-1903", "php-gd-rotate", src, vec![5], vec![68])
+}
+
+/// CVE-2012-4295 (wireshark): the paper's Figure 1. `m_vc_index_array`
+/// has 5 byte-entries; `speed - 1` indexes it without an upper bound.
+pub fn wireshark_2012_4295() -> CveCase {
+    let src = format!(
+        "{PRELUDE}
+fn fill_sdh_g707_format(fmt, bit_flds, vc_size, speed) {{
+    if (vc_size == 0) {{ return 0 - 1; }}
+    fmt[0] = vc_size;       // m_vc_size
+    fmt[1] = speed;         // m_sdh_line_rate
+    // memset(&m_vc_index_array[0], 0xff, 5): bytes at offset 16.
+    for (var i = 0; i < 5; i = i + 1) {{ store8(fmt, 16 + i, 255); }}
+    // in_fmt->m_vc_index_array[speed - 1] = 0;  <-- CVE-2012-4295
+    store8(fmt, 16 + speed - 1, 0);
+    return 0;
+}}
+fn main() {{
+    // Heap-allocated sdh_g707_format_t struct (2 words + 5-byte array,
+    // padded), followed by adjacent dissector state.
+    var fmt = malloc(24);
+    var adjacent = malloc(24);
+    adjacent[0] = 0x1111;
+    var speed = input(); // from a crafted packet / PCAP file
+    fill_sdh_g707_format(fmt, 0, 3, speed);
+    print(adjacent[0]);
+    return 0;
+}}"
+    );
+    // malloc(24)+16 -> class 48: the adjacent struct's user data begins
+    // 48 bytes past fmt. speed = 40 places the write at byte offset 55,
+    // clear of every redzone (the paper uses speed = 200 against
+    // Memcheck's 16-byte redzones; any sufficiently large value works).
+    case("CVE-2012-4295", "wireshark-sdh", src, vec![4], vec![40])
+}
+
+/// CVE-2016-2335 (7zip): NArchive HFS `ReadBlock` -- an unchecked
+/// fork-descriptor offset reaches outside the block buffer.
+pub fn sevenzip_2016_2335() -> CveCase {
+    let src = format!(
+        "{PRELUDE}
+fn main() {{
+    // HFS catalog block buffer and the decoder table next to it.
+    var block = malloc(126 * 8);
+    var table = malloc(126 * 8);
+    for (var i = 0; i < 126; i = i + 1) {{ block[i] = i & 0xff; table[i] = 0x7ab; }}
+    var rec_off = input(); // attacker-controlled record offset
+    // ReadBlock: copies a record header without validating rec_off.
+    var v0 = block[rec_off];
+    var v1 = block[rec_off + 1];
+    block[rec_off] = v1; // unchecked write-back
+    print(v0 + v1);
+    return 0;
+}}"
+    );
+    // 126*8 + 16 = 1024 = exactly class 1024: stride 128 elements.
+    case("CVE-2016-2335", "7zip-hfs", src, vec![10], vec![130])
+}
+
+/// All four Table 2 CVE cases.
+pub fn all() -> Vec<CveCase> {
+    vec![
+        php_2007_3476(),
+        php_2016_1903(),
+        wireshark_2012_4295(),
+        sevenzip_2016_2335(),
+    ]
+}

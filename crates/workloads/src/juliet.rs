@@ -1,0 +1,178 @@
+//! A generated Juliet-style CWE-122 suite: 480 heap-buffer-overflow
+//! cases with *non-incremental* access patterns (paper Table 2).
+//!
+//! The original evaluation uses the subset of NIST's Juliet 1.3 test
+//! suite whose overflows skip over redzones. This generator reproduces
+//! that shape systematically: the cross product of
+//!
+//! * 12 allocation sizes (each filling its low-fat class exactly, so a
+//!   skipping index lands in the *adjacent live object*, invisible to
+//!   redzone-only checking),
+//! * 5 access patterns (direct write, offset write, direct read,
+//!   strided-loop write, computed-index write),
+//! * 2 code shapes (inline in `main` vs through a helper function --
+//!   Juliet's "baseline" vs "dataflow" variants),
+//! * 4 attacker offsets (1, 2, 3 or 5 elements into the neighbor),
+//!
+//! giving 12 x 5 x 2 x 4 = 480 cases, each with a benign and an attack
+//! input.
+
+use crate::{Lang, Workload, PRELUDE};
+
+/// One generated Juliet-like case.
+pub struct JulietCase {
+    /// The program.
+    pub workload: Workload,
+    /// In-bounds input.
+    pub benign_input: Vec<i64>,
+    /// Redzone-skipping input.
+    pub attack_input: Vec<i64>,
+    /// Case identifier, e.g. `CWE122_sz12_patB_fn_off2`.
+    pub id: String,
+}
+
+/// Allocation element counts whose `8*n + 16` exactly fills a class.
+const SIZES: [i64; 12] = [2, 4, 6, 8, 10, 12, 14, 16, 20, 24, 28, 30];
+
+/// Access patterns.
+const PATTERNS: [char; 5] = ['A', 'B', 'C', 'D', 'E'];
+
+/// Attacker offsets into the neighbor object (elements).
+const OFFSETS: [i64; 4] = [0, 1, 2, 4];
+
+fn access_code(pattern: char) -> &'static str {
+    match pattern {
+        // Direct indexed write.
+        'A' => "buf[idx] = 0xbad;",
+        // Write at idx plus a small constant.
+        'B' => "buf[idx + 1] = 0xbad;",
+        // Indexed read (leak).
+        'C' => "sink = buf[idx];",
+        // Strided loop: one iteration skips straight into the neighbor.
+        'D' => "for (var i = idx; i < idx + 1; i = i + 1) { buf[i] = 0xbad; }",
+        // Index computed through arithmetic the checker cannot see through.
+        'E' => "var j = (idx * 2) / 2; buf[j] = 0xbad;",
+        _ => unreachable!(),
+    }
+}
+
+/// Builds one case.
+fn build_case(elems: i64, pattern: char, through_fn: bool, off_idx: usize) -> JulietCase {
+    let access = access_code(pattern);
+    let body = format!(
+        "    var sink = 0;\n    {access}\n    print(sink + buf[0] + neighbor[0]);"
+    );
+    let src = if through_fn {
+        format!(
+            "{PRELUDE}
+fn victim(buf, neighbor, idx) {{
+{body}
+    return 0;
+}}
+fn main() {{
+    var buf = malloc({elems} * 8);
+    var neighbor = malloc({elems} * 8);
+    for (var i = 0; i < {elems}; i = i + 1) {{ buf[i] = i; neighbor[i] = 1000 + i; }}
+    var idx = input();
+    victim(buf, neighbor, idx);
+    return 0;
+}}"
+        )
+    } else {
+        format!(
+            "{PRELUDE}
+fn main() {{
+    var buf = malloc({elems} * 8);
+    var neighbor = malloc({elems} * 8);
+    for (var i = 0; i < {elems}; i = i + 1) {{ buf[i] = i; neighbor[i] = 1000 + i; }}
+    var idx = input();
+{body}
+    return 0;
+}}"
+        )
+    };
+
+    // The adjacent object's user data starts `elems + 2` elements past
+    // `buf` (class stride = 8*elems + 16 bytes). Keep the access inside
+    // the neighbor's user area.
+    let stride = elems + 2;
+    let extra = OFFSETS[off_idx].min(elems - 1);
+    // Pattern B adds 1 to idx itself.
+    let adjust = if pattern == 'B' { 1 } else { 0 };
+    let attack = stride + extra - adjust;
+    let benign = (elems / 2 - adjust).max(0);
+
+    let id = format!(
+        "CWE122_sz{elems}_pat{pattern}_{}_off{}",
+        if through_fn { "fn" } else { "inline" },
+        OFFSETS[off_idx]
+    );
+    JulietCase {
+        workload: Workload {
+            name: "juliet-cwe122",
+            lang: Lang::C,
+            source: src,
+            train_input: vec![benign],
+            ref_input: vec![benign],
+            requires_x87: false,
+            planted_errors: 0,
+            anti_idiom_sites: 0,
+        },
+        benign_input: vec![benign],
+        attack_input: vec![attack],
+        id,
+    }
+}
+
+/// Generates the full 480-case suite.
+pub fn generate() -> Vec<JulietCase> {
+    let mut out = Vec::with_capacity(480);
+    for &elems in &SIZES {
+        for &pattern in &PATTERNS {
+            for through_fn in [false, true] {
+                for off_idx in 0..OFFSETS.len() {
+                    out.push(build_case(elems, pattern, through_fn, off_idx));
+                }
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), 480);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_480_distinct_cases() {
+        let suite = generate();
+        assert_eq!(suite.len(), 480);
+        let ids: std::collections::HashSet<&str> =
+            suite.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(ids.len(), 480, "ids must be unique");
+    }
+
+    #[test]
+    fn sizes_fill_classes_exactly() {
+        for &e in &SIZES {
+            let total = (8 * e + 16) as u64;
+            let class = redfat_vm::layout::class_for_size(total).unwrap();
+            assert_eq!(
+                redfat_vm::layout::class_size(class),
+                total,
+                "elems {e} must fill its class"
+            );
+        }
+    }
+
+    #[test]
+    fn cases_compile() {
+        // Compile a sample spanning all patterns and shapes.
+        for (i, case) in generate().iter().enumerate() {
+            if i % 37 == 0 {
+                let _ = case.workload.image();
+            }
+        }
+    }
+}

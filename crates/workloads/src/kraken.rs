@@ -1,0 +1,477 @@
+//! Kraken-like browser benchmark kernels (paper §7.3, Figure 8).
+//!
+//! The paper measures RedFat-hardened Google Chrome under Mozilla's
+//! Kraken JavaScript benchmark. The stand-in is [`crate::kromium`]: a
+//! very large generated binary embedding these fourteen computational
+//! kernels -- the same kernel families Kraken exercises (AI search,
+//! audio DSP, image filters, JSON text processing, crypto) -- selected
+//! at runtime by the first input value.
+
+/// A Kraken sub-benchmark: name + kernel function + dispatch id.
+pub struct KrakenBench {
+    /// Benchmark name as shown in Figure 8.
+    pub name: &'static str,
+    /// Kernel id understood by the kromium dispatcher.
+    pub kernel: i64,
+    /// Work scale for the measurement run.
+    pub scale: i64,
+}
+
+/// The fourteen Figure 8 sub-benchmarks, in figure order.
+pub fn all() -> Vec<KrakenBench> {
+    let names = [
+        "ai-astar",
+        "beat-detection",
+        "dft",
+        "fft",
+        "oscillator",
+        "gaussian-blur",
+        "darkroom",
+        "desaturate",
+        "parse-financial",
+        "stringify-tinderbox",
+        "aes",
+        "ccm",
+        "pbkdf2",
+        "sha256-iterative",
+    ];
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, &name)| KrakenBench {
+            name,
+            kernel: (i + 1) as i64,
+            scale: 3,
+        })
+        .collect()
+}
+
+/// mini-C source for all kernel functions plus the dispatcher body.
+///
+/// Kernel ids: 0 = startup sweep over generated "browser" code,
+/// 1..=14 = the benchmarks of [`all`].
+pub(crate) fn kernels_source() -> String {
+    String::from(
+        "
+// ---- Kraken kernels ----
+fn k_ai_astar(scale) {
+    var dim = 40;
+    var cells = dim * dim;
+    var cost = malloc(cells * 8);
+    var dist = malloc(cells * 8);
+    var queue = malloc(cells * 2 * 8);
+    var chk = 0;
+    for (var i = 0; i < cells; i = i + 1) { cost[i] = 1 + (rnd() % 9); }
+    for (var t = 0; t < scale; t = t + 1) {
+        for (var i = 0; i < cells; i = i + 1) { dist[i] = 0x3fffffff; }
+        dist[0] = 0;
+        var head = 0;
+        var tail = 1;
+        queue[0] = 0;
+        while (head < tail) {
+            var cur = queue[head];
+            head = head + 1;
+            var d = dist[cur];
+            var x = cur % dim;
+            var y = cur / dim;
+            if (x < dim - 1 && d + cost[cur + 1] < dist[cur + 1]) {
+                dist[cur + 1] = d + cost[cur + 1];
+                if (tail < cells * 2) { queue[tail] = cur + 1; tail = tail + 1; }
+            }
+            if (y < dim - 1 && d + cost[cur + dim] < dist[cur + dim]) {
+                dist[cur + dim] = d + cost[cur + dim];
+                if (tail < cells * 2) { queue[tail] = cur + dim; tail = tail + 1; }
+            }
+        }
+        chk = chk + dist[cells - 1];
+    }
+    free(cost); free(dist); free(queue);
+    return chk;
+}
+
+fn k_beat_detection(scale) {
+    var n = 4096;
+    var pcm = malloc(n * 8);
+    var energy = malloc((n / 64) * 8);
+    var chk = 0;
+    for (var t = 0; t < scale; t = t + 1) {
+        for (var i = 0; i < n; i = i + 1) {
+            pcm[i] = ((i * 37) % 628) - 314 + ((rnd() % 65) - 32);
+        }
+        for (var w = 0; w < n / 64; w = w + 1) {
+            var e = 0;
+            for (var i = 0; i < 64; i = i + 1) {
+                var s = pcm[w * 64 + i];
+                e = e + s * s;
+            }
+            energy[w] = e / 64;
+        }
+        var beats = 0;
+        for (var w = 2; w < n / 64; w = w + 1) {
+            if (energy[w] > 2 * energy[w - 1] && energy[w] > energy[w - 2]) {
+                beats = beats + 1;
+            }
+        }
+        chk = chk + beats;
+    }
+    free(pcm); free(energy);
+    return chk;
+}
+
+fn k_dft(scale) {
+    var n = 128;
+    var sig = malloc(n * 8);
+    var re = malloc(n * 8);
+    var im = malloc(n * 8);
+    var sintab = malloc(256 * 8);
+    // Quarter-wave integer sine table, scaled by 1024.
+    for (var i = 0; i < 256; i = i + 1) {
+        var x = (i * 402) % 6434; // ~ i * 2pi/256 scaled
+        var s = x - (x * x / 6434) * x / 6434; // crude poly
+        sintab[i] = s % 1024;
+    }
+    var chk = 0;
+    for (var t = 0; t < scale; t = t + 1) {
+        for (var i = 0; i < n; i = i + 1) { sig[i] = rnd() % 256; }
+        for (var k = 0; k < n; k = k + 1) {
+            var sr = 0;
+            var si = 0;
+            for (var i = 0; i < n; i = i + 1) {
+                var phase = (k * i) % 256;
+                var c = sintab[(phase + 64) % 256];
+                var s = sintab[phase];
+                sr = sr + sig[i] * c / 1024;
+                si = si - sig[i] * s / 1024;
+            }
+            re[k] = sr;
+            im[k] = si;
+        }
+        chk = chk + re[1] + im[1];
+    }
+    free(sig); free(re); free(im); free(sintab);
+    return chk;
+}
+
+fn k_fft(scale) {
+    var n = 512;
+    var re = malloc(n * 8);
+    var im = malloc(n * 8);
+    var chk = 0;
+    for (var t = 0; t < scale; t = t + 1) {
+        for (var i = 0; i < n; i = i + 1) { re[i] = rnd() % 256; im[i] = 0; }
+        // Iterative integer butterfly cascade.
+        var len = 2;
+        while (len <= n) {
+            var half = len / 2;
+            for (var start = 0; start < n; start = start + len) {
+                for (var k = 0; k < half; k = k + 1) {
+                    var a = start + k;
+                    var b = a + half;
+                    var tr = re[b] * (1024 - k * 2048 / len) / 1024 - im[b] * (k * 2048 / len) / 1024;
+                    var ti = re[b] * (k * 2048 / len) / 1024 + im[b] * (1024 - k * 2048 / len) / 1024;
+                    re[b] = re[a] - tr;
+                    im[b] = im[a] - ti;
+                    re[a] = re[a] + tr;
+                    im[a] = im[a] + ti;
+                }
+            }
+            len = len * 2;
+        }
+        chk = chk + re[3] + im[5];
+    }
+    free(re); free(im);
+    return chk;
+}
+
+fn k_oscillator(scale) {
+    var n = 2048;
+    var mix = malloc(n * 8);
+    var chk = 0;
+    for (var t = 0; t < scale; t = t + 1) {
+        for (var i = 0; i < n; i = i + 1) { mix[i] = 0; }
+        for (var voice = 0; voice < 8; voice = voice + 1) {
+            var phase = 0;
+            var stepv = 100 + voice * 37;
+            for (var i = 0; i < n; i = i + 1) {
+                phase = (phase + stepv) % 2048;
+                var saw = phase - 1024;
+                mix[i] = mix[i] + saw / 8;
+            }
+        }
+        chk = chk + mix[100] + mix[2000];
+    }
+    free(mix);
+    return chk;
+}
+
+fn k_gaussian_blur(scale) {
+    var w = 96;
+    var h = 64;
+    var src = malloc(w * h);
+    var dst = malloc(w * h);
+    var chk = 0;
+    for (var i = 0; i < w * h; i = i + 1) { store8(src, i, rnd() % 256); }
+    for (var t = 0; t < scale; t = t + 1) {
+        for (var y = 2; y < h - 2; y = y + 1) {
+            for (var x = 2; x < w - 2; x = x + 1) {
+                var acc = 0;
+                acc = acc + load8(src, (y - 1) * w + x) * 2;
+                acc = acc + load8(src, (y + 1) * w + x) * 2;
+                acc = acc + load8(src, y * w + x - 1) * 2;
+                acc = acc + load8(src, y * w + x + 1) * 2;
+                acc = acc + load8(src, y * w + x) * 4;
+                acc = acc + load8(src, (y - 2) * w + x);
+                acc = acc + load8(src, (y + 2) * w + x);
+                acc = acc + load8(src, y * w + x - 2);
+                acc = acc + load8(src, y * w + x + 2);
+                store8(dst, y * w + x, acc / 16);
+            }
+        }
+        var tmp = src; src = dst; dst = tmp;
+        chk = chk + load8(src, w * 10 + 10);
+    }
+    free(src); free(dst);
+    return chk;
+}
+
+fn k_darkroom(scale) {
+    var n = 96 * 64;
+    var img = malloc(n);
+    var curve = malloc(256);
+    var chk = 0;
+    for (var i = 0; i < 256; i = i + 1) {
+        var v = (i * i) / 255;
+        store8(curve, i, v);
+    }
+    for (var i = 0; i < n; i = i + 1) { store8(img, i, rnd() % 256); }
+    for (var t = 0; t < scale * 4; t = t + 1) {
+        for (var i = 0; i < n; i = i + 1) {
+            var p = load8(img, i);
+            var adjusted = load8(curve, p);
+            store8(img, i, (adjusted + 16) % 256);
+        }
+        chk = chk + load8(img, 1234);
+    }
+    free(img); free(curve);
+    return chk;
+}
+
+fn k_desaturate(scale) {
+    var pixels = 96 * 64;
+    var rgb = malloc(pixels * 3);
+    var gray = malloc(pixels);
+    var chk = 0;
+    for (var i = 0; i < pixels * 3; i = i + 1) { store8(rgb, i, rnd() % 256); }
+    for (var t = 0; t < scale * 6; t = t + 1) {
+        for (var i = 0; i < pixels; i = i + 1) {
+            var r = load8(rgb, i * 3);
+            var g = load8(rgb, i * 3 + 1);
+            var b = load8(rgb, i * 3 + 2);
+            store8(gray, i, (r * 30 + g * 59 + b * 11) / 100);
+        }
+        chk = chk + load8(gray, t % pixels);
+    }
+    free(rgb); free(gray);
+    return chk;
+}
+
+fn k_parse_financial(scale) {
+    // Parse a synthetic number-array document: digits and commas.
+    var doclen = 6000;
+    var doc = malloc(doclen);
+    var values = malloc(2048 * 8);
+    var chk = 0;
+    var p = 0;
+    while (p < doclen - 8) {
+        var v = rnd() % 100000;
+        while (v > 0) { store8(doc, p, 48 + v % 10); v = v / 10; p = p + 1; }
+        store8(doc, p, 44); // comma
+        p = p + 1;
+    }
+    store8(doc, p, 0);
+    for (var t = 0; t < scale * 2; t = t + 1) {
+        var i = 0;
+        var count = 0;
+        var acc = 0;
+        while (i < doclen && count < 2048) {
+            var c = load8(doc, i);
+            if (c >= 48 && c <= 57) {
+                acc = acc * 10 + c - 48;
+            } else {
+                values[count] = acc;
+                count = count + 1;
+                acc = 0;
+                if (c == 0) { break; }
+            }
+            i = i + 1;
+        }
+        var total = 0;
+        for (var k = 0; k < count; k = k + 1) { total = total + values[k]; }
+        chk = chk + (total % 100000);
+    }
+    free(doc); free(values);
+    return chk;
+}
+
+fn k_stringify_tinderbox(scale) {
+    var count = 1024;
+    var values = malloc(count * 8);
+    var out = malloc(count * 12);
+    var chk = 0;
+    for (var i = 0; i < count; i = i + 1) { values[i] = rnd() % 1000000; }
+    for (var t = 0; t < scale * 2; t = t + 1) {
+        var o = 0;
+        for (var i = 0; i < count; i = i + 1) {
+            var v = values[i];
+            if (v == 0) { store8(out, o, 48); o = o + 1; }
+            var digits = 0;
+            var tmpbuf = 0;
+            while (v > 0) { tmpbuf = tmpbuf * 10 + v % 10; v = v / 10; digits = digits + 1; }
+            while (digits > 0) {
+                store8(out, o, 48 + tmpbuf % 10);
+                tmpbuf = tmpbuf / 10;
+                o = o + 1;
+                digits = digits - 1;
+            }
+            store8(out, o, 44);
+            o = o + 1;
+        }
+        chk = chk + o + load8(out, 17);
+    }
+    free(values); free(out);
+    return chk;
+}
+
+fn k_aes(scale) {
+    var sbox = malloc(256);
+    var state = malloc(16);
+    var key = malloc(16);
+    var chk = 0;
+    for (var i = 0; i < 256; i = i + 1) { store8(sbox, i, (i * 7 + 99) % 256); }
+    for (var i = 0; i < 16; i = i + 1) { store8(key, i, rnd() % 256); }
+    for (var block = 0; block < scale * 48; block = block + 1) {
+        for (var i = 0; i < 16; i = i + 1) { store8(state, i, rnd() % 256); }
+        for (var round = 0; round < 10; round = round + 1) {
+            // SubBytes + AddRoundKey + a row rotation.
+            for (var i = 0; i < 16; i = i + 1) {
+                var v = load8(sbox, load8(state, i));
+                store8(state, i, v ^ load8(key, (i + round) % 16));
+            }
+            var t0 = load8(state, 0);
+            for (var i = 0; i < 15; i = i + 1) { store8(state, i, load8(state, i + 1)); }
+            store8(state, 15, t0);
+        }
+        chk = chk + load8(state, 5);
+    }
+    free(sbox); free(state); free(key);
+    return chk;
+}
+
+fn k_ccm(scale) {
+    var mac = malloc(16);
+    var ctr = malloc(16);
+    var data = malloc(512);
+    var chk = 0;
+    for (var i = 0; i < 512; i = i + 1) { store8(data, i, rnd() % 256); }
+    for (var t = 0; t < scale * 8; t = t + 1) {
+        for (var i = 0; i < 16; i = i + 1) { store8(mac, i, 0); store8(ctr, i, i); }
+        for (var b = 0; b < 32; b = b + 1) {
+            for (var i = 0; i < 16; i = i + 1) {
+                var m = load8(mac, i) ^ load8(data, b * 16 + i);
+                store8(mac, i, (m * 5 + 1) % 256);
+            }
+            // Counter increment.
+            var c = 15;
+            while (c >= 0) {
+                var v = load8(ctr, c) + 1;
+                store8(ctr, c, v % 256);
+                if (v < 256) { break; }
+                c = c - 1;
+            }
+        }
+        chk = chk + load8(mac, 0) + load8(ctr, 15);
+    }
+    free(mac); free(ctr); free(data);
+    return chk;
+}
+
+fn k_pbkdf2(scale) {
+    var state = malloc(8 * 8);
+    var chk = 0;
+    for (var i = 0; i < 8; i = i + 1) { state[i] = 0x6a09e667 + i * 0x1010101; }
+    for (var iter = 0; iter < scale * 600; iter = iter + 1) {
+        // One compression-ish mixing round.
+        for (var i = 0; i < 8; i = i + 1) {
+            var a = state[i];
+            var b = state[(i + 1) % 8];
+            state[i] = ((a >> 7) ^ (a << 9) ^ b ^ iter) & 0xffffffffffff;
+        }
+    }
+    for (var i = 0; i < 8; i = i + 1) { chk = chk + state[i]; }
+    free(state);
+    return chk;
+}
+
+fn k_sha256_iterative(scale) {
+    var w = malloc(64 * 8);
+    var h = malloc(8 * 8);
+    var chk = 0;
+    for (var i = 0; i < 8; i = i + 1) { h[i] = 0x5be0cd19 + i; }
+    for (var blockn = 0; blockn < scale * 60; blockn = blockn + 1) {
+        for (var i = 0; i < 16; i = i + 1) { w[i] = rnd() & 0xffffffff; }
+        for (var i = 16; i < 64; i = i + 1) {
+            var s0 = (w[i - 15] >> 7) ^ (w[i - 15] >> 18) ^ (w[i - 15] >> 3);
+            var s1 = (w[i - 2] >> 17) ^ (w[i - 2] >> 19) ^ (w[i - 2] >> 10);
+            w[i] = (w[i - 16] + s0 + w[i - 7] + s1) & 0xffffffff;
+        }
+        var a = h[0];
+        var e = h[4];
+        for (var i = 0; i < 64; i = i + 1) {
+            var t1 = (e + w[i] + i) & 0xffffffff;
+            var t2 = (a ^ (a >> 2)) & 0xffffffff;
+            e = (h[3] + t1) & 0xffffffff;
+            a = (t1 + t2) & 0xffffffff;
+        }
+        h[0] = (h[0] + a) & 0xffffffff;
+        h[4] = (h[4] + e) & 0xffffffff;
+        chk = chk + h[0];
+    }
+    free(w); free(h);
+    return chk;
+}
+
+fn run_kernel(id, scale) {
+    if (id == 1) { return k_ai_astar(scale); }
+    if (id == 2) { return k_beat_detection(scale); }
+    if (id == 3) { return k_dft(scale); }
+    if (id == 4) { return k_fft(scale); }
+    if (id == 5) { return k_oscillator(scale); }
+    if (id == 6) { return k_gaussian_blur(scale); }
+    if (id == 7) { return k_darkroom(scale); }
+    if (id == 8) { return k_desaturate(scale); }
+    if (id == 9) { return k_parse_financial(scale); }
+    if (id == 10) { return k_stringify_tinderbox(scale); }
+    if (id == 11) { return k_aes(scale); }
+    if (id == 12) { return k_ccm(scale); }
+    if (id == 13) { return k_pbkdf2(scale); }
+    if (id == 14) { return k_sha256_iterative(scale); }
+    return 0;
+}
+",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_benchmarks() {
+        let suite = all();
+        assert_eq!(suite.len(), 14);
+        assert_eq!(suite[0].name, "ai-astar");
+        assert_eq!(suite[13].name, "sha256-iterative");
+        let ids: std::collections::HashSet<i64> = suite.iter().map(|b| b.kernel).collect();
+        assert_eq!(ids.len(), 14);
+    }
+}

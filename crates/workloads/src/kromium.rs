@@ -1,0 +1,126 @@
+//! "kromium": the very large generated binary standing in for Google
+//! Chrome in the scalability experiment (paper §7.3).
+//!
+//! The paper's point is that trampoline-based rewriting scales to
+//! binaries far larger than SPEC -- Chrome is ~149 MB and "much larger
+//! than the SPEC2006 binaries combined". This generator produces a
+//! binary with the same *structural* property: thousands of distinct
+//! functions full of instrumentable memory operations (the "browser"),
+//! plus the fourteen Kraken kernels on the hot path. The rewriter must
+//! chew through every function; execution only touches the kernel
+//! selected by the input (plus a startup sweep), exactly like a browser
+//! running a JS benchmark.
+//!
+//! Input protocol: `[kernel_id, scale]`; kernel 0 performs the startup
+//! sweep over a sample of generated functions.
+
+use crate::{kraken, Workload, Lang, PRELUDE};
+
+/// Number of generated "browser" functions.
+pub const DEFAULT_FILLERS: usize = 3400;
+
+/// Generates one filler function. Each has a distinct mix of loads,
+/// stores, constant-offset runs, calls and branches so the rewriter
+/// sees diverse material (seeded, deterministic).
+fn filler(i: usize) -> String {
+    let a = (i * 7919 + 13) % 23 + 2;
+    let b = (i * 104729 + 7) % 11 + 1;
+    let c = (i * 31 + 5) % 5;
+    format!(
+        "
+fn browser_fn_{i}(x) {{
+    var buf = malloc({len} * 8);
+    buf[0] = x;
+    buf[1] = x + {a};
+    buf[2] = x * {b};
+    buf[3] = x - {c};
+    var acc = 0;
+    for (var k = 0; k < {len}; k = k + 1) {{
+        buf[k % {len}] = acc + k * {b};
+        acc = acc + buf[(k * {a}) % {len}];
+    }}
+    if (acc % 2 == 0) {{ acc = acc + buf[{c}]; }} else {{ acc = acc - buf[1]; }}
+    free(buf);
+    return acc % 100000;
+}}",
+        len = a + 4,
+    )
+}
+
+/// Builds the kromium source with `fillers` generated functions.
+pub fn source(fillers: usize) -> String {
+    let mut src = String::with_capacity(fillers * 512);
+    src.push_str(PRELUDE);
+    src.push_str(&kraken::kernels_source());
+    for i in 0..fillers {
+        src.push_str(&filler(i));
+    }
+    // Startup sweep: touch a spread of browser functions.
+    src.push_str("\nfn startup() {\n    var acc = 0;\n");
+    let step = (fillers / 48).max(1);
+    for i in (0..fillers).step_by(step) {
+        src.push_str(&format!("    acc = acc + browser_fn_{i}(acc + {i});\n"));
+    }
+    src.push_str("    return acc;\n}\n");
+    src.push_str(
+        "
+fn main() {
+    srnd(80);
+    var kernel = input();
+    var scale = input();
+    if (kernel == 0) { print(startup()); return 0; }
+    print(run_kernel(kernel, scale));
+    return 0;
+}
+",
+    );
+    src
+}
+
+/// Builds the kromium workload with the default size.
+pub fn build() -> Workload {
+    Workload {
+        name: "kromium",
+        lang: Lang::Cpp,
+        source: source(DEFAULT_FILLERS),
+        train_input: vec![0, 1],
+        ref_input: vec![0, 1],
+        requires_x87: false,
+        planted_errors: 0,
+        anti_idiom_sites: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kromium_is_much_larger_than_a_spec_binary() {
+        let img = build().image();
+        let code: u64 = img
+            .exec_segments()
+            .map(|s| s.data.len() as u64)
+            .sum();
+        let spec_img = crate::spec::by_name("gcc").unwrap().image();
+        let spec_code: u64 = spec_img.exec_segments().map(|s| s.data.len() as u64).sum();
+        assert!(
+            code > 20 * spec_code,
+            "kromium {code} vs gcc {spec_code}"
+        );
+        assert!(code > 1 << 20, "over a MiB of code ({code})");
+    }
+
+    #[test]
+    fn startup_and_kernels_run() {
+        use redfat_emu::{Emu, ErrorMode, HostRuntime, RunResult};
+        let img = build().image();
+        for input in [vec![0, 1], vec![1, 1], vec![14, 1]] {
+            let rt = HostRuntime::new(ErrorMode::Abort).with_input(input.clone());
+            let mut emu = Emu::load_image(&img, rt);
+            let r = emu.run(200_000_000);
+            assert_eq!(r, RunResult::Exited(0), "input {input:?}");
+            assert_eq!(emu.runtime.io.out_ints.len(), 1);
+        }
+    }
+}

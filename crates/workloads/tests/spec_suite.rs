@@ -1,0 +1,121 @@
+//! Every SPEC stand-in must compile, run both inputs deterministically,
+//! and honor its metadata (planted errors, anti-idiom sites).
+
+use redfat_emu::{Emu, ErrorMode, HostRuntime, RunResult};
+use redfat_workloads::spec;
+
+fn run_baseline(wl: &redfat_workloads::Workload, input: &[i64]) -> (RunResult, Vec<i64>, u64) {
+    let image = wl.image();
+    let rt = HostRuntime::new(ErrorMode::Log).with_input(input.to_vec());
+    let mut emu = Emu::load_image(&image, rt);
+    let r = emu.run(400_000_000);
+    (r, emu.runtime.io.out_ints.clone(), emu.counters.instructions)
+}
+
+#[test]
+fn all_benchmarks_compile() {
+    for wl in spec::all() {
+        let img = wl.image();
+        assert!(
+            img.exec_segments().next().is_some(),
+            "{} has code",
+            wl.name
+        );
+    }
+}
+
+#[test]
+fn suite_has_29_benchmarks_in_paper_order() {
+    let names: Vec<&str> = spec::all().iter().map(|w| w.name).collect();
+    assert_eq!(names.len(), 29);
+    assert_eq!(names[0], "perlbench");
+    assert_eq!(names[3], "mcf");
+    assert_eq!(names[28], "wrf");
+    assert!(spec::by_name("gcc").is_some());
+    assert!(spec::by_name("nope").is_none());
+}
+
+#[test]
+fn train_runs_exit_cleanly() {
+    for wl in spec::all() {
+        let (r, out, instrs) = run_baseline(&wl, &wl.train_input);
+        assert_eq!(r, RunResult::Exited(0), "{} train", wl.name);
+        assert!(!out.is_empty(), "{} train produced output", wl.name);
+        assert!(instrs > 1_000, "{} train did real work ({instrs})", wl.name);
+    }
+}
+
+#[test]
+fn ref_runs_exit_cleanly_and_are_deterministic() {
+    for wl in spec::all() {
+        let (r1, out1, n1) = run_baseline(&wl, &wl.ref_input);
+        assert_eq!(r1, RunResult::Exited(0), "{} ref", wl.name);
+        let (r2, out2, n2) = run_baseline(&wl, &wl.ref_input);
+        assert_eq!(r1, r2);
+        assert_eq!(out1, out2, "{} nondeterministic output", wl.name);
+        assert_eq!(n1, n2, "{} nondeterministic length", wl.name);
+    }
+}
+
+#[test]
+fn metadata_flags_are_consistent() {
+    let suite = spec::all();
+    let x87: Vec<&str> = suite
+        .iter()
+        .filter(|w| w.requires_x87)
+        .map(|w| w.name)
+        .collect();
+    assert_eq!(x87, vec!["zeusmp"]);
+    let planted: Vec<(&str, usize)> = suite
+        .iter()
+        .filter(|w| w.planted_errors > 0)
+        .map(|w| (w.name, w.planted_errors))
+        .collect();
+    assert_eq!(planted, vec![("calculix", 4), ("wrf", 1)]);
+    // The paper's §7.1 false-positive population.
+    let fp: Vec<(&str, usize)> = suite
+        .iter()
+        .filter(|w| w.anti_idiom_sites > 0)
+        .map(|w| (w.name, w.anti_idiom_sites))
+        .collect();
+    assert_eq!(
+        fp,
+        vec![
+            ("perlbench", 1),
+            ("gcc", 14),
+            ("gobmk", 1),
+            ("povray", 1),
+            ("bwaves", 5),
+            ("gromacs", 3),
+            ("calculix", 2),
+            ("GemsFDTD", 32),
+            ("wrf", 26),
+        ]
+    );
+}
+
+#[test]
+fn dealii_data_segment_exceeds_memcheck_limit() {
+    let wl = spec::by_name("dealII").unwrap();
+    let img = wl.image();
+    let data: u64 = img
+        .segments
+        .iter()
+        .filter(|s| !s.flags.executable())
+        .map(|s| s.mem_size)
+        .sum();
+    assert!(data > 32 << 20, "dealII data segment is {data}");
+}
+
+#[test]
+fn ref_is_materially_bigger_than_train() {
+    for wl in spec::all() {
+        let (_, _, train) = run_baseline(&wl, &wl.train_input);
+        let (_, _, refn) = run_baseline(&wl, &wl.ref_input);
+        assert!(
+            refn > 2 * train,
+            "{}: ref {refn} vs train {train}",
+            wl.name
+        );
+    }
+}

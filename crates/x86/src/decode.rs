@@ -1,0 +1,776 @@
+//! Binary decoder: x86-64 machine code bytes → [`Inst`].
+//!
+//! The decoder is the inverse of [`crate::encode`] over the modeled
+//! subset; `decode(encode(i)) == i` is enforced by property tests. Bytes
+//! outside the subset yield a [`DecodeError`], which a rewriter must treat
+//! as "unknown code: do not touch".
+
+use crate::insn::{AluOp, Cond, Inst, Mem, MulDivOp, Op, Operands, Seg, ShiftOp, Width};
+use crate::reg::Reg;
+
+/// A decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes mid-instruction.
+    Truncated,
+    /// The opcode (or opcode extension) is outside the modeled subset.
+    UnsupportedOpcode(u8),
+    /// A prefix outside the modeled subset (e.g. `0x66`, `0xF0`).
+    UnsupportedPrefix(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+            DecodeError::UnsupportedOpcode(b) => write!(f, "unsupported opcode {b:#04x}"),
+            DecodeError::UnsupportedPrefix(b) => write!(f, "unsupported prefix {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn i8(&mut self) -> Result<i8, DecodeError> {
+        Ok(self.u8()? as i8)
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let end = self.pos + 4;
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(i32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let end = self.pos + 8;
+        let s = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(i64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Rex {
+    present: bool,
+    w: bool,
+    r: bool,
+    x: bool,
+    b: bool,
+}
+
+/// Decoded r/m side of a ModRM byte.
+enum Rm {
+    Reg(Reg),
+    Mem(Mem),
+    /// RIP-relative; holds the raw disp32, resolved once the instruction
+    /// length is known.
+    Rip(i32),
+}
+
+/// Result of ModRM parsing: `reg` field (raw 4-bit with REX.R) and r/m.
+struct ModRm {
+    reg: u8,
+    rm: Rm,
+}
+
+fn parse_modrm(c: &mut Cursor<'_>, rex: Rex, seg: Option<Seg>) -> Result<ModRm, DecodeError> {
+    let modrm = c.u8()?;
+    let md = modrm >> 6;
+    let reg = ((modrm >> 3) & 7) | if rex.r { 8 } else { 0 };
+    let rm_low = modrm & 7;
+
+    if md == 3 {
+        let r = Reg::from_code(rm_low | if rex.b { 8 } else { 0 });
+        return Ok(ModRm { reg, rm: Rm::Reg(r) });
+    }
+
+    if rm_low == 0b101 && md == 0 {
+        // RIP-relative.
+        let disp = c.i32()?;
+        return Ok(ModRm {
+            reg,
+            rm: Rm::Rip(disp),
+        });
+    }
+
+    let (base, index, scale) = if rm_low == 0b100 {
+        // SIB byte.
+        let sib = c.u8()?;
+        let ss = 1u8 << (sib >> 6);
+        let idx_code = ((sib >> 3) & 7) | if rex.x { 8 } else { 0 };
+        let base_code = (sib & 7) | if rex.b { 8 } else { 0 };
+        let index = if idx_code == 4 {
+            // Index=100 without REX.X means "no index"; with REX.X it is
+            // r12, which *is* usable.
+            if rex.x {
+                Some(Reg::R12)
+            } else {
+                None
+            }
+        } else {
+            Some(Reg::from_code(idx_code))
+        };
+        let base = if (sib & 7) == 0b101 && md == 0 {
+            // No base, disp32 follows.
+            None
+        } else {
+            Some(Reg::from_code(base_code))
+        };
+        (base, index, ss)
+    } else {
+        (
+            Some(Reg::from_code(rm_low | if rex.b { 8 } else { 0 })),
+            None,
+            1,
+        )
+    };
+
+    let disp: i64 = match md {
+        0 => {
+            if base.is_none() {
+                c.i32()? as i64
+            } else {
+                0
+            }
+        }
+        1 => c.i8()? as i64,
+        2 => c.i32()? as i64,
+        _ => unreachable!("md==3 handled above"),
+    };
+
+    Ok(ModRm {
+        reg,
+        rm: Rm::Mem(Mem {
+            seg,
+            base,
+            index,
+            scale,
+            disp,
+            rip: false,
+        }),
+    })
+}
+
+/// Builds operands for a standard `op r/m, r` (store-direction) pair.
+fn mr(rm: Rm, reg: u8) -> Operands {
+    let r = Reg::from_code(reg);
+    match rm {
+        Rm::Reg(dst) => Operands::RR { dst, src: r },
+        Rm::Mem(m) => Operands::MR { dst: m, src: r },
+        Rm::Rip(_) => unreachable!("rip resolved before operand build"),
+    }
+}
+
+/// Builds operands for a standard `op r, r/m` (load-direction) pair.
+fn rm_(rm: Rm, reg: u8) -> Operands {
+    let r = Reg::from_code(reg);
+    match rm {
+        Rm::Reg(src) => Operands::RR { dst: r, src },
+        Rm::Mem(m) => Operands::RM { dst: r, src: m },
+        Rm::Rip(_) => unreachable!("rip resolved before operand build"),
+    }
+}
+
+/// Builds a unary register-or-memory operand.
+fn unary(rm: Rm) -> Operands {
+    match rm {
+        Rm::Reg(r) => Operands::R(r),
+        Rm::Mem(m) => Operands::M(m),
+        Rm::Rip(_) => unreachable!("rip resolved before operand build"),
+    }
+}
+
+/// Decodes one instruction at `addr`.
+///
+/// Returns the instruction and its encoded length in bytes. RIP-relative
+/// displacements and branch offsets are resolved to absolute addresses
+/// using `addr`.
+pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+
+    // Prefixes: segment override then REX (REX must be last).
+    let mut seg = None;
+    let mut rex = Rex::default();
+    loop {
+        let b = *c.bytes.get(c.pos).ok_or(DecodeError::Truncated)?;
+        match b {
+            0x64 => {
+                seg = Some(Seg::Fs);
+                c.pos += 1;
+            }
+            0x65 => {
+                seg = Some(Seg::Gs);
+                c.pos += 1;
+            }
+            0x40..=0x4F => {
+                rex = Rex {
+                    present: true,
+                    w: b & 8 != 0,
+                    r: b & 4 != 0,
+                    x: b & 2 != 0,
+                    b: b & 1 != 0,
+                };
+                c.pos += 1;
+                break;
+            }
+            0x66 | 0x67 | 0xF0 | 0xF2 | 0xF3 | 0x2E | 0x36 | 0x3E | 0x26 => {
+                return Err(DecodeError::UnsupportedPrefix(b))
+            }
+            _ => break,
+        }
+    }
+    let _ = rex.present;
+
+    let w = if rex.w { Width::W64 } else { Width::W32 };
+    let opcode = c.u8()?;
+
+    // Resolves a potential RIP r/m into a concrete Mem once `len` is
+    // final; must be called after all immediate bytes are consumed.
+    let resolve =
+        |rm: Rm, total_len: usize| -> Rm {
+            match rm {
+                Rm::Rip(disp) => Rm::Mem(Mem {
+                    seg,
+                    base: None,
+                    index: None,
+                    scale: 1,
+                    disp: (addr + total_len as u64).wrapping_add(disp as i64 as u64) as i64,
+                    rip: true,
+                }),
+                other => other,
+            }
+        };
+
+    macro_rules! done {
+        ($op:expr, $w:expr, $operands:expr, $c:expr) => {{
+            let len = $c.pos as u8;
+            return Ok((Inst::new($op, $w, $operands), len));
+        }};
+    }
+
+    // Standard ModRM-based decode paths share this shape.
+    macro_rules! with_modrm {
+        ($c:expr, |$m:ident| $body:expr) => {{
+            let $m = parse_modrm(&mut $c, rex, seg)?;
+            $body
+        }};
+    }
+
+    match opcode {
+        // ---- ALU grid: base+1 (r/m,r), base+3 (r,r/m) for 32/64-bit;
+        //      base+0 / base+2 for 8-bit. ----
+        0x00 | 0x01 | 0x02 | 0x03 | 0x08 | 0x09 | 0x0A | 0x0B | 0x20 | 0x21 | 0x22 | 0x23
+        | 0x28 | 0x29 | 0x2A | 0x2B | 0x30 | 0x31 | 0x32 | 0x33 | 0x38 | 0x39 | 0x3A | 0x3B => {
+            let alu = match opcode & 0xF8 {
+                0x00 => AluOp::Add,
+                0x08 => AluOp::Or,
+                0x20 => AluOp::And,
+                0x28 => AluOp::Sub,
+                0x30 => AluOp::Xor,
+                0x38 => AluOp::Cmp,
+                _ => unreachable!(),
+            };
+            let is8 = opcode & 1 == 0;
+            let load_dir = opcode & 2 != 0;
+            let width = if is8 { Width::W8 } else { w };
+            with_modrm!(c, |m| {
+                let len = c.pos;
+                let rm = resolve(m.rm, len);
+                let ops = if load_dir { rm_(rm, m.reg) } else { mr(rm, m.reg) };
+                done!(Op::Alu(alu), width, ops, c)
+            })
+        }
+
+        // ---- ALU immediate groups ----
+        0x80 | 0x81 | 0x83 => {
+            let m = parse_modrm(&mut c, rex, seg)?;
+            let digit = m.reg & 7;
+            let alu = match digit {
+                0 => AluOp::Add,
+                1 => AluOp::Or,
+                4 => AluOp::And,
+                5 => AluOp::Sub,
+                6 => AluOp::Xor,
+                7 => AluOp::Cmp,
+                d => return Err(DecodeError::UnsupportedOpcode(0x80 | d)),
+            };
+            let (width, imm) = match opcode {
+                0x80 => (Width::W8, c.i8()? as i64),
+                0x81 => (w, c.i32()? as i64),
+                _ => (w, c.i8()? as i64),
+            };
+            let len = c.pos;
+            let ops = match resolve(m.rm, len) {
+                Rm::Reg(r) => Operands::RI { dst: r, imm },
+                Rm::Mem(mem) => Operands::MI { dst: mem, imm },
+                Rm::Rip(_) => unreachable!(),
+            };
+            done!(Op::Alu(alu), width, ops, c)
+        }
+
+        // ---- test ----
+        0x84 | 0x85 => {
+            let width = if opcode == 0x84 { Width::W8 } else { w };
+            with_modrm!(c, |m| {
+                let len = c.pos;
+                done!(Op::Test, width, mr(resolve(m.rm, len), m.reg), c)
+            })
+        }
+
+        // ---- mov ----
+        0x88 | 0x89 | 0x8A | 0x8B => {
+            let is8 = opcode & 1 == 0;
+            let load_dir = opcode & 2 != 0;
+            let width = if is8 { Width::W8 } else { w };
+            with_modrm!(c, |m| {
+                let len = c.pos;
+                let rm = resolve(m.rm, len);
+                let ops = if load_dir { rm_(rm, m.reg) } else { mr(rm, m.reg) };
+                done!(Op::Mov, width, ops, c)
+            })
+        }
+        0xC6 | 0xC7 => {
+            let m = parse_modrm(&mut c, rex, seg)?;
+            if m.reg & 7 != 0 {
+                return Err(DecodeError::UnsupportedOpcode(opcode));
+            }
+            let (width, imm) = if opcode == 0xC6 {
+                (Width::W8, c.i8()? as i64)
+            } else {
+                (w, c.i32()? as i64)
+            };
+            let len = c.pos;
+            let ops = match resolve(m.rm, len) {
+                Rm::Reg(r) => Operands::RI { dst: r, imm },
+                Rm::Mem(mem) => Operands::MI { dst: mem, imm },
+                Rm::Rip(_) => unreachable!(),
+            };
+            done!(Op::Mov, width, ops, c)
+        }
+        0xB0..=0xB7 => {
+            let r = Reg::from_code((opcode & 7) | if rex.b { 8 } else { 0 });
+            let imm = c.i8()? as i64;
+            done!(Op::Mov, Width::W8, Operands::RI { dst: r, imm }, c)
+        }
+        0xB8..=0xBF => {
+            let r = Reg::from_code((opcode & 7) | if rex.b { 8 } else { 0 });
+            if rex.w {
+                let imm = c.i64()?;
+                done!(Op::Mov, Width::W64, Operands::RI { dst: r, imm }, c)
+            } else {
+                let imm = c.i32()? as u32 as i64;
+                done!(Op::Mov, Width::W32, Operands::RI { dst: r, imm }, c)
+            }
+        }
+
+        // ---- lea ----
+        0x8D => with_modrm!(c, |m| {
+            let len = c.pos;
+            match resolve(m.rm, len) {
+                Rm::Mem(mem) => done!(
+                    Op::Lea,
+                    w,
+                    Operands::RM {
+                        dst: Reg::from_code(m.reg),
+                        src: mem
+                    },
+                    c
+                ),
+                _ => Err(DecodeError::UnsupportedOpcode(0x8D)),
+            }
+        }),
+
+        // ---- movsxd ----
+        0x63 => with_modrm!(c, |m| {
+            let len = c.pos;
+            done!(Op::Movsxd, Width::W64, rm_(resolve(m.rm, len), m.reg), c)
+        }),
+
+        // ---- imul 3-operand ----
+        0x69 | 0x6B => {
+            let m = parse_modrm(&mut c, rex, seg)?;
+            let imm = if opcode == 0x6B {
+                c.i8()? as i64
+            } else {
+                c.i32()? as i64
+            };
+            let len = c.pos;
+            let dst = Reg::from_code(m.reg);
+            let ops = match resolve(m.rm, len) {
+                Rm::Reg(src) => Operands::RRI { dst, src, imm },
+                Rm::Mem(src) => Operands::RMI { dst, src, imm },
+                Rm::Rip(_) => unreachable!(),
+            };
+            done!(Op::Imul3, w, ops, c)
+        }
+
+        // ---- shifts ----
+        0xC1 => {
+            let m = parse_modrm(&mut c, rex, seg)?;
+            let op = match m.reg & 7 {
+                4 => ShiftOp::Shl,
+                5 => ShiftOp::Shr,
+                7 => ShiftOp::Sar,
+                d => return Err(DecodeError::UnsupportedOpcode(0xC1 | (d << 4))),
+            };
+            let imm = c.u8()? as i64;
+            let len = c.pos;
+            let ops = match resolve(m.rm, len) {
+                Rm::Reg(r) => Operands::RI { dst: r, imm },
+                Rm::Mem(mem) => Operands::MI { dst: mem, imm },
+                Rm::Rip(_) => unreachable!(),
+            };
+            done!(Op::Shift(op), w, ops, c)
+        }
+        0xD3 => {
+            let m = parse_modrm(&mut c, rex, seg)?;
+            let op = match m.reg & 7 {
+                4 => ShiftOp::Shl,
+                5 => ShiftOp::Shr,
+                7 => ShiftOp::Sar,
+                d => return Err(DecodeError::UnsupportedOpcode(0xD3 | (d << 4))),
+            };
+            let len = c.pos;
+            done!(Op::ShiftCl(op), w, unary(resolve(m.rm, len)), c)
+        }
+
+        // ---- F6/F7 group ----
+        0xF6 | 0xF7 => {
+            let m = parse_modrm(&mut c, rex, seg)?;
+            let width = if opcode == 0xF6 { Width::W8 } else { w };
+            match m.reg & 7 {
+                0 => {
+                    // test r/m, imm.
+                    let imm = if opcode == 0xF6 {
+                        c.i8()? as i64
+                    } else {
+                        c.i32()? as i64
+                    };
+                    let len = c.pos;
+                    let ops = match resolve(m.rm, len) {
+                        Rm::Reg(r) => Operands::RI { dst: r, imm },
+                        Rm::Mem(_) => return Err(DecodeError::UnsupportedOpcode(opcode)),
+                        Rm::Rip(_) => unreachable!(),
+                    };
+                    done!(Op::Test, width, ops, c)
+                }
+                2 => {
+                    let len = c.pos;
+                    done!(Op::Not, width, unary(resolve(m.rm, len)), c)
+                }
+                3 => {
+                    let len = c.pos;
+                    done!(Op::Neg, width, unary(resolve(m.rm, len)), c)
+                }
+                4 => {
+                    let len = c.pos;
+                    done!(Op::MulDiv(MulDivOp::Mul), width, unary(resolve(m.rm, len)), c)
+                }
+                6 => {
+                    let len = c.pos;
+                    done!(Op::MulDiv(MulDivOp::Div), width, unary(resolve(m.rm, len)), c)
+                }
+                7 => {
+                    let len = c.pos;
+                    done!(
+                        Op::MulDiv(MulDivOp::Idiv),
+                        width,
+                        unary(resolve(m.rm, len)),
+                        c
+                    )
+                }
+                d => Err(DecodeError::UnsupportedOpcode(0xF0 | d)),
+            }
+        }
+
+        // ---- stack ----
+        0x50..=0x57 => {
+            let r = Reg::from_code((opcode & 7) | if rex.b { 8 } else { 0 });
+            done!(Op::Push, Width::W64, Operands::R(r), c)
+        }
+        0x58..=0x5F => {
+            let r = Reg::from_code((opcode & 7) | if rex.b { 8 } else { 0 });
+            done!(Op::Pop, Width::W64, Operands::R(r), c)
+        }
+        0x8F => {
+            let m = parse_modrm(&mut c, rex, seg)?;
+            if m.reg & 7 != 0 {
+                return Err(DecodeError::UnsupportedOpcode(0x8F));
+            }
+            let len = c.pos;
+            done!(Op::Pop, Width::W64, unary(resolve(m.rm, len)), c)
+        }
+        0x9C => done!(Op::Pushfq, Width::W64, Operands::None, c),
+        0x9D => done!(Op::Popfq, Width::W64, Operands::None, c),
+
+        // ---- cqo/cdq ----
+        0x99 => done!(Op::Cqo, w, Operands::None, c),
+
+        // ---- control flow ----
+        0xE8 => {
+            let rel = c.i32()?;
+            let target = (addr + c.pos as u64).wrapping_add(rel as i64 as u64);
+            done!(Op::Call, Width::W64, Operands::Rel(target), c)
+        }
+        0xE9 => {
+            let rel = c.i32()?;
+            let target = (addr + c.pos as u64).wrapping_add(rel as i64 as u64);
+            done!(Op::Jmp, Width::W64, Operands::Rel(target), c)
+        }
+        0xEB => {
+            let rel = c.i8()?;
+            let target = (addr + c.pos as u64).wrapping_add(rel as i64 as u64);
+            done!(Op::Jmp, Width::W64, Operands::Rel(target), c)
+        }
+        0x70..=0x7F => {
+            let cond = Cond::from_code(opcode & 0xF);
+            let rel = c.i8()?;
+            let target = (addr + c.pos as u64).wrapping_add(rel as i64 as u64);
+            done!(Op::Jcc(cond), Width::W64, Operands::Rel(target), c)
+        }
+        0xC3 => done!(Op::Ret, Width::W64, Operands::None, c),
+        0xFF => {
+            let m = parse_modrm(&mut c, rex, seg)?;
+            let len = c.pos;
+            let rm = resolve(m.rm, len);
+            match m.reg & 7 {
+                2 => done!(Op::CallInd, Width::W64, unary(rm), c),
+                4 => done!(Op::JmpInd, Width::W64, unary(rm), c),
+                6 => done!(Op::Push, Width::W64, unary(rm), c),
+                d => Err(DecodeError::UnsupportedOpcode(0xF8 | d)),
+            }
+        }
+
+        // ---- traps / misc ----
+        0xCC => done!(Op::Int3, Width::W64, Operands::None, c),
+        0x90 => done!(Op::Nop, Width::W64, Operands::None, c),
+
+        // ---- two-byte opcodes ----
+        0x0F => {
+            let op2 = c.u8()?;
+            match op2 {
+                0x05 => done!(Op::Syscall, Width::W64, Operands::None, c),
+                0x0B => done!(Op::Ud2, Width::W64, Operands::None, c),
+                0x1F => {
+                    // Multi-byte NOP: consume ModRM encoding.
+                    let _ = parse_modrm(&mut c, rex, seg)?;
+                    done!(Op::Nop, Width::W64, Operands::None, c)
+                }
+                0x80..=0x8F => {
+                    let cond = Cond::from_code(op2 & 0xF);
+                    let rel = c.i32()?;
+                    let target = (addr + c.pos as u64).wrapping_add(rel as i64 as u64);
+                    done!(Op::Jcc(cond), Width::W64, Operands::Rel(target), c)
+                }
+                0x90..=0x9F => {
+                    let cond = Cond::from_code(op2 & 0xF);
+                    let m = parse_modrm(&mut c, rex, seg)?;
+                    let len = c.pos;
+                    done!(Op::Setcc(cond), Width::W8, unary(resolve(m.rm, len)), c)
+                }
+                0x40..=0x4F => {
+                    let cond = Cond::from_code(op2 & 0xF);
+                    let m = parse_modrm(&mut c, rex, seg)?;
+                    let len = c.pos;
+                    done!(Op::Cmovcc(cond), w, rm_(resolve(m.rm, len), m.reg), c)
+                }
+                0xAF => {
+                    let m = parse_modrm(&mut c, rex, seg)?;
+                    let len = c.pos;
+                    done!(Op::Imul2, w, rm_(resolve(m.rm, len), m.reg), c)
+                }
+                0xB6 => {
+                    let m = parse_modrm(&mut c, rex, seg)?;
+                    let len = c.pos;
+                    done!(Op::Movzx8, w, rm_(resolve(m.rm, len), m.reg), c)
+                }
+                0xBE => {
+                    let m = parse_modrm(&mut c, rex, seg)?;
+                    let len = c.pos;
+                    done!(Op::Movsx8, w, rm_(resolve(m.rm, len), m.reg), c)
+                }
+                other => Err(DecodeError::UnsupportedOpcode(other)),
+            }
+        }
+
+        other => Err(DecodeError::UnsupportedOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn roundtrip(inst: Inst, addr: u64) {
+        let bytes = encode(&inst, addr).expect("encodes");
+        let (decoded, len) = decode_one(&bytes, addr).expect("decodes");
+        assert_eq!(len as usize, bytes.len(), "length mismatch for {inst:?}");
+        assert_eq!(decoded, inst, "round-trip mismatch, bytes {bytes:02x?}");
+    }
+
+    #[test]
+    fn roundtrip_mov_variants() {
+        let addr = 0x40_1000;
+        roundtrip(
+            Inst::new(
+                Op::Mov,
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::R9,
+                    src: Reg::Rbp,
+                },
+            ),
+            addr,
+        );
+        roundtrip(
+            Inst::new(
+                Op::Mov,
+                Width::W32,
+                Operands::RM {
+                    dst: Reg::Rax,
+                    src: Mem::bis(Reg::R13, Reg::R12, 8, -0x20),
+                },
+            ),
+            addr,
+        );
+        roundtrip(
+            Inst::new(
+                Op::Mov,
+                Width::W8,
+                Operands::MR {
+                    dst: Mem::base_disp(Reg::Rsp, 0x7F),
+                    src: Reg::Rsi,
+                },
+            ),
+            addr,
+        );
+        roundtrip(
+            Inst::new(
+                Op::Mov,
+                Width::W64,
+                Operands::MI {
+                    dst: Mem::base_disp(Reg::Rax, 0x10),
+                    imm: 0,
+                },
+            ),
+            addr,
+        );
+    }
+
+    #[test]
+    fn roundtrip_rip_relative() {
+        roundtrip(
+            Inst::new(
+                Op::Mov,
+                Width::W64,
+                Operands::RM {
+                    dst: Reg::Rdx,
+                    src: Mem::rip(0x60_0040),
+                },
+            ),
+            0x40_2000,
+        );
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        roundtrip(
+            Inst::new(Op::Jmp, Width::W64, Operands::Rel(0x40_0030)),
+            0x40_0000,
+        );
+        roundtrip(
+            Inst::new(Op::Jcc(Cond::A), Width::W64, Operands::Rel(0x41_0000)),
+            0x40_0000,
+        );
+        roundtrip(
+            Inst::new(Op::Call, Width::W64, Operands::Rel(0x3F_0000)),
+            0x40_0000,
+        );
+    }
+
+    #[test]
+    fn roundtrip_muldiv_table_lookup() {
+        roundtrip(
+            Inst::new(
+                Op::MulDiv(MulDivOp::Mul),
+                Width::W64,
+                Operands::M(Mem::index_scale(Reg::Rcx, 8, 0x5000_0000)),
+            ),
+            0x40_0000,
+        );
+    }
+
+    #[test]
+    fn decodes_real_gcc_bytes() {
+        // 48 89 45 F8: mov %rax, -0x8(%rbp).
+        let (i, len) = decode_one(&[0x48, 0x89, 0x45, 0xF8], 0).unwrap();
+        assert_eq!(len, 4);
+        assert_eq!(
+            i,
+            Inst::new(
+                Op::Mov,
+                Width::W64,
+                Operands::MR {
+                    dst: Mem::base_disp(Reg::Rbp, -8),
+                    src: Reg::Rax,
+                },
+            )
+        );
+    }
+
+    #[test]
+    fn rejects_sse() {
+        // movaps: 0F 28 C1.
+        assert!(matches!(
+            decode_one(&[0x0F, 0x28, 0xC1], 0),
+            Err(DecodeError::UnsupportedOpcode(0x28))
+        ));
+    }
+
+    #[test]
+    fn rejects_operand_size_prefix() {
+        assert!(matches!(
+            decode_one(&[0x66, 0x90], 0),
+            Err(DecodeError::UnsupportedPrefix(0x66))
+        ));
+    }
+
+    #[test]
+    fn truncated_reports_error() {
+        assert_eq!(decode_one(&[0x48], 0), Err(DecodeError::Truncated));
+        assert_eq!(decode_one(&[0xE9, 0x00], 0), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn decode_all_stops_at_junk() {
+        let mut bytes = encode(
+            &Inst::new(Op::Nop, Width::W64, Operands::None),
+            0x40_0000,
+        )
+        .unwrap();
+        bytes.push(0x0F);
+        bytes.push(0x28); // SSE: unsupported.
+        let insts = crate::decode_all(&bytes, 0x40_0000);
+        assert_eq!(insts.len(), 1);
+    }
+}

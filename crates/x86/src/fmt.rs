@@ -1,0 +1,189 @@
+//! AT&T-syntax display for instructions and operands.
+
+use crate::insn::{Inst, Mem, Op, Operands, Seg, Width};
+use crate::reg::Reg;
+use std::fmt;
+
+fn reg_name(r: Reg, w: Width) -> &'static str {
+    match w {
+        Width::W8 => r.name8(),
+        Width::W32 => r.name32(),
+        Width::W64 => r.name64(),
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(seg) = self.seg {
+            match seg {
+                Seg::Fs => write!(f, "%fs:")?,
+                Seg::Gs => write!(f, "%gs:")?,
+            }
+        }
+        if self.rip {
+            return write!(f, "{:#x}(%rip)", self.disp);
+        }
+        if self.disp != 0 || (self.base.is_none() && self.index.is_none()) {
+            if self.disp < 0 {
+                write!(f, "-{:#x}", -self.disp)?;
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        if self.base.is_none() && self.index.is_none() {
+            return Ok(());
+        }
+        write!(f, "(")?;
+        if let Some(b) = self.base {
+            write!(f, "%{}", b.name64())?;
+        }
+        if let Some(i) = self.index {
+            write!(f, ",%{},{}", i.name64(), self.scale)?;
+        }
+        write!(f, ")")
+    }
+}
+
+fn mnemonic(op: Op) -> String {
+    match op {
+        Op::Mov => "mov".into(),
+        Op::Movzx8 => "movzbq".into(),
+        Op::Movsx8 => "movsbq".into(),
+        Op::Movsxd => "movslq".into(),
+        Op::Lea => "lea".into(),
+        Op::Alu(a) => a.mnemonic().into(),
+        Op::Test => "test".into(),
+        Op::Shift(s) | Op::ShiftCl(s) => s.mnemonic().into(),
+        Op::Imul2 | Op::Imul3 => "imul".into(),
+        Op::MulDiv(m) => m.mnemonic().into(),
+        Op::Neg => "neg".into(),
+        Op::Not => "not".into(),
+        Op::Push => "push".into(),
+        Op::Pop => "pop".into(),
+        Op::Cqo => "cqo".into(),
+        Op::Pushfq => "pushfq".into(),
+        Op::Popfq => "popfq".into(),
+        Op::Call | Op::CallInd => "call".into(),
+        Op::Ret => "ret".into(),
+        Op::Jmp | Op::JmpInd => "jmp".into(),
+        Op::Jcc(c) => format!("j{}", c.suffix()),
+        Op::Setcc(c) => format!("set{}", c.suffix()),
+        Op::Cmovcc(c) => format!("cmov{}", c.suffix()),
+        Op::Syscall => "syscall".into(),
+        Op::Ud2 => "ud2".into(),
+        Op::Int3 => "int3".into(),
+        Op::Nop => "nop".into(),
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = mnemonic(self.op);
+        let w = self.w;
+        let star = if matches!(self.op, Op::CallInd | Op::JmpInd) {
+            "*"
+        } else {
+            ""
+        };
+        match &self.operands {
+            Operands::None => write!(f, "{m}"),
+            Operands::R(r) => write!(f, "{m} {star}%{}", reg_name(*r, effective_w(self, *r))),
+            Operands::M(mem) => write!(f, "{m} {star}{mem}"),
+            Operands::RR { dst, src } => {
+                // movzx/movsx/setcc read narrower sources.
+                let src_w = src_width(self.op, w);
+                write!(
+                    f,
+                    "{m} %{}, %{}",
+                    reg_name(*src, src_w),
+                    reg_name(*dst, dst_width(self.op, w))
+                )
+            }
+            Operands::RM { dst, src } => {
+                write!(f, "{m} {src}, %{}", reg_name(*dst, dst_width(self.op, w)))
+            }
+            Operands::MR { dst, src } => write!(f, "{m} %{}, {dst}", reg_name(*src, w)),
+            Operands::RI { dst, imm } => write!(f, "{m} ${imm:#x}, %{}", reg_name(*dst, w)),
+            Operands::MI { dst, imm } => write!(f, "{m} ${imm:#x}, {dst}"),
+            Operands::RRI { dst, src, imm } => write!(
+                f,
+                "{m} ${imm:#x}, %{}, %{}",
+                reg_name(*src, w),
+                reg_name(*dst, w)
+            ),
+            Operands::RMI { dst, src, imm } => {
+                write!(f, "{m} ${imm:#x}, {src}, %{}", reg_name(*dst, w))
+            }
+            Operands::Rel(t) => write!(f, "{m} {t:#x}"),
+        }
+    }
+}
+
+fn effective_w(inst: &Inst, _r: Reg) -> Width {
+    match inst.op {
+        Op::Setcc(_) => Width::W8,
+        Op::Push | Op::Pop | Op::CallInd | Op::JmpInd => Width::W64,
+        _ => inst.w,
+    }
+}
+
+fn src_width(op: Op, w: Width) -> Width {
+    match op {
+        Op::Movzx8 | Op::Movsx8 => Width::W8,
+        Op::Movsxd => Width::W32,
+        _ => w,
+    }
+}
+
+fn dst_width(op: Op, w: Width) -> Width {
+    match op {
+        Op::Movsxd => Width::W64,
+        _ => w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, Cond};
+
+    #[test]
+    fn formats_store_with_sib() {
+        let i = Inst::new(
+            Op::Mov,
+            Width::W64,
+            Operands::MR {
+                dst: Mem::bis(Reg::Rax, Reg::Rbx, 4, 8),
+                src: Reg::Rcx,
+            },
+        );
+        assert_eq!(format!("{i}"), "mov %rcx, 0x8(%rax,%rbx,4)");
+    }
+
+    #[test]
+    fn formats_negative_disp() {
+        let m = Mem::base_disp(Reg::Rsp, -0x18);
+        assert_eq!(format!("{m}"), "-0x18(%rsp)");
+    }
+
+    #[test]
+    fn formats_cond_families() {
+        let j = Inst::new(Op::Jcc(Cond::Ae), Width::W64, Operands::Rel(0x400000));
+        assert_eq!(format!("{j}"), "jae 0x400000");
+        let s = Inst::new(Op::Setcc(Cond::E), Width::W8, Operands::R(Reg::Rax));
+        assert_eq!(format!("{s}"), "sete %al");
+    }
+
+    #[test]
+    fn formats_alu_imm() {
+        let i = Inst::new(
+            Op::Alu(AluOp::Sub),
+            Width::W64,
+            Operands::RI {
+                dst: Reg::Rsp,
+                imm: 0x20,
+            },
+        );
+        assert_eq!(format!("{i}"), "sub $0x20, %rsp");
+    }
+}

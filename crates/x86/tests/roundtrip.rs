@@ -1,0 +1,198 @@
+//! Property tests: `decode(encode(inst)) == inst` over the full modeled
+//! subset, with randomized operands.
+
+use proptest::prelude::*;
+use redfat_x86::{
+    decode_one, encode, AluOp, Cond, Inst, Mem, MulDivOp, Op, Operands, Reg, ShiftOp, Width,
+};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::from_code)
+}
+
+fn any_index_reg() -> impl Strategy<Value = Reg> {
+    any_reg().prop_filter("rsp cannot index", |r| *r != Reg::Rsp)
+}
+
+fn any_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::W8), Just(Width::W32), Just(Width::W64)]
+}
+
+fn any_wide_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::W32), Just(Width::W64)]
+}
+
+fn any_mem() -> impl Strategy<Value = Mem> {
+    prop_oneof![
+        // disp(base)
+        (any_reg(), -0x8000_0000i64..0x8000_0000).prop_map(|(b, d)| Mem::base_disp(b, d)),
+        // disp(base,index,scale)
+        (
+            any_reg(),
+            any_index_reg(),
+            prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+            -0x1000i64..0x1000,
+        )
+            .prop_map(|(b, i, s, d)| Mem::bis(b, i, s, d)),
+        // disp(,index,scale)
+        (
+            any_index_reg(),
+            prop_oneof![Just(1u8), Just(2), Just(4), Just(8)],
+            0i64..0x7000_0000,
+        )
+            .prop_map(|(i, s, d)| Mem::index_scale(i, s, d)),
+        // absolute
+        (0i64..0x7000_0000).prop_map(Mem::abs),
+        // rip-relative: target near the test address.
+        (0x40_0000u64..0x50_0000).prop_map(Mem::rip),
+    ]
+}
+
+fn any_cond() -> impl Strategy<Value = Cond> {
+    (0u8..16).prop_map(Cond::from_code)
+}
+
+fn any_inst() -> impl Strategy<Value = Inst> {
+    let rr_ops = (any_width(), any_reg(), any_reg()).prop_flat_map(|(w, dst, src)| {
+        prop_oneof![
+            Just(Inst::new(Op::Mov, w, Operands::RR { dst, src })),
+            (0u8..6).prop_map(move |a| {
+                let alu = [
+                    AluOp::Add,
+                    AluOp::Or,
+                    AluOp::And,
+                    AluOp::Sub,
+                    AluOp::Xor,
+                    AluOp::Cmp,
+                ][a as usize];
+                Inst::new(Op::Alu(alu), w, Operands::RR { dst, src })
+            }),
+            Just(Inst::new(Op::Test, w, Operands::RR { dst, src })),
+        ]
+    });
+    let mem_ops = (any_wide_width(), any_reg(), any_mem()).prop_flat_map(|(w, r, m)| {
+        prop_oneof![
+            Just(Inst::new(Op::Mov, w, Operands::RM { dst: r, src: m })),
+            Just(Inst::new(Op::Mov, w, Operands::MR { dst: m, src: r })),
+            Just(Inst::new(Op::Lea, Width::W64, Operands::RM { dst: r, src: m })),
+            Just(Inst::new(Op::Movzx8, Width::W64, Operands::RM { dst: r, src: m })),
+            Just(Inst::new(Op::Movsx8, Width::W64, Operands::RM { dst: r, src: m })),
+            Just(Inst::new(Op::Movsxd, Width::W64, Operands::RM { dst: r, src: m })),
+            Just(Inst::new(Op::Imul2, w, Operands::RM { dst: r, src: m })),
+            Just(Inst::new(
+                Op::MulDiv(MulDivOp::Mul),
+                Width::W64,
+                Operands::M(m)
+            )),
+            Just(Inst::new(
+                Op::MulDiv(MulDivOp::Div),
+                Width::W64,
+                Operands::M(m)
+            )),
+        ]
+    });
+    let imm_ops = (any_wide_width(), any_reg(), -0x8000_0000i64..0x8000_0000i64).prop_flat_map(
+        |(w, r, imm)| {
+            // W32 `mov $imm, %r32` zero-extends; the decoder canonicalizes
+            // the immediate to its zero-extended value.
+            let mov_imm = if w == Width::W32 { imm as u32 as i64 } else { imm };
+            prop_oneof![
+                Just(Inst::new(Op::Mov, w, Operands::RI { dst: r, imm: mov_imm })),
+                (0u8..6).prop_map(move |a| {
+                    let alu = [
+                        AluOp::Add,
+                        AluOp::Or,
+                        AluOp::And,
+                        AluOp::Sub,
+                        AluOp::Xor,
+                        AluOp::Cmp,
+                    ][a as usize];
+                    Inst::new(Op::Alu(alu), w, Operands::RI { dst: r, imm })
+                }),
+            ]
+        },
+    );
+    let mi_ops = (any_mem(), -0x8000i64..0x8000i64)
+        .prop_map(|(m, imm)| Inst::new(Op::Mov, Width::W64, Operands::MI { dst: m, imm }));
+    let movabs =
+        (any_reg(), any::<i64>()).prop_map(|(r, imm)| Inst::new(Op::Mov, Width::W64, Operands::RI { dst: r, imm }));
+    let shift_ops = (any_wide_width(), any_reg(), 0i64..64).prop_flat_map(|(w, r, c)| {
+        prop_oneof![
+            Just(Inst::new(Op::Shift(ShiftOp::Shl), w, Operands::RI { dst: r, imm: c })),
+            Just(Inst::new(Op::Shift(ShiftOp::Shr), w, Operands::RI { dst: r, imm: c })),
+            Just(Inst::new(Op::Shift(ShiftOp::Sar), w, Operands::RI { dst: r, imm: c })),
+            Just(Inst::new(Op::ShiftCl(ShiftOp::Shl), w, Operands::R(r))),
+        ]
+    });
+    let branches = (0x40_0000u64..0x48_0000, any_cond()).prop_flat_map(|(t, c)| {
+        prop_oneof![
+            Just(Inst::new(Op::Jmp, Width::W64, Operands::Rel(t))),
+            Just(Inst::new(Op::Call, Width::W64, Operands::Rel(t))),
+            Just(Inst::new(Op::Jcc(c), Width::W64, Operands::Rel(t))),
+        ]
+    });
+    let unary = (any_reg(), any_cond()).prop_flat_map(|(r, c)| {
+        prop_oneof![
+            Just(Inst::new(Op::Push, Width::W64, Operands::R(r))),
+            Just(Inst::new(Op::Pop, Width::W64, Operands::R(r))),
+            Just(Inst::new(Op::Neg, Width::W64, Operands::R(r))),
+            Just(Inst::new(Op::Not, Width::W64, Operands::R(r))),
+            Just(Inst::new(Op::Setcc(c), Width::W8, Operands::R(r))),
+            Just(Inst::new(Op::CallInd, Width::W64, Operands::R(r))),
+            Just(Inst::new(Op::JmpInd, Width::W64, Operands::R(r))),
+            Just(Inst::new(Op::MulDiv(MulDivOp::Idiv), Width::W64, Operands::R(r))),
+        ]
+    });
+    let cmov = (any_wide_width(), any_reg(), any_reg(), any_cond())
+        .prop_map(|(w, d, s, c)| Inst::new(Op::Cmovcc(c), w, Operands::RR { dst: d, src: s }));
+    let imul3 = (any_wide_width(), any_reg(), any_reg(), -0x8000i64..0x8000i64)
+        .prop_map(|(w, d, s, imm)| Inst::new(Op::Imul3, w, Operands::RRI { dst: d, src: s, imm }));
+    let nullary = prop_oneof![
+        Just(Inst::new(Op::Ret, Width::W64, Operands::None)),
+        Just(Inst::new(Op::Syscall, Width::W64, Operands::None)),
+        Just(Inst::new(Op::Ud2, Width::W64, Operands::None)),
+        Just(Inst::new(Op::Int3, Width::W64, Operands::None)),
+        Just(Inst::new(Op::Nop, Width::W64, Operands::None)),
+        Just(Inst::new(Op::Pushfq, Width::W64, Operands::None)),
+        Just(Inst::new(Op::Popfq, Width::W64, Operands::None)),
+        Just(Inst::new(Op::Cqo, Width::W64, Operands::None)),
+    ];
+    prop_oneof![
+        rr_ops, mem_ops, imm_ops, mi_ops, movabs, shift_ops, branches, unary, cmov, imul3,
+        nullary
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn encode_decode_roundtrip(inst in any_inst()) {
+        let addr = 0x40_0000u64;
+        let bytes = encode(&inst, addr).expect("valid instruction must encode");
+        let (decoded, len) = decode_one(&bytes, addr).expect("own encoding must decode");
+        prop_assert_eq!(len as usize, bytes.len());
+        prop_assert_eq!(decoded, inst);
+    }
+
+    #[test]
+    fn encoding_is_position_consistent(inst in any_inst(), addr in 0x40_0000u64..0x7000_0000) {
+        // Relocating an instruction and re-decoding it at the new address
+        // must reproduce the same abstract instruction (this is what lets
+        // the rewriter move instructions into trampolines).
+        if let Ok(bytes) = encode(&inst, addr) {
+            let (decoded, _) = decode_one(&bytes, addr).expect("decodes");
+            prop_assert_eq!(decoded, inst);
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let _ = decode_one(&bytes, 0x40_0000);
+    }
+
+    #[test]
+    fn display_never_panics(inst in any_inst()) {
+        let _ = format!("{inst}");
+    }
+}

@@ -1,0 +1,17 @@
+//! RedFat reproduction facade: re-exports of all subsystem crates.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! paper-to-module mapping.
+
+pub use redfat_analysis as analysis;
+pub use redfat_cli as cli;
+pub use redfat_core as core;
+pub use redfat_elf as elf;
+pub use redfat_emu as emu;
+pub use redfat_lowfat as lowfat;
+pub use redfat_memcheck as memcheck;
+pub use redfat_minic as minic;
+pub use redfat_rewriter as rewriter;
+pub use redfat_vm as vm;
+pub use redfat_workloads as workloads;
+pub use redfat_x86 as x86;
