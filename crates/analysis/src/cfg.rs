@@ -70,11 +70,17 @@ impl Cfg {
                 // After any control transfer the next instruction starts a
                 // block. `call` also makes the return site a leader (the
                 // `ret` will target it).
-                Op::Jmp | Op::JmpInd | Op::Jcc(_) | Op::Call | Op::CallInd | Op::Ret
-                | Op::Ud2 | Op::Int3 => {
-                    if disasm.at(next).is_some() {
-                        leaders.insert(next);
-                    }
+                Op::Jmp
+                | Op::JmpInd
+                | Op::Jcc(_)
+                | Op::Call
+                | Op::CallInd
+                | Op::Ret
+                | Op::Ud2
+                | Op::Int3
+                    if disasm.at(next).is_some() =>
+                {
+                    leaders.insert(next);
                 }
                 _ => {}
             }

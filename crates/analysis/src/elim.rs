@@ -29,9 +29,14 @@ pub fn can_reach_heap(mem: &Mem) -> bool {
     }
     match mem.base {
         None => {
-            // Absolute disp32: |addr| < 2^31 < heap_start.
-            debug_assert!((mem.disp.unsigned_abs()) < layout::heap_start());
-            false
+            // Absolute operand: the address is exactly the displacement
+            // (as a 64-bit value; negative displacements wrap far above
+            // the heap). Encodable disp32 operands always land below
+            // heap_start, but rather than assert that we test the range
+            // conservatively -- a synthetic operand aliasing the heap
+            // keeps its check.
+            let addr = mem.disp as u64;
+            layout::heap_start() <= addr && addr < layout::heap_end()
         }
         Some(Reg::Rsp) => false,
         Some(_) => true,
@@ -58,6 +63,18 @@ mod tests {
     fn general_registers_kept() {
         assert!(can_reach_heap(&Mem::base(Reg::Rax)));
         assert!(can_reach_heap(&Mem::base_disp(Reg::Rbp, -8)));
+    }
+
+    #[test]
+    fn absolute_heap_alias_kept() {
+        // A synthetic absolute operand inside the low-fat heap range
+        // must keep its check (no encodable disp32 gets here, but the
+        // classifier must not assume that).
+        assert!(can_reach_heap(&Mem::abs(layout::heap_start() as i64)));
+        assert!(can_reach_heap(&Mem::abs((layout::heap_end() - 1) as i64)));
+        // Negative displacements wrap above heap_end: still eliminable.
+        assert!(!can_reach_heap(&Mem::abs(-0x1000)));
+        assert!(!can_reach_heap(&Mem::abs(layout::heap_end() as i64)));
     }
 
     #[test]

@@ -19,15 +19,36 @@
 //!   groups (§6 "check merging").
 //! * [`elim`]: the check-elimination rule -- memory operands that provably
 //!   cannot reach low-fat heap memory (§6 "check elimination").
+//! * [`dataflow`]: a generic forward worklist solver over the recovered
+//!   CFG (unknown-entry roots, widening), shared by the flow passes.
+//! * [`domtree`]: iterative dominator tree rooted at a virtual super-root
+//!   over all unknown entries.
+//! * [`provenance`]: flow-sensitive non-heap provenance -- per-register
+//!   value intervals proving that an access cannot touch the heap, a
+//!   strict superset of the syntactic elimination rule.
+//! * [`redundant`]: dominator-based redundant-check elimination -- a full
+//!   check subsumed by an identical dominating check is downgraded to
+//!   redzone-only.
+//! * [`report`]: per-site classification report (`redfat analyze`).
 
 pub mod batch;
 pub mod cfg;
+pub mod dataflow;
 pub mod disasm;
+pub mod domtree;
 pub mod elim;
 pub mod liveness;
+pub mod provenance;
+pub mod redundant;
+pub mod report;
 
 pub use batch::{merge_checks, plan_batches, Batch, MergedCheck};
 pub use cfg::{Cfg, MAX_BLOCK};
+pub use dataflow::{solve_forward, unknown_entries, ForwardAnalysis, ForwardSolution};
 pub use disasm::{disassemble, Disasm};
+pub use domtree::DomTree;
 pub use elim::can_reach_heap;
 pub use liveness::Liveness;
+pub use provenance::{operand_non_heap, span_avoids_heap, AbsVal, Provenance, RegFacts};
+pub use redundant::RedundantChecks;
+pub use report::{analyze, analyze_image, AnalysisReport, SiteReport, SiteVerdict};

@@ -66,9 +66,7 @@ impl Liveness {
                         .fold(LiveSet::NONE, LiveSet::union)
                 };
                 // Successors not yet computed: be conservative.
-                if !block.opaque_exit
-                    && block.succs.iter().any(|s| !live_in.contains_key(s))
-                {
+                if !block.opaque_exit && block.succs.iter().any(|s| !live_in.contains_key(s)) {
                     live = live.union(LiveSet::ALL);
                 }
                 for &addr in block.insts.iter().rev() {
@@ -106,7 +104,11 @@ impl Liveness {
     /// Registers that are dead immediately before the instruction at
     /// `addr` (safe to clobber by code inserted before it).
     pub fn dead_regs_before(&self, addr: u64) -> Vec<redfat_x86::Reg> {
-        let (live, _) = self.live_before.get(&addr).copied().unwrap_or((u16::MAX, true));
+        let (live, _) = self
+            .live_before
+            .get(&addr)
+            .copied()
+            .unwrap_or((u16::MAX, true));
         (0u8..16)
             .filter(|&c| live & (1 << c) == 0)
             .map(redfat_x86::Reg::from_code)

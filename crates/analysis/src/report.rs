@@ -1,0 +1,186 @@
+//! Structured per-site analysis reporting: what each memory-access site
+//! is classified as, by which pass, and why. Backs the `redfat analyze`
+//! CLI subcommand and the paper-style ablation accounting.
+
+use crate::cfg::Cfg;
+use crate::disasm::{disassemble, Disasm};
+use crate::elim::can_reach_heap;
+use crate::provenance::Provenance;
+use crate::redundant::RedundantChecks;
+use redfat_elf::Image;
+use std::fmt;
+
+/// Why a site does or does not carry a full check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteVerdict {
+    /// Full Redzone + LowFat check required.
+    Checked,
+    /// Eliminated by the syntactic rule (`rsp`/`rip`/absolute base, no
+    /// index).
+    EliminatedSyntactic,
+    /// Eliminated by flow-sensitive provenance: the abstract address
+    /// span provably avoids the heap.
+    EliminatedFlow,
+    /// Full check downgraded to redzone-only: subsumed by the
+    /// dominating check at `root`.
+    Redundant {
+        /// The dominating site whose full check subsumes this one.
+        root: u64,
+    },
+}
+
+impl fmt::Display for SiteVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiteVerdict::Checked => write!(f, "checked"),
+            SiteVerdict::EliminatedSyntactic => write!(f, "elim:syntactic"),
+            SiteVerdict::EliminatedFlow => write!(f, "elim:flow"),
+            SiteVerdict::Redundant { root } => write!(f, "redundant(root={root:#x})"),
+        }
+    }
+}
+
+/// Classification of one memory-access site.
+#[derive(Debug, Clone)]
+pub struct SiteReport {
+    /// Instruction address.
+    pub addr: u64,
+    /// Disassembly text.
+    pub inst: String,
+    /// Bytes accessed.
+    pub len: u8,
+    /// Whether the instruction writes memory.
+    pub is_write: bool,
+    /// The classification.
+    pub verdict: SiteVerdict,
+    /// Human-readable abstract address span at the site.
+    pub span: String,
+}
+
+/// Whole-image analysis summary.
+pub struct AnalysisReport {
+    /// Per-site classifications, in address order.
+    pub sites: Vec<SiteReport>,
+    /// Number of recovered basic blocks.
+    pub blocks: usize,
+    /// Number of decoded instructions.
+    pub insts: usize,
+    /// Number of unknown-entry roots the dataflow was seeded with.
+    pub roots: usize,
+}
+
+impl AnalysisReport {
+    /// Count of sites with the given verdict kind.
+    pub fn count(&self, f: impl Fn(&SiteVerdict) -> bool) -> usize {
+        self.sites.iter().filter(|s| f(&s.verdict)).count()
+    }
+
+    /// Sites still carrying a full check.
+    pub fn checked(&self) -> usize {
+        self.count(|v| matches!(v, SiteVerdict::Checked))
+    }
+
+    /// Sites eliminated by the syntactic rule.
+    pub fn eliminated_syntactic(&self) -> usize {
+        self.count(|v| matches!(v, SiteVerdict::EliminatedSyntactic))
+    }
+
+    /// Sites additionally eliminated by provenance flow analysis.
+    pub fn eliminated_flow(&self) -> usize {
+        self.count(|v| matches!(v, SiteVerdict::EliminatedFlow))
+    }
+
+    /// Sites downgraded to redzone-only by the redundant pass.
+    pub fn redundant(&self) -> usize {
+        self.count(|v| matches!(v, SiteVerdict::Redundant { .. }))
+    }
+}
+
+/// Runs the full static-analysis stack over an image -- disassembly, CFG
+/// recovery, provenance, redundant-check elimination -- and classifies
+/// every memory-access site the way the instrumentation pipeline would
+/// under its most aggressive configuration (`instrument_reads = true`).
+pub fn analyze_image(image: &Image) -> AnalysisReport {
+    let disasm = disassemble(image);
+    let cfg = Cfg::recover(&disasm, image.entry, &[]);
+    analyze(&disasm, &cfg, image.entry)
+}
+
+/// [`analyze_image`] over pre-computed disassembly and CFG.
+pub fn analyze(disasm: &Disasm, cfg: &Cfg, entry: u64) -> AnalysisReport {
+    let prov = Provenance::compute(disasm, cfg, entry);
+    // Sites that still need a full check after both elimination rules.
+    let needs_full = |addr: u64, inst: &redfat_x86::Inst| -> bool {
+        let Some(mem) = inst.memory_access() else {
+            return false;
+        };
+        can_reach_heap(&mem) && prov.site_can_reach_heap(disasm, cfg, addr, inst)
+    };
+    let redundant = RedundantChecks::compute(disasm, cfg, entry, needs_full);
+
+    let mut sites = Vec::new();
+    let mut insts = 0usize;
+    for (addr, inst, _) in disasm.iter() {
+        insts += 1;
+        let Some(mem) = inst.memory_access() else {
+            continue;
+        };
+        let verdict = if !can_reach_heap(&mem) {
+            SiteVerdict::EliminatedSyntactic
+        } else if !prov.site_can_reach_heap(disasm, cfg, addr, inst) {
+            SiteVerdict::EliminatedFlow
+        } else if let Some(root) = redundant.root_of(addr) {
+            SiteVerdict::Redundant { root }
+        } else {
+            SiteVerdict::Checked
+        };
+        sites.push(SiteReport {
+            addr,
+            inst: inst.to_string(),
+            len: inst.access_len().unwrap_or(8),
+            is_write: inst.writes_memory(),
+            verdict,
+            span: prov.describe_span(disasm, cfg, addr, inst),
+        });
+    }
+
+    AnalysisReport {
+        sites,
+        blocks: cfg.blocks.len(),
+        insts,
+        roots: prov.roots().len(),
+    }
+}
+
+/// Renders the report as the `redfat analyze` text output.
+pub fn render(report: &AnalysisReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} instructions, {} blocks, {} dataflow roots",
+        report.insts, report.blocks, report.roots
+    );
+    let _ = writeln!(
+        out,
+        "{} access sites: {} checked, {} elim:syntactic, {} elim:flow, {} redundant",
+        report.sites.len(),
+        report.checked(),
+        report.eliminated_syntactic(),
+        report.eliminated_flow(),
+        report.redundant()
+    );
+    for s in &report.sites {
+        let rw = if s.is_write { "W" } else { "R" };
+        let _ = writeln!(
+            out,
+            "{:#10x}  {rw}{}  {:<24} {:<24} {}",
+            s.addr,
+            s.len,
+            s.verdict.to_string(),
+            s.span,
+            s.inst
+        );
+    }
+    out
+}

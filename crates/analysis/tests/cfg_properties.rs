@@ -1,53 +1,49 @@
-//! Property tests for CFG recovery over randomly generated compiled
-//! programs: blocks partition the decoded instructions, every direct
-//! branch target is a leader, and batching never groups across blocks.
+//! Randomized tests for CFG recovery over generated compiled programs:
+//! blocks partition the decoded instructions, every direct branch target
+//! is a leader, and batching never groups across blocks. Driven by a
+//! deterministic seeded generator.
 
-use proptest::prelude::*;
 use redfat_analysis::{can_reach_heap, disassemble, plan_batches, Cfg};
 use redfat_minic::compile;
+use redfat_vm::Rng64;
 use std::collections::HashSet;
 
-fn random_program() -> impl Strategy<Value = String> {
-    (
-        1u64..8,
-        proptest::collection::vec((0u8..5, 1i64..20), 2..10),
+fn random_program(r: &mut Rng64) -> String {
+    let elems = r.range_u64(1, 8);
+    let n_ops = r.below_usize(8) + 2;
+    let mut body = String::new();
+    for _ in 0..n_ops {
+        let val = r.range_i64(1, 20);
+        match r.below(5) {
+            0 => body.push_str(&format!(
+                "if (s % 2 == 0) {{ s = s + {val}; }} else {{ s = s - 1; }}\n"
+            )),
+            1 => body.push_str(&format!(
+                "for (var i = 0; i < {val} % 5 + 1; i = i + 1) {{ s = s + a[i % {elems}]; }}\n"
+            )),
+            2 => body.push_str(&format!("s = s + helper({val});\n")),
+            3 => body.push_str(&format!("a[{}] = s;\n", val % elems as i64)),
+            _ => body.push_str(&format!("while (s > {val} * 3) {{ s = s / 2; }}\n")),
+        }
+    }
+    format!(
+        "fn helper(x) {{ if (x > 10) {{ return x - 10; }} return x; }}
+         fn main() {{
+            var a = malloc({elems} * 8);
+            for (var i = 0; i < {elems}; i = i + 1) {{ a[i] = i; }}
+            var s = 1;
+            {body}
+            print(s);
+            return 0;
+         }}"
     )
-        .prop_map(|(elems, ops)| {
-            let mut body = String::new();
-            for (kind, val) in ops {
-                match kind {
-                    0 => body.push_str(&format!(
-                        "if (s % 2 == 0) {{ s = s + {val}; }} else {{ s = s - 1; }}\n"
-                    )),
-                    1 => body.push_str(&format!(
-                        "for (var i = 0; i < {val} % 5 + 1; i = i + 1) {{ s = s + a[i % {elems}]; }}\n"
-                    )),
-                    2 => body.push_str(&format!("s = s + helper({val});\n")),
-                    3 => body.push_str(&format!("a[{}] = s;\n", val % elems as i64)),
-                    _ => body.push_str(&format!(
-                        "while (s > {val} * 3) {{ s = s / 2; }}\n"
-                    )),
-                }
-            }
-            format!(
-                "fn helper(x) {{ if (x > 10) {{ return x - 10; }} return x; }}
-                 fn main() {{
-                    var a = malloc({elems} * 8);
-                    for (var i = 0; i < {elems}; i = i + 1) {{ a[i] = i; }}
-                    var s = 1;
-                    {body}
-                    print(s);
-                    return 0;
-                 }}"
-            )
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn blocks_partition_instructions(src in random_program()) {
+#[test]
+fn blocks_partition_instructions() {
+    let mut r = Rng64::new(0xCF6_0001);
+    for case in 0..128 {
+        let src = random_program(&mut r);
         let image = compile(&src).expect("compiles");
         let d = disassemble(&image);
         let cfg = Cfg::recover(&d, image.entry, &[]);
@@ -56,35 +52,46 @@ proptest! {
         let mut seen: HashSet<u64> = HashSet::new();
         for block in cfg.blocks.values() {
             for &addr in &block.insts {
-                prop_assert!(seen.insert(addr), "instruction {addr:#x} in two blocks");
-                prop_assert!(d.at(addr).is_some());
+                assert!(
+                    seen.insert(addr),
+                    "case {case}: instruction {addr:#x} in two blocks"
+                );
+                assert!(d.at(addr).is_some());
             }
         }
         // All reachable-by-decoding instructions are covered (linear
         // sweep and block slicing agree).
-        prop_assert_eq!(seen.len(), d.len());
+        assert_eq!(seen.len(), d.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn branch_targets_are_leaders(src in random_program()) {
+#[test]
+fn branch_targets_are_leaders() {
+    let mut r = Rng64::new(0xCF6_0002);
+    for case in 0..128 {
+        let src = random_program(&mut r);
         let image = compile(&src).expect("compiles");
         let d = disassemble(&image);
         let cfg = Cfg::recover(&d, image.entry, &[]);
         for (_, inst, _) in d.iter() {
             if let Some(t) = inst.branch_target() {
-                prop_assert!(cfg.is_leader(t), "target {t:#x} not a leader");
+                assert!(cfg.is_leader(t), "case {case}: target {t:#x} not a leader");
             }
         }
         // Successor lists point at leaders too.
         for block in cfg.blocks.values() {
             for &s in &block.succs {
-                prop_assert!(cfg.is_leader(s), "succ {s:#x} not a leader");
+                assert!(cfg.is_leader(s), "case {case}: succ {s:#x} not a leader");
             }
         }
     }
+}
 
-    #[test]
-    fn batches_stay_within_blocks(src in random_program()) {
+#[test]
+fn batches_stay_within_blocks() {
+    let mut r = Rng64::new(0xCF6_0003);
+    for case in 0..128 {
+        let src = random_program(&mut r);
         let image = compile(&src).expect("compiles");
         let d = disassemble(&image);
         let cfg = Cfg::recover(&d, image.entry, &[]);
@@ -95,11 +102,14 @@ proptest! {
             let anchor_block = cfg.block_of(b.anchor).expect("anchor in a block");
             for &m in &b.members {
                 let mb = cfg.block_of(m).expect("member in a block");
-                prop_assert_eq!(mb.start, anchor_block.start, "batch crosses blocks");
+                assert_eq!(
+                    mb.start, anchor_block.start,
+                    "case {case}: batch crosses blocks"
+                );
             }
             // Members are ordered and start at the anchor.
-            prop_assert_eq!(b.members[0], b.anchor);
-            prop_assert!(b.members.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(b.members[0], b.anchor);
+            assert!(b.members.windows(2).all(|w| w[0] < w[1]));
         }
     }
 }

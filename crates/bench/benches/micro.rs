@@ -1,16 +1,36 @@
-//! Criterion micro-benchmarks for the substrates and the hardening
-//! pipeline itself (host-side costs; the guest-side overheads are the
-//! table1/figure8 binaries' business).
+//! Micro-benchmarks for the substrates and the hardening pipeline itself
+//! (host-side costs; the guest-side overheads are the table1/figure8
+//! binaries' business).
+//!
+//! A dependency-free harness (`harness = false`): each case runs a warmup
+//! batch, then measures wall time over enough iterations to smooth jitter
+//! and prints ns/iter. `cargo bench -p redfat-bench` runs them all.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use redfat_core::{harden, run_once, HardenConfig, LowFatPolicy};
 use redfat_emu::ErrorMode;
 use redfat_lowfat::{LowFatConfig, RedFatHeap};
 use redfat_minic::compile;
 use redfat_vm::Vm;
 use redfat_x86::{decode_one, encode, Inst, Mem, Op, Operands, Reg, Width};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_codec(c: &mut Criterion) {
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:32} {:>12.1} ns/iter ({iters} iters)",
+        elapsed.as_nanos() as f64 / iters as f64
+    );
+}
+
+fn bench_codec() {
     let inst = Inst::new(
         Op::Mov,
         Width::W64,
@@ -20,44 +40,30 @@ fn bench_codec(c: &mut Criterion) {
         },
     );
     let bytes = encode(&inst, 0x40_0000).unwrap();
-    let mut g = c.benchmark_group("x86-codec");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("encode-mov-sib", |b| {
-        b.iter(|| encode(std::hint::black_box(&inst), 0x40_0000).unwrap())
+    bench("x86/encode-mov-sib", 500_000, || {
+        black_box(encode(black_box(&inst), 0x40_0000).unwrap());
     });
-    g.bench_function("decode-mov-sib", |b| {
-        b.iter(|| decode_one(std::hint::black_box(&bytes), 0x40_0000).unwrap())
+    bench("x86/decode-mov-sib", 500_000, || {
+        black_box(decode_one(black_box(&bytes), 0x40_0000).unwrap());
     });
-    g.finish();
 }
 
-fn bench_allocator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lowfat-allocator");
-    g.bench_function("malloc-free-64B", |b| {
-        b.iter_batched(
-            || {
-                let mut vm = Vm::new();
-                let heap = RedFatHeap::new(LowFatConfig::default());
-                heap.install(&mut vm);
-                (heap, vm)
-            },
-            |(mut heap, mut vm)| {
-                for _ in 0..128 {
-                    let p = heap.malloc(&mut vm, 48).unwrap();
-                    heap.free(&mut vm, p).unwrap();
-                }
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_allocator() {
+    bench("lowfat/malloc-free-64B-x128", 500, || {
+        let mut vm = Vm::new();
+        let mut heap = RedFatHeap::new(LowFatConfig::default());
+        heap.install(&mut vm);
+        for _ in 0..128 {
+            let p = heap.malloc(&mut vm, 48).unwrap();
+            heap.free(&mut vm, p).unwrap();
+        }
     });
-    g.bench_function("base-size-lookup", |b| {
-        let ptr = redfat_vm::layout::region_base(4) + 4096 + 24;
-        b.iter(|| {
-            std::hint::black_box(redfat_vm::layout::lowfat_base(std::hint::black_box(ptr)))
-                + std::hint::black_box(redfat_vm::layout::lowfat_size(ptr))
-        })
+    let ptr = redfat_vm::layout::region_base(4) + 4096 + 24;
+    bench("lowfat/base-size-lookup", 1_000_000, || {
+        black_box(
+            redfat_vm::layout::lowfat_base(black_box(ptr)) + redfat_vm::layout::lowfat_size(ptr),
+        );
     });
-    g.finish();
 }
 
 fn demo_image() -> redfat_elf::Image {
@@ -76,22 +82,20 @@ fn demo_image() -> redfat_elf::Image {
     .expect("compiles")
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let image = demo_image();
-    let mut g = c.benchmark_group("hardening-pipeline");
-    g.bench_function("harden-small-binary", |b| {
-        b.iter(|| {
+    bench("pipeline/harden-small-binary", 200, || {
+        black_box(
             harden(
-                std::hint::black_box(&image),
+                black_box(&image),
                 &HardenConfig::with_merge(LowFatPolicy::All),
             )
-            .unwrap()
-        })
+            .unwrap(),
+        );
     });
-    g.finish();
 }
 
-fn bench_guest_execution(c: &mut Criterion) {
+fn bench_guest_execution() {
     let image = demo_image();
     let hardened = harden(&image, &HardenConfig::with_merge(LowFatPolicy::All))
         .unwrap()
@@ -99,24 +103,21 @@ fn bench_guest_execution(c: &mut Criterion) {
     let redzone = harden(&image, &HardenConfig::with_merge(LowFatPolicy::Disabled))
         .unwrap()
         .image;
-    let mut g = c.benchmark_group("guest-execution");
-    g.bench_function("baseline", |b| {
-        b.iter(|| run_once(&image, vec![], ErrorMode::Log, u64::MAX))
+    bench("guest/baseline", 50, || {
+        black_box(run_once(&image, vec![], ErrorMode::Log, u64::MAX));
     });
-    g.bench_function("hardened-full", |b| {
-        b.iter(|| run_once(&hardened, vec![], ErrorMode::Log, u64::MAX))
+    bench("guest/hardened-full", 50, || {
+        black_box(run_once(&hardened, vec![], ErrorMode::Log, u64::MAX));
     });
-    g.bench_function("hardened-redzone-only", |b| {
-        b.iter(|| run_once(&redzone, vec![], ErrorMode::Log, u64::MAX))
+    bench("guest/hardened-redzone-only", 50, || {
+        black_box(run_once(&redzone, vec![], ErrorMode::Log, u64::MAX));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_codec,
-    bench_allocator,
-    bench_pipeline,
-    bench_guest_execution
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    bench_codec();
+    bench_allocator();
+    bench_pipeline();
+    bench_guest_execution();
+}

@@ -40,7 +40,10 @@ impl Runtime for Classify {
 }
 
 fn main() {
-    println!("{:<12} {:>7} {:>7} {:>7} {:>12} {:>12}", "benchmark", "stack", "heap", "other", "instructions", "accesses");
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>12} {:>12}",
+        "benchmark", "stack", "heap", "other", "instructions", "accesses"
+    );
     for wl in spec::all() {
         let rt = Classify {
             inner: HostRuntime::new(ErrorMode::Log).with_input(wl.ref_input.clone()),

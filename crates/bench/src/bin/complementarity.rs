@@ -77,7 +77,12 @@ fn probes() -> Vec<Probe> {
 fn detects(cfg: &HardenConfig, probe: &Probe) -> bool {
     let image = compile(probe.source).expect("probe compiles");
     let hardened = harden(&image, cfg).expect("hardens");
-    let out = run_once(&hardened.image, probe.input.clone(), ErrorMode::Abort, 10_000_000);
+    let out = run_once(
+        &hardened.image,
+        probe.input.clone(),
+        ErrorMode::Abort,
+        10_000_000,
+    );
     matches!(out.result, RunResult::MemoryError(_))
 }
 
@@ -89,7 +94,10 @@ fn main() {
     ];
     println!("Complementarity matrix (paper §3): detected = x, missed = .");
     println!();
-    println!("{:<40} {:>8} {:>8} {:>9}", "error class", "Redzone", "LowFat", "Combined");
+    println!(
+        "{:<40} {:>8} {:>8} {:>9}",
+        "error class", "Redzone", "LowFat", "Combined"
+    );
     for probe in probes() {
         let verdicts: Vec<bool> = configs.iter().map(|(_, c)| detects(c, &probe)).collect();
         println!(

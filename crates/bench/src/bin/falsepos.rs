@@ -15,15 +15,15 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4);
     let suite = spec::all();
-    let expected: Vec<(&str, usize)> = suite
-        .iter()
-        .map(|w| (w.name, w.anti_idiom_sites))
-        .collect();
+    let expected: Vec<(&str, usize)> = suite.iter().map(|w| (w.name, w.anti_idiom_sites)).collect();
     let counts = parallel_map(suite, threads, false_positive_sites);
 
     println!("False positives with (Redzone)+(LowFat) on ALL memory access (no allow-list):");
     println!();
-    println!("{:<12} {:>10} {:>24}", "Binary", "observed", "anti-idiom sites (src)");
+    println!(
+        "{:<12} {:>10} {:>24}",
+        "Binary", "observed", "anti-idiom sites (src)"
+    );
     let mut total = 0usize;
     for ((name, planted), observed) in expected.iter().zip(&counts) {
         if *observed > 0 || *planted > 0 {

@@ -57,11 +57,23 @@ fn main() {
     println!("Scalability (paper §7.3):");
     println!("  code size           {:>10} bytes", code_bytes);
     println!("  rewrite time        {rewrite_secs:>10.2} s");
-    println!("  instrumented sites  {:>10}", hardened.stats.sites_lowfat + hardened.stats.sites_redzone);
+    println!(
+        "  instrumented sites  {:>10}",
+        hardened.stats.sites_lowfat + hardened.stats.sites_redzone
+    );
     println!("  batches             {:>10}", hardened.stats.batches);
-    println!("  jmp patches         {:>10}", hardened.stats.rewrite.jmp_patches);
-    println!("  int3 patches        {:>10}", hardened.stats.rewrite.trap_patches);
-    println!("  trampoline bytes    {:>10}", hardened.stats.rewrite.trampoline_bytes);
+    println!(
+        "  jmp patches         {:>10}",
+        hardened.stats.rewrite.jmp_patches
+    );
+    println!(
+        "  int3 patches        {:>10}",
+        hardened.stats.rewrite.trap_patches
+    );
+    println!(
+        "  trampoline bytes    {:>10}",
+        hardened.stats.rewrite.trampoline_bytes
+    );
 
     // Startup stability check (the "Chrome loads and runs stable" claim).
     let startup = run_once(&hardened.image, vec![0, 1], ErrorMode::Abort, u64::MAX);

@@ -3,9 +3,10 @@
 //!
 //! Columns: coverage (% of ref-executed memory operands with the full
 //! (Redzone)+(LowFat) check), baseline modeled cycles, then slowdown
-//! factors for the six RedFat configurations and Memcheck (NR where the
-//! modeled Valgrind limits apply). Ends with the geometric means and the
-//! detected-real-error report of §7.1.
+//! factors for the eight RedFat configurations and Memcheck (NR where
+//! the modeled Valgrind limits apply). Ends with the geometric means,
+//! the static check-elimination accounting (syntactic vs. flow vs.
+//! redundant) and the detected-real-error report of §7.1.
 
 use redfat_bench::{geomean, parallel_map, table1_row, Table1Row};
 use redfat_workloads::{spec, Lang};
@@ -36,7 +37,7 @@ fn main() {
     println!("(slowdown factors vs. the uninstrumented baseline; modeled cycles)");
     println!();
     println!(
-        "{:<12} {:>4} {:>9} {:>12} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9}",
+        "{:<12} {:>4} {:>9} {:>12} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9}",
         "Binary",
         "lang",
         "coverage",
@@ -45,6 +46,8 @@ fn main() {
         "+elim",
         "+batch",
         "+merge",
+        "+flow",
+        "+redund",
         "-size",
         "-reads",
         "Memcheck"
@@ -55,7 +58,7 @@ fn main() {
             None => "      NR".to_owned(),
         };
         println!(
-            "{:<12} {:>4} {:>8.1}% {:>12} {:>7.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {}",
+            "{:<12} {:>4} {:>8.1}% {:>12} {:>7.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {}",
             r.name,
             lang_tag(r.lang),
             100.0 * r.coverage,
@@ -66,6 +69,8 @@ fn main() {
             r.redfat[3],
             r.redfat[4],
             r.redfat[5],
+            r.redfat[6],
+            r.redfat[7],
             mc
         );
     }
@@ -73,7 +78,7 @@ fn main() {
     let gm = |idx: usize| geomean(rows.iter().map(|r| r.redfat[idx]));
     let mc_gm = geomean(rows.iter().filter_map(|r| r.memcheck));
     println!(
-        "{:<12} {:>4} {:>8.1}% {:>12} {:>7.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>8.2}x",
+        "{:<12} {:>4} {:>8.1}% {:>12} {:>7.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>6.2}x {:>8.2}x",
         "Geomean",
         "",
         100.0 * geomean(rows.iter().map(|r| r.coverage.max(1e-9))),
@@ -84,13 +89,40 @@ fn main() {
         gm(3),
         gm(4),
         gm(5),
+        gm(6),
+        gm(7),
         mc_gm
+    );
+
+    println!();
+    println!("Static check elimination (sites):");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "Binary", "syntactic", "+flow", "redundant"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>10} {:>10} {:>10}",
+            r.name, r.sites_elim, r.sites_flow, r.sites_redundant
+        );
+    }
+    let flow_wins = rows
+        .iter()
+        .filter(|r| r.sites_flow > 0 && r.redfat[4] <= r.redfat[3])
+        .count();
+    println!(
+        "+flow eliminates additional sites on {} / {} benchmarks",
+        flow_wins,
+        rows.len()
     );
 
     println!();
     println!("Detected errors (fully optimized config, log mode):");
     for r in rows.iter().filter(|r| r.errors_detected > 0) {
-        println!("  {:<12} {} distinct error site(s)", r.name, r.errors_detected);
+        println!(
+            "  {:<12} {} distinct error site(s)",
+            r.name, r.errors_detected
+        );
     }
     let nr: Vec<&str> = rows
         .iter()

@@ -13,10 +13,7 @@ fn main() {
 
     println!("Table 2: CVEs/CWEs for non-incremental bounds errors");
     println!();
-    println!(
-        "{:<38} {:>16} {:>16}",
-        "Entry", "Memcheck", "RedFat"
-    );
+    println!("{:<38} {:>16} {:>16}", "Entry", "Memcheck", "RedFat");
 
     for case in cve::all() {
         let image = case.workload.image();

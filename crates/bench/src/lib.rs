@@ -1,10 +1,9 @@
 //! The experiment harness: shared pipeline code behind the `table1`,
 //! `falsepos`, `table2` and `figure8` binaries (one per paper artifact)
-//! and the criterion micro-benchmarks.
+//! and the micro-benchmarks.
 
 use redfat_core::{
-    collect_allowlist, harden, instrument_profile, run_once, HardenConfig,
-    LowFatPolicy,
+    collect_allowlist, harden, instrument_profile, run_once, HardenConfig, LowFatPolicy,
 };
 use redfat_elf::Image;
 use redfat_emu::{Emu, ErrorMode, RunResult};
@@ -27,13 +26,21 @@ pub struct Table1Row {
     /// Baseline modeled cycles on ref.
     pub baseline_cycles: u64,
     /// Slowdown factors, Table 1 column order:
-    /// unoptimized, +elim, +batch, +merge, -size, -reads.
-    pub redfat: [f64; 6],
+    /// unoptimized, +elim, +batch, +merge, +flow, +redund, -size, -reads.
+    pub redfat: [f64; 8],
     /// Memcheck slowdown, or `None` for NR.
     pub memcheck: Option<f64>,
     /// Distinct real-error sites detected during the ref run (fully
     /// optimized config, log mode).
     pub errors_detected: usize,
+    /// Static sites eliminated by the syntactic rule (under "+elim").
+    pub sites_elim: usize,
+    /// Static sites *additionally* eliminated by flow-sensitive
+    /// provenance (under "+flow").
+    pub sites_flow: usize,
+    /// Static full checks downgraded to redzone-only by the redundant
+    /// pass (under "+redund").
+    pub sites_redundant: usize,
 }
 
 /// Runs the complete §5 + Table 1 pipeline for one workload.
@@ -77,19 +84,30 @@ pub fn table1_row(wl: &Workload) -> Table1Row {
         covered as f64 / executed.len() as f64
     };
 
-    // The six RedFat configurations.
-    let configs: [HardenConfig; 6] = [
+    // The eight RedFat configurations.
+    let configs: [HardenConfig; 8] = [
         HardenConfig::unoptimized(LowFatPolicy::AllowList(allow.clone())),
         HardenConfig::with_elim(LowFatPolicy::AllowList(allow.clone())),
         HardenConfig::with_batch(LowFatPolicy::AllowList(allow.clone())),
         HardenConfig::with_merge(LowFatPolicy::AllowList(allow.clone())),
+        HardenConfig::with_flow(LowFatPolicy::AllowList(allow.clone())),
+        HardenConfig::with_redundant(LowFatPolicy::AllowList(allow.clone())),
         HardenConfig::minus_size(LowFatPolicy::AllowList(allow.clone())),
         HardenConfig::minus_reads(LowFatPolicy::AllowList(allow.clone())),
     ];
-    let mut redfat = [0.0; 6];
+    let mut redfat = [0.0; 8];
     let mut errors_detected = 0usize;
+    let mut sites_elim = 0usize;
+    let mut sites_flow = 0usize;
+    let mut sites_redundant = 0usize;
     for (i, cfg) in configs.iter().enumerate() {
         let hardened = harden(&image, cfg).expect("hardening");
+        match i {
+            1 => sites_elim = hardened.stats.sites_eliminated,
+            4 => sites_flow = hardened.stats.sites_eliminated_flow,
+            5 => sites_redundant = hardened.stats.sites_redundant,
+            _ => {}
+        }
         let out = run_once(
             &hardened.image,
             wl.ref_input.clone(),
@@ -109,8 +127,8 @@ pub fn table1_row(wl: &Workload) -> Table1Row {
             wl.name
         );
         redfat[i] = out.counters.cycles as f64 / baseline_cycles as f64;
-        if i == 3 {
-            // Fully optimized (+merge): report detected real errors.
+        if i == 5 {
+            // Fully optimized (+redund): report detected real errors.
             let sites: BTreeSet<u64> = out.errors.iter().map(|e| e.site).collect();
             errors_detected = sites.len();
         }
@@ -141,6 +159,9 @@ pub fn table1_row(wl: &Workload) -> Table1Row {
         redfat,
         memcheck,
         errors_detected,
+        sites_elim,
+        sites_flow,
+        sites_redundant,
     }
 }
 
@@ -167,7 +188,12 @@ pub fn false_positive_sites(wl: &Workload) -> usize {
 pub fn redfat_detects(image: &Image, attack_input: &[i64]) -> bool {
     let cfg = HardenConfig::with_merge(LowFatPolicy::All);
     let hardened = harden(image, &cfg).expect("hardening");
-    let out = run_once(&hardened.image, attack_input.to_vec(), ErrorMode::Abort, MAX_STEPS);
+    let out = run_once(
+        &hardened.image,
+        attack_input.to_vec(),
+        ErrorMode::Abort,
+        MAX_STEPS,
+    );
     matches!(out.result, RunResult::MemoryError(_))
 }
 
@@ -194,7 +220,7 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     (log_sum / n as f64).exp()
 }
 
-/// Runs closures in parallel over a work list with crossbeam threads,
+/// Runs closures in parallel over a work list with scoped threads,
 /// preserving input order in the output.
 pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
 where
@@ -208,10 +234,10 @@ where
     let items_ref = &items;
     let f_ref = &f;
     let next_ref = &next;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
             let tx = tx.clone();
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -227,5 +253,4 @@ where
         }
         results.into_iter().map(|r| r.expect("computed")).collect()
     })
-    .expect("worker panicked")
 }

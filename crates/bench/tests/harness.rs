@@ -33,7 +33,11 @@ fn table1_pipeline_on_one_benchmark() {
     assert!(row.redfat[5] >= 1.0, "-reads still costs something");
     // Memcheck runs and is slower than optimized RedFat.
     let mc = row.memcheck.expect("perlbench is memcheck-runnable");
-    assert!(mc > row.redfat[4], "memcheck {mc} vs -size {}", row.redfat[4]);
+    assert!(
+        mc > row.redfat[4],
+        "memcheck {mc} vs -size {}",
+        row.redfat[4]
+    );
 }
 
 #[test]
@@ -41,11 +45,7 @@ fn false_positive_counts_match_planted_sites() {
     for name in ["gobmk", "calculix"] {
         let wl = spec::by_name(name).unwrap();
         let expected = wl.anti_idiom_sites;
-        assert_eq!(
-            false_positive_sites(&wl),
-            expected,
-            "{name} planted sites"
-        );
+        assert_eq!(false_positive_sites(&wl), expected, "{name} planted sites");
     }
 }
 

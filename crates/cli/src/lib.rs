@@ -9,6 +9,7 @@
 //! redfat genlist  prog.prof --input .. -o allow.lst
 //! redfat run      prog.elf [--input ..] [--log] [--memcheck]
 //! redfat disasm   prog.elf
+//! redfat analyze  prog.elf
 //! redfat stats    prog.elf
 //! ```
 //!
@@ -17,8 +18,7 @@
 //! returns the text it would print.
 
 use redfat_core::{
-    collect_allowlist, harden, instrument_profile, run_once, AllowList, HardenConfig,
-    LowFatPolicy,
+    collect_allowlist, harden, instrument_profile, run_once, AllowList, HardenConfig, LowFatPolicy,
 };
 use redfat_elf::Image;
 use redfat_emu::{Emu, ErrorMode, RunResult};
@@ -61,6 +61,7 @@ commands:
                                        coverage-guided profiling (E9AFL-style)
   run     <in.elf> [--input v,v,..] [--log] [--memcheck] [--max-steps N]
   disasm  <in.elf>                     linear disassembly of code segments
+  analyze <in.elf>                     per-site static analysis report
   stats   <in.elf>                     image and instrumentation-plan statistics
 
 harden options:
@@ -70,6 +71,8 @@ harden options:
   --writes-only             do not instrument reads (-reads column)
   --no-size                 disable metadata hardening (-size column)
   --no-elim | --no-batch | --no-merge  disable an optimization (Table 1)
+  --no-flow                 disable flow-sensitive provenance elimination
+  --no-redundant            disable dominator-based redundant-check elimination
   --strip                   strip symbols before hardening";
 
 struct Args {
@@ -131,16 +134,13 @@ impl Args {
     fn max_steps(&self) -> Result<u64, CliError> {
         match self.flags.get("--max-steps").and_then(|v| v.as_deref()) {
             None => Ok(1_000_000_000),
-            Some(s) => s
-                .parse()
-                .map_err(|e| err(format!("bad --max-steps: {e}"))),
+            Some(s) => s.parse().map_err(|e| err(format!("bad --max-steps: {e}"))),
         }
     }
 }
 
 fn load_image(path: &str) -> Result<Image, CliError> {
-    let bytes =
-        std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let bytes = std::fs::read(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     Image::parse(&bytes).map_err(|e| err(format!("{path}: {e}")))
 }
 
@@ -152,15 +152,23 @@ fn harden_config(args: &Args) -> Result<HardenConfig, CliError> {
     let policy = if args.has("--redzone-only") {
         LowFatPolicy::Disabled
     } else if let Some(Some(path)) = args.flags.get("--allowlist") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
         LowFatPolicy::AllowList(AllowList::from_text(&text).map_err(err)?)
     } else {
         LowFatPolicy::All
     };
-    let mut cfg = HardenConfig::with_merge(policy);
+    let mut cfg = HardenConfig::with_redundant(policy);
     if args.has("--no-elim") {
+        // The flow passes refine `elim`; disabling it disables them too.
         cfg.elim = false;
+        cfg.elim_flow = false;
+    }
+    if args.has("--no-flow") {
+        cfg.elim_flow = false;
+    }
+    if args.has("--no-flow") || args.has("--no-redundant") || args.has("--no-elim") {
+        cfg.elim_redundant = false;
     }
     if args.has("--no-batch") {
         cfg.batch = false;
@@ -193,8 +201,8 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
             let [src] = &args.positional[..] else {
                 return Err(err("compile needs exactly one source file"));
             };
-            let text = std::fs::read_to_string(src)
-                .map_err(|e| err(format!("cannot read {src}: {e}")))?;
+            let text =
+                std::fs::read_to_string(src).map_err(|e| err(format!("cannot read {src}: {e}")))?;
             let image = redfat_minic::compile(&text).map_err(|e| err(e.to_string()))?;
             save_image(&image, args.out()?)?;
             let code: u64 = image.exec_segments().map(|s| s.data.len() as u64).sum();
@@ -214,12 +222,15 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
             let s = hardened.stats;
             writeln!(
                 out,
-                "hardened {input}: {} sites ({} full, {} redzone-only, {} eliminated), \
+                "hardened {input}: {} sites ({} full, {} redzone-only, {} eliminated, \
+                 {} flow-eliminated, {} redundant), \
                  {} trampolines ({} jmp, {} int3), {} trampoline bytes",
                 s.sites_considered,
                 s.sites_lowfat,
                 s.sites_redzone,
                 s.sites_eliminated,
+                s.sites_eliminated_flow,
+                s.sites_redundant,
                 s.batches,
                 s.rewrite.jmp_patches,
                 s.rewrite.trap_patches,
@@ -246,7 +257,12 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 return Err(err("genlist needs exactly one profiling binary"));
             };
             let image = load_image(prof)?;
-            let run = run_once(&image, args.input_values()?, ErrorMode::Log, args.max_steps()?);
+            let run = run_once(
+                &image,
+                args.input_values()?,
+                ErrorMode::Log,
+                args.max_steps()?,
+            );
             if !matches!(run.result, RunResult::Exited(_)) {
                 return Err(err(format!("profiling run did not exit: {:?}", run.result)));
             }
@@ -354,6 +370,14 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
             for (start, end) in &d.unknown {
                 writeln!(out, "{start:#x}..{end:#x}: <undecodable>").expect("string write");
             }
+        }
+        "analyze" => {
+            let [input] = &args.positional[..] else {
+                return Err(err("analyze needs exactly one binary"));
+            };
+            let image = load_image(input)?;
+            let report = redfat_analysis::analyze_image(&image);
+            out.push_str(&redfat_analysis::report::render(&report));
         }
         "stats" => {
             let [input] = &args.positional[..] else {

@@ -83,13 +83,8 @@ fn full_workflow_through_files() {
     assert!(out.contains("trampolines"));
 
     // benign run: clean, same output as the original.
-    let benign = run_cli(&args(&[
-        "run",
-        hard.to_str().unwrap(),
-        "--input",
-        "5,2",
-    ]))
-    .expect("benign run");
+    let benign =
+        run_cli(&args(&["run", hard.to_str().unwrap(), "--input", "5,2"])).expect("benign run");
     assert!(benign.contains("Exited(0)"), "{benign}");
 
     // attack run: detected.
@@ -122,7 +117,13 @@ fn disasm_and_stats() {
     let src = dir.join("p.mc");
     let elf = dir.join("p.elf");
     std::fs::write(&src, "fn main() { print(1); return 0; }").unwrap();
-    run_cli(&args(&["compile", src.to_str().unwrap(), "-o", elf.to_str().unwrap()])).unwrap();
+    run_cli(&args(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        elf.to_str().unwrap(),
+    ]))
+    .unwrap();
 
     let dis = run_cli(&args(&["disasm", elf.to_str().unwrap()])).unwrap();
     assert!(dis.contains("syscall"));
@@ -131,6 +132,40 @@ fn disasm_and_stats() {
     let stats = run_cli(&args(&["stats", elf.to_str().unwrap()])).unwrap();
     assert!(stats.contains("basic blocks"));
     assert!(stats.contains("kind:            Exec"));
+}
+
+#[test]
+fn analyze_reports_flow_verdicts() {
+    let dir = tmpdir("analyze");
+    let src = dir.join("p.mc");
+    let elf = dir.join("p.elf");
+    std::fs::write(
+        &src,
+        "global tab[4];
+         fn main() {
+             var p = &tab;
+             var a = malloc(32);
+             p[1] = 5;
+             a[1] = p[1];
+             a[1] = a[1] + 1;
+             print(a[1]);
+             return 0;
+         }",
+    )
+    .unwrap();
+    run_cli(&args(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        elf.to_str().unwrap(),
+    ]))
+    .unwrap();
+
+    let report = run_cli(&args(&["analyze", elf.to_str().unwrap()])).unwrap();
+    assert!(report.contains("access sites:"), "{report}");
+    assert!(report.contains("elim:flow"), "{report}");
+    assert!(report.contains("elim:syntactic"), "{report}");
+    assert!(report.contains("redundant("), "{report}");
 }
 
 #[test]
@@ -143,24 +178,49 @@ fn harden_flags_change_the_plan() {
         "fn main() { var a = malloc(80); for (var i = 0; i < 10; i = i + 1) { a[i] = i; } print(a[4]); return 0; }",
     )
     .unwrap();
-    run_cli(&args(&["compile", src.to_str().unwrap(), "-o", elf.to_str().unwrap()])).unwrap();
+    run_cli(&args(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        elf.to_str().unwrap(),
+    ]))
+    .unwrap();
 
     let full = run_cli(&args(&[
-        "harden", elf.to_str().unwrap(), "-o", dir.join("f.elf").to_str().unwrap(),
+        "harden",
+        elf.to_str().unwrap(),
+        "-o",
+        dir.join("f.elf").to_str().unwrap(),
     ]))
     .unwrap();
     let writes_only = run_cli(&args(&[
-        "harden", elf.to_str().unwrap(), "-o", dir.join("w.elf").to_str().unwrap(),
+        "harden",
+        elf.to_str().unwrap(),
+        "-o",
+        dir.join("w.elf").to_str().unwrap(),
         "--writes-only",
     ]))
     .unwrap();
     let unopt = run_cli(&args(&[
-        "harden", elf.to_str().unwrap(), "-o", dir.join("u.elf").to_str().unwrap(),
-        "--no-elim", "--no-batch", "--no-merge",
+        "harden",
+        elf.to_str().unwrap(),
+        "-o",
+        dir.join("u.elf").to_str().unwrap(),
+        "--no-elim",
+        "--no-batch",
+        "--no-merge",
     ]))
     .unwrap();
     let sites = |s: &str| -> usize {
-        s.split(':').nth(1).unwrap().trim().split(' ').next().unwrap().parse().unwrap()
+        s.split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
     };
     assert!(sites(&writes_only) < sites(&full));
     assert!(sites(&unopt) >= sites(&full));
@@ -182,9 +242,28 @@ fn error_symbolization_names_the_function() {
          fn main() { var a = malloc(40); var b = malloc(40); b[0] = 1; vulnerable(a, input()); return 0; }",
     )
     .unwrap();
-    run_cli(&args(&["compile", src.to_str().unwrap(), "-o", elf.to_str().unwrap()])).unwrap();
+    run_cli(&args(&[
+        "compile",
+        src.to_str().unwrap(),
+        "-o",
+        elf.to_str().unwrap(),
+    ]))
+    .unwrap();
     // Keep symbols (no --strip): bug-finding mode reports function names.
-    run_cli(&args(&["harden", elf.to_str().unwrap(), "-o", hard.to_str().unwrap()])).unwrap();
-    let out = run_cli(&args(&["run", hard.to_str().unwrap(), "--input", "10", "--log"])).unwrap();
+    run_cli(&args(&[
+        "harden",
+        elf.to_str().unwrap(),
+        "-o",
+        hard.to_str().unwrap(),
+    ]))
+    .unwrap();
+    let out = run_cli(&args(&[
+        "run",
+        hard.to_str().unwrap(),
+        "--input",
+        "10",
+        "--log",
+    ]))
+    .unwrap();
     assert!(out.contains("in vulnerable+"), "{out}");
 }

@@ -121,10 +121,7 @@ impl BatchPayload {
                 }
             }
         }
-        let saves: Vec<Reg> = save_set
-            .into_iter()
-            .filter(|r| !dead.contains(r))
-            .collect();
+        let saves: Vec<Reg> = save_set.into_iter().filter(|r| !dead.contains(r)).collect();
 
         Some(BatchPayload {
             checks,
@@ -252,7 +249,12 @@ impl BatchPayload {
         let ptr_reg = if spec.lowfat { mem.base } else { None };
         if let Some(ptr) = ptr_reg {
             a.mov_rr(Width::W64, cls, ptr);
-            a.shift_ri(ShiftOp::Shr, Width::W64, cls, layout::REGION_SIZE_LOG2 as u8);
+            a.shift_ri(
+                ShiftOp::Shr,
+                Width::W64,
+                cls,
+                layout::REGION_SIZE_LOG2 as u8,
+            );
             a.alu_ri(AluOp::Cmp, Width::W64, cls, layout::TABLE_ENTRIES as i64);
             a.jcc_label(Cond::Ae, try_lb);
             a.mov_rm(
@@ -297,7 +299,12 @@ impl BatchPayload {
             return Ok(());
         }
         a.mov_rr(Width::W64, cls, lb);
-        a.shift_ri(ShiftOp::Shr, Width::W64, cls, layout::REGION_SIZE_LOG2 as u8);
+        a.shift_ri(
+            ShiftOp::Shr,
+            Width::W64,
+            cls,
+            layout::REGION_SIZE_LOG2 as u8,
+        );
         a.alu_ri(AluOp::Cmp, Width::W64, cls, layout::TABLE_ENTRIES as i64);
         a.jcc_label(Cond::Ae, done);
         a.mov_rm(

@@ -29,6 +29,14 @@ pub struct HardenConfig {
     pub batch: bool,
     /// Check merging (§6): one range check per operand shape in a batch.
     pub merge: bool,
+    /// Flow-sensitive check elimination: interval provenance analysis
+    /// proving per-site that the address cannot reach the heap -- a
+    /// strict superset of the syntactic `elim` rule. Requires `elim`.
+    pub elim_flow: bool,
+    /// Dominator-based redundant-check elimination: a full check
+    /// subsumed by an identical dominating check is downgraded to
+    /// redzone-only. Requires `elim_flow`.
+    pub elim_redundant: bool,
     /// Metadata hardening (§4.2): validate `SIZE` against the immutable
     /// class size. Disabled by the `-size` column.
     pub size_harden: bool,
@@ -52,6 +60,8 @@ impl HardenConfig {
             elim: false,
             batch: false,
             merge: false,
+            elim_flow: false,
+            elim_redundant: false,
             size_harden: true,
             instrument_reads: true,
             lowfat,
@@ -83,13 +93,31 @@ impl HardenConfig {
         }
     }
 
+    /// Table 1 "+flow": flow-sensitive provenance elimination on top of
+    /// the syntactic optimizations.
+    pub fn with_flow(lowfat: LowFatPolicy) -> HardenConfig {
+        HardenConfig {
+            elim_flow: true,
+            ..HardenConfig::with_merge(lowfat)
+        }
+    }
+
+    /// Table 1 "+redund" (fully optimized): dominator-based
+    /// redundant-check elimination on top of "+flow".
+    pub fn with_redundant(lowfat: LowFatPolicy) -> HardenConfig {
+        HardenConfig {
+            elim_redundant: true,
+            ..HardenConfig::with_flow(lowfat)
+        }
+    }
+
     /// Table 1 "-size": fully optimized minus metadata hardening. The
     /// configuration that most closely matches Valgrind Memcheck's
     /// feature set.
     pub fn minus_size(lowfat: LowFatPolicy) -> HardenConfig {
         HardenConfig {
             size_harden: false,
-            ..HardenConfig::with_merge(lowfat)
+            ..HardenConfig::with_redundant(lowfat)
         }
     }
 
@@ -117,7 +145,7 @@ impl Default for HardenConfig {
     /// Fully optimized with full LowFat coverage (callers wanting the
     /// production workflow substitute an allow-list policy).
     fn default() -> HardenConfig {
-        HardenConfig::with_merge(LowFatPolicy::All)
+        HardenConfig::with_redundant(LowFatPolicy::All)
     }
 }
 
@@ -135,8 +163,13 @@ mod tests {
         assert!(b.elim && b.batch && !b.merge);
         let m = HardenConfig::with_merge(LowFatPolicy::All);
         assert!(m.elim && m.batch && m.merge && m.size_harden && m.instrument_reads);
+        assert!(!m.elim_flow && !m.elim_redundant);
+        let f = HardenConfig::with_flow(LowFatPolicy::All);
+        assert!(f.merge && f.elim_flow && !f.elim_redundant);
+        let d = HardenConfig::with_redundant(LowFatPolicy::All);
+        assert!(d.elim_flow && d.elim_redundant && d.size_harden);
         let s = HardenConfig::minus_size(LowFatPolicy::All);
-        assert!(!s.size_harden && s.instrument_reads);
+        assert!(!s.size_harden && s.instrument_reads && s.elim_redundant);
         let r = HardenConfig::minus_reads(LowFatPolicy::All);
         assert!(!r.size_harden && !r.instrument_reads);
     }

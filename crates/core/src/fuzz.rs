@@ -114,21 +114,20 @@ pub fn fuzz_profile(
     }
     let mut executions = 0usize;
 
-    let run_and_merge = |input: &Vec<i64>,
-                             profile: &mut HashMap<u64, ProfileStats>|
-     -> (bool, usize) {
-        let out = run_once(&prof.image, input.clone(), ErrorMode::Log, config.max_steps);
-        let mut new_sites = 0usize;
-        for (site, stats) in out.profile {
-            let e = profile.entry(site).or_insert_with(|| {
-                new_sites += 1;
-                ProfileStats::default()
-            });
-            e.passes += stats.passes;
-            e.fails += stats.fails;
-        }
-        (matches!(out.result, RunResult::Exited(_)), new_sites)
-    };
+    let run_and_merge =
+        |input: &Vec<i64>, profile: &mut HashMap<u64, ProfileStats>| -> (bool, usize) {
+            let out = run_once(&prof.image, input.clone(), ErrorMode::Log, config.max_steps);
+            let mut new_sites = 0usize;
+            for (site, stats) in out.profile {
+                let e = profile.entry(site).or_insert_with(|| {
+                    new_sites += 1;
+                    ProfileStats::default()
+                });
+                e.passes += stats.passes;
+                e.fails += stats.fails;
+            }
+            (matches!(out.result, RunResult::Exited(_)), new_sites)
+        };
 
     // Seed pass.
     for seed in corpus.clone() {

@@ -32,6 +32,9 @@ mod runner;
 pub use allowlist::AllowList;
 pub use checks::CHECK_SCRATCH_CANDIDATES;
 pub use config::{HardenConfig, LowFatPolicy};
-pub use pipeline::{collect_allowlist, harden, harden_with_bases, instrument_profile, HardenError, HardenStats, Hardened};
 pub use fuzz::{fuzz_profile, FuzzConfig, FuzzOutcome};
+pub use pipeline::{
+    collect_allowlist, harden, harden_with_bases, instrument_profile, HardenError, HardenStats,
+    Hardened,
+};
 pub use runner::{run_once, RunOutcome};

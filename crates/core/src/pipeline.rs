@@ -4,8 +4,8 @@
 use crate::allowlist::AllowList;
 use crate::checks::{BatchPayload, CheckSpec, PayloadMode};
 use crate::config::{HardenConfig, LowFatPolicy};
+use redfat_analysis::{can_reach_heap, Provenance, RedundantChecks};
 use redfat_analysis::{disassemble, merge_checks, plan_batches, Batch, Cfg, Liveness};
-use redfat_analysis::can_reach_heap;
 use redfat_elf::Image;
 use redfat_emu::ProfileStats;
 use redfat_rewriter::{rewrite_with_bases, Patch, RewriteBases, RewriteError, RewriteStats};
@@ -40,8 +40,18 @@ impl From<RewriteError> for HardenError {
 pub struct HardenStats {
     /// Memory-access instructions considered (post read/write filter).
     pub sites_considered: usize,
-    /// Sites whose checks were eliminated (provably non-heap).
+    /// Sites whose checks were eliminated by the syntactic rule
+    /// (provably non-heap operand shape).
     pub sites_eliminated: usize,
+    /// Sites *additionally* eliminated by flow-sensitive provenance
+    /// (kept by the syntactic rule, proven non-heap by the interval
+    /// analysis).
+    pub sites_eliminated_flow: usize,
+    /// Full-check sites downgraded to redzone-only because a dominating
+    /// identical check subsumes them. Counts materialized downgrades
+    /// only: a merged check is downgraded iff every site it covers is
+    /// subsumed.
+    pub sites_redundant: usize,
     /// Sites instrumented with the full (Redzone)+(LowFat) check.
     pub sites_lowfat: usize,
     /// Sites instrumented with the (Redzone)-only fallback.
@@ -90,6 +100,8 @@ pub fn instrument_profile(image: &Image) -> Result<Hardened, HardenError> {
         elim: true,
         batch: false, // singleton batches: exact per-site attribution
         merge: false,
+        elim_flow: false, // profile counters must cover every site
+        elim_redundant: false,
         size_harden: true,
         instrument_reads: true,
         lowfat: LowFatPolicy::All,
@@ -123,8 +135,16 @@ fn instrument(
 
     let mut stats = HardenStats::default();
 
-    // Site filter: read/write policy + (optionally) check elimination.
-    let filter = |_: u64, inst: &Inst| {
+    // Flow-sensitive provenance (computed once per image when enabled).
+    let prov = if config.elim_flow {
+        Some(Provenance::compute(&disasm, &cfg, image.entry))
+    } else {
+        None
+    };
+
+    // Site filter: read/write policy + (optionally) syntactic and
+    // flow-sensitive check elimination.
+    let filter = |addr: u64, inst: &Inst| {
         let Some(mem) = inst.memory_access() else {
             return false;
         };
@@ -134,12 +154,49 @@ fn instrument(
         if config.elim && !can_reach_heap(&mem) {
             return false;
         }
+        if let Some(p) = &prov {
+            if !p.site_can_reach_heap(&disasm, &cfg, addr, inst) {
+                return false;
+            }
+        }
         true
     };
 
-    // Count considered/eliminated for statistics (independent of filter
-    // composition order).
-    for (_, inst, _) in disasm.iter() {
+    // Which sites the LowFat policy grants a *full* check.
+    let allowed = |site: u64| match (&config.lowfat, mode) {
+        (_, PayloadMode::Profile) => true,
+        (LowFatPolicy::Disabled, _) => false,
+        (LowFatPolicy::All, _) => true,
+        (LowFatPolicy::AllowList(l), _) => l.contains(site),
+    };
+
+    // Redundant-check elimination: full checks subsumed by a dominating
+    // identical full check are downgraded to redzone-only. The gen
+    // predicate must be exactly "this site carries a full check", i.e.
+    // the pipeline filter composed with the policy.
+    let redundant = if config.elim_redundant && mode == PayloadMode::Harden {
+        Some(RedundantChecks::compute(
+            &disasm,
+            &cfg,
+            image.entry,
+            |a, i| filter(a, i) && allowed(a),
+        ))
+    } else {
+        None
+    };
+    // A site may be downgraded only when its root keeps its full check
+    // (roots are non-redundant by construction, but an allow-list could
+    // still withhold the root's LowFat component).
+    let downgraded = |site: u64| {
+        redundant
+            .as_ref()
+            .and_then(|r| r.root_of(site))
+            .is_some_and(&allowed)
+    };
+
+    // Count considered/eliminated/redundant for statistics (independent
+    // of filter composition order).
+    for (addr, inst, _) in disasm.iter() {
         if let Some(mem) = inst.memory_access() {
             if !config.instrument_reads && !inst.writes_memory() {
                 continue;
@@ -147,6 +204,10 @@ fn instrument(
             stats.sites_considered += 1;
             if config.elim && !can_reach_heap(&mem) {
                 stats.sites_eliminated += 1;
+            } else if let Some(p) = &prov {
+                if !p.site_can_reach_heap(&disasm, &cfg, addr, inst) {
+                    stats.sites_eliminated_flow += 1;
+                }
             }
         }
     }
@@ -163,27 +224,39 @@ fn instrument(
         let batch = queue[qi].clone();
         qi += 1;
 
-        let allowed = |site: u64| match (&config.lowfat, mode) {
-            (_, PayloadMode::Profile) => true,
-            (LowFatPolicy::Disabled, _) => false,
-            (LowFatPolicy::All, _) => true,
-            (LowFatPolicy::AllowList(l), _) => l.contains(site),
-        };
-
         // Partition members by policy so merging never mixes policies.
         let (lf_members, rz_members): (Vec<u64>, Vec<u64>) =
             batch.members.iter().partition(|&&m| allowed(m));
         let mut specs: Vec<CheckSpec> = Vec::new();
-        for (members, lowfat) in [(lf_members, true), (rz_members, false)] {
-            if members.is_empty() {
-                continue;
-            }
+        let mut batch_redundant = 0usize;
+        // Redundant-check downgrades apply at merged-check granularity:
+        // a check becomes redzone-only iff *every* site it covers is
+        // subsumed by a dominating identical check. Downgrading a single
+        // member would split its merge group and emit an extra check,
+        // costing more than the downgrade saves.
+        if !lf_members.is_empty() {
             let sub = Batch {
                 anchor: batch.anchor,
-                members,
+                members: lf_members,
             };
             for check in merge_checks(&disasm, &sub, config.merge) {
+                let lowfat = !check.sites.iter().all(|&s| downgraded(s));
+                if !lowfat {
+                    batch_redundant += check.sites.len();
+                }
                 specs.push(CheckSpec { check, lowfat });
+            }
+        }
+        if !rz_members.is_empty() {
+            let sub = Batch {
+                anchor: batch.anchor,
+                members: rz_members,
+            };
+            for check in merge_checks(&disasm, &sub, config.merge) {
+                specs.push(CheckSpec {
+                    check,
+                    lowfat: false,
+                });
             }
         }
         if specs.is_empty() {
@@ -197,9 +270,17 @@ fn instrument(
             .iter()
             .map(|s| (s.check.sites.len(), s.lowfat))
             .collect();
-        match BatchPayload::plan(specs, &dead, flags_dead, config.size_harden, config.lowfat_only, mode) {
+        match BatchPayload::plan(
+            specs,
+            &dead,
+            flags_dead,
+            config.size_harden,
+            config.lowfat_only,
+            mode,
+        ) {
             Some(p) => {
                 stats.checks += n_specs;
+                stats.sites_redundant += batch_redundant;
                 for (n, lowfat) in site_counts {
                     if lowfat {
                         stats.sites_lowfat += n;

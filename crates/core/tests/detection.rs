@@ -72,7 +72,10 @@ fn expect_error(img: &Image, input: Vec<i64>, cfg: &HardenConfig) -> redfat_emu:
     let out = run_once(&hardened.image, input, ErrorMode::Abort, 1_000_000);
     match out.result {
         RunResult::MemoryError(e) => e,
-        other => panic!("expected memory error, got {other:?} (errors: {:?})", out.errors),
+        other => panic!(
+            "expected memory error, got {other:?} (errors: {:?})",
+            out.errors
+        ),
     }
 }
 
@@ -197,7 +200,11 @@ fn reads_uninstrumented_in_writes_only_mode() {
         a.mov_mr(Width::W64, Mem::base_disp(Reg::Rbx, -8), Reg::Rcx);
         exit0(a);
     });
-    let e = expect_error(&img_w, vec![], &HardenConfig::minus_reads(LowFatPolicy::All));
+    let e = expect_error(
+        &img_w,
+        vec![],
+        &HardenConfig::minus_reads(LowFatPolicy::All),
+    );
     assert!(e.is_write);
 }
 

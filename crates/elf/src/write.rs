@@ -127,7 +127,7 @@ impl Image {
             debug_assert_eq!(out.len() as u64, shstr_off);
             out.extend_from_slice(b"\0.symtab\0.strtab\0.shstrtab\0");
             out.push(0); // pad to the 28 bytes assumed above
-            // ---- Shdrs ----
+                         // ---- Shdrs ----
             while (out.len() as u64) < shoff {
                 out.push(0);
             }

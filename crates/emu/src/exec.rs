@@ -114,7 +114,8 @@ impl ICache {
     }
 
     fn add_seg(&mut self, base: u64, size: u64) {
-        self.segs.push((base, base + size, vec![u32::MAX; size as usize]));
+        self.segs
+            .push((base, base + size, vec![u32::MAX; size as usize]));
         self.last = self.segs.len() - 1;
     }
 
@@ -173,9 +174,7 @@ impl<R: Runtime> Emu<R> {
             match self.step() {
                 Ok(None) => {}
                 Ok(Some(result)) => return result,
-                Err(EmuError::AccessVetoed { error, .. }) => {
-                    return RunResult::MemoryError(error)
-                }
+                Err(EmuError::AccessVetoed { error, .. }) => return RunResult::MemoryError(error),
                 Err(e) => return RunResult::Error(e),
             }
         }
@@ -283,10 +282,10 @@ impl<R: Runtime> Emu<R> {
         let (inst, len) = match self.icache.lookup(rip) {
             Some(hit) => hit,
             None => {
-                let bytes = self.vm.fetch(rip, 16).map_err(|fault| EmuError::Fault {
-                    rip,
-                    fault,
-                })?;
+                let bytes = self
+                    .vm
+                    .fetch(rip, 16)
+                    .map_err(|fault| EmuError::Fault { rip, fault })?;
                 let decoded =
                     decode_one(bytes, rip).map_err(|err| EmuError::Decode { rip, err })?;
                 if self.icache.seg_of(rip).is_none() {
@@ -374,7 +373,7 @@ impl<R: Runtime> Emu<R> {
                 }
             }
             (Op::Alu(op), O::MR { dst, src }) => {
-                let m = dst.clone();
+                let m = *dst;
                 let a = self.load(&m, w)?;
                 let b = self.cpu.read(*src, w);
                 let r = self.alu(op, w, a, b);
@@ -391,7 +390,7 @@ impl<R: Runtime> Emu<R> {
                 }
             }
             (Op::Alu(op), O::MI { dst, imm }) => {
-                let m = dst.clone();
+                let m = *dst;
                 let a = self.load(&m, w)?;
                 let b = mask(*imm as u64, w);
                 let r = self.alu(op, w, a, b);
@@ -416,7 +415,7 @@ impl<R: Runtime> Emu<R> {
                 self.cpu.write(*dst, w, r);
             }
             (Op::Shift(op), O::MI { dst, imm }) => {
-                let m = dst.clone();
+                let m = *dst;
                 let a = self.load(&m, w)?;
                 let r = self.shift(op, w, a, *imm as u32);
                 self.store(&m, w, r)?;
@@ -428,7 +427,7 @@ impl<R: Runtime> Emu<R> {
                 self.cpu.write(*r, w, v);
             }
             (Op::ShiftCl(op), O::M(m)) => {
-                let mm = m.clone();
+                let mm = *m;
                 let c = (self.cpu.get(Reg::Rcx) & 0xFF) as u32;
                 let a = self.load(&mm, w)?;
                 let v = self.shift(op, w, a, c);
@@ -477,7 +476,7 @@ impl<R: Runtime> Emu<R> {
                 self.cpu.flags.cf = a != 0;
             }
             (Op::Neg, O::M(m)) => {
-                let mm = m.clone();
+                let mm = *m;
                 let a = self.load(&mm, w)?;
                 let v = self.alu(AluOp::Sub, w, 0, a);
                 self.store(&mm, w, v)?;
@@ -488,7 +487,7 @@ impl<R: Runtime> Emu<R> {
                 self.cpu.write(*r, w, !a);
             }
             (Op::Not, O::M(m)) => {
-                let mm = m.clone();
+                let mm = *m;
                 let a = self.load(&mm, w)?;
                 self.store(&mm, w, !a)?;
             }
@@ -601,9 +600,7 @@ impl<R: Runtime> Emu<R> {
                 match self.runtime.syscall(&mut self.cpu, &mut self.vm) {
                     SyscallOutcome::Continue => {}
                     SyscallOutcome::Exit(code) => return Ok(Some(RunResult::Exited(code))),
-                    SyscallOutcome::Abort(err) => {
-                        return Ok(Some(RunResult::MemoryError(err)))
-                    }
+                    SyscallOutcome::Abort(err) => return Ok(Some(RunResult::MemoryError(err))),
                 }
             }
             (Op::Ud2, O::None) => return Err(EmuError::Ud2 { rip }),
@@ -675,7 +672,7 @@ impl<R: Runtime> Emu<R> {
         let r = r & width_mask(w);
         self.cpu.flags.zf = r == 0;
         self.cpu.flags.sf = r & sign_bit(w) != 0;
-        self.cpu.flags.pf = (r as u8).count_ones() % 2 == 0;
+        self.cpu.flags.pf = (r as u8).count_ones().is_multiple_of(2);
     }
 
     fn shift(&mut self, op: ShiftOp, w: Width, a: u64, count: u32) -> u64 {
@@ -737,8 +734,7 @@ impl<R: Runtime> Emu<R> {
                         self.cpu.flags.of = hi != 0;
                     }
                     _ => {
-                        let full =
-                            self.cpu.read(Reg::Rax, Width::W32) * (src & 0xFFFF_FFFF);
+                        let full = self.cpu.read(Reg::Rax, Width::W32) * (src & 0xFFFF_FFFF);
                         self.cpu.write(Reg::Rax, Width::W32, full & 0xFFFF_FFFF);
                         self.cpu.write(Reg::Rdx, Width::W32, full >> 32);
                         self.cpu.flags.cf = full >> 32 != 0;
@@ -763,7 +759,7 @@ impl<R: Runtime> Emu<R> {
                         self.cpu.set(Reg::Rdx, (dividend % src as u128) as u64);
                     }
                     _ => {
-                        let dividend = ((self.cpu.read(Reg::Rdx, Width::W32) as u64) << 32)
+                        let dividend = (self.cpu.read(Reg::Rdx, Width::W32) << 32)
                             | self.cpu.read(Reg::Rax, Width::W32);
                         let d = src & 0xFFFF_FFFF;
                         let q = dividend / d;
@@ -795,7 +791,7 @@ impl<R: Runtime> Emu<R> {
                             .set(Reg::Rdx, dividend.wrapping_rem(divisor) as u64);
                     }
                     _ => {
-                        let dividend = (((self.cpu.read(Reg::Rdx, Width::W32) as u64) << 32
+                        let dividend = ((self.cpu.read(Reg::Rdx, Width::W32) << 32
                             | self.cpu.read(Reg::Rax, Width::W32))
                             as i64) as i128;
                         let divisor = src as u32 as i32 as i128;

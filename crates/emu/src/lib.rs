@@ -32,6 +32,6 @@ pub use cost::{CostModel, Counters};
 pub use cpu::{Cpu, Flags};
 pub use exec::{Emu, EmuError, RunResult, TRAP_TABLE_MAGIC};
 pub use runtime::{
-    ErrorMode, GuestIo, HostRuntime, MemErrKind, MemoryError, ProfileStats, Runtime,
-    SyscallOutcome, syscalls,
+    syscalls, ErrorMode, GuestIo, HostRuntime, MemErrKind, MemoryError, ProfileStats, Runtime,
+    SyscallOutcome,
 };

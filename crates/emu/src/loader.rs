@@ -24,25 +24,25 @@ impl<R: Runtime> Emu<R> {
         let image = images.first().expect("at least one image");
         let mut vm = Vm::new();
         for (n, image) in images.iter().enumerate() {
-        for (i, seg) in image.segments.iter().enumerate() {
-            let mut prot = Prot(0);
-            if seg.flags.readable() {
-                prot = prot | Prot::R;
+            for (i, seg) in image.segments.iter().enumerate() {
+                let mut prot = Prot(0);
+                if seg.flags.readable() {
+                    prot = prot | Prot::R;
+                }
+                if seg.flags.writable() {
+                    prot = prot | Prot::W;
+                }
+                if seg.flags.executable() {
+                    prot = prot | Prot::X;
+                }
+                vm.map_with_data(
+                    seg.vaddr,
+                    seg.mem_size,
+                    prot,
+                    &format!("img{n}.seg{i}"),
+                    &seg.data,
+                );
             }
-            if seg.flags.writable() {
-                prot = prot | Prot::W;
-            }
-            if seg.flags.executable() {
-                prot = prot | Prot::X;
-            }
-            vm.map_with_data(
-                seg.vaddr,
-                seg.mem_size,
-                prot,
-                &format!("img{n}.seg{i}"),
-                &seg.data,
-            );
-        }
         }
         vm.map(
             layout::STACK_TOP - layout::STACK_SIZE,
@@ -71,9 +71,8 @@ impl<R: Runtime> Emu<R> {
                         if off + 16 > seg.data.len() {
                             break;
                         }
-                        let addr = u64::from_le_bytes(
-                            seg.data[off..off + 8].try_into().expect("8 bytes"),
-                        );
+                        let addr =
+                            u64::from_le_bytes(seg.data[off..off + 8].try_into().expect("8 bytes"));
                         let target = u64::from_le_bytes(
                             seg.data[off + 8..off + 16].try_into().expect("8 bytes"),
                         );
@@ -144,7 +143,11 @@ mod tests {
     fn malloc_returns_heap_pointer() {
         let img = image_of(|a| {
             a.mov_ri(Width::W64, Reg::Rdi, 100);
-            a.mov_ri(Width::W64, Reg::Rax, crate::runtime::syscalls::MALLOC as i64);
+            a.mov_ri(
+                Width::W64,
+                Reg::Rax,
+                crate::runtime::syscalls::MALLOC as i64,
+            );
             a.syscall();
             // Store and reload through the pointer.
             a.mov_ri(Width::W64, Reg::Rcx, 123);

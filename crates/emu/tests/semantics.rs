@@ -4,7 +4,7 @@
 use redfat_elf::{Image, ImageKind, SegFlags, Segment};
 use redfat_emu::{syscalls, Emu, EmuError, ErrorMode, HostRuntime, RunResult};
 use redfat_vm::layout;
-use redfat_x86::{AluOp, Asm, Cond, Mem, MulDivOp, Op, Operands, Inst, Reg, ShiftOp, Width};
+use redfat_x86::{AluOp, Asm, Cond, Inst, Mem, MulDivOp, Op, Operands, Reg, ShiftOp, Width};
 
 fn run_asm(f: impl FnOnce(&mut Asm)) -> Emu<HostRuntime> {
     let mut a = Asm::new(layout::CODE_BASE);
@@ -128,11 +128,11 @@ fn shifts_mask_count_and_set_carry() {
         a.mov_ri(Width::W64, Reg::Rbx, -16);
         a.shift_ri(ShiftOp::Sar, Width::W64, Reg::Rbx, 2);
         a.mov_rr(Width::W64, Reg::Rdi, Reg::Rbx); // -4
-        // shr is logical.
+                                                  // shr is logical.
         a.mov_ri(Width::W64, Reg::Rcx, -1);
         a.shift_ri(ShiftOp::Shr, Width::W64, Reg::Rcx, 60);
         a.alu_rr(AluOp::Add, Width::W64, Reg::Rdi, Reg::Rcx); // + 15
-        // count is masked mod 64: shl by 64 is a no-op.
+                                                              // count is masked mod 64: shl by 64 is a no-op.
         a.mov_ri(Width::W64, Reg::Rdx, 5);
         a.mov_ri(Width::W64, Reg::Rcx, 64);
         a.shift_cl(ShiftOp::Shl, Width::W64, Reg::Rdx);
@@ -285,7 +285,11 @@ fn rip_relative_load_reads_code_constant() {
         entry: layout::CODE_BASE,
         segments: vec![
             Segment::new(p.base, SegFlags::RX, p.bytes),
-            Segment::new(layout::GLOBALS_BASE, SegFlags::R, 0x4243_4445u64.to_le_bytes().to_vec()),
+            Segment::new(
+                layout::GLOBALS_BASE,
+                SegFlags::R,
+                0x4243_4445u64.to_le_bytes().to_vec(),
+            ),
         ],
         symbols: vec![],
     };

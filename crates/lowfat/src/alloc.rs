@@ -1,8 +1,7 @@
 //! The low-fat allocator proper: size-class subheaps in 32 GiB regions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use redfat_vm::layout;
+use redfat_vm::Rng64;
 use redfat_vm::{Prot, Vm};
 
 /// An allocation failure.
@@ -110,14 +109,14 @@ impl Subheap {
 pub struct LowFatAlloc {
     config: LowFatConfig,
     subheaps: Vec<Subheap>,
-    rng: StdRng,
+    rng: Rng64,
     stats: AllocStats,
 }
 
 impl LowFatAlloc {
     /// Creates an allocator with the given configuration.
     pub fn new(config: LowFatConfig) -> LowFatAlloc {
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = Rng64::new(config.seed);
         LowFatAlloc {
             config,
             subheaps: (1..=layout::NUM_CLASSES).map(Subheap::new).collect(),
@@ -192,7 +191,7 @@ impl LowFatAlloc {
         // Prefer the free list.
         if !heap.free_list.is_empty() {
             let idx = if self.config.randomize {
-                self.rng.gen_range(0..heap.free_list.len())
+                self.rng.below_usize(heap.free_list.len())
             } else {
                 heap.free_list.len() - 1
             };
@@ -211,7 +210,12 @@ impl LowFatAlloc {
             let grow_to = (end - region).next_multiple_of(64 << 10);
             let new_end = region + grow_to;
             if !vm.is_mapped(region) {
-                vm.map(region, new_end - region, Prot::RW, &format!("subheap{class}"));
+                vm.map(
+                    region,
+                    new_end - region,
+                    Prot::RW,
+                    &format!("subheap{class}"),
+                );
             } else {
                 vm.grow(region, new_end - region);
             }
@@ -231,7 +235,7 @@ impl LowFatAlloc {
             return Err(AllocError::InvalidFree(ptr));
         }
         let csize = layout::class_size(class);
-        if ptr % csize != 0 {
+        if !ptr.is_multiple_of(csize) {
             return Err(AllocError::InvalidFree(ptr));
         }
         let heap = &mut self.subheaps[class - 1];

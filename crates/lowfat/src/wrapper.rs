@@ -65,7 +65,9 @@ impl RedFatHeap {
         if base == 0 || ptr != base + REDZONE_SIZE {
             return Err(AllocError::InvalidFree(ptr));
         }
-        let size = vm.read_u64(base).map_err(|_| AllocError::InvalidFree(ptr))?;
+        let size = vm
+            .read_u64(base)
+            .map_err(|_| AllocError::InvalidFree(ptr))?;
         if size == 0 {
             return Err(AllocError::DoubleFree(ptr));
         }
@@ -101,7 +103,8 @@ impl RedFatHeap {
         let new_ptr = self.malloc(vm, new_size)?;
         let copy = old_size.min(new_size) as usize;
         let data = vm.read_bytes(ptr, copy).expect("old object mapped");
-        vm.write_privileged(new_ptr, &data).expect("new object mapped");
+        vm.write_privileged(new_ptr, &data)
+            .expect("new object mapped");
         self.free(vm, ptr)?;
         Ok(new_ptr)
     }
@@ -131,7 +134,9 @@ impl RedFatHeap {
         if base == 0 {
             return false;
         }
-        vm.read_u64(base + 8).map(|c| c == self.canary).unwrap_or(false)
+        vm.read_u64(base + 8)
+            .map(|c| c == self.canary)
+            .unwrap_or(false)
     }
 
     /// Returns allocator statistics.

@@ -1,10 +1,9 @@
-//! Property tests over the low-fat allocator and the RedFat wrapper:
+//! Randomized tests over the low-fat allocator and the RedFat wrapper:
 //! the base/size laws of §2.1 and structural invariants under random
-//! malloc/free traffic.
+//! malloc/free traffic, driven by a deterministic seeded generator.
 
-use proptest::prelude::*;
-use redfat_lowfat::{LowFatConfig, RedFatHeap, REDZONE_SIZE};
-use redfat_vm::{layout, Vm};
+use redfat_lowfat::{LowFatConfig, ObjState, RedFatHeap, REDZONE_SIZE};
+use redfat_vm::{layout, Rng64};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,22 +11,26 @@ enum Op {
     FreeNth(usize),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (1u64..5000).prop_map(Op::Malloc),
-            (0usize..64).prop_map(Op::FreeNth),
-        ],
-        1..120,
-    )
+fn random_script(r: &mut Rng64) -> Vec<Op> {
+    let n = r.below_usize(119) + 1;
+    (0..n)
+        .map(|_| {
+            if r.coin() {
+                Op::Malloc(r.range_u64(1, 5000))
+            } else {
+                Op::FreeNth(r.below_usize(64))
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn allocator_invariants_under_random_traffic(script in ops(), randomize in any::<bool>()) {
-        let mut vm = Vm::new();
+#[test]
+fn allocator_invariants_under_random_traffic() {
+    let mut r = Rng64::new(0xA110_C001);
+    for case in 0..256 {
+        let script = random_script(&mut r);
+        let randomize = r.coin();
+        let mut vm = redfat_vm::Vm::new();
         let mut heap = RedFatHeap::new(LowFatConfig {
             randomize,
             seed: 1234,
@@ -42,27 +45,26 @@ proptest! {
                     let ptr = heap.malloc(&mut vm, size).expect("small allocs succeed");
                     // Law 1: user pointer = base + 16, base is class-aligned.
                     let base = layout::lowfat_base(ptr);
-                    prop_assert_eq!(ptr, base + REDZONE_SIZE);
+                    assert_eq!(ptr, base + REDZONE_SIZE, "case {case}");
                     let class = layout::region_index(ptr);
-                    prop_assert!(class >= 1 && class <= layout::NUM_CLASSES);
+                    assert!((1..=layout::NUM_CLASSES).contains(&class));
                     let csize = layout::class_size(class);
-                    prop_assert_eq!(base % csize, 0);
-                    prop_assert!(size + REDZONE_SIZE <= csize);
+                    assert_eq!(base % csize, 0);
+                    assert!(size + REDZONE_SIZE <= csize);
                     // Law 2: every interior pointer maps back to base.
                     for probe in [0, size / 2, size.saturating_sub(1)] {
-                        prop_assert_eq!(layout::lowfat_base(ptr + probe), base);
-                        prop_assert_eq!(layout::lowfat_size(ptr + probe), csize);
+                        assert_eq!(layout::lowfat_base(ptr + probe), base);
+                        assert_eq!(layout::lowfat_size(ptr + probe), csize);
                     }
                     // Law 3: metadata reflects the malloc size.
-                    prop_assert_eq!(heap.object_size(&vm, ptr), Some(size));
+                    assert_eq!(heap.object_size(&vm, ptr), Some(size));
                     // Law 4: no overlap with any live object.
-                    for &(other, osize) in &live {
+                    for &(other, _osize) in &live {
                         let a0 = base;
                         let a1 = base + csize;
                         let b0 = layout::lowfat_base(other);
                         let b1 = b0 + layout::lowfat_size(other);
-                        let _ = osize;
-                        prop_assert!(a1 <= b0 || b1 <= a0, "overlap {a0:#x} {b0:#x}");
+                        assert!(a1 <= b0 || b1 <= a0, "overlap {a0:#x} {b0:#x}");
                     }
                     live.push((ptr, size));
                 }
@@ -71,7 +73,7 @@ proptest! {
                         let (ptr, _) = live.swap_remove(n % live.len());
                         heap.free(&mut vm, ptr).expect("live object frees");
                         // Freed metadata reads as Free (size 0).
-                        prop_assert_eq!(heap.object_size(&vm, ptr), None);
+                        assert_eq!(heap.object_size(&vm, ptr), None);
                     }
                 }
             }
@@ -79,38 +81,47 @@ proptest! {
 
         // Stats agree with the script.
         let stats = heap.stats();
-        prop_assert_eq!(stats.live as usize, live.len());
+        assert_eq!(stats.live as usize, live.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn nonfat_pointers_never_get_bases(addr in 0u64..layout::heap_start()) {
-        prop_assert_eq!(layout::lowfat_base(addr), 0);
-        prop_assert_eq!(layout::lowfat_size(addr), u64::MAX);
+#[test]
+fn nonfat_pointers_never_get_bases() {
+    let mut r = Rng64::new(0xA110_C002);
+    for _ in 0..4096 {
+        let addr = r.below(layout::heap_start());
+        assert_eq!(layout::lowfat_base(addr), 0);
+        assert_eq!(layout::lowfat_size(addr), u64::MAX);
     }
+}
 
-    #[test]
-    fn magic_division_matches_u128_reference(
-        class in 1usize..=layout::NUM_CLASSES,
-        offset in 0u64..layout::REGION_SIZE,
-    ) {
-        // The machine-code path computes base via mulhi(ptr, magic);
-        // verify against exact 128-bit division for random pointers.
+#[test]
+fn magic_division_matches_u128_reference() {
+    // The machine-code path computes base via mulhi(ptr, magic);
+    // verify against exact 128-bit division for random pointers.
+    let mut r = Rng64::new(0xA110_C003);
+    for _ in 0..16_384 {
+        let class = r.below_usize(layout::NUM_CLASSES) + 1;
+        let offset = r.below(layout::REGION_SIZE);
         let ptr = layout::region_base(class) + offset;
         let size = layout::class_size(class);
         let magic = layout::class_magic(class);
         let q_magic = ((ptr as u128 * magic as u128) >> 64) as u64;
-        prop_assert_eq!(q_magic, ptr / size, "class {} ptr {:#x}", class, ptr);
+        assert_eq!(q_magic, ptr / size, "class {class} ptr {ptr:#x}");
     }
+}
 
-    #[test]
-    fn state_partitions_the_object(size in 1u64..2000) {
-        let mut vm = Vm::new();
+#[test]
+fn state_partitions_the_object() {
+    let mut r = Rng64::new(0xA110_C004);
+    for _ in 0..64 {
+        let size = r.range_u64(1, 2000);
+        let mut vm = redfat_vm::Vm::new();
         let mut heap = RedFatHeap::new(LowFatConfig::default());
         heap.install(&mut vm);
         let ptr = heap.malloc(&mut vm, size).unwrap();
         let base = layout::lowfat_base(ptr);
         let csize = layout::lowfat_size(ptr);
-        use redfat_lowfat::ObjState;
         for off in 0..csize.min(256) {
             let st = heap.state(&vm, base + off);
             let expect = if off < REDZONE_SIZE {
@@ -120,7 +131,7 @@ proptest! {
             } else {
                 ObjState::Padding
             };
-            prop_assert_eq!(st, expect, "offset {}", off);
+            assert_eq!(st, expect, "size {size} offset {off}");
         }
     }
 }

@@ -24,11 +24,11 @@
 //!   (`dealII`, `zeusmp`: huge data segments, 80-bit x87) is modeled by
 //!   [`MemcheckLimits`].
 
-use redfat_emu::{
-    Cpu, CostModel, ErrorMode, HostRuntime, MemErrKind, MemoryError, Runtime, SyscallOutcome,
-    syscalls,
-};
 use redfat_elf::Image;
+use redfat_emu::{
+    syscalls, CostModel, Cpu, ErrorMode, HostRuntime, MemErrKind, MemoryError, Runtime,
+    SyscallOutcome,
+};
 use redfat_vm::{layout, Vm};
 use std::collections::BTreeMap;
 
@@ -237,15 +237,13 @@ impl Runtime for MemcheckRuntime {
             syscalls::REALLOC => {
                 let ptr = cpu.get(Rax);
                 if realloc_ptr != 0 {
-                    if let Some(ObjState::Live { size }) =
-                        self.objects.get(&realloc_ptr).copied()
-                    {
-                        self.objects
-                            .insert(realloc_ptr, ObjState::Freed { size });
+                    if let Some(ObjState::Live { size }) = self.objects.get(&realloc_ptr).copied() {
+                        self.objects.insert(realloc_ptr, ObjState::Freed { size });
                     }
                 }
                 if ptr != 0 {
-                    self.objects.insert(ptr, ObjState::Live { size: realloc_sz });
+                    self.objects
+                        .insert(ptr, ObjState::Live { size: realloc_sz });
                 }
             }
             syscalls::FREE => {

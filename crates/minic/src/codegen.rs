@@ -16,9 +16,7 @@ use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
 use redfat_elf::{Image, ImageKind, SegFlags, Segment};
 use redfat_emu::syscalls;
 use redfat_vm::layout;
-use redfat_x86::{
-    AluOp, Asm, AsmError, Cond, Inst, Label, Mem, Op, Operands, Reg, ShiftOp, Width,
-};
+use redfat_x86::{AluOp, Asm, AsmError, Cond, Inst, Label, Mem, Op, Operands, Reg, ShiftOp, Width};
 use std::collections::HashMap;
 
 /// Maximum expression nesting depth (temporary slots per frame).
@@ -160,9 +158,7 @@ impl Gen {
                 return Some(p);
             }
         }
-        self.globals
-            .get(name)
-            .map(|&(addr, _)| Place::Global(addr))
+        self.globals.get(name).map(|&(addr, _)| Place::Global(addr))
     }
 
     fn place_mem(place: Place) -> Mem {
@@ -291,9 +287,7 @@ impl Gen {
                     };
                     own.max(args.iter().map(|a| expr_arity(a, g)).max().unwrap_or(0))
                 }
-                Expr::Bin(_, a, b) | Expr::Index(a, b) => {
-                    expr_arity(a, g).max(expr_arity(b, g))
-                }
+                Expr::Bin(_, a, b) | Expr::Index(a, b) => expr_arity(a, g).max(expr_arity(b, g)),
                 Expr::Un(_, a) => expr_arity(a, g),
                 _ => 0,
             }
@@ -303,14 +297,15 @@ impl Gen {
                 Stmt::Decl(_, e) | Stmt::Assign(_, e) | Stmt::Expr(e) | Stmt::Return(e) => {
                     expr_arity(e, g)
                 }
-                Stmt::Store(a, b, c) => expr_arity(a, g)
-                    .max(expr_arity(b, g))
-                    .max(expr_arity(c, g)),
+                Stmt::Store(a, b, c) => {
+                    expr_arity(a, g).max(expr_arity(b, g)).max(expr_arity(c, g))
+                }
                 Stmt::If(e, a, b) => expr_arity(e, g)
                     .max(a.iter().map(|s| stmt_arity(s, g)).max().unwrap_or(0))
                     .max(b.iter().map(|s| stmt_arity(s, g)).max().unwrap_or(0)),
-                Stmt::While(e, b) => expr_arity(e, g)
-                    .max(b.iter().map(|s| stmt_arity(s, g)).max().unwrap_or(0)),
+                Stmt::While(e, b) => {
+                    expr_arity(e, g).max(b.iter().map(|s| stmt_arity(s, g)).max().unwrap_or(0))
+                }
                 Stmt::For(i, e, st, b) => stmt_arity(i, g)
                     .max(expr_arity(e, g))
                     .max(stmt_arity(st, g))
@@ -318,7 +313,11 @@ impl Gen {
                 _ => 0,
             }
         }
-        f.body.iter().map(|s| stmt_arity(s, self)).max().unwrap_or(0)
+        f.body
+            .iter()
+            .map(|s| stmt_arity(s, self))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Resolves `e` to a register-resident variable, if it is one.
@@ -397,9 +396,10 @@ impl Gen {
                 self.expr(ctx, inner)?;
                 match op {
                     UnOp::Neg => self.asm.neg_r(Width::W64, Reg::Rax),
-                    UnOp::Not => self
-                        .asm
-                        .emit(Inst::new(Op::Not, Width::W64, Operands::R(Reg::Rax)))?,
+                    UnOp::Not => {
+                        self.asm
+                            .emit(Inst::new(Op::Not, Width::W64, Operands::R(Reg::Rax)))?
+                    }
                     UnOp::LNot => {
                         self.asm.test_rr(Width::W64, Reg::Rax, Reg::Rax);
                         self.asm.setcc_r(Cond::E, Reg::Rax);
@@ -449,17 +449,23 @@ impl Gen {
                 // the complex side first and applies the leaf directly,
                 // avoiding a temp-slot round trip (accumulation patterns
                 // like `acc = acc + f(x)` hit this constantly).
-                if self.leaf(ctx, r).is_none() && self.leaf(ctx, l).is_some() {
-                    if matches!(
+                if self.leaf(ctx, r).is_none()
+                    && self.leaf(ctx, l).is_some()
+                    && matches!(
                         op,
-                        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
-                            | BinOp::Eq | BinOp::Ne
-                    ) {
-                        let leaf = self.leaf(ctx, l).expect("checked");
-                        self.expr(ctx, r)?;
-                        self.bin_with_leaf(*op, leaf)?;
-                        return Ok(());
-                    }
+                        BinOp::Add
+                            | BinOp::Mul
+                            | BinOp::And
+                            | BinOp::Or
+                            | BinOp::Xor
+                            | BinOp::Eq
+                            | BinOp::Ne
+                    )
+                {
+                    let leaf = self.leaf(ctx, l).expect("checked");
+                    self.expr(ctx, r)?;
+                    self.bin_with_leaf(*op, leaf)?;
+                    return Ok(());
                 }
                 self.expr(ctx, l)?;
                 if let Some(leaf) = self.leaf(ctx, r) {
@@ -784,11 +790,7 @@ impl Gen {
                 // pointer -- the mini-C mechanism for calling into a
                 // separately compiled (and separately hardened) library.
                 if args.is_empty() || args.len() > 4 {
-                    return Err(CodegenError::ArityMismatch(
-                        name.to_owned(),
-                        2,
-                        args.len(),
-                    ));
+                    return Err(CodegenError::ArityMismatch(name.to_owned(), 2, args.len()));
                 }
                 // Evaluate call arguments into the argument registers,
                 // then the target into rax, then call through it.
@@ -841,9 +843,7 @@ impl Gen {
                     };
                     if let Some(mem) = mem {
                         match value_leaf {
-                            Leaf::Imm(v) => {
-                                self.asm.mov_ri(Width::W64, Reg::Rax, v as i64)
-                            }
+                            Leaf::Imm(v) => self.asm.mov_ri(Width::W64, Reg::Rax, v as i64),
                             Leaf::Reg(r) => self.asm.mov_rr(Width::W64, Reg::Rax, r),
                             Leaf::Mem(m) => self.asm.mov_rm(Width::W64, Reg::Rax, m),
                         }
@@ -853,7 +853,8 @@ impl Gen {
                 }
                 self.eval_args_to_regs(ctx, args)?;
                 self.asm.mov_rr(Width::W64, Reg::Rax, Reg::Rdx);
-                self.asm.mov_mr(Width::W8, Mem::bis(Reg::Rdi, Reg::Rsi, 1, 0), Reg::Rax);
+                self.asm
+                    .mov_mr(Width::W8, Mem::bis(Reg::Rdi, Reg::Rsi, 1, 0), Reg::Rax);
                 return Ok(Some(()));
             }
             _ => return Ok(None),
@@ -952,9 +953,10 @@ impl Gen {
                     .insert(name.clone(), place);
                 match place {
                     Place::RegVar(r) => self.asm.mov_rr(Width::W64, r, Reg::Rax),
-                    Place::Slot(off) => self
-                        .asm
-                        .mov_mr(Width::W64, Mem::base_disp(Reg::Rsp, off), Reg::Rax),
+                    Place::Slot(off) => {
+                        self.asm
+                            .mov_mr(Width::W64, Mem::base_disp(Reg::Rsp, off), Reg::Rax)
+                    }
                     Place::Global(_) => unreachable!("locals are never global"),
                 }
             }
@@ -1067,7 +1069,8 @@ impl Gen {
         // pool registers the body actually needs, so the real prologue
         // only saves those -- like a compiler emitting a minimal
         // callee-save sequence.
-        let saved_asm = std::mem::replace(&mut self.asm, Asm::new(redfat_vm::layout::TRAMPOLINE_BASE));
+        let saved_asm =
+            std::mem::replace(&mut self.asm, Asm::new(redfat_vm::layout::TRAMPOLINE_BASE));
         let max_regs = match self.gen_function_body(f, REG_POOL.len()) {
             Ok(m) => m,
             Err(e) => {
@@ -1133,9 +1136,10 @@ impl Gen {
             ctx.vars[0].insert(pname.clone(), place);
             match place {
                 Place::RegVar(r) => self.asm.mov_rr(Width::W64, r, ARG_REGS[i]),
-                Place::Slot(off) => self
-                    .asm
-                    .mov_mr(Width::W64, Mem::base_disp(Reg::Rsp, off), ARG_REGS[i]),
+                Place::Slot(off) => {
+                    self.asm
+                        .mov_mr(Width::W64, Mem::base_disp(Reg::Rsp, off), ARG_REGS[i])
+                }
                 Place::Global(_) => unreachable!("params are never global"),
             }
         }

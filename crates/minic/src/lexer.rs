@@ -110,10 +110,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let bytes = src.as_bytes();
     let mut i = 0usize;
     let mut line = 1usize;
-    let err = |line: usize, msg: String| LexError {
-        line,
-        message: msg,
-    };
+    let err = |line: usize, msg: String| LexError { line, message: msg };
     while i < bytes.len() {
         let c = bytes[i];
         match c {
@@ -152,9 +149,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];

@@ -238,8 +238,11 @@ pub fn rewrite_with_bases(
     let tramp_prog = tramp.finish()?;
     stats.trampoline_bytes = tramp_prog.bytes.len();
     if !tramp_prog.bytes.is_empty() {
-        out.segments
-            .push(Segment::new(tramp_prog.base, SegFlags::RX, tramp_prog.bytes));
+        out.segments.push(Segment::new(
+            tramp_prog.base,
+            SegFlags::RX,
+            tramp_prog.bytes,
+        ));
     }
     if !traps.is_empty() {
         let mut table = Vec::with_capacity(16 + traps.len() * 16);
@@ -343,10 +346,7 @@ mod tests {
         // Site now starts with E9 (jmp rel32).
         assert_eq!(out.image.read_bytes(layout::CODE_BASE, 1).unwrap()[0], 0xE9);
         // A trampoline segment exists.
-        assert!(out
-            .image
-            .segment_at(layout::TRAMPOLINE_BASE)
-            .is_some());
+        assert!(out.image.segment_at(layout::TRAMPOLINE_BASE).is_some());
     }
 
     #[test]

@@ -41,7 +41,12 @@ fn demo_program(a: &mut Asm) {
     a.bind(loop_top).unwrap();
     a.alu_ri(AluOp::Cmp, Width::W64, Reg::Rcx, 10);
     a.jcc_label(Cond::Ge, done);
-    a.alu_rm(AluOp::Add, Width::W64, Reg::Rsi, Mem::bis(Reg::Rbx, Reg::Rcx, 8, 0));
+    a.alu_rm(
+        AluOp::Add,
+        Width::W64,
+        Reg::Rsi,
+        Mem::bis(Reg::Rbx, Reg::Rcx, 8, 0),
+    );
     a.alu_ri(AluOp::Add, Width::W64, Reg::Rcx, 1);
     a.jmp_label(loop_top);
     a.bind(done).unwrap();
@@ -86,7 +91,10 @@ fn identity_rewrite_preserves_behavior() {
     // Patch every heap-reachable memory access with an empty payload.
     let d = disassemble(&img);
     let cfg = Cfg::recover(&d, img.entry, &[]);
-    let batches = plan_batches(&d, &cfg, true, |_, i| i.memory_access().is_some_and(|m| redfat_analysis::can_reach_heap(&m)));
+    let batches = plan_batches(&d, &cfg, true, |_, i| {
+        i.memory_access()
+            .is_some_and(|m| redfat_analysis::can_reach_heap(&m))
+    });
     assert!(!batches.is_empty(), "demo program has checkable accesses");
     let patches: Vec<Patch> = batches
         .iter()
@@ -120,7 +128,10 @@ fn identity_rewrite_on_stripped_binary() {
 
     let d = disassemble(&img);
     let cfg = Cfg::recover(&d, img.entry, &[]);
-    let batches = plan_batches(&d, &cfg, false, |_, i| i.memory_access().is_some_and(|m| redfat_analysis::can_reach_heap(&m)));
+    let batches = plan_batches(&d, &cfg, false, |_, i| {
+        i.memory_access()
+            .is_some_and(|m| redfat_analysis::can_reach_heap(&m))
+    });
     let patches: Vec<Patch> = batches
         .iter()
         .map(|b| Patch {

@@ -120,7 +120,7 @@ pub fn class_for_size(size: u64) -> Option<usize> {
         return Some(1);
     }
     if size <= 1024 {
-        return Some(((size + 15) / 16) as usize);
+        return Some(size.div_ceil(16) as usize);
     }
     let mut class = 65;
     let mut cap = 2048u64;
@@ -275,7 +275,7 @@ mod tests {
     fn stack_far_from_heap_and_code() {
         // Check-elimination precondition: stack more than 2 GiB from heap.
         assert!(heap_start() - STACK_TOP > 2 << 30);
-        assert!(STACK_TOP - STACK_SIZE > TRAMPOLINE_BASE);
+        const { assert!(STACK_TOP - STACK_SIZE > TRAMPOLINE_BASE) };
         // Trampolines reachable from code with rel32.
         assert!(TRAMPOLINE_BASE - CODE_BASE < i32::MAX as u64);
     }

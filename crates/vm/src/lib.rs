@@ -12,6 +12,8 @@
 //! in [`layout`], shared by every crate that reasons about addresses.
 
 pub mod layout;
+pub mod rng;
 mod space;
 
+pub use rng::Rng64;
 pub use space::{Prot, Vm, VmFault, VmFaultKind, VmSegmentInfo};

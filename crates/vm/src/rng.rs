@@ -1,0 +1,114 @@
+//! A small deterministic PRNG (SplitMix64) shared by the allocator's
+//! randomized policies and the test suites.
+//!
+//! The reproduction must build offline, so it cannot pull in an external
+//! `rand` crate; SplitMix64 is tiny, has excellent statistical quality
+//! for this purpose, and -- crucially for reproducibility experiments --
+//! is fully determined by its seed.
+
+/// SplitMix64 generator state.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift reduction; the modulo bias is at most
+    /// `bound / 2^64`, negligible for every bound used here.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`. `lo < hi` required.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform signed value in `[lo, hi)`. `lo < hi` required.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng64::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = Rng64::new(42);
+        for _ in 0..10_000 {
+            let v = r.below(7);
+            assert!(v < 7);
+            let s = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&s));
+            let u = r.range_u64(100, 200);
+            assert!((100..200).contains(&u));
+        }
+    }
+
+    #[test]
+    fn reasonably_uniform() {
+        let mut r = Rng64::new(1);
+        let mut buckets = [0u32; 16];
+        for _ in 0..16_000 {
+            buckets[r.below_usize(16)] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b}");
+        }
+    }
+}

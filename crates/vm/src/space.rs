@@ -129,7 +129,11 @@ impl Vm {
         assert!(base.checked_add(size).is_some(), "segment wraps: {name}");
         let idx = self.segments.partition_point(|s| s.base < base);
         if let Some(next) = self.segments.get(idx) {
-            assert!(base + size <= next.base, "segment {name} overlaps {}", next.name);
+            assert!(
+                base + size <= next.base,
+                "segment {name} overlaps {}",
+                next.name
+            );
         }
         if idx > 0 {
             let prev = &self.segments[idx - 1];

@@ -59,9 +59,7 @@ fn access_code(pattern: char) -> &'static str {
 /// Builds one case.
 fn build_case(elems: i64, pattern: char, through_fn: bool, off_idx: usize) -> JulietCase {
     let access = access_code(pattern);
-    let body = format!(
-        "    var sink = 0;\n    {access}\n    print(sink + buf[0] + neighbor[0]);"
-    );
+    let body = format!("    var sink = 0;\n    {access}\n    print(sink + buf[0] + neighbor[0]);");
     let src = if through_fn {
         format!(
             "{PRELUDE}
@@ -148,8 +146,7 @@ mod tests {
     fn suite_has_480_distinct_cases() {
         let suite = generate();
         assert_eq!(suite.len(), 480);
-        let ids: std::collections::HashSet<&str> =
-            suite.iter().map(|c| c.id.as_str()).collect();
+        let ids: std::collections::HashSet<&str> = suite.iter().map(|c| c.id.as_str()).collect();
         assert_eq!(ids.len(), 480, "ids must be unique");
     }
 

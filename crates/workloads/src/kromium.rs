@@ -14,7 +14,7 @@
 //! Input protocol: `[kernel_id, scale]`; kernel 0 performs the startup
 //! sweep over a sample of generated functions.
 
-use crate::{kraken, Workload, Lang, PRELUDE};
+use crate::{kraken, Lang, Workload, PRELUDE};
 
 /// Number of generated "browser" functions.
 pub const DEFAULT_FILLERS: usize = 3400;
@@ -98,16 +98,10 @@ mod tests {
     #[test]
     fn kromium_is_much_larger_than_a_spec_binary() {
         let img = build().image();
-        let code: u64 = img
-            .exec_segments()
-            .map(|s| s.data.len() as u64)
-            .sum();
+        let code: u64 = img.exec_segments().map(|s| s.data.len() as u64).sum();
         let spec_img = crate::spec::by_name("gcc").unwrap().image();
         let spec_code: u64 = spec_img.exec_segments().map(|s| s.data.len() as u64).sum();
-        assert!(
-            code > 20 * spec_code,
-            "kromium {code} vs gcc {spec_code}"
-        );
+        assert!(code > 20 * spec_code, "kromium {code} vs gcc {spec_code}");
         assert!(code > 1 << 20, "over a MiB of code ({code})");
     }
 

@@ -55,6 +55,7 @@ fn perlbench() -> Workload {
     let src = format!(
         "{PRELUDE}
 global chk;
+global opstat[4];
 fn hash_bytes(key, len) {{
     var h = 5381;
     for (var i = 0; i < len; i = i + 1) {{
@@ -96,8 +97,15 @@ fn main() {{
             cur = cur[0];
         }}
         chk = chk + one_based[8 + (step % 8)];
+        // Op-mix counters through the static table (constant base
+        // address in a register, constant indices).
+        var st = &opstat;
+        st[0] = st[0] + 1;
+        st[1] = st[1] + klen;
         step = step + 1;
     }}
+    var st2 = &opstat;
+    print(st2[0] + st2[1]);
     print(chk & 0xffffffff);
     return 0;
 }}"
@@ -111,6 +119,13 @@ fn main() {{
 fn bzip2() -> Workload {
     let src = format!(
         "{PRELUDE}
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn main() {{
     var n = input();
     srnd(7);
@@ -142,6 +157,7 @@ fn main() {{
         store8(out, o, r);
         store8(out, o + 1, run);
         o = o + 2;
+        opcount(run);
         i = i + run;
     }}
     // Checksum of the encoding.
@@ -149,6 +165,7 @@ fn main() {{
     for (var k = 0; k < o; k = k + 1) {{ chk = (chk * 31 + load8(out, k)) & 0xffffff; }}
     print(chk);
     print(o);
+    print(opcount(0));
     return 0;
 }}"
     );
@@ -162,6 +179,13 @@ fn gcc() -> Workload {
     let src = format!(
         "{PRELUDE}
 global chk;
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn fold(node) {{
     // node = [op, lhs, rhs, value]; fold constants upward.
     if (node[0] == 0) {{ return node[3]; }}
@@ -200,8 +224,10 @@ fn main() {{
         var tree = build(6);
         chk = (chk + fold(tree)) & 0xffffffff;
 {anti}
+        opcount(step);
         step = step + 1;
     }}
+    print(opcount(0));
     print(chk);
     return 0;
 }}"
@@ -216,6 +242,13 @@ fn main() {{
 fn mcf() -> Workload {
     let src = format!(
         "{PRELUDE}
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn main() {{
     var n = input();
     srnd(429);
@@ -237,6 +270,7 @@ fn main() {{
         for (var i = 0; i < nodes; i = i + 1) {{
             var node = g + i * 64;
             var d = node[0];
+            opcount(d);
             if (d < 0x3fffffff) {{
                 var deg = node[1];
                 for (var e = 0; e < deg; e = e + 1) {{
@@ -252,6 +286,7 @@ fn main() {{
         var d = g[i * 8];
         if (d < 0x3fffffff) {{ chk = chk + d; }}
     }}
+    print(opcount(0));
     print(chk & 0xffffffff);
     return 0;
 }}"
@@ -264,6 +299,13 @@ fn gobmk() -> Workload {
     let src = format!(
         "{PRELUDE}
 global chk;
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn liberties(board, pos) {{
     var libs = 0;
     if (board[pos - 1] == 0) {{ libs = libs + 1; }}
@@ -292,6 +334,7 @@ fn main() {{
     for (var mv = 0; mv < n; mv = mv + 1) {{
         var pos = 22 + (rnd() % 19) * 21 + (rnd() % 19);
         var color = 1 + (mv % 2);
+        opcount(pos);
         if (board[pos] == 0) {{
             board[pos] = color;
             var l = liberties(board, pos);
@@ -305,6 +348,7 @@ fn main() {{
             }}
         }}
     }}
+    print(opcount(0));
     print(chk & 0xffffffff);
     return 0;
 }}"
@@ -321,6 +365,13 @@ fn hmmer() -> Workload {
     let src = format!(
         "{PRELUDE}
 global chk;
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn score(seq, slen, hmm, m) {{
     var vit = malloc((m + 1) * 8);
     var nxt = malloc((m + 1) * 8);
@@ -374,7 +425,9 @@ fn main() {{
         if (mode > 0) {{
             chk = chk + score2(seq, slen, hmm, m);
         }}
+        opcount(slen);
     }}
+    print(opcount(0));
     print(chk & 0xffffffff);
     return 0;
 }}"
@@ -387,6 +440,13 @@ fn sjeng() -> Workload {
     let src = format!(
         "{PRELUDE}
 global nodes;
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn eval(board) {{
     var s = 0;
     for (var i = 0; i < 16; i = i + 1) {{ s = s + board[i] * ((i & 3) - 1); }}
@@ -415,9 +475,11 @@ fn main() {{
     for (var g = 0; g < n; g = g + 1) {{
         for (var i = 0; i < 16; i = i + 1) {{ board[i] = rnd() % 3; }}
         chk = chk + negamax(board, 4, 1);
+        opcount(g);
     }}
     print(chk & 0xffffffff);
     print(nodes);
+    print(opcount(0));
     return 0;
 }}"
     );
@@ -429,6 +491,13 @@ fn main() {{
 fn libquantum() -> Workload {
     let src = format!(
         "{PRELUDE}
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn main() {{
     var n = input();
     srnd(462);
@@ -443,6 +512,7 @@ fn main() {{
     for (var it = 0; it < n; it = it + 1) {{
         var target = it % qubits;
         var mask = 1 << target;
+        opcount(mask);
         // \"Hadamard-ish\" butterfly on integer amplitudes.
         for (var i = 0; i < states; i = i + 1) {{
             if ((i & mask) == 0) {{
@@ -460,6 +530,7 @@ fn main() {{
     }}
     var chk = 0;
     for (var i = 0; i < states; i = i + 1) {{ chk = chk + reg[i * 2] + reg[i * 2 + 1]; }}
+    print(opcount(0));
     print(chk & 0xffffffff);
     return 0;
 }}"
@@ -474,6 +545,13 @@ fn h264ref() -> Workload {
     let src = format!(
         "{PRELUDE}
 global chk;
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn sad(frame, refp, w, bx, by) {{
     // refp is the displaced reference-frame pointer (refframe + dy*w+dx).
     var s = 0;
@@ -546,12 +624,14 @@ fn main() {{
             }}
         }}
         chk = chk + best;
+        opcount(best);
         if (mode > 0) {{
             chk = chk + halfpel(frame, refframe, width, bx, by);
             chk = chk + quarterpel(frame, refframe, width, bx, by);
             chk = chk + deblock(frame, width, bx, by);
         }}
     }}
+    print(opcount(0));
     print(chk & 0xffffffff);
     return 0;
 }}"
@@ -629,6 +709,13 @@ fn main() {{
 fn astar() -> Workload {
     let src = format!(
         "{PRELUDE}
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn main() {{
     var n = input();
     srnd(473);
@@ -650,6 +737,7 @@ fn main() {{
         while (head < tail) {{
             var cur = queue[head];
             head = head + 1;
+            opcount(cur);
             var d = dist[cur];
             var x = cur % dim;
             var y = cur / dim;
@@ -673,6 +761,7 @@ fn main() {{
         }}
         chk = chk + dist[cells - 1];
     }}
+    print(opcount(0));
     print(chk & 0xffffffff);
     return 0;
 }}"
@@ -733,6 +822,13 @@ fn main() {{
 fn milc() -> Workload {
     let src = format!(
         "{PRELUDE}
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn main() {{
     var n = input();
     srnd(433);
@@ -745,6 +841,7 @@ fn main() {{
         for (var s = 0; s < sites; s = s + 1) {{
             // m = field[s] * field[e] + field[south] (2x2 integer),
             // through element pointers.
+            opcount(s);
             var ap = field + s * 32;
             var bp = field + ((s + 1) % sites) * 32;
             var sp = field + ((s + dim) % sites) * 32;
@@ -764,6 +861,7 @@ fn main() {{
     }}
     var chk = 0;
     for (var i = 0; i < sites * 4; i = i + 1) {{ chk = chk + field[i]; }}
+    print(opcount(0));
     print(chk & 0xffffffff);
     return 0;
 }}"
@@ -776,6 +874,13 @@ fn main() {{
 fn lbm() -> Workload {
     let src = format!(
         "{PRELUDE}
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn main() {{
     var n = input();
     srnd(470);
@@ -787,6 +892,7 @@ fn main() {{
         for (var c = 1; c < cells - 1; c = c + 1) {{
             // Collide: relax toward local mean; stream left/right.
             // Element pointers, as a strength-reducing compiler emits.
+            opcount(c);
             var fp = f + c * 32;
             var gp = g + c * 32;
             var m = (fp[0] + fp[1] + fp[2] + fp[3]) / 4;
@@ -799,6 +905,7 @@ fn main() {{
     }}
     var chk = 0;
     for (var i = 0; i < cells * 4; i = i + 1) {{ chk = chk + f[i]; }}
+    print(opcount(0));
     print(chk & 0xffffffff);
     return 0;
 }}"
@@ -810,6 +917,13 @@ fn main() {{
 fn sphinx3() -> Workload {
     let src = format!(
         "{PRELUDE}
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn main() {{
     var n = input();
     srnd(482);
@@ -837,7 +951,9 @@ fn main() {{
             if (score < best) {{ best = score; }}
         }}
         chk = chk + best;
+        opcount(best);
     }}
+    print(opcount(0));
     print(chk & 0xffffffff);
     return 0;
 }}"
@@ -849,6 +965,13 @@ fn main() {{
 fn namd() -> Workload {
     let src = format!(
         "{PRELUDE}
+global opstat[4];
+fn opcount(k) {{
+    var st = &opstat;
+    st[0] = st[0] + 1;
+    st[1] = st[1] + k;
+    return st[0] + st[1];
+}}
 fn main() {{
     var n = input();
     srnd(444);
@@ -862,6 +985,7 @@ fn main() {{
         for (var i = 0; i < atoms; i = i + 1) {{
             var pi = pos + i * 24;
             var fi = force + i * 24;
+            opcount(i);
             for (var j = i + 1; j < atoms; j = j + 1) {{
                 var pj = pos + j * 24;
                 var dx = pi[0] - pj[0];
@@ -881,6 +1005,7 @@ fn main() {{
         }}
         chk = chk + force[0];
     }}
+    print(opcount(0));
     print(chk & 0xffffffff);
     return 0;
 }}"

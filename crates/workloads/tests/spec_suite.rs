@@ -9,18 +9,18 @@ fn run_baseline(wl: &redfat_workloads::Workload, input: &[i64]) -> (RunResult, V
     let rt = HostRuntime::new(ErrorMode::Log).with_input(input.to_vec());
     let mut emu = Emu::load_image(&image, rt);
     let r = emu.run(400_000_000);
-    (r, emu.runtime.io.out_ints.clone(), emu.counters.instructions)
+    (
+        r,
+        emu.runtime.io.out_ints.clone(),
+        emu.counters.instructions,
+    )
 }
 
 #[test]
 fn all_benchmarks_compile() {
     for wl in spec::all() {
         let img = wl.image();
-        assert!(
-            img.exec_segments().next().is_some(),
-            "{} has code",
-            wl.name
-        );
+        assert!(img.exec_segments().next().is_some(), "{} has code", wl.name);
     }
 }
 
@@ -112,10 +112,6 @@ fn ref_is_materially_bigger_than_train() {
     for wl in spec::all() {
         let (_, _, train) = run_baseline(&wl, &wl.train_input);
         let (_, _, refn) = run_baseline(&wl, &wl.ref_input);
-        assert!(
-            refn > 2 * train,
-            "{}: ref {refn} vs train {train}",
-            wl.name
-        );
+        assert!(refn > 2 * train, "{}: ref {refn} vs train {train}", wl.name);
     }
 }

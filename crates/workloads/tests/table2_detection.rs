@@ -8,16 +8,32 @@ use redfat_memcheck::MemcheckRuntime;
 use redfat_workloads::{cve, juliet};
 
 fn redfat_detects(workload: &redfat_workloads::Workload, input: &[i64]) -> bool {
-    let hardened = harden(&workload.image(), &HardenConfig::with_merge(LowFatPolicy::All))
-        .expect("hardens");
-    let out = run_once(&hardened.image, input.to_vec(), ErrorMode::Abort, 50_000_000);
+    let hardened = harden(
+        &workload.image(),
+        &HardenConfig::with_merge(LowFatPolicy::All),
+    )
+    .expect("hardens");
+    let out = run_once(
+        &hardened.image,
+        input.to_vec(),
+        ErrorMode::Abort,
+        50_000_000,
+    );
     matches!(out.result, RunResult::MemoryError(_))
 }
 
 fn redfat_clean(workload: &redfat_workloads::Workload, input: &[i64]) -> bool {
-    let hardened = harden(&workload.image(), &HardenConfig::with_merge(LowFatPolicy::All))
-        .expect("hardens");
-    let out = run_once(&hardened.image, input.to_vec(), ErrorMode::Abort, 50_000_000);
+    let hardened = harden(
+        &workload.image(),
+        &HardenConfig::with_merge(LowFatPolicy::All),
+    )
+    .expect("hardens");
+    let out = run_once(
+        &hardened.image,
+        input.to_vec(),
+        ErrorMode::Abort,
+        50_000_000,
+    );
     matches!(out.result, RunResult::Exited(_))
 }
 

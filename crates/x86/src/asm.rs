@@ -204,8 +204,12 @@ impl Asm {
 
     /// `lea mem, %dst`.
     pub fn lea(&mut self, dst: Reg, mem: Mem) {
-        self.emit(Inst::new(Op::Lea, Width::W64, Operands::RM { dst, src: mem }))
-            .expect("lea");
+        self.emit(Inst::new(
+            Op::Lea,
+            Width::W64,
+            Operands::RM { dst, src: mem },
+        ))
+        .expect("lea");
     }
 
     // ---- ALU ----
@@ -313,7 +317,8 @@ impl Asm {
 
     /// `neg %r`.
     pub fn neg_r(&mut self, w: Width, r: Reg) {
-        self.emit(Inst::new(Op::Neg, w, Operands::R(r))).expect("neg_r");
+        self.emit(Inst::new(Op::Neg, w, Operands::R(r)))
+            .expect("neg_r");
     }
 
     /// `cqo`.
@@ -437,7 +442,7 @@ impl Asm {
 
     /// Pads with single-byte NOPs until the position is `align`-aligned.
     pub fn align(&mut self, align: u64) {
-        while self.here() % align != 0 {
+        while !self.here().is_multiple_of(align) {
             self.nop();
         }
     }

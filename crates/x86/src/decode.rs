@@ -100,7 +100,10 @@ fn parse_modrm(c: &mut Cursor<'_>, rex: Rex, seg: Option<Seg>) -> Result<ModRm, 
 
     if md == 3 {
         let r = Reg::from_code(rm_low | if rex.b { 8 } else { 0 });
-        return Ok(ModRm { reg, rm: Rm::Reg(r) });
+        return Ok(ModRm {
+            reg,
+            rm: Rm::Reg(r),
+        });
     }
 
     if rm_low == 0b101 && md == 0 {
@@ -245,20 +248,19 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
 
     // Resolves a potential RIP r/m into a concrete Mem once `len` is
     // final; must be called after all immediate bytes are consumed.
-    let resolve =
-        |rm: Rm, total_len: usize| -> Rm {
-            match rm {
-                Rm::Rip(disp) => Rm::Mem(Mem {
-                    seg,
-                    base: None,
-                    index: None,
-                    scale: 1,
-                    disp: (addr + total_len as u64).wrapping_add(disp as i64 as u64) as i64,
-                    rip: true,
-                }),
-                other => other,
-            }
-        };
+    let resolve = |rm: Rm, total_len: usize| -> Rm {
+        match rm {
+            Rm::Rip(disp) => Rm::Mem(Mem {
+                seg,
+                base: None,
+                index: None,
+                scale: 1,
+                disp: (addr + total_len as u64).wrapping_add(disp as i64 as u64) as i64,
+                rip: true,
+            }),
+            other => other,
+        }
+    };
 
     macro_rules! done {
         ($op:expr, $w:expr, $operands:expr, $c:expr) => {{
@@ -295,7 +297,11 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
             with_modrm!(c, |m| {
                 let len = c.pos;
                 let rm = resolve(m.rm, len);
-                let ops = if load_dir { rm_(rm, m.reg) } else { mr(rm, m.reg) };
+                let ops = if load_dir {
+                    rm_(rm, m.reg)
+                } else {
+                    mr(rm, m.reg)
+                };
                 done!(Op::Alu(alu), width, ops, c)
             })
         }
@@ -337,14 +343,18 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
         }
 
         // ---- mov ----
-        0x88 | 0x89 | 0x8A | 0x8B => {
+        0x88..=0x8B => {
             let is8 = opcode & 1 == 0;
             let load_dir = opcode & 2 != 0;
             let width = if is8 { Width::W8 } else { w };
             with_modrm!(c, |m| {
                 let len = c.pos;
                 let rm = resolve(m.rm, len);
-                let ops = if load_dir { rm_(rm, m.reg) } else { mr(rm, m.reg) };
+                let ops = if load_dir {
+                    rm_(rm, m.reg)
+                } else {
+                    mr(rm, m.reg)
+                };
                 done!(Op::Mov, width, ops, c)
             })
         }
@@ -483,11 +493,21 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
                 }
                 4 => {
                     let len = c.pos;
-                    done!(Op::MulDiv(MulDivOp::Mul), width, unary(resolve(m.rm, len)), c)
+                    done!(
+                        Op::MulDiv(MulDivOp::Mul),
+                        width,
+                        unary(resolve(m.rm, len)),
+                        c
+                    )
                 }
                 6 => {
                     let len = c.pos;
-                    done!(Op::MulDiv(MulDivOp::Div), width, unary(resolve(m.rm, len)), c)
+                    done!(
+                        Op::MulDiv(MulDivOp::Div),
+                        width,
+                        unary(resolve(m.rm, len)),
+                        c
+                    )
                 }
                 7 => {
                     let len = c.pos;
@@ -763,11 +783,7 @@ mod tests {
 
     #[test]
     fn decode_all_stops_at_junk() {
-        let mut bytes = encode(
-            &Inst::new(Op::Nop, Width::W64, Operands::None),
-            0x40_0000,
-        )
-        .unwrap();
+        let mut bytes = encode(&Inst::new(Op::Nop, Width::W64, Operands::None), 0x40_0000).unwrap();
         bytes.push(0x0F);
         bytes.push(0x28); // SSE: unsupported.
         let insts = crate::decode_all(&bytes, 0x40_0000);

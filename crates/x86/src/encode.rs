@@ -262,17 +262,47 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
         (Op::Mov, O::RR { dst, src }) => {
             let opc = if w8 { [0x88] } else { [0x89] };
             let bare = w8 && (bare8(*dst) || bare8(*src));
-            emit_modrm(e, addr, w64, &opc, src.code(), Some(*src), Rm::Reg(*dst), &[], bare)
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                src.code(),
+                Some(*src),
+                Rm::Reg(*dst),
+                &[],
+                bare,
+            )
         }
         (Op::Mov, O::MR { dst, src }) => {
             let opc = if w8 { [0x88] } else { [0x89] };
             let bare = w8 && bare8(*src);
-            emit_modrm(e, addr, w64, &opc, src.code(), Some(*src), Rm::Mem(*dst), &[], bare)
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                src.code(),
+                Some(*src),
+                Rm::Mem(*dst),
+                &[],
+                bare,
+            )
         }
         (Op::Mov, O::RM { dst, src }) => {
             let opc = if w8 { [0x8A] } else { [0x8B] };
             let bare = w8 && bare8(*dst);
-            emit_modrm(e, addr, w64, &opc, dst.code(), Some(*dst), Rm::Mem(*src), &[], bare)
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                dst.code(),
+                Some(*dst),
+                Rm::Mem(*src),
+                &[],
+                bare,
+            )
         }
         (Op::Mov, O::RI { dst, imm }) => {
             match w {
@@ -293,7 +323,17 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
                 Width::W64 => {
                     if let Ok(v) = i32::try_from(*imm) {
                         // mov r/m64, imm32 (sign-extended): C7 /0.
-                        emit_modrm(e, addr, true, &[0xC7], 0, None, Rm::Reg(*dst), &v.to_le_bytes(), false)?;
+                        emit_modrm(
+                            e,
+                            addr,
+                            true,
+                            &[0xC7],
+                            0,
+                            None,
+                            Rm::Reg(*dst),
+                            &v.to_le_bytes(),
+                            false,
+                        )?;
                     } else {
                         // movabs: REX.W B8+r imm64.
                         e.rex(true, None, &Rm::Reg(*dst), false);
@@ -307,36 +347,112 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
         (Op::Mov, O::MI { dst, imm }) => {
             if w8 {
                 let v = i8::try_from(*imm).map_err(|_| EncodeError::OutOfRange("imm8"))?;
-                emit_modrm(e, addr, false, &[0xC6], 0, None, Rm::Mem(*dst), &[v as u8], false)
+                emit_modrm(
+                    e,
+                    addr,
+                    false,
+                    &[0xC6],
+                    0,
+                    None,
+                    Rm::Mem(*dst),
+                    &[v as u8],
+                    false,
+                )
             } else {
                 let v = i32::try_from(*imm).map_err(|_| EncodeError::OutOfRange("imm32"))?;
-                emit_modrm(e, addr, w64, &[0xC7], 0, None, Rm::Mem(*dst), &v.to_le_bytes(), false)
+                emit_modrm(
+                    e,
+                    addr,
+                    w64,
+                    &[0xC7],
+                    0,
+                    None,
+                    Rm::Mem(*dst),
+                    &v.to_le_bytes(),
+                    false,
+                )
             }
         }
 
         // ---- movzx / movsx / movsxd ----
         (Op::Movzx8, O::RR { dst, src }) => emit_modrm(
-            e, addr, w64, &[0x0F, 0xB6], dst.code(), Some(*dst), Rm::Reg(*src), &[], bare8(*src),
+            e,
+            addr,
+            w64,
+            &[0x0F, 0xB6],
+            dst.code(),
+            Some(*dst),
+            Rm::Reg(*src),
+            &[],
+            bare8(*src),
         ),
         (Op::Movzx8, O::RM { dst, src }) => emit_modrm(
-            e, addr, w64, &[0x0F, 0xB6], dst.code(), Some(*dst), Rm::Mem(*src), &[], false,
+            e,
+            addr,
+            w64,
+            &[0x0F, 0xB6],
+            dst.code(),
+            Some(*dst),
+            Rm::Mem(*src),
+            &[],
+            false,
         ),
         (Op::Movsx8, O::RR { dst, src }) => emit_modrm(
-            e, addr, w64, &[0x0F, 0xBE], dst.code(), Some(*dst), Rm::Reg(*src), &[], bare8(*src),
+            e,
+            addr,
+            w64,
+            &[0x0F, 0xBE],
+            dst.code(),
+            Some(*dst),
+            Rm::Reg(*src),
+            &[],
+            bare8(*src),
         ),
         (Op::Movsx8, O::RM { dst, src }) => emit_modrm(
-            e, addr, w64, &[0x0F, 0xBE], dst.code(), Some(*dst), Rm::Mem(*src), &[], false,
+            e,
+            addr,
+            w64,
+            &[0x0F, 0xBE],
+            dst.code(),
+            Some(*dst),
+            Rm::Mem(*src),
+            &[],
+            false,
         ),
         (Op::Movsxd, O::RR { dst, src }) => emit_modrm(
-            e, addr, true, &[0x63], dst.code(), Some(*dst), Rm::Reg(*src), &[], false,
+            e,
+            addr,
+            true,
+            &[0x63],
+            dst.code(),
+            Some(*dst),
+            Rm::Reg(*src),
+            &[],
+            false,
         ),
         (Op::Movsxd, O::RM { dst, src }) => emit_modrm(
-            e, addr, true, &[0x63], dst.code(), Some(*dst), Rm::Mem(*src), &[], false,
+            e,
+            addr,
+            true,
+            &[0x63],
+            dst.code(),
+            Some(*dst),
+            Rm::Mem(*src),
+            &[],
+            false,
         ),
 
         // ---- lea ----
         (Op::Lea, O::RM { dst, src }) => emit_modrm(
-            e, addr, w64, &[0x8D], dst.code(), Some(*dst), Rm::Mem(*src), &[], false,
+            e,
+            addr,
+            w64,
+            &[0x8D],
+            dst.code(),
+            Some(*dst),
+            Rm::Mem(*src),
+            &[],
+            false,
         ),
 
         // ---- ALU grid ----
@@ -344,17 +460,47 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
             let base = alu_base(op);
             let opc = if w8 { [base] } else { [base + 1] };
             let bare = w8 && (bare8(*dst) || bare8(*src));
-            emit_modrm(e, addr, w64, &opc, src.code(), Some(*src), Rm::Reg(*dst), &[], bare)
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                src.code(),
+                Some(*src),
+                Rm::Reg(*dst),
+                &[],
+                bare,
+            )
         }
         (Op::Alu(op), O::MR { dst, src }) => {
             let base = alu_base(op);
             let opc = if w8 { [base] } else { [base + 1] };
-            emit_modrm(e, addr, w64, &opc, src.code(), Some(*src), Rm::Mem(*dst), &[], w8 && bare8(*src))
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                src.code(),
+                Some(*src),
+                Rm::Mem(*dst),
+                &[],
+                w8 && bare8(*src),
+            )
         }
         (Op::Alu(op), O::RM { dst, src }) => {
             let base = alu_base(op) + 2;
             let opc = if w8 { [base] } else { [base + 1] };
-            emit_modrm(e, addr, w64, &opc, dst.code(), Some(*dst), Rm::Mem(*src), &[], w8 && bare8(*dst))
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                dst.code(),
+                Some(*dst),
+                Rm::Mem(*src),
+                &[],
+                w8 && bare8(*dst),
+            )
         }
         (Op::Alu(op), O::RI { dst, imm }) => encode_alu_imm(e, addr, op, w, Rm::Reg(*dst), *imm),
         (Op::Alu(op), O::MI { dst, imm }) => encode_alu_imm(e, addr, op, w, Rm::Mem(*dst), *imm),
@@ -363,68 +509,220 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
         (Op::Test, O::RR { dst, src }) => {
             let opc = if w8 { [0x84] } else { [0x85] };
             let bare = w8 && (bare8(*dst) || bare8(*src));
-            emit_modrm(e, addr, w64, &opc, src.code(), Some(*src), Rm::Reg(*dst), &[], bare)
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                src.code(),
+                Some(*src),
+                Rm::Reg(*dst),
+                &[],
+                bare,
+            )
         }
         (Op::Test, O::RI { dst, imm }) => {
             if w8 {
                 let v = i8::try_from(*imm).map_err(|_| EncodeError::OutOfRange("imm8"))?;
-                emit_modrm(e, addr, false, &[0xF6], 0, None, Rm::Reg(*dst), &[v as u8], bare8(*dst))
+                emit_modrm(
+                    e,
+                    addr,
+                    false,
+                    &[0xF6],
+                    0,
+                    None,
+                    Rm::Reg(*dst),
+                    &[v as u8],
+                    bare8(*dst),
+                )
             } else {
                 let v = i32::try_from(*imm).map_err(|_| EncodeError::OutOfRange("imm32"))?;
-                emit_modrm(e, addr, w64, &[0xF7], 0, None, Rm::Reg(*dst), &v.to_le_bytes(), false)
+                emit_modrm(
+                    e,
+                    addr,
+                    w64,
+                    &[0xF7],
+                    0,
+                    None,
+                    Rm::Reg(*dst),
+                    &v.to_le_bytes(),
+                    false,
+                )
             }
         }
 
         // ---- shifts ----
         (Op::Shift(op), O::RI { dst, imm }) => {
             let count = u8::try_from(*imm).map_err(|_| EncodeError::OutOfRange("shift count"))?;
-            emit_modrm(e, addr, w64, &[0xC1], op.digit(), None, Rm::Reg(*dst), &[count], false)
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &[0xC1],
+                op.digit(),
+                None,
+                Rm::Reg(*dst),
+                &[count],
+                false,
+            )
         }
         (Op::Shift(op), O::MI { dst, imm }) => {
             let count = u8::try_from(*imm).map_err(|_| EncodeError::OutOfRange("shift count"))?;
-            emit_modrm(e, addr, w64, &[0xC1], op.digit(), None, Rm::Mem(*dst), &[count], false)
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &[0xC1],
+                op.digit(),
+                None,
+                Rm::Mem(*dst),
+                &[count],
+                false,
+            )
         }
-        (Op::ShiftCl(op), O::R(r)) => {
-            emit_modrm(e, addr, w64, &[0xD3], op.digit(), None, Rm::Reg(*r), &[], false)
-        }
-        (Op::ShiftCl(op), O::M(m)) => {
-            emit_modrm(e, addr, w64, &[0xD3], op.digit(), None, Rm::Mem(*m), &[], false)
-        }
+        (Op::ShiftCl(op), O::R(r)) => emit_modrm(
+            e,
+            addr,
+            w64,
+            &[0xD3],
+            op.digit(),
+            None,
+            Rm::Reg(*r),
+            &[],
+            false,
+        ),
+        (Op::ShiftCl(op), O::M(m)) => emit_modrm(
+            e,
+            addr,
+            w64,
+            &[0xD3],
+            op.digit(),
+            None,
+            Rm::Mem(*m),
+            &[],
+            false,
+        ),
 
         // ---- multiply / divide ----
         (Op::Imul2, O::RR { dst, src }) => emit_modrm(
-            e, addr, w64, &[0x0F, 0xAF], dst.code(), Some(*dst), Rm::Reg(*src), &[], false,
+            e,
+            addr,
+            w64,
+            &[0x0F, 0xAF],
+            dst.code(),
+            Some(*dst),
+            Rm::Reg(*src),
+            &[],
+            false,
         ),
         (Op::Imul2, O::RM { dst, src }) => emit_modrm(
-            e, addr, w64, &[0x0F, 0xAF], dst.code(), Some(*dst), Rm::Mem(*src), &[], false,
+            e,
+            addr,
+            w64,
+            &[0x0F, 0xAF],
+            dst.code(),
+            Some(*dst),
+            Rm::Mem(*src),
+            &[],
+            false,
         ),
         (Op::Imul3, O::RRI { dst, src, imm }) => {
             if let Ok(v) = i8::try_from(*imm) {
-                emit_modrm(e, addr, w64, &[0x6B], dst.code(), Some(*dst), Rm::Reg(*src), &[v as u8], false)
+                emit_modrm(
+                    e,
+                    addr,
+                    w64,
+                    &[0x6B],
+                    dst.code(),
+                    Some(*dst),
+                    Rm::Reg(*src),
+                    &[v as u8],
+                    false,
+                )
             } else {
                 let v = i32::try_from(*imm).map_err(|_| EncodeError::OutOfRange("imm32"))?;
-                emit_modrm(e, addr, w64, &[0x69], dst.code(), Some(*dst), Rm::Reg(*src), &v.to_le_bytes(), false)
+                emit_modrm(
+                    e,
+                    addr,
+                    w64,
+                    &[0x69],
+                    dst.code(),
+                    Some(*dst),
+                    Rm::Reg(*src),
+                    &v.to_le_bytes(),
+                    false,
+                )
             }
         }
         (Op::Imul3, O::RMI { dst, src, imm }) => {
             if let Ok(v) = i8::try_from(*imm) {
-                emit_modrm(e, addr, w64, &[0x6B], dst.code(), Some(*dst), Rm::Mem(*src), &[v as u8], false)
+                emit_modrm(
+                    e,
+                    addr,
+                    w64,
+                    &[0x6B],
+                    dst.code(),
+                    Some(*dst),
+                    Rm::Mem(*src),
+                    &[v as u8],
+                    false,
+                )
             } else {
                 let v = i32::try_from(*imm).map_err(|_| EncodeError::OutOfRange("imm32"))?;
-                emit_modrm(e, addr, w64, &[0x69], dst.code(), Some(*dst), Rm::Mem(*src), &v.to_le_bytes(), false)
+                emit_modrm(
+                    e,
+                    addr,
+                    w64,
+                    &[0x69],
+                    dst.code(),
+                    Some(*dst),
+                    Rm::Mem(*src),
+                    &v.to_le_bytes(),
+                    false,
+                )
             }
         }
         (Op::MulDiv(op), O::R(r)) => {
             let opc = if w8 { [0xF6] } else { [0xF7] };
-            emit_modrm(e, addr, w64, &opc, op.digit(), None, Rm::Reg(*r), &[], w8 && bare8(*r))
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                op.digit(),
+                None,
+                Rm::Reg(*r),
+                &[],
+                w8 && bare8(*r),
+            )
         }
         (Op::MulDiv(op), O::M(m)) => {
             let opc = if w8 { [0xF6] } else { [0xF7] };
-            emit_modrm(e, addr, w64, &opc, op.digit(), None, Rm::Mem(*m), &[], false)
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                op.digit(),
+                None,
+                Rm::Mem(*m),
+                &[],
+                false,
+            )
         }
         (Op::Neg, O::R(r)) => {
             let opc = if w8 { [0xF6] } else { [0xF7] };
-            emit_modrm(e, addr, w64, &opc, 3, None, Rm::Reg(*r), &[], w8 && bare8(*r))
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                3,
+                None,
+                Rm::Reg(*r),
+                &[],
+                w8 && bare8(*r),
+            )
         }
         (Op::Neg, O::M(m)) => {
             let opc = if w8 { [0xF6] } else { [0xF7] };
@@ -432,7 +730,17 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
         }
         (Op::Not, O::R(r)) => {
             let opc = if w8 { [0xF6] } else { [0xF7] };
-            emit_modrm(e, addr, w64, &opc, 2, None, Rm::Reg(*r), &[], w8 && bare8(*r))
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &opc,
+                2,
+                None,
+                Rm::Reg(*r),
+                &[],
+                w8 && bare8(*r),
+            )
         }
         (Op::Not, O::M(m)) => {
             let opc = if w8 { [0xF6] } else { [0xF7] };
@@ -445,7 +753,9 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
             e.byte(0x50 | r.low3());
             Ok(())
         }
-        (Op::Push, O::M(m)) => emit_modrm(e, addr, false, &[0xFF], 6, None, Rm::Mem(*m), &[], false),
+        (Op::Push, O::M(m)) => {
+            emit_modrm(e, addr, false, &[0xFF], 6, None, Rm::Mem(*m), &[], false)
+        }
         (Op::Pop, O::R(r)) => {
             e.rex(false, None, &Rm::Reg(*r), false);
             e.byte(0x58 | r.low3());
@@ -475,8 +785,12 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
             e.byte(0xE8);
             emit_rel32(e, addr, *target)
         }
-        (Op::CallInd, O::R(r)) => emit_modrm(e, addr, false, &[0xFF], 2, None, Rm::Reg(*r), &[], false),
-        (Op::CallInd, O::M(m)) => emit_modrm(e, addr, false, &[0xFF], 2, None, Rm::Mem(*m), &[], false),
+        (Op::CallInd, O::R(r)) => {
+            emit_modrm(e, addr, false, &[0xFF], 2, None, Rm::Reg(*r), &[], false)
+        }
+        (Op::CallInd, O::M(m)) => {
+            emit_modrm(e, addr, false, &[0xFF], 2, None, Rm::Mem(*m), &[], false)
+        }
         (Op::Ret, O::None) => {
             e.byte(0xC3);
             Ok(())
@@ -492,8 +806,12 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
                 emit_rel32(e, addr, *target)
             }
         }
-        (Op::JmpInd, O::R(r)) => emit_modrm(e, addr, false, &[0xFF], 4, None, Rm::Reg(*r), &[], false),
-        (Op::JmpInd, O::M(m)) => emit_modrm(e, addr, false, &[0xFF], 4, None, Rm::Mem(*m), &[], false),
+        (Op::JmpInd, O::R(r)) => {
+            emit_modrm(e, addr, false, &[0xFF], 4, None, Rm::Reg(*r), &[], false)
+        }
+        (Op::JmpInd, O::M(m)) => {
+            emit_modrm(e, addr, false, &[0xFF], 4, None, Rm::Mem(*m), &[], false)
+        }
         (Op::Jcc(c), O::Rel(target)) => {
             let rel8 = (*target as i64) - (addr as i64 + 2);
             if let Ok(d8) = i8::try_from(rel8) {
@@ -509,16 +827,48 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
 
         // ---- conditional data ----
         (Op::Setcc(c), O::R(r)) => emit_modrm(
-            e, addr, false, &[0x0F, 0x90 | c.code()], 0, None, Rm::Reg(*r), &[], bare8(*r),
+            e,
+            addr,
+            false,
+            &[0x0F, 0x90 | c.code()],
+            0,
+            None,
+            Rm::Reg(*r),
+            &[],
+            bare8(*r),
         ),
         (Op::Setcc(c), O::M(m)) => emit_modrm(
-            e, addr, false, &[0x0F, 0x90 | c.code()], 0, None, Rm::Mem(*m), &[], false,
+            e,
+            addr,
+            false,
+            &[0x0F, 0x90 | c.code()],
+            0,
+            None,
+            Rm::Mem(*m),
+            &[],
+            false,
         ),
         (Op::Cmovcc(c), O::RR { dst, src }) => emit_modrm(
-            e, addr, w64, &[0x0F, 0x40 | c.code()], dst.code(), Some(*dst), Rm::Reg(*src), &[], false,
+            e,
+            addr,
+            w64,
+            &[0x0F, 0x40 | c.code()],
+            dst.code(),
+            Some(*dst),
+            Rm::Reg(*src),
+            &[],
+            false,
         ),
         (Op::Cmovcc(c), O::RM { dst, src }) => emit_modrm(
-            e, addr, w64, &[0x0F, 0x40 | c.code()], dst.code(), Some(*dst), Rm::Mem(*src), &[], false,
+            e,
+            addr,
+            w64,
+            &[0x0F, 0x40 | c.code()],
+            dst.code(),
+            Some(*dst),
+            Rm::Mem(*src),
+            &[],
+            false,
         ),
 
         // ---- system ----
@@ -574,14 +924,44 @@ fn encode_alu_imm(
         Width::W8 => {
             let v = i8::try_from(imm).map_err(|_| EncodeError::OutOfRange("imm8"))?;
             let bare = matches!(rm, Rm::Reg(r) if bare8(r));
-            emit_modrm(e, addr, false, &[0x80], op.digit(), None, rm, &[v as u8], bare)
+            emit_modrm(
+                e,
+                addr,
+                false,
+                &[0x80],
+                op.digit(),
+                None,
+                rm,
+                &[v as u8],
+                bare,
+            )
         }
         _ => {
             if let Ok(v) = i8::try_from(imm) {
-                emit_modrm(e, addr, w64, &[0x83], op.digit(), None, rm, &[v as u8], false)
+                emit_modrm(
+                    e,
+                    addr,
+                    w64,
+                    &[0x83],
+                    op.digit(),
+                    None,
+                    rm,
+                    &[v as u8],
+                    false,
+                )
             } else {
                 let v = i32::try_from(imm).map_err(|_| EncodeError::OutOfRange("imm32"))?;
-                emit_modrm(e, addr, w64, &[0x81], op.digit(), None, rm, &v.to_le_bytes(), false)
+                emit_modrm(
+                    e,
+                    addr,
+                    w64,
+                    &[0x81],
+                    op.digit(),
+                    None,
+                    rm,
+                    &v.to_le_bytes(),
+                    false,
+                )
             }
         }
     }

@@ -662,19 +662,17 @@ impl Inst {
     pub fn regs_written(&self) -> Vec<Reg> {
         let mut out = Vec::with_capacity(2);
         match &self.operands {
-            Operands::R(r) => {
-                if !matches!(self.op, Op::Push | Op::CallInd | Op::JmpInd) {
-                    out.push(*r);
-                }
+            Operands::R(r) if !matches!(self.op, Op::Push | Op::CallInd | Op::JmpInd) => {
+                out.push(*r);
             }
             Operands::RR { dst, .. }
             | Operands::RM { dst, .. }
             | Operands::RI { dst, .. }
             | Operands::RRI { dst, .. }
-            | Operands::RMI { dst, .. } => {
-                if !matches!(self.op, Op::Alu(AluOp::Cmp) | Op::Test) {
-                    out.push(*dst);
-                }
+            | Operands::RMI { dst, .. }
+                if !matches!(self.op, Op::Alu(AluOp::Cmp) | Op::Test) =>
+            {
+                out.push(*dst);
             }
             _ => {}
         }

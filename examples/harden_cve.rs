@@ -18,11 +18,22 @@ fn main() {
     let case = cve::wireshark_2012_4295();
     let image = case.workload.image();
     println!("{} ({})", case.cve, case.workload.name);
-    println!("benign speed = {:?}, attack speed = {:?}\n", case.benign_input, case.attack_input);
+    println!(
+        "benign speed = {:?}, attack speed = {:?}\n",
+        case.benign_input, case.attack_input
+    );
 
     // 1. Original binary: the attack corrupts the adjacent object.
-    let out = run_once(&image, case.attack_input.clone(), ErrorMode::Abort, 1_000_000);
-    println!("original under attack:      {:?} (silent corruption)", out.result);
+    let out = run_once(
+        &image,
+        case.attack_input.clone(),
+        ErrorMode::Abort,
+        1_000_000,
+    );
+    println!(
+        "original under attack:      {:?} (silent corruption)",
+        out.result
+    );
 
     // 2. Memcheck-style DBI baseline: misses the redzone skip.
     let rt = MemcheckRuntime::new(ErrorMode::Abort).with_input(case.attack_input.clone());
@@ -37,14 +48,24 @@ fn main() {
 
     // 3. RedFat: complementary (Redzone)+(LowFat) detects it.
     let hardened = harden(&image, &HardenConfig::with_merge(LowFatPolicy::All)).unwrap();
-    let out = run_once(&hardened.image, case.attack_input.clone(), ErrorMode::Abort, 1_000_000);
+    let out = run_once(
+        &hardened.image,
+        case.attack_input.clone(),
+        ErrorMode::Abort,
+        1_000_000,
+    );
     match out.result {
         RunResult::MemoryError(e) => println!("redfat under attack:        DETECTED: {e}"),
         other => panic!("expected detection, got {other:?}"),
     }
 
     // 4. And behaves identically on benign traffic.
-    let out = run_once(&hardened.image, case.benign_input.clone(), ErrorMode::Abort, 1_000_000);
+    let out = run_once(
+        &hardened.image,
+        case.benign_input.clone(),
+        ErrorMode::Abort,
+        1_000_000,
+    );
     println!("redfat on benign traffic:   {:?}", out.result);
     assert_eq!(out.result, RunResult::Exited(0));
 }

@@ -46,7 +46,10 @@ fn main() {
     // Naive full-LowFat hardening false-positives on the benign run.
     let naive = harden(&image, &HardenConfig::with_merge(LowFatPolicy::All)).unwrap();
     let out = run_once(&naive.image, vec![5, 2], ErrorMode::Abort, 1_000_000);
-    println!("naive lowfat-everywhere on benign input: {:?}  <- Problem #2!", out.result);
+    println!(
+        "naive lowfat-everywhere on benign input: {:?}  <- Problem #2!",
+        out.result
+    );
 
     // Phase 1: profile against a training suite.
     let profiling = instrument_profile(&image).expect("profiles");
@@ -74,7 +77,10 @@ fn main() {
 
     // Benign inputs: no false positives.
     let ok = run_once(&production.image, vec![5, 2], ErrorMode::Abort, 1_000_000);
-    println!("\nproduction, benign input: {:?} output {:?}", ok.result, ok.io.out_ints);
+    println!(
+        "\nproduction, benign input: {:?} output {:?}",
+        ok.result, ok.io.out_ints
+    );
     assert_eq!(ok.result, RunResult::Exited(0));
 
     // The attack on `buf` is still caught (non-incremental skip).

@@ -28,9 +28,15 @@ fn main() {
 
     // The original binary: the attack silently corrupts `prices`.
     let benign = run_once(&image, vec![3], ErrorMode::Abort, 1_000_000);
-    println!("original, seat=3  -> {:?}, prices[2] = {:?}", benign.result, benign.io.out_ints);
+    println!(
+        "original, seat=3  -> {:?}, prices[2] = {:?}",
+        benign.result, benign.io.out_ints
+    );
     let attacked = run_once(&image, vec![14], ErrorMode::Abort, 1_000_000);
-    println!("original, seat=14 -> {:?}, prices[2] = {:?}  (corrupted!)", attacked.result, attacked.io.out_ints);
+    println!(
+        "original, seat=14 -> {:?}, prices[2] = {:?}  (corrupted!)",
+        attacked.result, attacked.io.out_ints
+    );
 
     // Harden with the full (Redzone)+(LowFat) check (paper Figure 4).
     let config = HardenConfig::with_merge(LowFatPolicy::All);
@@ -42,7 +48,10 @@ fn main() {
 
     // The hardened binary behaves identically on benign input...
     let benign = run_once(&hardened.image, vec![3], ErrorMode::Abort, 1_000_000);
-    println!("hardened, seat=3  -> {:?}, prices[2] = {:?}", benign.result, benign.io.out_ints);
+    println!(
+        "hardened, seat=3  -> {:?}, prices[2] = {:?}",
+        benign.result, benign.io.out_ints
+    );
 
     // ...and aborts cleanly on the attack.
     let attacked = run_once(&hardened.image, vec![14], ErrorMode::Abort, 1_000_000);

@@ -71,8 +71,8 @@ fn verdict(r: &RunResult) -> &'static str {
 
 fn main() {
     let main_plain = compile(MAIN_SRC).expect("main compiles");
-    let lib_plain = compile_library(LIB_SRC, LIB_CODE_BASE, LIB_GLOBALS_BASE)
-        .expect("library compiles");
+    let lib_plain =
+        compile_library(LIB_SRC, LIB_CODE_BASE, LIB_GLOBALS_BASE).expect("library compiles");
 
     let cfg = HardenConfig::with_merge(LowFatPolicy::All);
     let main_hard = harden(&main_plain, &cfg).expect("main hardens").image;

@@ -5,8 +5,7 @@
 //! corruption, allow-list round-trips).
 
 use redfat::core::{
-    collect_allowlist, harden, instrument_profile, run_once, AllowList, HardenConfig,
-    LowFatPolicy,
+    collect_allowlist, harden, instrument_profile, run_once, AllowList, HardenConfig, LowFatPolicy,
 };
 use redfat::emu::{ErrorMode, MemErrKind, RunResult};
 use redfat::minic::compile;
@@ -127,10 +126,7 @@ fn optimization_ladder_monotonically_cheapens() {
         cycles.push(out.counters.cycles);
     }
     for w in cycles.windows(2) {
-        assert!(
-            w[1] <= w[0],
-            "optimization increased cost: {cycles:?}"
-        );
+        assert!(w[1] <= w[0], "optimization increased cost: {cycles:?}");
     }
     // And the fully-hardened binary costs more than baseline.
     let base = run_once(&image, vec![], ErrorMode::Abort, 100_000_000);
@@ -226,7 +222,11 @@ fn minus_size_accepts_what_metadata_hardening_rejects() {
         }
     };
     assert!(corrupted);
-    assert_eq!(result, RunResult::Exited(0), "-size tolerates metadata lies");
+    assert_eq!(
+        result,
+        RunResult::Exited(0),
+        "-size tolerates metadata lies"
+    );
 }
 
 #[test]
@@ -336,7 +336,10 @@ fn lowfat_only_ablation_misses_uaf_catches_skip() {
     let lowfat = redfat::core::HardenConfig::lowfat_only();
     let h_skip = harden(&skip, &lowfat).unwrap();
     let out = run_once(&h_skip.image, vec![10], ErrorMode::Abort, 1_000_000);
-    assert!(matches!(out.result, RunResult::MemoryError(_)), "lowfat catches skips");
+    assert!(
+        matches!(out.result, RunResult::MemoryError(_)),
+        "lowfat catches skips"
+    );
     let h_uaf = harden(&uaf, &lowfat).unwrap();
     let out = run_once(&h_uaf.image, vec![1], ErrorMode::Abort, 1_000_000);
     assert_eq!(out.result, RunResult::Exited(0), "lowfat alone misses UAF");

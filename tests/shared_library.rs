@@ -56,7 +56,9 @@ fn protection_follows_instrumentation() {
     let lib_plain = compile_library(LIB_SRC, 0x0100_0000, 0x0120_0000).unwrap();
     let cfg = HardenConfig::with_merge(LowFatPolicy::All);
     let main_hard = harden(&main_plain, &cfg).unwrap().image;
-    let lib_hard = harden_with_bases(&lib_plain, &cfg, LIB_BASES).unwrap().image;
+    let lib_hard = harden_with_bases(&lib_plain, &cfg, LIB_BASES)
+        .unwrap()
+        .image;
 
     let detected = |r: &RunResult| matches!(r, RunResult::MemoryError(_));
     let atk = 10;
@@ -81,7 +83,9 @@ fn cross_image_calls_compute_correctly() {
     let lib_plain = compile_library(LIB_SRC, 0x0100_0000, 0x0120_0000).unwrap();
     let cfg = HardenConfig::with_merge(LowFatPolicy::All);
     let main_hard = harden(&main_plain, &cfg).unwrap().image;
-    let lib_hard = harden_with_bases(&lib_plain, &cfg, LIB_BASES).unwrap().image;
+    let lib_hard = harden_with_bases(&lib_plain, &cfg, LIB_BASES)
+        .unwrap()
+        .image;
 
     // Benign run through every combination gives identical output:
     // the library stores 0x41 at a[2], then sums the first 5 elements.
@@ -103,9 +107,13 @@ fn cross_image_calls_compute_correctly() {
 #[test]
 fn library_symbols_survive_hardening() {
     let lib = compile_library(LIB_SRC, 0x0100_0000, 0x0120_0000).unwrap();
-    let hard = harden_with_bases(&lib, &HardenConfig::with_merge(LowFatPolicy::All), LIB_BASES)
-        .unwrap()
-        .image;
+    let hard = harden_with_bases(
+        &lib,
+        &HardenConfig::with_merge(LowFatPolicy::All),
+        LIB_BASES,
+    )
+    .unwrap()
+    .image;
     // Exported entry points stay at their original addresses: trampoline
     // rewriting never moves function entries.
     assert_eq!(
