@@ -63,11 +63,20 @@ impl AbsVal {
 
     fn interval(lo: i128, hi: i128) -> AbsVal {
         // Degenerate-width guard: an interval spanning 2^64 or more
-        // contains every residue, i.e. is Top.
-        if hi - lo >= (1i128 << 64) {
-            AbsVal::Top
-        } else {
-            AbsVal::Interval { lo, hi }
+        // contains every residue, i.e. is Top. The checked subtraction
+        // also catches bounds blown past the i128 range by long chains
+        // of exact-constant arithmetic.
+        match hi.checked_sub(lo) {
+            Some(w) if w < (1i128 << 64) => AbsVal::Interval { lo, hi },
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// `interval` on optional bounds: any overflowed component is Top.
+    fn interval_checked(lo: Option<i128>, hi: Option<i128>) -> AbsVal {
+        match (lo, hi) {
+            (Some(lo), Some(hi)) => AbsVal::interval(lo, hi),
+            _ => AbsVal::Top,
         }
     }
 
@@ -82,7 +91,9 @@ impl AbsVal {
 
     fn add_const(self, k: i128) -> AbsVal {
         match self {
-            AbsVal::Interval { lo, hi } => AbsVal::interval(lo + k, hi + k),
+            AbsVal::Interval { lo, hi } => {
+                AbsVal::interval_checked(lo.checked_add(k), hi.checked_add(k))
+            }
             AbsVal::Top => AbsVal::Top,
         }
     }
@@ -90,7 +101,7 @@ impl AbsVal {
     fn add(self, other: AbsVal) -> AbsVal {
         match (self, other) {
             (AbsVal::Interval { lo: a, hi: b }, AbsVal::Interval { lo: c, hi: d }) => {
-                AbsVal::interval(a + c, b + d)
+                AbsVal::interval_checked(a.checked_add(c), b.checked_add(d))
             }
             _ => AbsVal::Top,
         }
@@ -99,7 +110,7 @@ impl AbsVal {
     fn sub(self, other: AbsVal) -> AbsVal {
         match (self, other) {
             (AbsVal::Interval { lo: a, hi: b }, AbsVal::Interval { lo: c, hi: d }) => {
-                AbsVal::interval(a - d, b - c)
+                AbsVal::interval_checked(a.checked_sub(d), b.checked_sub(c))
             }
             _ => AbsVal::Top,
         }
@@ -107,8 +118,12 @@ impl AbsVal {
 
     fn mul_const(self, k: i128) -> AbsVal {
         match self {
-            AbsVal::Interval { lo, hi } if k >= 0 => AbsVal::interval(lo * k, hi * k),
-            AbsVal::Interval { lo, hi } => AbsVal::interval(hi * k, lo * k),
+            AbsVal::Interval { lo, hi } if k >= 0 => {
+                AbsVal::interval_checked(lo.checked_mul(k), hi.checked_mul(k))
+            }
+            AbsVal::Interval { lo, hi } => {
+                AbsVal::interval_checked(hi.checked_mul(k), lo.checked_mul(k))
+            }
             AbsVal::Top => AbsVal::Top,
         }
     }
@@ -167,8 +182,9 @@ impl RegFacts {
 /// arithmetic), reduced mod `2^64`, avoids the low-fat heap range
 /// `[heap_start, heap_end)` entirely.
 pub fn span_avoids_heap(lo: i128, hi: i128) -> bool {
-    if hi - lo >= (1i128 << 64) {
-        return false;
+    match hi.checked_sub(lo) {
+        Some(w) if w < (1i128 << 64) => {}
+        _ => return false,
     }
     let two64 = 1i128 << 64;
     let hs = layout::heap_start() as i128;
@@ -203,7 +219,7 @@ fn operand_span(facts: &RegFacts, mem: &Mem, len: u8) -> Option<(i128, i128)> {
         Some(i) => facts.get(i).mul_const(mem.scale as i128),
     };
     match base.add(index).add_const(mem.disp as i128) {
-        AbsVal::Interval { lo, hi } => Some((lo, hi + len as i128 - 1)),
+        AbsVal::Interval { lo, hi } => Some((lo, hi.checked_add(len as i128 - 1)?)),
         AbsVal::Top => None,
     }
 }
@@ -250,14 +266,36 @@ impl ForwardAnalysis for ProvenanceAnalysis {
     }
 
     fn transfer(&self, _addr: u64, inst: &Inst, fact: &mut RegFacts) {
+        // Calls, indirect control flow and syscalls may run unknown
+        // code: every register except %rsp becomes unknown.
+        if matches!(inst.op, Op::Call | Op::CallInd | Op::Syscall) {
+            fact.clobber_all_but_rsp();
+            return;
+        }
+        // 8-bit operations (`mov $imm, %al`, `xor %al, %al`, 8-bit ALU
+        // and shifts) are *partial* writes: the upper 56 bits of the
+        // destination survive, so none of the value-tracking arms below
+        // apply. Fall through to the default, which sends every written
+        // register to Top. (Movzx8/Movsx8/Movsxd carry their
+        // *destination* width in `inst.w`, which is always W32/W64.)
+        if inst.w != Width::W8 {
+            self.transfer_value(inst, fact);
+            return;
+        }
+        // 8-bit partial writes: the written register's full value is
+        // unknown. %rsp keeps its axiom.
+        for r in inst.regs_written() {
+            fact.set(r, AbsVal::Top);
+        }
+    }
+}
+
+impl ProvenanceAnalysis {
+    /// Transfer for full-width (W32/W64) instructions; calls/syscalls
+    /// and 8-bit partial writes are already handled by the caller.
+    fn transfer_value(&self, inst: &Inst, fact: &mut RegFacts) {
         use Operands::*;
         match (inst.op, &inst.operands) {
-            // Calls, indirect control flow and syscalls may run unknown
-            // code: every register except %rsp becomes unknown.
-            (Op::Call | Op::CallInd | Op::Syscall, _) => {
-                fact.clobber_all_but_rsp();
-                return;
-            }
             // Constant loads.
             (Op::Mov, RI { dst, imm }) => {
                 let v = if inst.w == Width::W32 {
@@ -271,9 +309,8 @@ impl ForwardAnalysis for ProvenanceAnalysis {
             // Register copies.
             (Op::Mov, RR { dst, src }) => {
                 let v = match inst.w {
-                    Width::W64 => fact.get(*src),
                     Width::W32 => fact.get(*src).zext32(),
-                    Width::W8 => AbsVal::Top, // partial write, upper bits kept
+                    _ => fact.get(*src),
                 };
                 fact.set(*dst, v);
                 return;
@@ -289,6 +326,10 @@ impl ForwardAnalysis for ProvenanceAnalysis {
                     });
                     base.add(index).add_const(src.disp as i128)
                 };
+                // `leal` truncates the computed address to 32 bits and
+                // zero-extends; the full-width interval would exclude
+                // the truncated value.
+                let v = if inst.w == Width::W32 { v.zext32() } else { v };
                 fact.set(*dst, v);
                 return;
             }
@@ -298,7 +339,19 @@ impl ForwardAnalysis for ProvenanceAnalysis {
                 return;
             }
             (Op::Movsx8, RM { dst, .. } | RR { dst, .. }) => {
-                fact.set(*dst, AbsVal::Interval { lo: -128, hi: 127 });
+                // `movsbq` yields [-128, 127] as 64-bit residues, but
+                // `movsbl` sign-extends only to 32 bits and then
+                // zero-extends: negative bytes land at 0xffff_ff80..=
+                // 0xffff_ffff, inside [0, u32::MAX] and far from
+                // [-128, -1] mod 2^64.
+                let v = match inst.w {
+                    Width::W64 => AbsVal::Interval { lo: -128, hi: 127 },
+                    _ => AbsVal::Interval {
+                        lo: 0,
+                        hi: u32::MAX as i128,
+                    },
+                };
+                fact.set(*dst, v);
                 return;
             }
             (Op::Movsxd, RM { dst, .. } | RR { dst, .. }) => {
@@ -347,7 +400,8 @@ impl ForwardAnalysis for ProvenanceAnalysis {
                 let k = (*imm as u32).min(63);
                 let v = match (op, fact.get(*dst)) {
                     (ShiftOp::Shl, AbsVal::Interval { lo, hi }) if lo >= 0 => {
-                        AbsVal::interval(lo << k, hi << k)
+                        let f = 1i128 << k;
+                        AbsVal::interval_checked(lo.checked_mul(f), hi.checked_mul(f))
                     }
                     (ShiftOp::Shr | ShiftOp::Sar, AbsVal::Interval { lo, hi })
                         if lo >= 0 && hi < (1i128 << 64) =>
@@ -381,7 +435,7 @@ impl ForwardAnalysis for ProvenanceAnalysis {
             _ => {}
         }
         // Default: every written register becomes unknown (loads, pop,
-        // mul/div, setcc partial writes, ...). %rsp keeps its axiom.
+        // mul/div, ...). %rsp keeps its axiom.
         for r in inst.regs_written() {
             fact.set(r, AbsVal::Top);
         }
@@ -483,5 +537,166 @@ mod tests {
         let mut f = RegFacts::top();
         f.set(Reg::Rsp, AbsVal::Top); // set() must refuse
         assert_eq!(f.get(Reg::Rsp), stack_interval());
+    }
+
+    fn inst(op: Op, w: Width, operands: Operands) -> Inst {
+        Inst { op, w, operands }
+    }
+
+    fn with_exact_rax(v: i128) -> RegFacts {
+        let mut f = RegFacts::top();
+        f.set(Reg::Rax, AbsVal::exact(v));
+        f
+    }
+
+    /// 8-bit instructions write only the low byte; the analysis must
+    /// not record a full-register fact for them.
+    #[test]
+    fn w8_partial_writes_clobber_to_top() {
+        let a = ProvenanceAnalysis;
+        let rax_imm = |w, imm| inst(Op::Mov, w, Operands::RI { dst: Reg::Rax, imm });
+
+        // mov $1, %al on a register holding a (possibly-heap) pointer.
+        let mut f = with_exact_rax(0x1234_5678_9abc);
+        a.transfer(0, &rax_imm(Width::W8, 1), &mut f);
+        assert_eq!(f.get(Reg::Rax), AbsVal::Top);
+
+        // xor %al, %al is NOT a full zeroing idiom.
+        let mut f = with_exact_rax(0x1234_5678_9abc);
+        let xor8 = inst(
+            Op::Alu(AluOp::Xor),
+            Width::W8,
+            Operands::RR {
+                dst: Reg::Rax,
+                src: Reg::Rax,
+            },
+        );
+        a.transfer(0, &xor8, &mut f);
+        assert_eq!(f.get(Reg::Rax), AbsVal::Top);
+
+        // and $15, %al bounds only the low byte.
+        let mut f = with_exact_rax(0x1234_5678_9abc);
+        let and8 = inst(
+            Op::Alu(AluOp::And),
+            Width::W8,
+            Operands::RI {
+                dst: Reg::Rax,
+                imm: 15,
+            },
+        );
+        a.transfer(0, &and8, &mut f);
+        assert_eq!(f.get(Reg::Rax), AbsVal::Top);
+
+        // shl $4, %al shifts only the low byte.
+        let mut f = with_exact_rax(3);
+        let shl8 = inst(
+            Op::Shift(ShiftOp::Shl),
+            Width::W8,
+            Operands::RI {
+                dst: Reg::Rax,
+                imm: 4,
+            },
+        );
+        a.transfer(0, &shl8, &mut f);
+        assert_eq!(f.get(Reg::Rax), AbsVal::Top);
+
+        // Full-width constant loads still give exact facts.
+        let mut f = RegFacts::top();
+        a.transfer(0, &rax_imm(Width::W64, 42), &mut f);
+        assert_eq!(f.get(Reg::Rax), AbsVal::exact(42));
+    }
+
+    /// movsbl zero-extends the 32-bit sign-extension: negative bytes
+    /// land at 0xffff_ff8x, not at -1..-128 mod 2^64.
+    #[test]
+    fn movsx8_width_sensitivity() {
+        let a = ProvenanceAnalysis;
+        let movsx = |w| {
+            inst(
+                Op::Movsx8,
+                w,
+                Operands::RR {
+                    dst: Reg::Rax,
+                    src: Reg::Rcx,
+                },
+            )
+        };
+
+        let mut f = RegFacts::top();
+        a.transfer(0, &movsx(Width::W64), &mut f);
+        assert_eq!(f.get(Reg::Rax), AbsVal::Interval { lo: -128, hi: 127 });
+
+        let mut f = RegFacts::top();
+        a.transfer(0, &movsx(Width::W32), &mut f);
+        assert_eq!(
+            f.get(Reg::Rax),
+            AbsVal::Interval {
+                lo: 0,
+                hi: u32::MAX as i128
+            }
+        );
+    }
+
+    /// leal truncates the computed address to 32 bits.
+    #[test]
+    fn lea32_clamps_result() {
+        let a = ProvenanceAnalysis;
+        let mut f = RegFacts::top();
+        f.set(Reg::Rbx, AbsVal::exact(0x1_0000_0010));
+        let lea = inst(
+            Op::Lea,
+            Width::W32,
+            Operands::RM {
+                dst: Reg::Rax,
+                src: Mem::base(Reg::Rbx),
+            },
+        );
+        a.transfer(0, &lea, &mut f);
+        assert_eq!(
+            f.get(Reg::Rax),
+            AbsVal::Interval {
+                lo: 0,
+                hi: u32::MAX as i128
+            }
+        );
+    }
+
+    /// Bound arithmetic that overflows i128 must widen to Top, not
+    /// panic (debug) or wrap (release).
+    #[test]
+    fn interval_arithmetic_saturates_to_top() {
+        let big = AbsVal::exact(i128::MAX - 1);
+        assert_eq!(big.add_const(2), AbsVal::Top);
+        assert_eq!(big.add(AbsVal::exact(2)), AbsVal::Top);
+        assert_eq!(
+            AbsVal::exact(i128::MIN + 1).sub(AbsVal::exact(2)),
+            AbsVal::Top
+        );
+        assert_eq!(big.mul_const(2), AbsVal::Top);
+        assert_eq!(big.mul_const(-2), AbsVal::Top);
+
+        // A long straight-line chain of doublings (each an exact,
+        // zero-width interval, so widening never fires) stays safe.
+        let mut v = AbsVal::exact(1);
+        for _ in 0..200 {
+            v = v.mul_const(2);
+        }
+        assert_eq!(v, AbsVal::Top);
+
+        // Same via repeated shl-by-imm through the transfer function.
+        let a = ProvenanceAnalysis;
+        let mut f = with_exact_rax(1);
+        let shl = inst(
+            Op::Shift(ShiftOp::Shl),
+            Width::W64,
+            Operands::RI {
+                dst: Reg::Rax,
+                imm: 63,
+            },
+        );
+        for _ in 0..4 {
+            a.transfer(0, &shl, &mut f);
+        }
+        assert_eq!(f.get(Reg::Rax), AbsVal::Top);
     }
 }
