@@ -224,6 +224,39 @@ mod tests {
     }
 
     #[test]
+    fn syscall_arguments_are_live() {
+        let (lv, marks) = analyze(|a| {
+            a.mov_ri(Width::W64, Reg::Rdi, 7);
+            let site = a.here();
+            a.mov_ri(Width::W64, Reg::Rax, 5); // print_int(rdi)
+            a.syscall();
+            a.mov_ri(Width::W64, Reg::Rdi, 0); // exit(0)
+            a.mov_ri(Width::W64, Reg::Rax, 0);
+            a.syscall();
+            vec![site]
+        });
+        // rdi carries the print argument into the first syscall: it must
+        // be live at the site even though a later instruction rewrites it.
+        assert!(!lv.dead_regs_before(marks[0]).contains(&Reg::Rdi));
+    }
+
+    #[test]
+    fn cmov_destination_stays_live() {
+        let (lv, marks) = analyze(|a| {
+            a.mov_ri(Width::W64, Reg::Rbx, 1);
+            a.alu_rr(AluOp::Cmp, Width::W64, Reg::Rax, Reg::Rax);
+            let site = a.here();
+            // If the condition is false, rbx keeps its old value: the
+            // cmov does not kill rbx's liveness.
+            a.cmov_rr(redfat_x86::Cond::E, Width::W64, Reg::Rbx, Reg::Rcx);
+            a.mov_rr(Width::W64, Reg::Rdi, Reg::Rbx);
+            a.ret();
+            vec![site]
+        });
+        assert!(!lv.dead_regs_before(marks[0]).contains(&Reg::Rbx));
+    }
+
+    #[test]
     fn unknown_site_is_fully_conservative() {
         let (lv, _) = analyze(|a| {
             a.ret();

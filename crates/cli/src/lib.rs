@@ -63,6 +63,8 @@ commands:
   disasm  <in.elf>                     linear disassembly of code segments
   analyze <in.elf>                     per-site static analysis report
   stats   <in.elf>                     image and instrumentation-plan statistics
+  selftest [--quick]                   differential self-test: lockstep oracle,
+                                       round-trip fuzzer, allocator invariants
 
 harden options:
   --allowlist <allow.lst>   full check only on listed sites (Fig. 5 step 2)
@@ -408,10 +410,167 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
             writeln!(out, "memory accesses: {accesses}").expect("string write");
             writeln!(out, "eliminable:      {eliminable}").expect("string write");
         }
+        "selftest" => {
+            let quick = args.has("--quick");
+            run_selftest(quick, &mut out)?;
+        }
         "--help" | "-h" | "help" => writeln!(out, "{USAGE}").expect("string write"),
         other => return Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
     Ok(out)
+}
+
+/// The `selftest` subcommand: the differential self-test subsystem.
+///
+/// Runs the deterministic encoder/decoder round-trip fuzzer, the
+/// allocator invariant checker, and the lockstep divergence oracle over
+/// every SPEC stand-in plus a Juliet sample. Any failure shrinks to a
+/// minimal repro and fails the invocation with a nonzero exit code, so
+/// CI can gate on `redfat selftest --quick`.
+fn run_selftest(quick: bool, out: &mut String) -> Result<(), CliError> {
+    use redfat_core::selftest::{
+        allocator_invariants, lockstep_images, roundtrip_fuzz, shrink_input,
+    };
+    let mut failures: Vec<String> = Vec::new();
+
+    // Instruction round-trip: decode(encode(i)) == i, byte-identical.
+    let rt_cases = if quick { 2_000 } else { 10_000 };
+    let rt = roundtrip_fuzz(rt_cases, 0xDEC0_DE00_0BAD_CAFE);
+    writeln!(
+        out,
+        "roundtrip: {} cases, {} failures",
+        rt.cases,
+        rt.failures.len()
+    )
+    .expect("string write");
+    for f in rt.failures.iter().take(8) {
+        failures.push(format!("roundtrip: {f}"));
+    }
+
+    // Allocator metadata invariants (redzones, canaries, size classes).
+    let alloc_cases = if quick { 300 } else { 1_000 };
+    let ar = allocator_invariants(alloc_cases, 0xA110_C000_5EED_0001);
+    writeln!(
+        out,
+        "allocator: {} cases, {} failures",
+        ar.cases,
+        ar.failures.len()
+    )
+    .expect("string write");
+    for f in ar.failures.iter().take(8) {
+        failures.push(format!("allocator: {f}"));
+    }
+
+    // Lockstep oracle over the SPEC stand-ins.
+    let max_steps: u64 = if quick { 50_000_000 } else { 400_000_000 };
+    let config = HardenConfig::default();
+    for w in redfat_workloads::spec::all() {
+        let image = w.image();
+        let input = if quick {
+            w.train_input.clone()
+        } else {
+            w.ref_input.clone()
+        };
+        let hardened = harden(&image, &config)
+            .map_err(|e| err(format!("selftest: hardening {} failed: {e}", w.name)))?;
+        let rep = lockstep_images(
+            &image,
+            &hardened.image,
+            &hardened.clobbers,
+            &input,
+            max_steps,
+        );
+        writeln!(
+            out,
+            "lockstep {:<14} {:>9} synced, {} divergences, {} check reports{}",
+            w.name,
+            rep.synced,
+            rep.divergences.len(),
+            rep.hardened_errors,
+            if rep.completed { "" } else { " (incomplete)" }
+        )
+        .expect("string write");
+        if !rep.clean() || !rep.completed {
+            let shrunk = shrink_input(
+                &image,
+                &hardened.image,
+                &hardened.clobbers,
+                &input,
+                max_steps,
+            );
+            let rep2 = lockstep_images(
+                &image,
+                &hardened.image,
+                &hardened.clobbers,
+                &shrunk,
+                max_steps,
+            );
+            let detail = rep2
+                .divergences
+                .first()
+                .or(rep.divergences.first())
+                .map(|d| d.detail.clone())
+                .unwrap_or_else(|| "run did not complete within the step budget".into());
+            failures.push(format!(
+                "lockstep {} (input {:?}):\n{}",
+                w.name, shrunk, detail
+            ));
+        }
+    }
+
+    // Juliet sample: benign and attack inputs both stay in lockstep (the
+    // hardened run reports the planted errors but, in Log mode, continues
+    // identically).
+    let stride = if quick { 96 } else { 48 };
+    let cases = redfat_workloads::juliet::generate();
+    let mut jl_runs = 0usize;
+    let mut jl_divergent = 0usize;
+    let mut jl_reports = 0usize;
+    for case in cases.iter().step_by(stride) {
+        let image = case.workload.image();
+        let hardened = harden(&image, &config).map_err(|e| {
+            err(format!(
+                "selftest: hardening juliet {} failed: {e}",
+                case.id
+            ))
+        })?;
+        for input in [&case.benign_input, &case.attack_input] {
+            let rep = lockstep_images(
+                &image,
+                &hardened.image,
+                &hardened.clobbers,
+                input,
+                max_steps,
+            );
+            jl_runs += 1;
+            jl_reports += rep.hardened_errors;
+            if !rep.clean() || !rep.completed {
+                jl_divergent += 1;
+                let detail = rep
+                    .divergences
+                    .first()
+                    .map(|d| d.detail.clone())
+                    .unwrap_or_else(|| "run did not complete within the step budget".into());
+                failures.push(format!("juliet {} (input {input:?}):\n{detail}", case.id));
+            }
+        }
+    }
+    writeln!(
+        out,
+        "juliet: {jl_runs} runs ({} cases), {jl_divergent} divergent, {jl_reports} check reports",
+        cases.iter().step_by(stride).count()
+    )
+    .expect("string write");
+
+    if failures.is_empty() {
+        writeln!(out, "selftest passed").expect("string write");
+        Ok(())
+    } else {
+        Err(CliError {
+            message: format!("{out}selftest FAILED:\n{}", failures.join("\n")),
+            code: 1,
+        })
+    }
 }
 
 /// Renders a memory error with the enclosing function name when the

@@ -67,16 +67,31 @@ impl AllowList {
 
     /// Parses the `allow.lst` text format.
     ///
-    /// Lines that are empty or start with `#` are ignored; anything else
-    /// must be a hex address.
+    /// CRLF line endings and surrounding whitespace are tolerated; lines
+    /// that are empty or start with `#` are ignored; anything else must
+    /// be a hex address (optionally `0x`-prefixed). A malformed line is
+    /// a hard error naming the line, never a silent skip -- a corrupted
+    /// allow-list must not quietly downgrade coverage.
     pub fn from_text(text: &str) -> Result<AllowList, String> {
         let mut sites = BTreeSet::new();
-        for (i, line) in text.lines().enumerate() {
-            let line = line.trim();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let v = u64::from_str_radix(line, 16)
+            let digits = line
+                .strip_prefix("0x")
+                .or_else(|| line.strip_prefix("0X"))
+                .unwrap_or(line);
+            // `from_str_radix` alone would accept a sign ("+401000");
+            // insist on pure hex digits so any stray byte fails loudly.
+            if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(format!(
+                    "line {}: bad address {line:?}: not a hex address",
+                    i + 1
+                ));
+            }
+            let v = u64::from_str_radix(digits, 16)
                 .map_err(|e| format!("line {}: bad address {line:?}: {e}", i + 1))?;
             sites.insert(v);
         }
@@ -110,6 +125,34 @@ mod tests {
     fn parse_rejects_junk() {
         assert!(AllowList::from_text("zzz").is_err());
         assert!(AllowList::from_text("# comment\n\n401000\n").is_ok());
+    }
+
+    #[test]
+    fn parse_tolerates_crlf_and_whitespace() {
+        let l = AllowList::from_text("# header\r\n  401000  \r\n\t402000\r\n\r\n").unwrap();
+        assert_eq!(l, AllowList::from_sites([0x40_1000, 0x40_2000]));
+        // A DOS-edited serialization round-trips to the same list.
+        let crlf = l.to_text().replace('\n', "\r\n");
+        assert_eq!(AllowList::from_text(&crlf).unwrap(), l);
+    }
+
+    #[test]
+    fn parse_accepts_0x_prefix() {
+        let l = AllowList::from_text("0x401000\n0X402000\n").unwrap();
+        assert_eq!(l, AllowList::from_sites([0x40_1000, 0x40_2000]));
+    }
+
+    #[test]
+    fn parse_rejects_signed_and_malformed_hex_with_line_number() {
+        // from_str_radix would happily take a sign prefix; we must not.
+        let err = AllowList::from_text("401000\n+402000\n").unwrap_err();
+        assert!(err.contains("line 2"), "diagnostic names the line: {err}");
+        assert!(AllowList::from_text("-401000").is_err());
+        assert!(AllowList::from_text("0x").is_err());
+        assert!(AllowList::from_text("40 1000").is_err());
+        // Overflow is still a diagnostic error, not a skip.
+        let err = AllowList::from_text("1ffffffffffffffffff").unwrap_err();
+        assert!(err.contains("line 1"), "diagnostic names the line: {err}");
     }
 
     #[test]

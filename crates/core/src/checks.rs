@@ -71,6 +71,10 @@ pub(crate) struct BatchPayload {
     /// Scratch registers saved in the prologue (live ones only), in push
     /// order.
     pub saves: Vec<Reg>,
+    /// Scratch registers the payload may modify *without* restoring
+    /// (they were dead at the anchor). The differential oracle uses this
+    /// to attribute post-payload register divergence to liveness.
+    pub clobbers: Vec<Reg>,
     /// Chosen scratch (lb, cls, siz) -- disjoint from all operand regs.
     pub scratch: (Reg, Reg, Reg),
     /// Save/restore flags around the checks.
@@ -121,11 +125,13 @@ impl BatchPayload {
                 }
             }
         }
-        let saves: Vec<Reg> = save_set.into_iter().filter(|r| !dead.contains(r)).collect();
+        let (saves, clobbers): (Vec<Reg>, Vec<Reg>) =
+            save_set.into_iter().partition(|r| !dead.contains(r));
 
         Some(BatchPayload {
             checks,
             saves,
+            clobbers,
             scratch,
             save_flags: !flags_dead,
             size_harden,
@@ -408,6 +414,29 @@ mod tests {
         .unwrap();
         assert!(p.saves.is_empty());
         assert!(!p.save_flags);
+        // Everything skipped as dead is reported as a potential clobber.
+        assert!(p.clobbers.contains(&Reg::Rax));
+        assert!(p.clobbers.contains(&Reg::Rdx));
+        assert_eq!(p.saves.len() + p.clobbers.len(), 5);
+    }
+
+    #[test]
+    fn saves_and_clobbers_partition_the_save_set() {
+        let p = BatchPayload::plan(
+            vec![spec(Mem::base(Reg::Rbx), 8, true, true)],
+            &[Reg::Rax, Reg::R10],
+            false,
+            true,
+            false,
+            PayloadMode::Harden,
+        )
+        .unwrap();
+        for r in &p.clobbers {
+            assert!(!p.saves.contains(r), "{r:?} both saved and clobbered");
+        }
+        assert!(p.clobbers.contains(&Reg::Rax));
+        assert!(!p.saves.contains(&Reg::Rax));
+        assert!(p.saves.contains(&Reg::Rdx));
     }
 
     #[test]

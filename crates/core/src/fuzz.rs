@@ -222,7 +222,43 @@ fn main() {
         };
         let a = fuzz_profile(&image, &[vec![1]], &cfg).unwrap();
         let b = fuzz_profile(&image, &[vec![1]], &cfg).unwrap();
+        assert_eq!(a.executions, b.executions);
         assert_eq!(a.corpus, b.corpus);
-        assert_eq!(a.profile.len(), b.profile.len());
+        // Full per-site counter equality, not just the site count: the
+        // same seed must reproduce the identical merged profile.
+        assert_eq!(a.profile, b.profile);
+        assert_eq!(collect_allowlist(&a.profile), collect_allowlist(&b.profile));
+    }
+
+    #[test]
+    fn fuzzed_allowlist_is_subset_of_exhaustive() {
+        // GATED's behavior depends only on (v & 7, v == 64), so a sweep
+        // of 0..=64 exercises every reachable site; a fuzzing campaign
+        // can only visit a subset of those behaviors and must therefore
+        // produce a subset allow-list (never allow a site the exhaustive
+        // profile would withhold).
+        let image = redfat_minic::compile(GATED).unwrap();
+        let prof = instrument_profile(&image).unwrap();
+        let mut exhaustive: HashMap<u64, ProfileStats> = HashMap::new();
+        for v in 0..=64 {
+            let out = run_once(&prof.image, vec![v], ErrorMode::Log, 50_000_000);
+            assert!(matches!(out.result, RunResult::Exited(_)));
+            for (site, stats) in out.profile {
+                let e = exhaustive.entry(site).or_default();
+                e.passes += stats.passes;
+                e.fails += stats.fails;
+            }
+        }
+        let exhaustive_allow = collect_allowlist(&exhaustive);
+
+        let fuzzed = fuzz_profile(&image, &[vec![3]], &FuzzConfig::default()).unwrap();
+        let fuzz_allow = collect_allowlist(&fuzzed.profile);
+        assert!(!fuzz_allow.is_empty(), "campaign reached some sites");
+        for site in fuzz_allow.iter() {
+            assert!(
+                exhaustive_allow.contains(site),
+                "fuzzed allow-list site {site:#x} missing from exhaustive profile"
+            );
+        }
     }
 }

@@ -28,13 +28,14 @@ mod config;
 mod fuzz;
 mod pipeline;
 mod runner;
+pub mod selftest;
 
 pub use allowlist::AllowList;
 pub use checks::CHECK_SCRATCH_CANDIDATES;
 pub use config::{HardenConfig, LowFatPolicy};
 pub use fuzz::{fuzz_profile, FuzzConfig, FuzzOutcome};
 pub use pipeline::{
-    collect_allowlist, harden, harden_with_bases, instrument_profile, HardenError, HardenStats,
-    Hardened,
+    collect_allowlist, harden, harden_with_bases, instrument_profile, ClobberInfo, HardenError,
+    HardenStats, Hardened,
 };
 pub use runner::{run_once, RunOutcome};

@@ -64,12 +64,28 @@ pub struct HardenStats {
     pub rewrite: RewriteStats,
 }
 
+/// Liveness-derived clobber metadata for one instrumentation payload.
+///
+/// The payload only saves/restores registers (and flags) that are *live*
+/// at its anchor; anything dead may legitimately differ from the baseline
+/// after the payload runs. The differential oracle consumes this to
+/// distinguish intended dead-register clobbers from real divergence.
+#[derive(Debug, Clone, Default)]
+pub struct ClobberInfo {
+    /// Registers the payload may leave modified (dead at the anchor).
+    pub regs: Vec<redfat_x86::Reg>,
+    /// `true` if the payload may leave the arithmetic flags modified.
+    pub flags: bool,
+}
+
 /// A hardened (or profiling-instrumented) binary.
 pub struct Hardened {
     /// The rewritten image, a drop-in replacement for the original.
     pub image: Image,
     /// Statistics.
     pub stats: HardenStats,
+    /// Clobber metadata per patched batch, keyed by anchor address.
+    pub clobbers: HashMap<u64, ClobberInfo>,
 }
 
 /// Hardens `image` under `config` (paper §3/§6; production phase of §5
@@ -217,6 +233,7 @@ fn instrument(
 
     // Build payloads; split any batch whose operand registers starve the
     // scratch allocator (extremely rare; singletons always succeed).
+    let mut clobbers: HashMap<u64, ClobberInfo> = HashMap::new();
     let mut planned: Vec<(u64, BatchPayload)> = Vec::new();
     let mut queue: Vec<Batch> = batches;
     let mut qi = 0;
@@ -288,6 +305,13 @@ fn instrument(
                         stats.sites_redzone += n;
                     }
                 }
+                clobbers.insert(
+                    batch.anchor,
+                    ClobberInfo {
+                        regs: p.clobbers.clone(),
+                        flags: !p.save_flags,
+                    },
+                );
                 planned.push((batch.anchor, p));
             }
             None => {
@@ -317,5 +341,6 @@ fn instrument(
     Ok(Hardened {
         image: out.image,
         stats,
+        clobbers,
     })
 }

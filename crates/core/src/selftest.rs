@@ -1,0 +1,1470 @@
+//! Differential self-test subsystem (`redfat selftest`).
+//!
+//! Rewriting running binaries is only trustworthy if the rewritten binary
+//! is *behaviorally equivalent* to the original everywhere the paper's
+//! design says it must be. This module provides three complementary
+//! oracles, all deterministic and dependency-free:
+//!
+//! 1. **Lockstep differential oracle** ([`lockstep`]): runs the hardened
+//!    and baseline images side by side in two emulator instances and
+//!    compares architectural state (registers, flags, stored bytes) at
+//!    every original-instruction boundary. Divergence is flagged unless
+//!    it is attributable to an *intended* effect: a memory-error report
+//!    from an inserted check, or a declared dead-register clobber
+//!    ([`crate::ClobberInfo`], derived from the liveness analysis that
+//!    justified eliding the save/restore).
+//! 2. **Encoder/decoder round-trip fuzzer** ([`roundtrip_fuzz`]):
+//!    `decode(encode(i)) == i` and byte-identical re-encoding over
+//!    randomized REX/ModRM/SIB/displacement/immediate forms, from a fixed
+//!    splitmix64 seed. The rewriter's trampolines are re-encoded
+//!    instructions, so any non-identity here is a latent rewriting bug.
+//! 3. **Allocator invariant checks** ([`allocator_invariants`]): a
+//!    randomized malloc/free/calloc/realloc campaign validating the
+//!    Figure 3 object layout (`base(p) <= p`, `p == base + 16`,
+//!    size-class consistency, metadata/canary round-trip, shadow-state
+//!    classification, double-free detection).
+//!
+//! When the lockstep oracle diverges, [`shrink_input`] applies ddmin-style
+//! [`minimize`]-ation to the program input so the repro is as small as the
+//! predicate allows; divergence details embed a disassembly window of the
+//! instructions leading up to the failure.
+//!
+//! Known blind spots (documented in DESIGN.md): reads below `rsp` after a
+//! payload ran (the payload may push temporaries there), programs that
+//! introspect their own return addresses (which legitimately point into
+//! trampolines), and dead-register windows where a clobbered register is
+//! not compared until a full-width write re-synchronizes it.
+
+use crate::pipeline::{harden, ClobberInfo, HardenError};
+use crate::HardenConfig;
+use redfat_elf::Image;
+use redfat_emu::{syscalls, Emu, ErrorMode, HostRuntime, RunResult};
+use redfat_lowfat::{AllocError, LowFatConfig, ObjState, RedFatHeap, REDZONE_SIZE};
+use redfat_vm::{layout, Vm};
+use redfat_x86::{
+    decode_one, encode, AluOp, Cond, Inst, Mem, MulDivOp, Op, Operands, Reg, Seg, ShiftOp, Width,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Cap on recorded failures/divergences so a systematically broken build
+/// produces a readable report instead of an unbounded one.
+const MAX_FAILURES: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Deterministic randomness
+// ---------------------------------------------------------------------------
+
+/// The splitmix64 generator: tiny, seedable, and good enough to cover the
+/// encoder's form space. Fixed seeds make every self-test reproducible.
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Returns `true` with roughly `pct` percent probability.
+    fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoder/decoder round-trip fuzzer
+// ---------------------------------------------------------------------------
+
+/// Result of a [`roundtrip_fuzz`] campaign.
+#[derive(Debug)]
+pub struct RoundTripReport {
+    /// Cases executed.
+    pub cases: usize,
+    /// Human-readable descriptions of each failing case (capped).
+    pub failures: Vec<String>,
+}
+
+impl RoundTripReport {
+    /// `true` if every case round-tripped.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn push_capped(failures: &mut Vec<String>, msg: String) {
+    if failures.len() < MAX_FAILURES {
+        failures.push(msg);
+    }
+}
+
+fn gen_reg(r: &mut SplitMix64) -> Reg {
+    Reg::from_code(r.below(16) as u8)
+}
+
+fn gen_index(r: &mut SplitMix64) -> Reg {
+    loop {
+        let reg = gen_reg(r);
+        if reg != Reg::Rsp {
+            return reg;
+        }
+    }
+}
+
+fn gen_width(r: &mut SplitMix64) -> Width {
+    match r.below(3) {
+        0 => Width::W8,
+        1 => Width::W32,
+        _ => Width::W64,
+    }
+}
+
+fn gen_wide(r: &mut SplitMix64) -> Width {
+    if r.chance(50) {
+        Width::W32
+    } else {
+        Width::W64
+    }
+}
+
+fn gen_disp(r: &mut SplitMix64) -> i64 {
+    match r.below(5) {
+        0 => 0,
+        // The disp8/disp32 boundary, where canonical-form bugs live.
+        1 => r.below(0x102) as i64 - 0x81,
+        2 => r.below(0x2_0000) as i64 - 0x1_0000,
+        _ => r.below(0x4000_0000) as i64 - 0x2000_0000,
+    }
+}
+
+fn gen_scale(r: &mut SplitMix64) -> u8 {
+    [1, 2, 4, 8][r.below(4) as usize]
+}
+
+fn gen_mem(r: &mut SplitMix64, addr: u64) -> Mem {
+    let disp = gen_disp(r);
+    let mut m = match r.below(8) {
+        0 => Mem::base(gen_reg(r)),
+        1 | 2 => Mem::base_disp(gen_reg(r), disp),
+        3 | 4 => Mem::bis(gen_reg(r), gen_index(r), gen_scale(r), disp),
+        5 => Mem::index_scale(gen_index(r), gen_scale(r), disp),
+        6 => Mem::abs(r.below(0x7000_0000) as i64),
+        // RIP-relative: `disp` holds the absolute target, which must stay
+        // within rel32 reach of the instruction.
+        _ => Mem::rip(addr.wrapping_add(r.below(0x10_0000)).wrapping_sub(0x8_0000)),
+    };
+    if !m.rip && r.chance(10) {
+        m.seg = Some(if r.chance(50) { Seg::Fs } else { Seg::Gs });
+    }
+    m
+}
+
+/// Immediate fitting the canonical form for `w` in ALU/test/mov-to-memory
+/// encodings (sign-extended imm32 at 64-bit width).
+fn gen_imm(r: &mut SplitMix64, w: Width) -> i64 {
+    match w {
+        Width::W8 => r.below(0x100) as i64 - 0x80,
+        _ => match r.below(3) {
+            // The imm8 sign-extension boundary.
+            0 => r.below(0x102) as i64 - 0x81,
+            1 => r.below(0x2_0000) as i64 - 0x1_0000,
+            _ => r.below(1 << 32) as i64 - (1 << 31),
+        },
+    }
+}
+
+fn gen_cond(r: &mut SplitMix64) -> Cond {
+    Cond::from_code(r.below(16) as u8)
+}
+
+fn gen_rel(r: &mut SplitMix64, addr: u64) -> u64 {
+    addr.wrapping_add(r.below(0x10_0000)).wrapping_sub(0x8_0000)
+}
+
+fn gen_alu(r: &mut SplitMix64) -> Op {
+    Op::Alu(
+        [
+            AluOp::Add,
+            AluOp::Or,
+            AluOp::And,
+            AluOp::Sub,
+            AluOp::Xor,
+            AluOp::Cmp,
+        ][r.below(6) as usize],
+    )
+}
+
+fn gen_shift(r: &mut SplitMix64) -> ShiftOp {
+    [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar][r.below(3) as usize]
+}
+
+/// Generates a random instruction in *canonical* form -- the subset the
+/// assembler emits and the encoder accepts -- at address `addr`.
+fn gen_inst(r: &mut SplitMix64, addr: u64) -> Inst {
+    let rr = |r: &mut SplitMix64| Operands::RR {
+        dst: gen_reg(r),
+        src: gen_reg(r),
+    };
+    match r.below(28) {
+        0 => Inst::new(Op::Mov, gen_width(r), rr(r)),
+        1 => Inst::new(
+            Op::Mov,
+            gen_width(r),
+            Operands::RM {
+                dst: gen_reg(r),
+                src: gen_mem(r, addr),
+            },
+        ),
+        2 => Inst::new(
+            Op::Mov,
+            gen_width(r),
+            Operands::MR {
+                dst: gen_mem(r, addr),
+                src: gen_reg(r),
+            },
+        ),
+        3 => {
+            // Canonical mov-immediate: W32 takes the *unsigned* 32-bit
+            // range, W64 takes any 64-bit value (the encoder selects
+            // between imm32 and movabs forms deterministically).
+            let w = gen_width(r);
+            let imm = match w {
+                Width::W8 => r.below(0x100) as i64 - 0x80,
+                Width::W32 => r.below(1 << 32) as i64,
+                Width::W64 => r.next_u64() as i64,
+            };
+            Inst::new(
+                Op::Mov,
+                w,
+                Operands::RI {
+                    dst: gen_reg(r),
+                    imm,
+                },
+            )
+        }
+        4 => {
+            let w = gen_width(r);
+            Inst::new(
+                Op::Mov,
+                w,
+                Operands::MI {
+                    dst: gen_mem(r, addr),
+                    imm: gen_imm(r, w),
+                },
+            )
+        }
+        5 => Inst::new(gen_alu(r), gen_width(r), rr(r)),
+        6 => Inst::new(
+            gen_alu(r),
+            gen_width(r),
+            Operands::RM {
+                dst: gen_reg(r),
+                src: gen_mem(r, addr),
+            },
+        ),
+        7 => Inst::new(
+            gen_alu(r),
+            gen_width(r),
+            Operands::MR {
+                dst: gen_mem(r, addr),
+                src: gen_reg(r),
+            },
+        ),
+        8 => {
+            let w = gen_width(r);
+            Inst::new(
+                gen_alu(r),
+                w,
+                Operands::RI {
+                    dst: gen_reg(r),
+                    imm: gen_imm(r, w),
+                },
+            )
+        }
+        9 => {
+            let w = gen_width(r);
+            Inst::new(
+                gen_alu(r),
+                w,
+                Operands::MI {
+                    dst: gen_mem(r, addr),
+                    imm: gen_imm(r, w),
+                },
+            )
+        }
+        10 => Inst::new(Op::Test, gen_width(r), rr(r)),
+        11 => {
+            let w = gen_width(r);
+            Inst::new(
+                Op::Test,
+                w,
+                Operands::RI {
+                    dst: gen_reg(r),
+                    imm: gen_imm(r, w),
+                },
+            )
+        }
+        12 => Inst::new(
+            Op::Shift(gen_shift(r)),
+            gen_wide(r),
+            Operands::RI {
+                dst: gen_reg(r),
+                imm: r.below(64) as i64,
+            },
+        ),
+        13 => Inst::new(
+            Op::Shift(gen_shift(r)),
+            gen_wide(r),
+            Operands::MI {
+                dst: gen_mem(r, addr),
+                imm: r.below(64) as i64,
+            },
+        ),
+        14 => {
+            let op = Op::ShiftCl(gen_shift(r));
+            if r.chance(50) {
+                Inst::new(op, gen_wide(r), Operands::R(gen_reg(r)))
+            } else {
+                Inst::new(op, gen_wide(r), Operands::M(gen_mem(r, addr)))
+            }
+        }
+        15 => {
+            let op =
+                Op::MulDiv([MulDivOp::Mul, MulDivOp::Div, MulDivOp::Idiv][r.below(3) as usize]);
+            if r.chance(50) {
+                Inst::new(op, gen_wide(r), Operands::R(gen_reg(r)))
+            } else {
+                Inst::new(op, gen_wide(r), Operands::M(gen_mem(r, addr)))
+            }
+        }
+        16 => {
+            let op = if r.chance(50) { Op::Neg } else { Op::Not };
+            if r.chance(50) {
+                Inst::new(op, gen_wide(r), Operands::R(gen_reg(r)))
+            } else {
+                Inst::new(op, gen_wide(r), Operands::M(gen_mem(r, addr)))
+            }
+        }
+        17 => {
+            if r.chance(50) {
+                Inst::new(Op::Imul2, gen_wide(r), rr(r))
+            } else {
+                Inst::new(
+                    Op::Imul2,
+                    gen_wide(r),
+                    Operands::RM {
+                        dst: gen_reg(r),
+                        src: gen_mem(r, addr),
+                    },
+                )
+            }
+        }
+        18 => {
+            let w = gen_wide(r);
+            let imm = gen_imm(r, w);
+            if r.chance(50) {
+                Inst::new(
+                    Op::Imul3,
+                    w,
+                    Operands::RRI {
+                        dst: gen_reg(r),
+                        src: gen_reg(r),
+                        imm,
+                    },
+                )
+            } else {
+                Inst::new(
+                    Op::Imul3,
+                    w,
+                    Operands::RMI {
+                        dst: gen_reg(r),
+                        src: gen_mem(r, addr),
+                        imm,
+                    },
+                )
+            }
+        }
+        19 => {
+            let op = if r.chance(50) { Op::Movzx8 } else { Op::Movsx8 };
+            if r.chance(50) {
+                Inst::new(op, gen_wide(r), rr(r))
+            } else {
+                Inst::new(
+                    op,
+                    gen_wide(r),
+                    Operands::RM {
+                        dst: gen_reg(r),
+                        src: gen_mem(r, addr),
+                    },
+                )
+            }
+        }
+        20 => {
+            if r.chance(50) {
+                Inst::new(Op::Movsxd, Width::W64, rr(r))
+            } else {
+                Inst::new(
+                    Op::Movsxd,
+                    Width::W64,
+                    Operands::RM {
+                        dst: gen_reg(r),
+                        src: gen_mem(r, addr),
+                    },
+                )
+            }
+        }
+        21 => Inst::new(
+            Op::Lea,
+            gen_wide(r),
+            Operands::RM {
+                dst: gen_reg(r),
+                src: gen_mem(r, addr),
+            },
+        ),
+        22 => {
+            let op = if r.chance(50) { Op::Push } else { Op::Pop };
+            if r.chance(50) {
+                Inst::new(op, Width::W64, Operands::R(gen_reg(r)))
+            } else {
+                Inst::new(op, Width::W64, Operands::M(gen_mem(r, addr)))
+            }
+        }
+        23 => {
+            let op = Op::Setcc(gen_cond(r));
+            if r.chance(50) {
+                Inst::new(op, Width::W8, Operands::R(gen_reg(r)))
+            } else {
+                Inst::new(op, Width::W8, Operands::M(gen_mem(r, addr)))
+            }
+        }
+        24 => {
+            if r.chance(50) {
+                Inst::new(Op::Cmovcc(gen_cond(r)), gen_wide(r), rr(r))
+            } else {
+                Inst::new(
+                    Op::Cmovcc(gen_cond(r)),
+                    gen_wide(r),
+                    Operands::RM {
+                        dst: gen_reg(r),
+                        src: gen_mem(r, addr),
+                    },
+                )
+            }
+        }
+        25 => {
+            let op = [Op::Jmp, Op::Call, Op::Jcc(gen_cond(r))][r.below(3) as usize];
+            Inst::new(op, Width::W64, Operands::Rel(gen_rel(r, addr)))
+        }
+        26 => {
+            let op = if r.chance(50) {
+                Op::CallInd
+            } else {
+                Op::JmpInd
+            };
+            if r.chance(50) {
+                Inst::new(op, Width::W64, Operands::R(gen_reg(r)))
+            } else {
+                Inst::new(op, Width::W64, Operands::M(gen_mem(r, addr)))
+            }
+        }
+        _ => match r.below(8) {
+            0 => Inst::new(Op::Ret, Width::W64, Operands::None),
+            1 => Inst::new(Op::Cqo, gen_wide(r), Operands::None),
+            2 => Inst::new(Op::Syscall, Width::W64, Operands::None),
+            3 => Inst::new(Op::Int3, Width::W64, Operands::None),
+            4 => Inst::new(Op::Nop, Width::W64, Operands::None),
+            5 => Inst::new(Op::Ud2, Width::W64, Operands::None),
+            6 => Inst::new(Op::Pushfq, Width::W64, Operands::None),
+            _ => Inst::new(Op::Popfq, Width::W64, Operands::None),
+        },
+    }
+}
+
+/// Runs `cases` encode→decode→re-encode round trips from `seed`.
+///
+/// Every generated instruction is in canonical form, so three properties
+/// must hold exactly: the encoder accepts it, the decoder inverts the
+/// encoder (`decode(encode(i)) == i`, consuming every byte), and
+/// re-encoding the decoded instruction reproduces the identical bytes.
+pub fn roundtrip_fuzz(cases: usize, seed: u64) -> RoundTripReport {
+    let mut rng = SplitMix64::new(seed);
+    let mut failures = Vec::new();
+    for case in 0..cases {
+        let addr = layout::CODE_BASE + rng.below(0x10_0000);
+        let inst = gen_inst(&mut rng, addr);
+        let bytes = match encode(&inst, addr) {
+            Ok(b) => b,
+            Err(e) => {
+                push_capped(
+                    &mut failures,
+                    format!("case {case}: canonical `{inst}` at {addr:#x} failed to encode: {e:?}"),
+                );
+                continue;
+            }
+        };
+        match decode_one(&bytes, addr) {
+            Err(e) => push_capped(
+                &mut failures,
+                format!(
+                    "case {case}: `{inst}` encoded to {bytes:02x?} but failed to decode: {e:?}"
+                ),
+            ),
+            Ok((got, len)) => {
+                if len as usize != bytes.len() {
+                    push_capped(
+                        &mut failures,
+                        format!(
+                            "case {case}: `{inst}` encoded to {} bytes but decode consumed {len}",
+                            bytes.len()
+                        ),
+                    );
+                } else if got != inst {
+                    push_capped(
+                        &mut failures,
+                        format!(
+                            "case {case}: decode(encode(i)) != i: `{inst}` vs `{got}` \
+                             ({inst:?} vs {got:?}, bytes {bytes:02x?})"
+                        ),
+                    );
+                } else {
+                    match encode(&got, addr) {
+                        Ok(again) if again == bytes => {}
+                        Ok(again) => push_capped(
+                            &mut failures,
+                            format!(
+                                "case {case}: `{inst}` re-encodes differently: \
+                                 {bytes:02x?} vs {again:02x?}"
+                            ),
+                        ),
+                        Err(e) => push_capped(
+                            &mut failures,
+                            format!("case {case}: decoded `{got}` failed to re-encode: {e:?}"),
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    RoundTripReport { cases, failures }
+}
+
+// ---------------------------------------------------------------------------
+// Allocator invariants
+// ---------------------------------------------------------------------------
+
+/// Result of an [`allocator_invariants`] campaign.
+#[derive(Debug)]
+pub struct AllocReport {
+    /// Heap operations performed.
+    pub cases: usize,
+    /// Human-readable invariant violations (capped).
+    pub failures: Vec<String>,
+}
+
+impl AllocReport {
+    /// `true` if every invariant held.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Checks the full Figure 3 layout contract for a live object.
+fn check_object(heap: &RedFatHeap, vm: &Vm, p: u64, size: u64, failures: &mut Vec<String>) {
+    let mut fail = |msg: String| push_capped(failures, format!("ptr {p:#x} size {size}: {msg}"));
+    let base = layout::lowfat_base(p);
+    if base == 0 {
+        fail("lowfat_base is 0 for a heap pointer".into());
+        return;
+    }
+    if base > p {
+        fail(format!("base {base:#x} above user pointer"));
+    }
+    if p != base + REDZONE_SIZE {
+        fail(format!(
+            "user pointer not base + {REDZONE_SIZE} (base {base:#x})"
+        ));
+    }
+    if layout::lowfat_base(base) != base {
+        fail(format!(
+            "lowfat_base not idempotent: base({base:#x}) = {:#x}",
+            layout::lowfat_base(base)
+        ));
+    }
+    let cls_size = layout::lowfat_size(p);
+    if cls_size < size + REDZONE_SIZE {
+        fail(format!("class size {cls_size} below size + redzone"));
+    }
+    match layout::class_for_size(size + REDZONE_SIZE) {
+        None => fail("class_for_size returned None for an allocated size".into()),
+        Some(idx) => {
+            if layout::class_size(idx) != cls_size {
+                fail(format!(
+                    "class_for_size/class_size disagree with lowfat_size: {} vs {cls_size}",
+                    layout::class_size(idx)
+                ));
+            }
+        }
+    }
+    match vm.read_u64(base) {
+        Ok(meta) if meta == size => {}
+        Ok(meta) => fail(format!("SIZE metadata reads {meta}, expected {size}")),
+        Err(e) => fail(format!("SIZE metadata unreadable: {e:?}")),
+    }
+    if !heap.check_canary(vm, p) {
+        fail("metadata canary check failed".into());
+    }
+    if heap.object_size(vm, p) != Some(size) {
+        fail(format!(
+            "object_size reports {:?}, expected Some({size})",
+            heap.object_size(vm, p)
+        ));
+    }
+    if heap.state(vm, p) != ObjState::Allocated {
+        fail(format!(
+            "state(ptr) = {:?}, expected Allocated",
+            heap.state(vm, p)
+        ));
+    }
+    if size > 0 && heap.state(vm, p + size - 1) != ObjState::Allocated {
+        fail(format!(
+            "state(last byte) = {:?}, expected Allocated",
+            heap.state(vm, p + size - 1)
+        ));
+    }
+    for probe in [base, base + REDZONE_SIZE - 1] {
+        if heap.state(vm, probe) != ObjState::Redzone {
+            fail(format!(
+                "state({probe:#x}) = {:?}, expected Redzone",
+                heap.state(vm, probe)
+            ));
+        }
+    }
+    if cls_size > size + REDZONE_SIZE && heap.state(vm, p + size) != ObjState::Padding {
+        fail(format!(
+            "state(first padding byte) = {:?}, expected Padding",
+            heap.state(vm, p + size)
+        ));
+    }
+}
+
+/// Runs `cases` randomized heap operations from `seed`, checking the
+/// redzone/metadata invariants after every mutation.
+pub fn allocator_invariants(cases: usize, seed: u64) -> AllocReport {
+    let mut rng = SplitMix64::new(seed);
+    let mut vm = Vm::new();
+    let mut heap = RedFatHeap::new(LowFatConfig::default());
+    heap.install(&mut vm);
+    // Live objects: (user pointer, requested size, fill byte).
+    let mut live: Vec<(u64, u64, u8)> = Vec::new();
+    let mut failures = Vec::new();
+
+    for case in 0..cases {
+        if failures.len() >= MAX_FAILURES {
+            break;
+        }
+        match rng.below(10) {
+            0..=3 => {
+                let cap = if rng.chance(90) { 512 } else { 1 << 16 };
+                let size = 1 + rng.below(cap);
+                let fill = rng.below(0x100) as u8;
+                match heap.malloc(&mut vm, size) {
+                    Ok(p) => {
+                        vm.write_privileged(p, &vec![fill; size as usize])
+                            .expect("fresh object mapped");
+                        check_object(&heap, &vm, p, size, &mut failures);
+                        live.push((p, size, fill));
+                    }
+                    Err(e) => push_capped(
+                        &mut failures,
+                        format!("case {case}: malloc({size}) failed: {e:?}"),
+                    ),
+                }
+            }
+            4 => {
+                let count = 1 + rng.below(32);
+                let elem = 1 + rng.below(64);
+                match heap.calloc(&mut vm, count, elem) {
+                    Ok(p) => {
+                        let size = count * elem;
+                        check_object(&heap, &vm, p, size, &mut failures);
+                        let data = vm.read_bytes(p, size as usize).expect("object mapped");
+                        if data.iter().any(|&b| b != 0) {
+                            push_capped(
+                                &mut failures,
+                                format!("case {case}: calloc({count}, {elem}) not zeroed"),
+                            );
+                        }
+                        live.push((p, size, 0));
+                    }
+                    Err(e) => push_capped(
+                        &mut failures,
+                        format!("case {case}: calloc({count}, {elem}) failed: {e:?}"),
+                    ),
+                }
+            }
+            5 => {
+                if live.is_empty() {
+                    continue;
+                }
+                let i = rng.below(live.len() as u64) as usize;
+                let (p, old_size, fill) = live[i];
+                let new_size = 1 + rng.below(1024);
+                match heap.realloc(&mut vm, p, new_size) {
+                    Ok(q) => {
+                        check_object(&heap, &vm, q, new_size, &mut failures);
+                        let keep = old_size.min(new_size) as usize;
+                        let data = vm.read_bytes(q, keep).expect("object mapped");
+                        if data.iter().any(|&b| b != fill) {
+                            push_capped(
+                                &mut failures,
+                                format!("case {case}: realloc lost object contents"),
+                            );
+                        }
+                        vm.write_privileged(q, &vec![fill; new_size as usize])
+                            .expect("object mapped");
+                        live[i] = (q, new_size, fill);
+                    }
+                    Err(e) => push_capped(
+                        &mut failures,
+                        format!("case {case}: realloc({p:#x}, {new_size}) failed: {e:?}"),
+                    ),
+                }
+            }
+            6..=8 => {
+                if live.is_empty() {
+                    continue;
+                }
+                let i = rng.below(live.len() as u64) as usize;
+                let (p, _, _) = live.swap_remove(i);
+                if let Err(e) = heap.free(&mut vm, p) {
+                    push_capped(
+                        &mut failures,
+                        format!("case {case}: free({p:#x}) failed: {e:?}"),
+                    );
+                    continue;
+                }
+                if heap.state(&vm, p) != ObjState::Free {
+                    push_capped(
+                        &mut failures,
+                        format!(
+                            "case {case}: freed object state is {:?}, expected Free",
+                            heap.state(&vm, p)
+                        ),
+                    );
+                }
+                if heap.object_size(&vm, p).is_some() {
+                    push_capped(
+                        &mut failures,
+                        format!("case {case}: freed object still has an object_size"),
+                    );
+                }
+            }
+            _ => {
+                // Double-free probe: the second free must be detected.
+                if live.is_empty() {
+                    continue;
+                }
+                let i = rng.below(live.len() as u64) as usize;
+                let (p, _, _) = live.swap_remove(i);
+                if let Err(e) = heap.free(&mut vm, p) {
+                    push_capped(
+                        &mut failures,
+                        format!("case {case}: free({p:#x}) failed: {e:?}"),
+                    );
+                    continue;
+                }
+                match heap.free(&mut vm, p) {
+                    Err(AllocError::DoubleFree(_)) => {}
+                    other => push_capped(
+                        &mut failures,
+                        format!("case {case}: double free not detected: {other:?}"),
+                    ),
+                }
+            }
+        }
+    }
+
+    // Drain: every remaining object must free cleanly.
+    for (p, _, _) in live {
+        if let Err(e) = heap.free(&mut vm, p) {
+            push_capped(&mut failures, format!("drain: free({p:#x}) failed: {e:?}"));
+        }
+    }
+    AllocReport { cases, failures }
+}
+
+// ---------------------------------------------------------------------------
+// Failure minimization
+// ---------------------------------------------------------------------------
+
+/// ddmin-style list minimization: returns a subsequence of `items` on
+/// which `still_fails` still returns `true`, minimal under chunk removal.
+///
+/// If the full input does not fail, it is returned unchanged.
+pub fn minimize<T: Clone>(items: &[T], mut still_fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = items.to_vec();
+    if !still_fails(&cur) {
+        return cur;
+    }
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let end = (i + chunk).min(cur.len());
+            let mut cand: Vec<T> = Vec::with_capacity(cur.len() - (end - i));
+            cand.extend_from_slice(&cur[..i]);
+            cand.extend_from_slice(&cur[end..]);
+            if still_fails(&cand) {
+                cur = cand;
+                shrunk = true;
+                // Same position now holds fresh content: retry in place.
+            } else {
+                i = end;
+            }
+        }
+        if !shrunk {
+            if chunk == 1 {
+                return cur;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep differential oracle
+// ---------------------------------------------------------------------------
+
+/// One unexplained difference between the baseline and hardened runs.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Original-code address where the difference was observed.
+    pub rip: u64,
+    /// Description, including a disassembly window of the instructions
+    /// executed leading up to the divergence.
+    pub detail: String,
+}
+
+/// Result of a [`lockstep`] run.
+#[derive(Debug, Default)]
+pub struct LockstepReport {
+    /// Original-instruction boundaries at which full state was compared.
+    pub synced: u64,
+    /// Unexplained divergences (capped).
+    pub divergences: Vec<Divergence>,
+    /// How the baseline run ended (`None` if the budget ran out first).
+    pub baseline_exit: Option<RunResult>,
+    /// How the hardened run ended.
+    pub hardened_exit: Option<RunResult>,
+    /// Memory-error reports from the hardened run's checks. These are
+    /// *intended* behavior differences, not divergences.
+    pub hardened_errors: usize,
+    /// `true` if both runs terminated within the step budget.
+    pub completed: bool,
+}
+
+impl LockstepReport {
+    /// `true` if no unexplained divergence was observed.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+fn record(report: &mut LockstepReport, window: &VecDeque<String>, rip: u64, msg: String) {
+    if report.divergences.len() >= MAX_FAILURES {
+        return;
+    }
+    let mut detail = msg;
+    if !window.is_empty() {
+        detail.push_str("\n  instructions leading here:");
+        for line in window {
+            detail.push_str("\n    ");
+            detail.push_str(line);
+        }
+    }
+    report.divergences.push(Divergence { rip, detail });
+}
+
+/// Exit results are equivalent if they end the run the same way; error
+/// payloads carry addresses that legitimately differ between the images.
+fn exit_equiv(b: &RunResult, h: &RunResult) -> bool {
+    match (b, h) {
+        (RunResult::Exited(x), RunResult::Exited(y)) => x == y,
+        (RunResult::StepLimit, RunResult::StepLimit) => true,
+        (RunResult::MemoryError(_), RunResult::MemoryError(_)) => true,
+        (RunResult::Error(_), RunResult::Error(_)) => true,
+        _ => false,
+    }
+}
+
+/// Hardens `image` under `config` and runs the lockstep oracle on the
+/// result, using the pipeline's own clobber declarations.
+pub fn lockstep(
+    image: &Image,
+    config: &HardenConfig,
+    input: &[i64],
+    max_steps: u64,
+) -> Result<LockstepReport, HardenError> {
+    let hardened = harden(image, config)?;
+    Ok(lockstep_images(
+        image,
+        &hardened.image,
+        &hardened.clobbers,
+        input,
+        max_steps,
+    ))
+}
+
+/// Shrinks `input` to a minimal vector on which the hardened image still
+/// diverges from the baseline (ddmin over input elements).
+pub fn shrink_input(
+    baseline: &Image,
+    hardened: &Image,
+    clobbers: &HashMap<u64, ClobberInfo>,
+    input: &[i64],
+    max_steps: u64,
+) -> Vec<i64> {
+    minimize(input, |cand| {
+        !lockstep_images(baseline, hardened, clobbers, cand, max_steps).clean()
+    })
+}
+
+/// Runs `baseline` and `hardened` in lockstep, comparing architectural
+/// state at every original-instruction boundary.
+///
+/// The sync invariant: both emulators sit at the same original-code
+/// `rip`, below the trampoline region. Each round first compares all
+/// registers (minus the *dirty* set of declared clobbers), the flags, and
+/// the bytes stored since the last sync; then advances the hardened run
+/// until it re-emerges from instrumentation, and finally single-steps the
+/// baseline to the same address, checking per instruction that nothing
+/// reads a clobbered register or flag (which would falsify the liveness
+/// analysis that justified the clobber).
+pub fn lockstep_images(
+    baseline: &Image,
+    hardened: &Image,
+    clobbers: &HashMap<u64, ClobberInfo>,
+    input: &[i64],
+    max_steps: u64,
+) -> LockstepReport {
+    let disasm = redfat_analysis::disassemble(baseline);
+    let mut base = Emu::load_image(
+        baseline,
+        HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
+    );
+    let mut hard = Emu::load_image(
+        hardened,
+        HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
+    );
+
+    let mut report = LockstepReport::default();
+    // Registers (bit per GPR code) whose values may legitimately differ:
+    // declared dead at a payload anchor, clobbered by the payload, and not
+    // yet re-synchronized by a full-width write.
+    let mut dirty: u16 = 0;
+    let mut flags_dirty = false;
+    // Data stores performed since the last sync, compared at the next one.
+    let mut pending: Vec<(u64, usize)> = Vec::new();
+    let mut window: VecDeque<String> = VecDeque::new();
+    let mut budget = max_steps;
+
+    let mut base_done: Option<RunResult> = None;
+    let mut hard_done: Option<RunResult> = None;
+
+    'outer: while base_done.is_none() || hard_done.is_none() {
+        if base_done.is_none() && hard_done.is_none() {
+            // ---- sync point: compare state ----
+            let rip = base.cpu.rip;
+            report.synced += 1;
+            for c in 0..16u8 {
+                if dirty & (1 << c) != 0 {
+                    continue;
+                }
+                let r = Reg::from_code(c);
+                let (bv, hv) = (base.cpu.get(r), hard.cpu.get(r));
+                if bv != hv {
+                    record(
+                        &mut report,
+                        &window,
+                        rip,
+                        format!(
+                            "register {r:?} differs at {rip:#x}: baseline {bv:#x}, hardened {hv:#x}"
+                        ),
+                    );
+                    // Report once; treat as dirty from here on.
+                    dirty |= 1 << c;
+                }
+            }
+            if !flags_dirty && base.cpu.flags != hard.cpu.flags {
+                record(
+                    &mut report,
+                    &window,
+                    rip,
+                    format!(
+                        "flags differ at {rip:#x}: baseline {:?}, hardened {:?}",
+                        base.cpu.flags, hard.cpu.flags
+                    ),
+                );
+                flags_dirty = true;
+            }
+            for (addr, len) in pending.drain(..) {
+                let bb = base.vm.read_bytes(addr, len).ok();
+                let hb = hard.vm.read_bytes(addr, len).ok();
+                if bb != hb {
+                    record(
+                        &mut report,
+                        &window,
+                        rip,
+                        format!(
+                            "stored bytes differ at {addr:#x} ({len} bytes): \
+                             baseline {bb:02x?}, hardened {hb:02x?}"
+                        ),
+                    );
+                }
+            }
+            // The payload anchored here runs *after* this comparison; mark
+            // its declared clobbers as legitimately divergent.
+            if let Some(ci) = clobbers.get(&rip) {
+                for r in &ci.regs {
+                    dirty |= 1 << r.code();
+                }
+                if ci.flags {
+                    flags_dirty = true;
+                }
+            }
+            if report.divergences.len() >= MAX_FAILURES {
+                break 'outer;
+            }
+
+            // ---- advance hardened to the next original-code boundary ----
+            let mut inner = 0u64;
+            loop {
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                match hard.step() {
+                    Ok(None) => {}
+                    Ok(Some(res)) => {
+                        hard_done = Some(res);
+                        break;
+                    }
+                    Err(e) => {
+                        hard_done = Some(RunResult::Error(e));
+                        break;
+                    }
+                }
+                if hard.cpu.rip < layout::TRAMPOLINE_BASE {
+                    break;
+                }
+                inner += 1;
+                if inner > 200_000 {
+                    record(
+                        &mut report,
+                        &window,
+                        rip,
+                        format!("hardened run stuck inside trampoline entered at {rip:#x}"),
+                    );
+                    break 'outer;
+                }
+            }
+        }
+
+        // ---- baseline catch-up, instruction by instruction ----
+        let target = if hard_done.is_some() {
+            None
+        } else {
+            Some(hard.cpu.rip)
+        };
+        let mut caught = 0u32;
+        while base_done.is_none() {
+            if Some(base.cpu.rip) == target {
+                break;
+            }
+            if budget == 0 {
+                break 'outer;
+            }
+            let rip = base.cpu.rip;
+            let Some(&(inst, _len)) = disasm.at(rip) else {
+                record(
+                    &mut report,
+                    &window,
+                    rip,
+                    format!("baseline reached undecodable code at {rip:#x}"),
+                );
+                break 'outer;
+            };
+            window.push_back(format!("{rip:#x}: {inst}"));
+            if window.len() > 32 {
+                window.pop_front();
+            }
+
+            // Liveness soundness: nothing may read a clobbered register or
+            // flag before it is rewritten.
+            if dirty != 0 {
+                for r in inst.regs_read() {
+                    if dirty & (1 << r.code()) != 0 {
+                        record(
+                            &mut report,
+                            &window,
+                            rip,
+                            format!(
+                                "`{inst}` at {rip:#x} reads {r:?}, which instrumentation \
+                                 clobbered (liveness violation)"
+                            ),
+                        );
+                        dirty &= !(1 << r.code());
+                    }
+                }
+            }
+            if flags_dirty && inst.reads_flags() {
+                record(
+                    &mut report,
+                    &window,
+                    rip,
+                    format!(
+                        "`{inst}` at {rip:#x} reads flags, which instrumentation \
+                         clobbered (liveness violation)"
+                    ),
+                );
+                flags_dirty = false;
+            }
+            if report.divergences.len() >= MAX_FAILURES {
+                break 'outer;
+            }
+
+            // Record data stores for comparison at the next sync. Stack
+            // pushes are excluded: the hardened run legitimately pushes
+            // trampoline-resident return addresses.
+            if inst.writes_memory() {
+                if let Some(m) = inst.memory_access() {
+                    let ea = if m.rip {
+                        m.disp as u64
+                    } else {
+                        let mut a = m.disp as u64;
+                        if let Some(b) = m.base {
+                            a = a.wrapping_add(base.cpu.get(b));
+                        }
+                        if let Some(i) = m.index {
+                            a = a.wrapping_add(base.cpu.get(i).wrapping_mul(m.scale as u64));
+                        }
+                        a
+                    };
+                    let len = inst.access_len().unwrap_or(0) as usize;
+                    pending.push((ea, len));
+                }
+            }
+
+            let pre_rax = base.cpu.get(Reg::Rax);
+            let pre_cond = if let Op::Cmovcc(c) = inst.op {
+                base.cpu.flags.cond(c)
+            } else {
+                false
+            };
+
+            budget -= 1;
+            match base.step() {
+                Ok(None) => {}
+                Ok(Some(res)) => base_done = Some(res),
+                Err(e) => base_done = Some(RunResult::Error(e)),
+            }
+
+            // A full-width write re-synchronizes a dirty register (both
+            // sides computed the value from clean state -- otherwise the
+            // read check above already fired). Mirror the emulator's
+            // actual write sets, not the static may-write model.
+            match inst.op {
+                Op::Syscall => {
+                    dirty &= !(1u16 << Reg::Rax.code());
+                    if pre_rax == syscalls::READ_INT {
+                        dirty &= !(1u16 << Reg::Rdx.code());
+                    }
+                }
+                Op::Cmovcc(_) => {
+                    // A false condition keeps (W64) or partially rewrites
+                    // (W32 zero-extend of the old low half) the old value:
+                    // only a taken cmov cleans its destination.
+                    if pre_cond {
+                        for r in inst.regs_written() {
+                            dirty &= !(1u16 << r.code());
+                        }
+                    }
+                }
+                _ => {
+                    if inst.w != Width::W8 {
+                        for r in inst.regs_written() {
+                            dirty &= !(1u16 << r.code());
+                        }
+                    }
+                }
+            }
+            if inst.writes_flags() {
+                flags_dirty = false;
+            }
+
+            caught += 1;
+            if caught > 128 && base_done.is_none() {
+                record(
+                    &mut report,
+                    &window,
+                    base.cpu.rip,
+                    format!(
+                        "baseline failed to re-converge with hardened at {:#x}",
+                        target.unwrap_or(0)
+                    ),
+                );
+                break 'outer;
+            }
+        }
+
+        if base_done.is_some() && hard_done.is_none() {
+            // The baseline terminated while the hardened run is paused at
+            // a boundary; let it run to its own termination for the final
+            // comparison.
+            let mut extra = 0u64;
+            while hard_done.is_none() {
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                match hard.step() {
+                    Ok(None) => {}
+                    Ok(Some(res)) => hard_done = Some(res),
+                    Err(e) => hard_done = Some(RunResult::Error(e)),
+                }
+                extra += 1;
+                if extra > 200_000 {
+                    record(
+                        &mut report,
+                        &window,
+                        hard.cpu.rip,
+                        "baseline terminated but the hardened run keeps running".to_string(),
+                    );
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    report.hardened_errors = hard.runtime.errors.len();
+    if let (Some(b), Some(h)) = (&base_done, &hard_done) {
+        if !exit_equiv(b, h) {
+            record(
+                &mut report,
+                &window,
+                base.cpu.rip,
+                format!("exit results differ: baseline {b:?}, hardened {h:?}"),
+            );
+        }
+        if base.runtime.io.digest() != hard.runtime.io.digest() {
+            record(
+                &mut report,
+                &window,
+                base.cpu.rip,
+                format!(
+                    "guest IO digests differ: baseline {:#x}, hardened {:#x}",
+                    base.runtime.io.digest(),
+                    hard.runtime.io.digest()
+                ),
+            );
+        }
+        report.completed = true;
+    }
+    report.baseline_exit = base_done;
+    report.hardened_exit = hard_done;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HardenConfig, LowFatPolicy};
+    use redfat_analysis::Cfg;
+    use redfat_elf::{ImageKind, SegFlags, Segment};
+    use redfat_rewriter::{rewrite, Patch};
+    use redfat_x86::Asm;
+
+    fn program(build: impl FnOnce(&mut Asm) -> u64) -> (Image, u64) {
+        let mut a = Asm::new(layout::CODE_BASE);
+        let mark = build(&mut a);
+        let p = a.finish().unwrap();
+        let image = Image {
+            kind: ImageKind::Exec,
+            entry: layout::CODE_BASE,
+            segments: vec![Segment::new(p.base, SegFlags::RX, p.bytes)],
+            symbols: vec![],
+        };
+        (image, mark)
+    }
+
+    fn clobber_rbx_patch(anchor: u64) -> Vec<Patch<'static>> {
+        vec![Patch {
+            anchor,
+            payload: Box::new(|a: &mut Asm| {
+                a.mov_ri(Width::W64, Reg::Rbx, 99);
+                Ok(())
+            }),
+        }]
+    }
+
+    #[test]
+    fn minimize_reduces_to_the_failing_core() {
+        let items: Vec<i32> = (0..20).collect();
+        let out = minimize(&items, |c| c.contains(&3) && c.contains(&17));
+        assert_eq!(out, vec![3, 17]);
+        // A non-failing input is returned unchanged.
+        let out = minimize(&items, |_| false);
+        assert_eq!(out, items);
+        // A failure independent of the input shrinks to nothing.
+        let out = minimize(&items, |_| true);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_fuzzer_is_clean() {
+        let r = roundtrip_fuzz(2_000, 0xDEC0_DE01);
+        assert_eq!(r.cases, 2_000);
+        assert!(r.clean(), "{:#?}", r.failures);
+    }
+
+    #[test]
+    fn allocator_invariants_hold() {
+        let r = allocator_invariants(1_000, 0xA110_C001);
+        assert!(r.clean(), "{:#?}", r.failures);
+    }
+
+    #[test]
+    fn injected_live_clobber_is_flagged() {
+        // rbx is *live* across the anchor (the displaced mov reads it), so
+        // a payload clobbering it without declaration must be flagged.
+        let (image, anchor) = program(|a| {
+            a.mov_ri(Width::W64, Reg::Rbx, 7);
+            let anchor = a.here();
+            a.mov_rr(Width::W64, Reg::Rdi, Reg::Rbx);
+            a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+            let l = a.label();
+            a.jmp_label(l);
+            a.bind(l).unwrap();
+            a.mov_ri(Width::W64, Reg::Rax, 0);
+            a.syscall();
+            anchor
+        });
+        let disasm = redfat_analysis::disassemble(&image);
+        let cfg = Cfg::recover(&disasm, image.entry, &[]);
+        let out = rewrite(&image, &disasm, &cfg, clobber_rbx_patch(anchor)).unwrap();
+        let rep = lockstep_images(&image, &out.image, &HashMap::new(), &[], 100_000);
+        assert!(!rep.clean(), "undeclared clobber not flagged: {rep:#?}");
+        assert!(
+            rep.divergences.iter().any(|d| d.detail.contains("Rbx")),
+            "divergence does not name the clobbered register: {:#?}",
+            rep.divergences
+        );
+    }
+
+    #[test]
+    fn declared_dead_clobber_is_tolerated() {
+        // rbx is *dead* after the anchor; the same clobber, declared, is
+        // an intended effect and must not be reported.
+        let (image, anchor) = program(|a| {
+            a.mov_ri(Width::W64, Reg::Rbx, 7);
+            let anchor = a.here();
+            a.mov_ri(Width::W64, Reg::Rdi, 5);
+            let l = a.label();
+            a.jmp_label(l);
+            a.bind(l).unwrap();
+            a.mov_ri(Width::W64, Reg::Rax, 0);
+            a.syscall();
+            anchor
+        });
+        let disasm = redfat_analysis::disassemble(&image);
+        let cfg = Cfg::recover(&disasm, image.entry, &[]);
+        let out = rewrite(&image, &disasm, &cfg, clobber_rbx_patch(anchor)).unwrap();
+
+        // Undeclared: flagged.
+        let rep = lockstep_images(&image, &out.image, &HashMap::new(), &[], 100_000);
+        assert!(!rep.clean(), "expected the undeclared clobber to be seen");
+
+        // Declared: clean, and both runs exit 5.
+        let mut declared = HashMap::new();
+        declared.insert(
+            anchor,
+            ClobberInfo {
+                regs: vec![Reg::Rbx],
+                flags: false,
+            },
+        );
+        let rep = lockstep_images(&image, &out.image, &declared, &[], 100_000);
+        assert!(rep.clean(), "{:#?}", rep.divergences);
+        assert!(rep.completed);
+        assert_eq!(rep.baseline_exit, Some(RunResult::Exited(5)));
+        assert_eq!(rep.hardened_exit, Some(RunResult::Exited(5)));
+    }
+
+    #[test]
+    fn input_shrinking_reaches_a_fixpoint() {
+        // The injected divergence is input-independent, so the shrinker
+        // must reduce the input vector to nothing.
+        let (image, anchor) = program(|a| {
+            a.mov_ri(Width::W64, Reg::Rbx, 7);
+            let anchor = a.here();
+            a.mov_rr(Width::W64, Reg::Rdi, Reg::Rbx);
+            a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+            let l = a.label();
+            a.jmp_label(l);
+            a.bind(l).unwrap();
+            a.mov_ri(Width::W64, Reg::Rax, 0);
+            a.syscall();
+            anchor
+        });
+        let disasm = redfat_analysis::disassemble(&image);
+        let cfg = Cfg::recover(&disasm, image.entry, &[]);
+        let out = rewrite(&image, &disasm, &cfg, clobber_rbx_patch(anchor)).unwrap();
+        let shrunk = shrink_input(&image, &out.image, &HashMap::new(), &[1, 2, 3], 100_000);
+        assert!(shrunk.is_empty(), "{shrunk:?}");
+    }
+
+    #[test]
+    fn lockstep_is_clean_on_a_hardened_minic_program() {
+        let src = "fn main() {
+            var n = input();
+            var a = malloc(10 * 8);
+            for (var i = 0; i < 10; i = i + 1) { a[i] = i * n; }
+            var s = 0;
+            for (var i = 0; i < 10; i = i + 1) { s = s + a[i]; }
+            print(s);
+            free(a);
+            return 0;
+        }";
+        let image = redfat_minic::compile(src).unwrap();
+        for config in [
+            HardenConfig::unoptimized(LowFatPolicy::All),
+            HardenConfig::default(),
+        ] {
+            let rep = lockstep(&image, &config, &[3], 5_000_000).unwrap();
+            assert!(rep.completed, "run did not complete: {rep:#?}");
+            assert!(rep.clean(), "{:#?}", rep.divergences);
+            assert_eq!(rep.baseline_exit, Some(RunResult::Exited(0)));
+            assert_eq!(rep.hardened_exit, Some(RunResult::Exited(0)));
+            assert!(
+                rep.synced > 10,
+                "suspiciously few sync points: {}",
+                rep.synced
+            );
+        }
+    }
+}

@@ -720,6 +720,12 @@ impl<R: Runtime> Emu<R> {
         r
     }
 
+    // Real hardware leaves most flags *undefined* after mul/div. This
+    // substrate must pick concrete values, and they must constitute a
+    // full rewrite: `Inst::writes_flags` reports mul/div as flag
+    // writers, so the liveness analysis lets instrumentation trash the
+    // flags right before one. Partially preserving them here would leak
+    // that trash through -- result_flags() pins every bit.
     fn muldiv(&mut self, op: MulDivOp, w: Width, src: u64, rip: u64) -> Result<(), EmuError> {
         match op {
             MulDivOp::Mul => {
@@ -730,6 +736,7 @@ impl<R: Runtime> Emu<R> {
                         self.cpu.set(Reg::Rax, full as u64);
                         self.cpu.set(Reg::Rdx, (full >> 64) as u64);
                         let hi = (full >> 64) as u64;
+                        self.result_flags(w, full as u64);
                         self.cpu.flags.cf = hi != 0;
                         self.cpu.flags.of = hi != 0;
                     }
@@ -737,6 +744,7 @@ impl<R: Runtime> Emu<R> {
                         let full = self.cpu.read(Reg::Rax, Width::W32) * (src & 0xFFFF_FFFF);
                         self.cpu.write(Reg::Rax, Width::W32, full & 0xFFFF_FFFF);
                         self.cpu.write(Reg::Rdx, Width::W32, full >> 32);
+                        self.result_flags(w, full & 0xFFFF_FFFF);
                         self.cpu.flags.cf = full >> 32 != 0;
                         self.cpu.flags.of = full >> 32 != 0;
                     }
@@ -757,6 +765,7 @@ impl<R: Runtime> Emu<R> {
                         }
                         self.cpu.set(Reg::Rax, q as u64);
                         self.cpu.set(Reg::Rdx, (dividend % src as u128) as u64);
+                        self.logic_flags(w, q as u64);
                     }
                     _ => {
                         let dividend = (self.cpu.read(Reg::Rdx, Width::W32) << 32)
@@ -768,6 +777,7 @@ impl<R: Runtime> Emu<R> {
                         }
                         self.cpu.write(Reg::Rax, Width::W32, q);
                         self.cpu.write(Reg::Rdx, Width::W32, dividend % d);
+                        self.logic_flags(w, q);
                     }
                 }
             }
@@ -789,6 +799,7 @@ impl<R: Runtime> Emu<R> {
                         self.cpu.set(Reg::Rax, q as u64);
                         self.cpu
                             .set(Reg::Rdx, dividend.wrapping_rem(divisor) as u64);
+                        self.logic_flags(w, q as u64);
                     }
                     _ => {
                         let dividend = ((self.cpu.read(Reg::Rdx, Width::W32) << 32
@@ -802,6 +813,7 @@ impl<R: Runtime> Emu<R> {
                         self.cpu.write(Reg::Rax, Width::W32, q as u64);
                         self.cpu
                             .write(Reg::Rdx, Width::W32, dividend.wrapping_rem(divisor) as u64);
+                        self.logic_flags(w, q as u64);
                     }
                 }
             }

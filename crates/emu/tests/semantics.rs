@@ -298,6 +298,72 @@ fn rip_relative_load_reads_code_constant() {
 }
 
 #[test]
+fn shift_by_zero_preserves_flags() {
+    // The merged bounds check reads CF right after flag-setting code;
+    // a shift with a (masked) zero count must leave all flags untouched,
+    // exactly as on hardware.
+    let v = result_of(|a| {
+        // CF=1 from 3-5; an explicit imm-0 shift must not clear it.
+        a.mov_ri(Width::W64, Reg::Rbx, 3);
+        a.alu_ri(AluOp::Cmp, Width::W64, Reg::Rbx, 5);
+        a.shift_ri(ShiftOp::Shl, Width::W64, Reg::Rbx, 0);
+        a.setcc_r(Cond::B, Reg::Rdi);
+        // ZF=1 from equality; a cl count masked to zero (64 & 63) must
+        // not touch it either.
+        a.mov_ri(Width::W64, Reg::Rbx, 7);
+        a.alu_ri(AluOp::Cmp, Width::W64, Reg::Rbx, 7);
+        a.mov_ri(Width::W64, Reg::Rcx, 64);
+        a.shift_cl(ShiftOp::Shr, Width::W64, Reg::Rbx);
+        a.setcc_r(Cond::E, Reg::Rsi);
+        a.shift_ri(ShiftOp::Shl, Width::W64, Reg::Rsi, 1);
+        a.alu_rr(AluOp::Or, Width::W64, Reg::Rdi, Reg::Rsi);
+        // 32-bit shifts mask at 32: count 32 is a flag-preserving no-op.
+        a.mov_ri(Width::W64, Reg::Rbx, 1);
+        a.alu_ri(AluOp::Cmp, Width::W64, Reg::Rbx, 2); // CF=1
+        a.mov_ri(Width::W64, Reg::Rcx, 32);
+        a.shift_cl(ShiftOp::Sar, Width::W32, Reg::Rbx);
+        a.setcc_r(Cond::B, Reg::Rdx);
+        a.shift_ri(ShiftOp::Shl, Width::W64, Reg::Rdx, 2);
+        a.alu_rr(AluOp::Or, Width::W64, Reg::Rdi, Reg::Rdx);
+    });
+    assert_eq!(v, 0b111);
+}
+
+#[test]
+fn imul_carry_and_overflow_track_signed_overflow() {
+    let v = result_of(|a| {
+        // i64::MAX * 2 overflows 64-bit signed: CF=OF=1.
+        a.mov_ri(Width::W64, Reg::Rbx, i64::MAX);
+        a.mov_ri(Width::W64, Reg::Rcx, 2);
+        a.imul_rr(Width::W64, Reg::Rbx, Reg::Rcx);
+        a.setcc_r(Cond::O, Reg::Rdi);
+        a.setcc_r(Cond::B, Reg::Rdx); // CF mirrors OF for imul
+        a.shift_ri(ShiftOp::Shl, Width::W64, Reg::Rdx, 1);
+        a.alu_rr(AluOp::Or, Width::W64, Reg::Rdi, Reg::Rdx);
+        // -3 * 5 fits comfortably: CF=OF=0 (a plain sign bit must not
+        // be mistaken for overflow).
+        a.mov_ri(Width::W64, Reg::Rbx, -3);
+        a.imul_rri(Width::W64, Reg::Rbx, Reg::Rbx, 5);
+        a.setcc_r(Cond::O, Reg::Rdx);
+        a.shift_ri(ShiftOp::Shl, Width::W64, Reg::Rdx, 2);
+        a.alu_rr(AluOp::Or, Width::W64, Reg::Rdi, Reg::Rdx);
+        // 32-bit: 0x40000000 * 4 overflows 32-bit signed.
+        a.mov_ri(Width::W64, Reg::Rbx, 0x4000_0000);
+        a.imul_rri(Width::W32, Reg::Rbx, Reg::Rbx, 4);
+        a.setcc_r(Cond::O, Reg::Rdx);
+        a.shift_ri(ShiftOp::Shl, Width::W64, Reg::Rdx, 3);
+        a.alu_rr(AluOp::Or, Width::W64, Reg::Rdi, Reg::Rdx);
+        // 32-bit: 1000 * 1000 fits: no overflow.
+        a.mov_ri(Width::W64, Reg::Rbx, 1000);
+        a.imul_rri(Width::W32, Reg::Rbx, Reg::Rbx, 1000);
+        a.setcc_r(Cond::O, Reg::Rdx);
+        a.shift_ri(ShiftOp::Shl, Width::W64, Reg::Rdx, 4);
+        a.alu_rr(AluOp::Or, Width::W64, Reg::Rdi, Reg::Rdx);
+    });
+    assert_eq!(v, 0b01011);
+}
+
+#[test]
 fn muldiv_sets_carry_on_wide_product() {
     let v = result_of(|a| {
         a.mov_ri(Width::W64, Reg::Rax, 1 << 40);
@@ -314,4 +380,46 @@ fn muldiv_sets_carry_on_wide_product() {
     assert_eq!(v, 1);
     // Silence unused import lint for MulDivOp in some cfgs.
     let _ = MulDivOp::Mul;
+}
+
+#[test]
+fn mul_div_rewrite_every_flag() {
+    // `Inst::writes_flags` reports mul/div as full flag writers, which
+    // lets the liveness analysis hand instrumentation the flags to
+    // trash right before one. The emulator must therefore pin every
+    // flag bit afterwards: a bit carried over from the incoming state
+    // would leak that trash into the original program (caught by the
+    // lockstep selftest on the SPEC stand-ins).
+    let v = result_of(|a| {
+        // Incoming CF=1, SF=1 (from 0 - 1). idiv 7/2 -> q=3 must force
+        // CF=0 and SF=0.
+        a.mov_ri(Width::W64, Reg::Rbx, 0);
+        a.alu_ri(AluOp::Cmp, Width::W64, Reg::Rbx, 1);
+        a.mov_ri(Width::W64, Reg::Rax, 7);
+        a.cqo();
+        a.mov_ri(Width::W64, Reg::Rcx, 2);
+        a.idiv_r(Reg::Rcx);
+        a.setcc_r(Cond::B, Reg::Rdi); // CF: must be 0
+        a.setcc_r(Cond::S, Reg::Rsi); // SF: must be 0
+        a.shift_ri(ShiftOp::Shl, Width::W64, Reg::Rsi, 1);
+        a.alu_rr(AluOp::Or, Width::W64, Reg::Rdi, Reg::Rsi);
+        // Incoming ZF=1 (7 == 7). div 0/3 -> q=0 must *set* ZF itself,
+        // and mul 3*4 -> 12 must then clear it.
+        a.mov_ri(Width::W64, Reg::Rbx, 7);
+        a.alu_ri(AluOp::Cmp, Width::W64, Reg::Rbx, 7);
+        a.mov_ri(Width::W64, Reg::Rax, 0);
+        a.mov_ri(Width::W64, Reg::Rdx, 0);
+        a.mov_ri(Width::W64, Reg::Rcx, 3);
+        a.div_r(Reg::Rcx);
+        a.setcc_r(Cond::E, Reg::Rbx); // ZF from quotient 0: must be 1
+        a.shift_ri(ShiftOp::Shl, Width::W64, Reg::Rbx, 2);
+        a.alu_rr(AluOp::Or, Width::W64, Reg::Rdi, Reg::Rbx);
+        a.mov_ri(Width::W64, Reg::Rax, 3);
+        a.mov_ri(Width::W64, Reg::Rcx, 4);
+        a.mul_r(Reg::Rcx);
+        a.setcc_r(Cond::E, Reg::Rbx); // ZF from product 12: must be 0
+        a.shift_ri(ShiftOp::Shl, Width::W64, Reg::Rbx, 3);
+        a.alu_rr(AluOp::Or, Width::W64, Reg::Rdi, Reg::Rbx);
+    });
+    assert_eq!(v, 0b0100);
 }

@@ -440,6 +440,53 @@ mod tests {
     }
 
     #[test]
+    fn rip_relative_operand_survives_displacement() {
+        // A rip-relative instruction moved into a trampoline keeps its
+        // *absolute* target: the encoder recomputes the rel32 for the new
+        // address. A stale displacement would silently read/compute a
+        // different address after relocation.
+        let target = 0x1234_5678u64;
+        let img = build_image(|a| {
+            a.lea(Reg::Rdi, redfat_x86::Mem::rip(target)); // 7 bytes: jmp tactic
+            a.mov_ri(Width::W64, Reg::Rax, 0);
+            a.syscall(); // exit(rdi)
+        });
+        let d = disassemble(&img);
+        let cfg = Cfg::recover(&d, img.entry, &[]);
+        let out = rewrite(
+            &img,
+            &d,
+            &cfg,
+            vec![Patch {
+                anchor: layout::CODE_BASE,
+                payload: no_payload(),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.stats.jmp_patches, 1);
+
+        // The displaced copy decodes back to the same absolute target.
+        let tramp = out.image.segment_at(layout::TRAMPOLINE_BASE).unwrap();
+        let insts = redfat_x86::decode_all(&tramp.data, layout::TRAMPOLINE_BASE);
+        let lea = insts
+            .iter()
+            .find_map(|(_, i, _)| match (i.op, &i.operands) {
+                (redfat_x86::Op::Lea, redfat_x86::Operands::RM { src, .. }) => Some(*src),
+                _ => None,
+            })
+            .expect("displaced lea present in trampoline");
+        assert!(lea.rip);
+        assert_eq!(lea.disp as u64, target);
+
+        // Both images compute the same address at runtime.
+        use redfat_emu::{Emu, ErrorMode, HostRuntime};
+        let base = Emu::load_image(&img, HostRuntime::new(ErrorMode::Log)).run(10_000);
+        let hard = Emu::load_image(&out.image, HostRuntime::new(ErrorMode::Log)).run(10_000);
+        assert_eq!(base.expect_exit(), target as i64);
+        assert_eq!(hard.expect_exit(), target as i64);
+    }
+
+    #[test]
     fn unsorted_patches_rejected() {
         let img = build_image(|a| {
             a.mov_ri(Width::W64, Reg::Rax, 1);

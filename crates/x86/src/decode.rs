@@ -17,6 +17,11 @@ pub enum DecodeError {
     UnsupportedOpcode(u8),
     /// A prefix outside the modeled subset (e.g. `0x66`, `0xF0`).
     UnsupportedPrefix(u8),
+    /// A legacy high-byte register (`ah`/`ch`/`dh`/`bh`): register code
+    /// 4-7 used at 8-bit width without a REX prefix. The model only
+    /// represents the uniform `spl`/`bpl`/`sil`/`dil` byte registers,
+    /// which require a REX prefix on real hardware.
+    HighByteReg(u8),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -25,6 +30,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "truncated instruction"),
             DecodeError::UnsupportedOpcode(b) => write!(f, "unsupported opcode {b:#04x}"),
             DecodeError::UnsupportedPrefix(b) => write!(f, "unsupported prefix {b:#04x}"),
+            DecodeError::HighByteReg(c) => {
+                write!(f, "unsupported high-byte register (code {c})")
+            }
         }
     }
 }
@@ -173,6 +181,33 @@ fn parse_modrm(c: &mut Cursor<'_>, rex: Rex, seg: Option<Seg>) -> Result<ModRm, 
     })
 }
 
+/// Rejects legacy high-byte registers in *byte-width* register operands.
+///
+/// Without a REX prefix, ModRM register codes 4-7 at 8-bit width select
+/// `ah`/`ch`/`dh`/`bh` on real hardware -- not the `spl`/`bpl`/`sil`/`dil`
+/// the uniform numbering would suggest. The model has no representation
+/// for the high-byte registers, so decoding them as the REX-only ones
+/// would silently misname the operand; callers pass the byte-width `reg`
+/// field (if any) and the r/m side here before building operands.
+fn check_byte_regs(rex: Rex, reg: Option<u8>, rm: &Rm) -> Result<(), DecodeError> {
+    if rex.present {
+        // With any REX prefix, codes 4-7 are the uniform byte registers.
+        return Ok(());
+    }
+    let high = |code: u8| (4..=7).contains(&code);
+    if let Some(code) = reg {
+        if high(code) {
+            return Err(DecodeError::HighByteReg(code));
+        }
+    }
+    if let Rm::Reg(r) = rm {
+        if high(r.code()) {
+            return Err(DecodeError::HighByteReg(r.code()));
+        }
+    }
+    Ok(())
+}
+
 /// Builds operands for a standard `op r/m, r` (store-direction) pair.
 fn mr(rm: Rm, reg: u8) -> Operands {
     let r = Reg::from_code(reg);
@@ -295,6 +330,9 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
             let load_dir = opcode & 2 != 0;
             let width = if is8 { Width::W8 } else { w };
             with_modrm!(c, |m| {
+                if is8 {
+                    check_byte_regs(rex, Some(m.reg), &m.rm)?;
+                }
                 let len = c.pos;
                 let rm = resolve(m.rm, len);
                 let ops = if load_dir {
@@ -320,7 +358,10 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
                 d => return Err(DecodeError::UnsupportedOpcode(0x80 | d)),
             };
             let (width, imm) = match opcode {
-                0x80 => (Width::W8, c.i8()? as i64),
+                0x80 => {
+                    check_byte_regs(rex, None, &m.rm)?;
+                    (Width::W8, c.i8()? as i64)
+                }
                 0x81 => (w, c.i32()? as i64),
                 _ => (w, c.i8()? as i64),
             };
@@ -337,6 +378,9 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
         0x84 | 0x85 => {
             let width = if opcode == 0x84 { Width::W8 } else { w };
             with_modrm!(c, |m| {
+                if width == Width::W8 {
+                    check_byte_regs(rex, Some(m.reg), &m.rm)?;
+                }
                 let len = c.pos;
                 done!(Op::Test, width, mr(resolve(m.rm, len), m.reg), c)
             })
@@ -348,6 +392,9 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
             let load_dir = opcode & 2 != 0;
             let width = if is8 { Width::W8 } else { w };
             with_modrm!(c, |m| {
+                if is8 {
+                    check_byte_regs(rex, Some(m.reg), &m.rm)?;
+                }
                 let len = c.pos;
                 let rm = resolve(m.rm, len);
                 let ops = if load_dir {
@@ -364,6 +411,7 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
                 return Err(DecodeError::UnsupportedOpcode(opcode));
             }
             let (width, imm) = if opcode == 0xC6 {
+                check_byte_regs(rex, None, &m.rm)?;
                 (Width::W8, c.i8()? as i64)
             } else {
                 (w, c.i32()? as i64)
@@ -377,6 +425,10 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
             done!(Op::Mov, width, ops, c)
         }
         0xB0..=0xB7 => {
+            if !rex.present && opcode & 7 >= 4 {
+                // B4..B7 without REX are mov-imm into ah/ch/dh/bh.
+                return Err(DecodeError::HighByteReg(opcode & 7));
+            }
             let r = Reg::from_code((opcode & 7) | if rex.b { 8 } else { 0 });
             let imm = c.i8()? as i64;
             done!(Op::Mov, Width::W8, Operands::RI { dst: r, imm }, c)
@@ -467,6 +519,9 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
         0xF6 | 0xF7 => {
             let m = parse_modrm(&mut c, rex, seg)?;
             let width = if opcode == 0xF6 { Width::W8 } else { w };
+            if width == Width::W8 {
+                check_byte_regs(rex, None, &m.rm)?;
+            }
             match m.reg & 7 {
                 0 => {
                     // test r/m, imm.
@@ -604,6 +659,7 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
                 0x90..=0x9F => {
                     let cond = Cond::from_code(op2 & 0xF);
                     let m = parse_modrm(&mut c, rex, seg)?;
+                    check_byte_regs(rex, None, &m.rm)?;
                     let len = c.pos;
                     done!(Op::Setcc(cond), Width::W8, unary(resolve(m.rm, len)), c)
                 }
@@ -620,11 +676,15 @@ pub fn decode_one(bytes: &[u8], addr: u64) -> Result<(Inst, u8), DecodeError> {
                 }
                 0xB6 => {
                     let m = parse_modrm(&mut c, rex, seg)?;
+                    // Only the *source* is byte-width; the dst reg field
+                    // is a full-width register at any code.
+                    check_byte_regs(rex, None, &m.rm)?;
                     let len = c.pos;
                     done!(Op::Movzx8, w, rm_(resolve(m.rm, len), m.reg), c)
                 }
                 0xBE => {
                     let m = parse_modrm(&mut c, rex, seg)?;
+                    check_byte_regs(rex, None, &m.rm)?;
                     let len = c.pos;
                     done!(Op::Movsx8, w, rm_(resolve(m.rm, len), m.reg), c)
                 }
@@ -756,6 +816,116 @@ mod tests {
                 },
             )
         );
+    }
+
+    #[test]
+    fn roundtrip_sib_edge_cases() {
+        // The classic ModRM traps: r12 base forces a SIB byte, r13/rbp
+        // base with disp 0 forces a disp8, rsp base always takes SIB.
+        let addr = 0x40_0000;
+        for base in [Reg::R12, Reg::R13, Reg::Rbp, Reg::Rsp] {
+            for disp in [0i64, 0x7F, -0x80, 0x1234] {
+                roundtrip(
+                    Inst::new(
+                        Op::Mov,
+                        Width::W64,
+                        Operands::RM {
+                            dst: Reg::Rax,
+                            src: Mem::base_disp(base, disp),
+                        },
+                    ),
+                    addr,
+                );
+            }
+            roundtrip(
+                Inst::new(
+                    Op::Mov,
+                    Width::W64,
+                    Operands::MR {
+                        dst: Mem::bis(base, Reg::R13, 4, 0),
+                        src: Reg::Rcx,
+                    },
+                ),
+                addr,
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_mov_w32_imm_is_zero_extended() {
+        // B8+rd imm32 zero-extends; the model form is the unsigned value.
+        roundtrip(
+            Inst::new(
+                Op::Mov,
+                Width::W32,
+                Operands::RI {
+                    dst: Reg::Rdx,
+                    imm: 0xFFFF_FFFF,
+                },
+            ),
+            0x40_0000,
+        );
+        let (i, _) = decode_one(&[0xB8, 0xFF, 0xFF, 0xFF, 0xFF], 0).unwrap();
+        assert_eq!(
+            i.operands,
+            Operands::RI {
+                dst: Reg::Rax,
+                imm: 0xFFFF_FFFF,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_high_byte_registers() {
+        // Without REX, byte-width register codes 4-7 are ah/ch/dh/bh,
+        // which the model cannot represent; decoding them as spl..dil
+        // would silently rename the operand.
+        // mov %ah, %al (88 E0): reg field = 4.
+        assert_eq!(
+            decode_one(&[0x88, 0xE0], 0),
+            Err(DecodeError::HighByteReg(4))
+        );
+        // mov $1, %ah (B4 01).
+        assert_eq!(
+            decode_one(&[0xB4, 0x01], 0),
+            Err(DecodeError::HighByteReg(4))
+        );
+        // neg %ch (F6 DD): r/m = 5.
+        assert_eq!(
+            decode_one(&[0xF6, 0xDD], 0),
+            Err(DecodeError::HighByteReg(5))
+        );
+        // sete %ah (0F 94 C4).
+        assert_eq!(
+            decode_one(&[0x0F, 0x94, 0xC4], 0),
+            Err(DecodeError::HighByteReg(4))
+        );
+        // movzbl %dh, %eax (0F B6 C6): src = 6.
+        assert_eq!(
+            decode_one(&[0x0F, 0xB6, 0xC6], 0),
+            Err(DecodeError::HighByteReg(6))
+        );
+        // add $1, %bh (80 C7 01): r/m = 7.
+        assert_eq!(
+            decode_one(&[0x80, 0xC7, 0x01], 0),
+            Err(DecodeError::HighByteReg(7))
+        );
+        // With a REX prefix the same codes are spl..dil and decode fine:
+        // mov $1, %spl (40 B4 01).
+        let (i, _) = decode_one(&[0x40, 0xB4, 0x01], 0).unwrap();
+        assert_eq!(
+            i,
+            Inst::new(
+                Op::Mov,
+                Width::W8,
+                Operands::RI {
+                    dst: Reg::Rsp,
+                    imm: 1,
+                },
+            )
+        );
+        // Codes 0-3 (al..bl) never collide: mov %cl, (%rax).
+        assert!(decode_one(&[0x88, 0x08], 0).is_ok());
     }
 
     #[test]

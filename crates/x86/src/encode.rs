@@ -313,7 +313,10 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
                     e.byte(v as u8);
                 }
                 Width::W32 => {
-                    if u32::try_from(*imm).is_err() && i32::try_from(*imm).is_err() {
+                    // B8+rd imm32 zero-extends, and the decoder stores the
+                    // immediate zero-extended; only the canonical
+                    // [0, 2^32) form round-trips, so reject the rest.
+                    if u32::try_from(*imm).is_err() {
                         return Err(EncodeError::OutOfRange("imm32"));
                     }
                     e.rex(false, None, &Rm::Reg(*dst), false);
@@ -552,7 +555,14 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
         }
 
         // ---- shifts ----
+        //
+        // Only the C1/D3 (32/64-bit) opcode groups are modeled; an 8-bit
+        // shift would need C0/D2, so W8 is rejected rather than silently
+        // encoded at the wrong width.
         (Op::Shift(op), O::RI { dst, imm }) => {
+            if w8 {
+                return Err(EncodeError::BadOperands("8-bit shift"));
+            }
             let count = u8::try_from(*imm).map_err(|_| EncodeError::OutOfRange("shift count"))?;
             emit_modrm(
                 e,
@@ -567,6 +577,9 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
             )
         }
         (Op::Shift(op), O::MI { dst, imm }) => {
+            if w8 {
+                return Err(EncodeError::BadOperands("8-bit shift"));
+            }
             let count = u8::try_from(*imm).map_err(|_| EncodeError::OutOfRange("shift count"))?;
             emit_modrm(
                 e,
@@ -580,28 +593,38 @@ fn encode_into(inst: &Inst, addr: u64, e: &mut Enc) -> Result<(), EncodeError> {
                 false,
             )
         }
-        (Op::ShiftCl(op), O::R(r)) => emit_modrm(
-            e,
-            addr,
-            w64,
-            &[0xD3],
-            op.digit(),
-            None,
-            Rm::Reg(*r),
-            &[],
-            false,
-        ),
-        (Op::ShiftCl(op), O::M(m)) => emit_modrm(
-            e,
-            addr,
-            w64,
-            &[0xD3],
-            op.digit(),
-            None,
-            Rm::Mem(*m),
-            &[],
-            false,
-        ),
+        (Op::ShiftCl(op), O::R(r)) => {
+            if w8 {
+                return Err(EncodeError::BadOperands("8-bit shift"));
+            }
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &[0xD3],
+                op.digit(),
+                None,
+                Rm::Reg(*r),
+                &[],
+                false,
+            )
+        }
+        (Op::ShiftCl(op), O::M(m)) => {
+            if w8 {
+                return Err(EncodeError::BadOperands("8-bit shift"));
+            }
+            emit_modrm(
+                e,
+                addr,
+                w64,
+                &[0xD3],
+                op.digit(),
+                None,
+                Rm::Mem(*m),
+                &[],
+                false,
+            )
+        }
 
         // ---- multiply / divide ----
         (Op::Imul2, O::RR { dst, src }) => emit_modrm(
@@ -1232,6 +1255,57 @@ mod tests {
             },
         );
         assert_eq!(enc(i), vec![0x89, 0xC3]);
+    }
+
+    #[test]
+    fn mov_w32_imm_requires_canonical_zero_extended_form() {
+        // mov $-1, %eax is written 0xFFFFFFFF in the model (the decoder
+        // zero-extends B8+rd imm32); the sign-extended spelling must be
+        // rejected instead of silently re-decoding as a different value.
+        let neg = Inst::new(
+            Op::Mov,
+            Width::W32,
+            Operands::RI {
+                dst: Reg::Rax,
+                imm: -1,
+            },
+        );
+        assert_eq!(
+            encode(&neg, 0x40_0000),
+            Err(EncodeError::OutOfRange("imm32"))
+        );
+        let max = Inst::new(
+            Op::Mov,
+            Width::W32,
+            Operands::RI {
+                dst: Reg::Rax,
+                imm: 0xFFFF_FFFF,
+            },
+        );
+        assert_eq!(enc(max), vec![0xB8, 0xFF, 0xFF, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn w8_shift_is_rejected_not_miswidthed() {
+        // C1/D3 are the 32/64-bit groups; encoding a W8 shift through them
+        // would silently change the operation width.
+        let ri = Inst::new(
+            Op::Shift(ShiftOp::Shl),
+            Width::W8,
+            Operands::RI {
+                dst: Reg::Rax,
+                imm: 1,
+            },
+        );
+        assert_eq!(
+            encode(&ri, 0x40_0000),
+            Err(EncodeError::BadOperands("8-bit shift"))
+        );
+        let cl = Inst::new(Op::ShiftCl(ShiftOp::Shr), Width::W8, Operands::R(Reg::Rbx));
+        assert_eq!(
+            encode(&cl, 0x40_0000),
+            Err(EncodeError::BadOperands("8-bit shift"))
+        );
     }
 
     #[test]

@@ -613,17 +613,24 @@ impl Inst {
             Operands::M(m) => mem_regs(m, &mut out),
             Operands::RR { dst, src } => {
                 out.push(*src);
-                // `mov`/`movzx`/`lea`/`cmov` do not read dst; RMW ALU does.
+                // `mov`/`movzx`/`lea` do not read dst; RMW ALU does, and
+                // `cmov` keeps dst when the condition is false, so its
+                // prior value flows into the result.
                 if matches!(
                     self.op,
-                    Op::Alu(_) | Op::Test | Op::Imul2 | Op::Shift(_) | Op::ShiftCl(_)
+                    Op::Alu(_)
+                        | Op::Test
+                        | Op::Imul2
+                        | Op::Shift(_)
+                        | Op::ShiftCl(_)
+                        | Op::Cmovcc(_)
                 ) {
                     out.push(*dst);
                 }
             }
             Operands::RM { dst, src } => {
                 mem_regs(src, &mut out);
-                if matches!(self.op, Op::Alu(_) | Op::Imul2) {
+                if matches!(self.op, Op::Alu(_) | Op::Imul2 | Op::Cmovcc(_)) {
                     out.push(*dst);
                 }
             }
@@ -649,6 +656,14 @@ impl Inst {
             Op::Cqo => out.push(Reg::Rax),
             Op::Push | Op::Pop | Op::Call | Op::CallInd | Op::Ret | Op::Pushfq | Op::Popfq => {
                 out.push(Reg::Rsp)
+            }
+            Op::Syscall => {
+                // Runtime call ABI: function number in rax, arguments in
+                // rdi/rsi. These must be modeled as reads or liveness
+                // would let instrumentation clobber a syscall argument.
+                out.push(Reg::Rax);
+                out.push(Reg::Rdi);
+                out.push(Reg::Rsi);
             }
             _ => {}
         }
@@ -686,31 +701,42 @@ impl Inst {
                 out.push(Reg::Rsp)
             }
             Op::Syscall => {
-                // Runtime call ABI: result in rax, rcx/r11 clobbered as on
-                // real hardware.
+                // Runtime call ABI: result in rax. Only *must*-writes
+                // belong here -- the runtime preserves rcx/r11 (unlike
+                // real hardware) and writes rdx only for read_int, so
+                // claiming either would falsely kill liveness across the
+                // call.
                 out.push(Reg::Rax);
-                out.push(Reg::Rcx);
-                out.push(Reg::R11);
             }
             _ => {}
         }
         out
     }
 
-    /// Returns `true` if the instruction writes the arithmetic flags.
+    /// Returns `true` if the instruction *always* rewrites every
+    /// arithmetic flag.
+    ///
+    /// This is a must-write predicate: the liveness analysis uses it to
+    /// declare the flags dead (clobberable) before the instruction, so
+    /// anything that can leave even one flag bit untouched must answer
+    /// `false`. A shift whose (masked) count is zero preserves the flags
+    /// entirely, which rules out `ShiftCl` -- the count is only known at
+    /// run time -- and immediate shifts by a multiple of the operand
+    /// width.
     pub fn writes_flags(&self) -> bool {
-        matches!(
-            self.op,
-            Op::Alu(_)
-                | Op::Test
-                | Op::Shift(_)
-                | Op::ShiftCl(_)
-                | Op::Imul2
-                | Op::Imul3
-                | Op::MulDiv(_)
-                | Op::Neg
-                | Op::Popfq
-        )
+        match self.op {
+            Op::Alu(_) | Op::Test | Op::Imul2 | Op::Imul3 | Op::MulDiv(_) | Op::Neg | Op::Popfq => {
+                true
+            }
+            Op::Shift(_) => {
+                let count_mask = if self.w == Width::W64 { 63 } else { 31 };
+                match self.operands {
+                    Operands::RI { imm, .. } | Operands::MI { imm, .. } => imm & count_mask != 0,
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
     }
 
     /// Returns `true` if the instruction reads the arithmetic flags.
@@ -798,6 +824,79 @@ mod tests {
         assert!(cmp.regs_read().contains(&Reg::Rbx));
         assert!(cmp.regs_written().is_empty());
         assert!(cmp.writes_flags());
+    }
+
+    #[test]
+    fn writes_flags_is_a_must_write_predicate() {
+        // A shift whose masked count is zero preserves the flags, so it
+        // must not count as a writer: the liveness analysis would
+        // otherwise let instrumentation trash flags it cannot restore.
+        let shl = |w, imm| {
+            Inst::new(
+                Op::Shift(crate::ShiftOp::Shl),
+                w,
+                Operands::RI { dst: Reg::Rax, imm },
+            )
+        };
+        assert!(shl(Width::W64, 3).writes_flags());
+        assert!(!shl(Width::W64, 0).writes_flags());
+        assert!(!shl(Width::W64, 64).writes_flags()); // masked to 0
+        assert!(!shl(Width::W32, 32).writes_flags()); // masked to 0
+        assert!(shl(Width::W32, 33).writes_flags()); // masked to 1
+                                                     // The cl count is unknown statically and may be zero at run time.
+        let shl_cl = Inst::new(
+            Op::ShiftCl(crate::ShiftOp::Shl),
+            Width::W64,
+            Operands::R(Reg::Rax),
+        );
+        assert!(!shl_cl.writes_flags());
+        // mul/div rewrite every flag (the emulator defines the bits the
+        // architecture leaves undefined).
+        let idiv = Inst::new(
+            Op::MulDiv(crate::MulDivOp::Idiv),
+            Width::W64,
+            Operands::R(Reg::Rcx),
+        );
+        assert!(idiv.writes_flags());
+    }
+
+    #[test]
+    fn cmov_reads_its_destination() {
+        // With a false condition, cmov leaves dst unchanged (or, at
+        // 32-bit width, zero-extends its old low half): the prior value
+        // is an input either way.
+        let cmov = Inst::new(
+            Op::Cmovcc(Cond::E),
+            Width::W64,
+            Operands::RR {
+                dst: Reg::Rax,
+                src: Reg::Rbx,
+            },
+        );
+        assert!(cmov.regs_read().contains(&Reg::Rax));
+        assert!(cmov.regs_read().contains(&Reg::Rbx));
+        assert!(cmov.regs_written().contains(&Reg::Rax));
+        let cmov_m = Inst::new(
+            Op::Cmovcc(Cond::Ne),
+            Width::W64,
+            Operands::RM {
+                dst: Reg::Rcx,
+                src: Mem::base(Reg::Rdx),
+            },
+        );
+        assert!(cmov_m.regs_read().contains(&Reg::Rcx));
+    }
+
+    #[test]
+    fn syscall_models_the_runtime_call_abi() {
+        let sc = Inst::new(Op::Syscall, Width::W64, Operands::None);
+        let reads = sc.regs_read();
+        for r in [Reg::Rax, Reg::Rdi, Reg::Rsi] {
+            assert!(reads.contains(&r), "{r:?} carries the number/arguments");
+        }
+        // Must-writes only: the runtime returns in rax and preserves
+        // rcx/r11; rdx is written only by read_int.
+        assert_eq!(sc.regs_written(), vec![Reg::Rax]);
     }
 
     #[test]
