@@ -50,6 +50,58 @@ impl Cfg {
         }
     }
 
+    /// Splits the CFG into weakly-connected components over successor
+    /// edges, each returned as a sub-`Cfg` holding only that component's
+    /// blocks (but the *full* leader set, so leader queries stay global).
+    ///
+    /// No successor edge crosses a component boundary, so any CFG
+    /// analysis run on a sub-`Cfg` -- liveness, the forward dataflow
+    /// solver, dominators -- computes exactly the restriction of the
+    /// whole-image result to that component. Calls connect only to their
+    /// *return site* (the callee is reached by no successor edge), so
+    /// components approximate functions. The hardening pipeline relies
+    /// on both properties to shard per-function work across threads
+    /// without changing its output.
+    ///
+    /// Components are ordered by their lowest block address, and every
+    /// block appears in exactly one component.
+    pub fn components(&self) -> Vec<Cfg> {
+        // Undirected adjacency: successor edges plus their reverses.
+        let mut adj: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (&start, block) in &self.blocks {
+            adj.entry(start).or_default();
+            for &s in block.succs.iter().filter(|s| self.blocks.contains_key(s)) {
+                adj.entry(start).or_default().push(s);
+                adj.entry(s).or_default().push(start);
+            }
+        }
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        let mut out = Vec::new();
+        for &start in self.blocks.keys() {
+            if !seen.insert(start) {
+                continue;
+            }
+            let mut members = vec![start];
+            let mut stack = vec![start];
+            while let Some(b) = stack.pop() {
+                for &n in &adj[&b] {
+                    if seen.insert(n) {
+                        members.push(n);
+                        stack.push(n);
+                    }
+                }
+            }
+            out.push(Cfg {
+                blocks: members
+                    .iter()
+                    .map(|m| (*m, self.blocks[m].clone()))
+                    .collect(),
+                leaders: self.leaders.clone(),
+            });
+        }
+        out
+    }
+
     /// Recovers the CFG from a disassembly.
     ///
     /// `extra_leaders` lets the caller add addresses discovered by other

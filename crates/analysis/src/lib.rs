@@ -51,4 +51,7 @@ pub use elim::can_reach_heap;
 pub use liveness::Liveness;
 pub use provenance::{operand_non_heap, span_avoids_heap, AbsVal, Provenance, RegFacts};
 pub use redundant::RedundantChecks;
-pub use report::{analyze, analyze_image, AnalysisReport, SiteReport, SiteVerdict};
+pub use report::{
+    analyze, analyze_image, analyze_image_threaded, analyze_threaded, AnalysisReport, SiteReport,
+    SiteVerdict,
+};

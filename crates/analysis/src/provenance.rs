@@ -451,7 +451,21 @@ pub struct Provenance {
 impl Provenance {
     /// Runs the analysis over a disassembled image.
     pub fn compute(disasm: &Disasm, cfg: &Cfg, entry: u64) -> Provenance {
-        let roots = unknown_entries(disasm, cfg, entry);
+        Provenance::compute_with_roots(disasm, cfg, &unknown_entries(disasm, cfg, entry))
+    }
+
+    /// Runs the analysis with a precomputed unknown-entry set, for
+    /// callers that shard one image into per-component sub-`Cfg`s:
+    /// `unknown_entries` scans the whole disassembly (its any-indirect
+    /// escape hatch is an image-wide property), so the pipeline computes
+    /// it once globally and this constructor intersects it with the
+    /// blocks actually present in `cfg`.
+    pub fn compute_with_roots(disasm: &Disasm, cfg: &Cfg, roots: &BTreeSet<u64>) -> Provenance {
+        let roots: BTreeSet<u64> = roots
+            .iter()
+            .copied()
+            .filter(|r| cfg.blocks.contains_key(r))
+            .collect();
         let solution = solve_forward(ProvenanceAnalysis, disasm, cfg, &roots);
         Provenance { solution, roots }
     }

@@ -186,31 +186,58 @@ impl RedundantChecks {
         entry: u64,
         checked: F,
     ) -> RedundantChecks {
-        let roots = unknown_entries(disasm, cfg, entry);
+        RedundantChecks::compute_with_roots(
+            disasm,
+            cfg,
+            &unknown_entries(disasm, cfg, entry),
+            checked,
+        )
+    }
+
+    /// [`RedundantChecks::compute`] with a precomputed unknown-entry
+    /// set, for callers sharding one image into per-component
+    /// sub-`Cfg`s (the roots are an image-wide property; see
+    /// [`Provenance::compute_with_roots`]). Only instructions inside
+    /// `cfg`'s blocks are examined -- instructions in no block can never
+    /// be proven redundant (they have no dataflow facts).
+    pub fn compute_with_roots<F: Fn(u64, &Inst) -> bool>(
+        disasm: &Disasm,
+        cfg: &Cfg,
+        roots: &std::collections::BTreeSet<u64>,
+        checked: F,
+    ) -> RedundantChecks {
+        let roots: std::collections::BTreeSet<u64> = roots
+            .iter()
+            .copied()
+            .filter(|r| cfg.blocks.contains_key(r))
+            .collect();
         let dom = DomTree::compute(cfg, &roots);
         let solution = solve_forward(AvailableChecks { checked }, disasm, cfg, &roots);
 
         let mut immediate: BTreeMap<u64, u64> = BTreeMap::new();
-        for (addr, inst, _) in disasm.iter() {
-            if !(solution.analysis().checked)(addr, inst) {
-                continue;
-            }
-            let Some(mem) = inst.memory_access() else {
-                continue;
-            };
-            let Some(fact) = solution.fact_before(disasm, cfg, addr) else {
-                continue;
-            };
-            let Some(av) = fact.get(&Shape::of(&mem)).copied() else {
-                continue;
-            };
-            let len = i64::from(inst.access_len().unwrap_or(8));
-            if av.site != addr
-                && av.lo <= mem.disp
-                && mem.disp + len <= av.hi
-                && dom.site_dominates(cfg, av.site, addr)
-            {
-                immediate.insert(addr, av.site);
+        for block in cfg.blocks.values() {
+            for &addr in &block.insts {
+                let (inst, _) = disasm.at(addr).expect("block member decoded");
+                if !(solution.analysis().checked)(addr, inst) {
+                    continue;
+                }
+                let Some(mem) = inst.memory_access() else {
+                    continue;
+                };
+                let Some(fact) = solution.fact_before(disasm, cfg, addr) else {
+                    continue;
+                };
+                let Some(av) = fact.get(&Shape::of(&mem)).copied() else {
+                    continue;
+                };
+                let len = i64::from(inst.access_len().unwrap_or(8));
+                if av.site != addr
+                    && av.lo <= mem.disp
+                    && mem.disp + len <= av.hi
+                    && dom.site_dominates(cfg, av.site, addr)
+                {
+                    immediate.insert(addr, av.site);
+                }
             }
         }
 

@@ -106,6 +106,15 @@ pub fn analyze_image(image: &Image) -> AnalysisReport {
     analyze(&disasm, &cfg, image.entry)
 }
 
+/// [`analyze_image`] with the per-component analyses sharded across
+/// `threads` worker threads. The report is identical to the serial one
+/// at any thread count (see [`Cfg::components`]).
+pub fn analyze_image_threaded(image: &Image, threads: usize) -> AnalysisReport {
+    let disasm = disassemble(image);
+    let cfg = Cfg::recover(&disasm, image.entry, &[]);
+    analyze_threaded(&disasm, &cfg, image.entry, threads)
+}
+
 /// [`analyze_image`] over pre-computed disassembly and CFG.
 pub fn analyze(disasm: &Disasm, cfg: &Cfg, entry: u64) -> AnalysisReport {
     let prov = Provenance::compute(disasm, cfg, entry);
@@ -152,6 +161,102 @@ pub fn analyze(disasm: &Disasm, cfg: &Cfg, entry: u64) -> AnalysisReport {
     }
 }
 
+/// Classifies one memory-access site given its component's analyses.
+fn classify_site(
+    disasm: &Disasm,
+    cfg: &Cfg,
+    prov: &Provenance,
+    redundant: &RedundantChecks,
+    addr: u64,
+    inst: &redfat_x86::Inst,
+) -> Option<SiteReport> {
+    let mem = inst.memory_access()?;
+    let verdict = if !can_reach_heap(&mem) {
+        SiteVerdict::EliminatedSyntactic
+    } else if !prov.site_can_reach_heap(disasm, cfg, addr, inst) {
+        SiteVerdict::EliminatedFlow
+    } else if let Some(root) = redundant.root_of(addr) {
+        SiteVerdict::Redundant { root }
+    } else {
+        SiteVerdict::Checked
+    };
+    Some(SiteReport {
+        addr,
+        inst: inst.to_string(),
+        len: inst.access_len().unwrap_or(8),
+        is_write: inst.writes_memory(),
+        verdict,
+        span: prov.describe_span(disasm, cfg, addr, inst),
+    })
+}
+
+/// [`analyze`] sharded by weakly-connected CFG component across
+/// `threads` worker threads.
+///
+/// Each component carries the full image-wide unknown-entry root set, so
+/// per-shard provenance and redundant-check results are exactly the
+/// whole-image results restricted to that component; sites outside every
+/// recovered block have no dataflow facts under either strategy. The
+/// merged report is therefore identical to the serial one.
+pub fn analyze_threaded(disasm: &Disasm, cfg: &Cfg, entry: u64, threads: usize) -> AnalysisReport {
+    let roots = crate::dataflow::unknown_entries(disasm, cfg, entry);
+    let shard_sites = redfat_parallel::parallel_map(cfg.components(), threads, |sub| {
+        let prov = Provenance::compute_with_roots(disasm, sub, &roots);
+        let needs_full = |addr: u64, inst: &redfat_x86::Inst| -> bool {
+            let Some(mem) = inst.memory_access() else {
+                return false;
+            };
+            can_reach_heap(&mem) && prov.site_can_reach_heap(disasm, sub, addr, inst)
+        };
+        let redundant = RedundantChecks::compute_with_roots(disasm, sub, &roots, needs_full);
+        let mut sites = Vec::new();
+        for block in sub.blocks.values() {
+            for &addr in &block.insts {
+                let (inst, _) = disasm.at(addr).expect("block member decoded");
+                sites.extend(classify_site(disasm, sub, &prov, &redundant, addr, inst));
+            }
+        }
+        sites
+    });
+    let mut sites: Vec<SiteReport> = shard_sites.into_iter().flatten().collect();
+
+    // Instructions outside every recovered block never acquire dataflow
+    // facts, so their conservative classification needs no analysis:
+    // syntactic elimination still applies, everything else stays checked
+    // with an "unreached" span (exactly what the whole-image provenance
+    // reports for them).
+    let mut insts = 0usize;
+    for (addr, inst, _) in disasm.iter() {
+        insts += 1;
+        if cfg.block_of(addr).is_some() {
+            continue;
+        }
+        let Some(mem) = inst.memory_access() else {
+            continue;
+        };
+        sites.push(SiteReport {
+            addr,
+            inst: inst.to_string(),
+            len: inst.access_len().unwrap_or(8),
+            is_write: inst.writes_memory(),
+            verdict: if !can_reach_heap(&mem) {
+                SiteVerdict::EliminatedSyntactic
+            } else {
+                SiteVerdict::Checked
+            },
+            span: "unreached".to_string(),
+        });
+    }
+    sites.sort_by_key(|s| s.addr);
+
+    AnalysisReport {
+        sites,
+        blocks: cfg.blocks.len(),
+        insts,
+        roots: roots.iter().filter(|r| cfg.blocks.contains_key(r)).count(),
+    }
+}
+
 /// Renders the report as the `redfat analyze` text output.
 pub fn render(report: &AnalysisReport) -> String {
     use std::fmt::Write as _;
@@ -183,4 +288,44 @@ pub fn render(report: &AnalysisReport) -> String {
         );
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_analysis_matches_serial() {
+        let src = "fn weigh(x) {
+            var t = malloc(4 * 8);
+            for (var i = 0; i < 4; i = i + 1) { t[i] = x * i; }
+            var s = 0;
+            for (var i = 0; i < 4; i = i + 1) { s = s + t[i]; }
+            free(t);
+            return s;
+        }
+        fn main() {
+            var a = malloc(16 * 8);
+            var s = 0;
+            for (var i = 0; i < 16; i = i + 1) { a[i] = weigh(i); }
+            for (var i = 0; i < 16; i = i + 1) { s = s + a[i]; }
+            print(s);
+            free(a);
+            return 0;
+        }";
+        let image = redfat_minic::compile(src).unwrap();
+        let serial = analyze_image(&image);
+        assert!(!serial.sites.is_empty());
+        for threads in [1usize, 2, 8] {
+            let par = analyze_image_threaded(&image, threads);
+            assert_eq!(
+                render(&serial),
+                render(&par),
+                "report differs at {threads} threads"
+            );
+            assert_eq!(serial.insts, par.insts);
+            assert_eq!(serial.blocks, par.blocks);
+            assert_eq!(serial.roots, par.roots);
+        }
+    }
 }

@@ -11,9 +11,7 @@ use redfat_bench::{false_positive_sites, parallel_map};
 use redfat_workloads::spec;
 
 fn main() {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let threads = redfat_bench::threads_from_args(std::env::args());
     let suite = spec::all();
     let expected: Vec<(&str, usize)> = suite.iter().map(|w| (w.name, w.anti_idiom_sites)).collect();
     let counts = parallel_map(suite, threads, false_positive_sites);

@@ -1,0 +1,332 @@
+//! Performance trajectory harness (`BENCH_perf.json`).
+//!
+//! Measures, across the SPEC stand-in suite:
+//!
+//! * **Emulator throughput** -- retired instructions/sec of the step
+//!   interpreter vs the superblock-translated backend on the baseline
+//!   image. The two backends must agree exactly on the run result and
+//!   every cost counter; any difference aborts the run.
+//! * **Harden wall-clock** -- end-to-end `harden()` time serial
+//!   (1 thread) vs parallel (`--threads`/`REDFAT_THREADS`/available
+//!   parallelism). The two images must be byte-identical.
+//!
+//! Modes:
+//!
+//! * default: full sweep (ref inputs) plus the quick subset, written as
+//!   JSON to `-o` (default `BENCH_perf.json`). The quick-subset geomeans
+//!   are stored alongside the full ones so CI can compare like for like.
+//! * `--quick`: measure only the quick subset (train inputs, reduced
+//!   step budget), validate the committed baseline's schema, and fail
+//!   if the measured geomean emulator speedup regressed more than 10%
+//!   against the baseline's recorded quick geomean.
+//! * `--check <file>`: validate the schema of an existing JSON file and
+//!   exit (no measurement).
+//!
+//! All numbers are modeled-deterministic except wall-clock; the speedup
+//! *ratios* are the stable, host-independent quantities the regression
+//! gate uses.
+
+use redfat_bench::{geomean, threads_from_args};
+use redfat_core::{harden_threaded, HardenConfig};
+use redfat_emu::{Emu, ErrorMode, ExecBackend, HostRuntime, RunResult};
+use redfat_workloads::{spec, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SCHEMA: &str = "redfat-bench-perf/v1";
+/// Step cap for the full sweep (ref inputs all exit well below this).
+const FULL_BUDGET: u64 = 4_000_000_000;
+/// Step cap for the quick subset (train inputs).
+const QUICK_BUDGET: u64 = 100_000_000;
+/// Quick mode fails if the emulator speedup geomean drops below
+/// `baseline * (1 - REGRESSION_TOLERANCE)`.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+/// Timing repetitions; the minimum is reported.
+const REPS: usize = 3;
+
+struct Row {
+    name: &'static str,
+    instructions: u64,
+    step_mips: f64,
+    superblock_mips: f64,
+    emu_speedup: f64,
+    harden_serial_ms: f64,
+    harden_parallel_ms: f64,
+    harden_speedup: f64,
+}
+
+/// Every 4th stand-in: 8 workloads spanning the suite.
+fn quick_subset(suite: Vec<Workload>) -> Vec<Workload> {
+    suite.into_iter().step_by(4).collect()
+}
+
+/// Times one emulator run; returns (result, counters, best seconds).
+fn time_backend(
+    image: &redfat_elf::Image,
+    input: &[i64],
+    backend: ExecBackend,
+    budget: u64,
+) -> (RunResult, redfat_emu::Counters, f64) {
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..REPS {
+        let rt = HostRuntime::new(ErrorMode::Log).with_input(input.to_vec());
+        let mut emu = Emu::load_image(image, rt);
+        let t = Instant::now();
+        let r = emu.run_backend(backend, budget);
+        best = best.min(t.elapsed().as_secs_f64());
+        outcome = Some((r, emu.counters));
+    }
+    let (r, c) = outcome.expect("REPS > 0");
+    (r, c, best.max(1e-9))
+}
+
+fn measure(wl: &Workload, input: &[i64], budget: u64, threads: usize) -> Row {
+    let image = wl.image();
+
+    let (r_step, c_step, t_step) = time_backend(&image, input, ExecBackend::Step, budget);
+    let (r_sup, c_sup, t_sup) = time_backend(&image, input, ExecBackend::Superblock, budget);
+    assert_eq!(
+        r_step, r_sup,
+        "{}: backend run results diverge (step {r_step:?}, superblock {r_sup:?})",
+        wl.name
+    );
+    assert_eq!(c_step, c_sup, "{}: backend cost counters diverge", wl.name);
+    assert!(
+        matches!(r_step, RunResult::Exited(_) | RunResult::StepLimit),
+        "{}: unexpected run result {r_step:?}",
+        wl.name
+    );
+
+    let config = HardenConfig::default();
+    let mut serial_best = f64::INFINITY;
+    let mut parallel_best = f64::INFINITY;
+    let mut serial_bytes = None;
+    let mut parallel_bytes = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let h = harden_threaded(&image, &config, 1).expect("serial harden");
+        serial_best = serial_best.min(t.elapsed().as_secs_f64());
+        serial_bytes = Some(h.image.to_bytes());
+
+        let t = Instant::now();
+        let h = harden_threaded(&image, &config, threads).expect("parallel harden");
+        parallel_best = parallel_best.min(t.elapsed().as_secs_f64());
+        parallel_bytes = Some(h.image.to_bytes());
+    }
+    assert_eq!(
+        serial_bytes, parallel_bytes,
+        "{}: hardened image differs between 1 and {threads} threads",
+        wl.name
+    );
+
+    Row {
+        name: wl.name,
+        instructions: c_step.instructions,
+        step_mips: c_step.instructions as f64 / t_step / 1e6,
+        superblock_mips: c_step.instructions as f64 / t_sup / 1e6,
+        emu_speedup: t_step / t_sup,
+        harden_serial_ms: serial_best * 1e3,
+        harden_parallel_ms: parallel_best.max(1e-9) * 1e3,
+        harden_speedup: serial_best / parallel_best.max(1e-9),
+    }
+}
+
+fn sweep(suite: &[Workload], quick: bool, threads: usize) -> Vec<Row> {
+    suite
+        .iter()
+        .map(|wl| {
+            let input = if quick {
+                &wl.train_input
+            } else {
+                &wl.ref_input
+            };
+            let budget = if quick { QUICK_BUDGET } else { FULL_BUDGET };
+            let row = measure(wl, input, budget, threads);
+            eprintln!(
+                "perf: {:<14} {:>11} insts  step {:>7.1} M/s  superblock {:>7.1} M/s  \
+                 emu {:.2}x  harden {:.2}x",
+                row.name,
+                row.instructions,
+                row.step_mips,
+                row.superblock_mips,
+                row.emu_speedup,
+                row.harden_speedup
+            );
+            row
+        })
+        .collect()
+}
+
+fn rows_json(rows: &[Row]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"name\":\"{}\",\"instructions\":{},\"step_mips\":{:.3},\
+             \"superblock_mips\":{:.3},\"emu_speedup\":{:.4},\"harden_serial_ms\":{:.3},\
+             \"harden_parallel_ms\":{:.3},\"harden_speedup\":{:.4}}}",
+            r.name,
+            r.instructions,
+            r.step_mips,
+            r.superblock_mips,
+            r.emu_speedup,
+            r.harden_serial_ms,
+            r.harden_parallel_ms,
+            r.harden_speedup
+        );
+    }
+    s.push_str("\n  ]");
+    s
+}
+
+fn emu_geomean(rows: &[Row]) -> f64 {
+    geomean(rows.iter().map(|r| r.emu_speedup))
+}
+
+fn harden_geomean(rows: &[Row]) -> f64 {
+    geomean(rows.iter().map(|r| r.harden_speedup))
+}
+
+fn render_json(full: &[Row], quick: &[Row], threads: usize, cores: usize) -> String {
+    format!(
+        "{{\n  \"schema\": \"{SCHEMA}\",\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \
+         \"full_budget\": {FULL_BUDGET},\n  \"quick_budget\": {QUICK_BUDGET},\n  \
+         \"geomean_emu_speedup\": {:.4},\n  \"geomean_harden_speedup\": {:.4},\n  \
+         \"quick_geomean_emu_speedup\": {:.4},\n  \"quick_geomean_harden_speedup\": {:.4},\n  \
+         \"workloads\": {},\n  \"quick_workloads\": {}\n}}\n",
+        emu_geomean(full),
+        harden_geomean(full),
+        emu_geomean(quick),
+        harden_geomean(quick),
+        rows_json(full),
+        rows_json(quick),
+    )
+}
+
+/// Minimal extractor for our own flat JSON keys: finds `"key":` and
+/// parses the number that follows.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = text.find(&pat)? + pat.len();
+    let rest = text[i..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Schema validation: required keys, non-empty workload arrays.
+fn validate_schema(text: &str) -> Result<(), String> {
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing or unexpected schema id (want {SCHEMA})"));
+    }
+    for key in [
+        "geomean_emu_speedup",
+        "geomean_harden_speedup",
+        "quick_geomean_emu_speedup",
+        "quick_geomean_harden_speedup",
+        "threads",
+        "cores",
+    ] {
+        if json_number(text, key).is_none() {
+            return Err(format!("missing numeric key {key:?}"));
+        }
+    }
+    if !text.contains("\"workloads\":") || !text.contains("\"quick_workloads\":") {
+        return Err("missing workload arrays".into());
+    }
+    if !text.contains("\"name\":") {
+        return Err("workload arrays are empty".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = threads_from_args(args.iter().cloned());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out_path = "BENCH_perf.json".to_string();
+    let mut baseline_path = "BENCH_perf.json".to_string();
+    let mut check_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => out_path = it.next().expect("-o requires a path").clone(),
+            "--baseline" => baseline_path = it.next().expect("--baseline requires a path").clone(),
+            "--check" => check_path = Some(it.next().expect("--check requires a path").clone()),
+            _ => {}
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match validate_schema(&text) {
+            Ok(()) => {
+                println!("perf: {path}: schema ok ({SCHEMA})");
+                return;
+            }
+            Err(e) => {
+                eprintln!("perf: {path}: schema invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let suite = spec::all();
+    if quick {
+        eprintln!("perf: quick subset on {threads} threads ({cores} cores)...",);
+        let rows = sweep(&quick_subset(suite), true, threads);
+        let measured = emu_geomean(&rows);
+        println!(
+            "perf quick: geomean emu speedup {measured:.3}x, harden speedup {:.3}x",
+            harden_geomean(&rows)
+        );
+
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("perf: cannot read committed baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = validate_schema(&text) {
+            eprintln!("perf: baseline {baseline_path} schema invalid: {e}");
+            std::process::exit(1);
+        }
+        let recorded = json_number(&text, "quick_geomean_emu_speedup").expect("validated");
+        let floor = recorded * (1.0 - REGRESSION_TOLERANCE);
+        println!("perf quick: baseline quick geomean {recorded:.3}x, regression floor {floor:.3}x");
+        if measured < floor {
+            eprintln!(
+                "perf: REGRESSION: emulator speedup geomean {measured:.3}x fell below \
+                 {floor:.3}x (baseline {recorded:.3}x - {:.0}%)",
+                REGRESSION_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("perf quick: ok");
+        return;
+    }
+
+    eprintln!(
+        "perf: full sweep, {} workloads on {threads} threads ({cores} cores)...",
+        suite.len()
+    );
+    let full = sweep(&suite, false, threads);
+    eprintln!("perf: quick subset...");
+    let quick_rows = sweep(&quick_subset(spec::all()), true, threads);
+    let json = render_json(&full, &quick_rows, threads, cores);
+    validate_schema(&json).expect("self-produced JSON validates");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!(
+        "perf: geomean emu speedup {:.3}x, harden speedup {:.3}x ({} workloads) -> {out_path}",
+        emu_geomean(&full),
+        harden_geomean(&full),
+        full.len()
+    );
+}

@@ -15,9 +15,7 @@ use redfat_workloads::spec;
 const MAX_STEPS: u64 = 600_000_000;
 
 fn main() {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let threads = redfat_bench::threads_from_args(std::env::args());
     let mut failed = false;
 
     let rt = roundtrip_fuzz(50_000, 0x5EED_0BAD_F00D_0001);

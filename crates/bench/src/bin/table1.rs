@@ -20,9 +20,7 @@ fn lang_tag(lang: Lang) -> &'static str {
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let threads = redfat_bench::threads_from_args(std::env::args());
     let suite = spec::all();
     eprintln!(
         "table1: running {} benchmarks on {} threads...",

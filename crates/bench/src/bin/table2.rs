@@ -7,9 +7,7 @@ use redfat_bench::{memcheck_detects, parallel_map, redfat_detects};
 use redfat_workloads::{cve, juliet};
 
 fn main() {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let threads = redfat_bench::threads_from_args(std::env::args());
 
     println!("Table 2: CVEs/CWEs for non-incremental bounds errors");
     println!();

@@ -18,11 +18,13 @@
 //! returns the text it would print.
 
 use redfat_core::{
-    collect_allowlist, harden, instrument_profile, run_once, AllowList, HardenConfig, LowFatPolicy,
+    collect_allowlist, harden_threaded, instrument_profile, run_once, AllowList, HardenConfig,
+    LowFatPolicy,
 };
 use redfat_elf::Image;
 use redfat_emu::{Emu, ErrorMode, RunResult};
 use redfat_memcheck::MemcheckRuntime;
+use redfat_parallel::resolve_threads;
 use std::fmt::Write as _;
 
 /// A CLI failure: message for stderr, suggested exit code.
@@ -63,8 +65,15 @@ commands:
   disasm  <in.elf>                     linear disassembly of code segments
   analyze <in.elf>                     per-site static analysis report
   stats   <in.elf>                     image and instrumentation-plan statistics
-  selftest [--quick]                   differential self-test: lockstep oracle,
-                                       round-trip fuzzer, allocator invariants
+  selftest [--quick] [--superblock]    differential self-test: lockstep oracle,
+                                       round-trip fuzzer, allocator invariants;
+                                       --superblock also runs the superblock
+                                       execution backend against the step
+                                       interpreter on every workload
+
+`harden`, `analyze`, and `selftest` accept --threads N to set the worker
+thread count (falls back to the REDFAT_THREADS environment variable, then
+to the available parallelism).
 
 harden options:
   --allowlist <allow.lst>   full check only on listed sites (Fig. 5 step 2)
@@ -83,7 +92,14 @@ struct Args {
 }
 
 /// Flags that take a value.
-const VALUE_FLAGS: [&str; 5] = ["-o", "--input", "--max-steps", "--allowlist", "--iters"];
+const VALUE_FLAGS: [&str; 6] = [
+    "-o",
+    "--input",
+    "--max-steps",
+    "--allowlist",
+    "--iters",
+    "--threads",
+];
 
 fn parse_args(argv: &[String]) -> Result<Args, CliError> {
     let mut positional = Vec::new();
@@ -138,6 +154,19 @@ impl Args {
             None => Ok(1_000_000_000),
             Some(s) => s.parse().map_err(|e| err(format!("bad --max-steps: {e}"))),
         }
+    }
+
+    /// Worker thread count: `--threads N`, then `REDFAT_THREADS`, then
+    /// the available parallelism.
+    fn threads(&self) -> Result<usize, CliError> {
+        let explicit = match self.flags.get("--threads").and_then(|v| v.as_deref()) {
+            None => None,
+            Some(s) => Some(
+                s.parse::<usize>()
+                    .map_err(|e| err(format!("bad --threads: {e}")))?,
+            ),
+        };
+        Ok(resolve_threads(explicit))
     }
 }
 
@@ -219,7 +248,8 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 image.strip();
             }
             let cfg = harden_config(&args)?;
-            let hardened = harden(&image, &cfg).map_err(|e| err(e.to_string()))?;
+            let hardened =
+                harden_threaded(&image, &cfg, args.threads()?).map_err(|e| err(e.to_string()))?;
             save_image(&hardened.image, args.out()?)?;
             let s = hardened.stats;
             writeln!(
@@ -378,7 +408,7 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 return Err(err("analyze needs exactly one binary"));
             };
             let image = load_image(input)?;
-            let report = redfat_analysis::analyze_image(&image);
+            let report = redfat_analysis::analyze_image_threaded(&image, args.threads()?);
             out.push_str(&redfat_analysis::report::render(&report));
         }
         "stats" => {
@@ -412,7 +442,8 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
         }
         "selftest" => {
             let quick = args.has("--quick");
-            run_selftest(quick, &mut out)?;
+            let superblock = args.has("--superblock");
+            run_selftest(quick, superblock, args.threads()?, &mut out)?;
         }
         "--help" | "-h" | "help" => writeln!(out, "{USAGE}").expect("string write"),
         other => return Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
@@ -424,12 +455,20 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
 ///
 /// Runs the deterministic encoder/decoder round-trip fuzzer, the
 /// allocator invariant checker, and the lockstep divergence oracle over
-/// every SPEC stand-in plus a Juliet sample. Any failure shrinks to a
-/// minimal repro and fails the invocation with a nonzero exit code, so
-/// CI can gate on `redfat selftest --quick`.
-fn run_selftest(quick: bool, out: &mut String) -> Result<(), CliError> {
+/// every SPEC stand-in plus a Juliet sample. With `superblock`, every
+/// stand-in additionally runs the superblock execution backend against
+/// the single-step reference interpreter on both the baseline and the
+/// hardened image. Any failure shrinks to a minimal repro and fails the
+/// invocation with a nonzero exit code, so CI can gate on
+/// `redfat selftest --quick`.
+fn run_selftest(
+    quick: bool,
+    superblock: bool,
+    threads: usize,
+    out: &mut String,
+) -> Result<(), CliError> {
     use redfat_core::selftest::{
-        allocator_invariants, lockstep_images, roundtrip_fuzz, shrink_input,
+        allocator_invariants, backend_lockstep, lockstep_images, roundtrip_fuzz, shrink_input,
     };
     let mut failures: Vec<String> = Vec::new();
 
@@ -471,8 +510,30 @@ fn run_selftest(quick: bool, out: &mut String) -> Result<(), CliError> {
         } else {
             w.ref_input.clone()
         };
-        let hardened = harden(&image, &config)
+        let hardened = harden_threaded(&image, &config, threads)
             .map_err(|e| err(format!("selftest: hardening {} failed: {e}", w.name)))?;
+        if superblock {
+            for (kind, img) in [("baseline", &image), ("hardened", &hardened.image)] {
+                let rep = backend_lockstep(img, &input, max_steps);
+                writeln!(
+                    out,
+                    "backend  {:<14} {kind:<8} {:>9} blocks, {} divergences{}",
+                    w.name,
+                    rep.blocks,
+                    rep.divergences.len(),
+                    if rep.completed { "" } else { " (incomplete)" }
+                )
+                .expect("string write");
+                if !rep.clean() || !rep.completed {
+                    let detail = rep
+                        .divergences
+                        .first()
+                        .map(|d| d.detail.clone())
+                        .unwrap_or_else(|| "run did not complete within the step budget".into());
+                    failures.push(format!("backend {} ({kind}):\n{detail}", w.name));
+                }
+            }
+        }
         let rep = lockstep_images(
             &image,
             &hardened.image,
@@ -528,7 +589,7 @@ fn run_selftest(quick: bool, out: &mut String) -> Result<(), CliError> {
     let mut jl_reports = 0usize;
     for case in cases.iter().step_by(stride) {
         let image = case.workload.image();
-        let hardened = harden(&image, &config).map_err(|e| {
+        let hardened = harden_threaded(&image, &config, threads).map_err(|e| {
             err(format!(
                 "selftest: hardening juliet {} failed: {e}",
                 case.id

@@ -35,7 +35,7 @@ pub use checks::CHECK_SCRATCH_CANDIDATES;
 pub use config::{HardenConfig, LowFatPolicy};
 pub use fuzz::{fuzz_profile, FuzzConfig, FuzzOutcome};
 pub use pipeline::{
-    collect_allowlist, harden, harden_with_bases, instrument_profile, ClobberInfo, HardenError,
-    HardenStats, Hardened,
+    collect_allowlist, harden, harden_threaded, harden_with_bases, instrument_profile, ClobberInfo,
+    HardenError, HardenStats, Hardened,
 };
 pub use runner::{run_once, RunOutcome};

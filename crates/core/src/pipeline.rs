@@ -4,13 +4,14 @@
 use crate::allowlist::AllowList;
 use crate::checks::{BatchPayload, CheckSpec, PayloadMode};
 use crate::config::{HardenConfig, LowFatPolicy};
-use redfat_analysis::{can_reach_heap, Provenance, RedundantChecks};
+use redfat_analysis::{can_reach_heap, unknown_entries, Disasm, Provenance, RedundantChecks};
 use redfat_analysis::{disassemble, merge_checks, plan_batches, Batch, Cfg, Liveness};
 use redfat_elf::Image;
 use redfat_emu::ProfileStats;
+use redfat_parallel::parallel_map;
 use redfat_rewriter::{rewrite_with_bases, Patch, RewriteBases, RewriteError, RewriteStats};
 use redfat_x86::Inst;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// A hardening failure.
 #[derive(Debug)]
@@ -70,7 +71,7 @@ pub struct HardenStats {
 /// at its anchor; anything dead may legitimately differ from the baseline
 /// after the payload runs. The differential oracle consumes this to
 /// distinguish intended dead-register clobbers from real divergence.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClobberInfo {
     /// Registers the payload may leave modified (dead at the anchor).
     pub regs: Vec<redfat_x86::Reg>,
@@ -88,10 +89,43 @@ pub struct Hardened {
     pub clobbers: HashMap<u64, ClobberInfo>,
 }
 
+/// Default pipeline parallelism: the `REDFAT_THREADS` environment
+/// variable when set to a positive integer, else 1 (serial). The
+/// conservative default keeps single-workload experiment runs serial;
+/// callers wanting machine-wide parallelism use [`harden_threaded`]
+/// with an explicit count.
+fn default_threads() -> usize {
+    std::env::var("REDFAT_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 /// Hardens `image` under `config` (paper §3/§6; production phase of §5
 /// when the policy is an allow-list).
 pub fn harden(image: &Image, config: &HardenConfig) -> Result<Hardened, HardenError> {
-    instrument(image, config, PayloadMode::Harden, RewriteBases::default())
+    harden_threaded(image, config, default_threads())
+}
+
+/// [`harden`] with an explicit analysis thread count. The hardened
+/// image, statistics and clobber metadata are byte-for-byte identical
+/// at any thread count: analysis shards along weakly-connected CFG
+/// components (whose results are exact restrictions of the whole-image
+/// analyses), and the merged patch plan is ordered by anchor address
+/// before the single serial rewrite.
+pub fn harden_threaded(
+    image: &Image,
+    config: &HardenConfig,
+    threads: usize,
+) -> Result<Hardened, HardenError> {
+    instrument(
+        image,
+        config,
+        PayloadMode::Harden,
+        RewriteBases::default(),
+        threads,
+    )
 }
 
 /// Hardens `image` with explicit trampoline/trap-table bases, for
@@ -102,7 +136,7 @@ pub fn harden_with_bases(
     config: &HardenConfig,
     bases: RewriteBases,
 ) -> Result<Hardened, HardenError> {
-    instrument(image, config, PayloadMode::Harden, bases)
+    instrument(image, config, PayloadMode::Harden, bases, default_threads())
 }
 
 /// Builds the §5 *profiling* binary: every heap-reachable access is
@@ -123,7 +157,13 @@ pub fn instrument_profile(image: &Image) -> Result<Hardened, HardenError> {
         lowfat: LowFatPolicy::All,
         lowfat_only: false,
     };
-    instrument(image, &config, PayloadMode::Profile, bases)
+    instrument(
+        image,
+        &config,
+        PayloadMode::Profile,
+        bases,
+        default_threads(),
+    )
 }
 
 /// Builds the allow-list from profiling counters: a site is allowed iff
@@ -139,44 +179,148 @@ pub fn collect_allowlist(profile: &HashMap<u64, ProfileStats>) -> AllowList {
     )
 }
 
+/// How one memory access is handled by the pipeline, as decided by the
+/// shared classification closure. One value drives both the statistics
+/// accounting and the batch/redundant site filters, so the two can
+/// never disagree about a site.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SiteClass {
+    /// No memory access, or filtered out by the read/write policy.
+    NotSite,
+    /// Eliminated by the syntactic non-heap rule.
+    ElimSyntactic,
+    /// Additionally eliminated by flow-sensitive provenance.
+    ElimFlow,
+    /// Receives instrumentation.
+    Instrument,
+}
+
+/// The per-shard output of the analysis + planning stages: everything
+/// the serial rewrite needs, in a form that merges deterministically.
+struct ShardPlan {
+    planned: Vec<(u64, BatchPayload)>,
+    clobbers: Vec<(u64, ClobberInfo)>,
+    stats: HardenStats,
+}
+
 fn instrument(
     image: &Image,
     config: &HardenConfig,
     mode: PayloadMode,
     bases: RewriteBases,
+    threads: usize,
 ) -> Result<Hardened, HardenError> {
     let disasm = disassemble(image);
     let cfg = Cfg::recover(&disasm, image.entry, &[]);
-    let liveness = Liveness::compute(&disasm, &cfg);
 
+    // Unknown-entry roots are an image-wide property (the any-indirect
+    // escape hatch scans every instruction): computed once here, then
+    // intersected with each shard's blocks by the scoped analyses.
+    let need_roots = config.elim_flow || (config.elim_redundant && mode == PayloadMode::Harden);
+    let roots = need_roots.then(|| unknown_entries(&disasm, &cfg, image.entry));
+
+    // Shard along weakly-connected CFG components (≈ functions): no
+    // edge crosses a shard, so every per-shard analysis result is the
+    // exact restriction of its whole-image counterpart, and the shard
+    // granularity -- not the thread count -- determines the output.
+    let shards = parallel_map(cfg.components(), threads, |sub| {
+        instrument_shard(&disasm, sub, config, mode, roots.as_ref())
+    });
+
+    // Deterministic merge: shards arrive in component order; anchors
+    // are globally unique, so the final sort is a total order.
     let mut stats = HardenStats::default();
+    let mut clobbers: HashMap<u64, ClobberInfo> = HashMap::new();
+    let mut planned: Vec<(u64, BatchPayload)> = Vec::new();
+    for shard in shards {
+        stats.sites_considered += shard.stats.sites_considered;
+        stats.sites_eliminated += shard.stats.sites_eliminated;
+        stats.sites_eliminated_flow += shard.stats.sites_eliminated_flow;
+        stats.sites_redundant += shard.stats.sites_redundant;
+        stats.sites_lowfat += shard.stats.sites_lowfat;
+        stats.sites_redzone += shard.stats.sites_redzone;
+        stats.checks += shard.stats.checks;
+        clobbers.extend(shard.clobbers);
+        planned.extend(shard.planned);
+    }
+    planned.sort_by_key(|(anchor, _)| *anchor);
+    stats.batches = planned.len();
 
-    // Flow-sensitive provenance (computed once per image when enabled).
-    let prov = if config.elim_flow {
-        Some(Provenance::compute(&disasm, &cfg, image.entry))
-    } else {
-        None
-    };
-
-    // Site filter: read/write policy + (optionally) syntactic and
-    // flow-sensitive check elimination.
-    let filter = |addr: u64, inst: &Inst| {
-        let Some(mem) = inst.memory_access() else {
-            return false;
-        };
-        if !config.instrument_reads && !inst.writes_memory() {
-            return false;
+    // Instructions in no recovered block belong to no shard; they are
+    // never instrumented (batches only cover block members) but still
+    // count toward the classification statistics. Flow facts are `None`
+    // for them, so flow elimination never applies.
+    for (addr, inst, _) in disasm.iter() {
+        if cfg.block_of(addr).is_some() {
+            continue;
         }
-        if config.elim && !can_reach_heap(&mem) {
-            return false;
-        }
-        if let Some(p) = &prov {
-            if !p.site_can_reach_heap(&disasm, &cfg, addr, inst) {
-                return false;
+        if let Some(mem) = inst.memory_access() {
+            if !config.instrument_reads && !inst.writes_memory() {
+                continue;
+            }
+            stats.sites_considered += 1;
+            if config.elim && !can_reach_heap(&mem) {
+                stats.sites_eliminated += 1;
             }
         }
-        true
+    }
+
+    let patches: Vec<Patch> = planned
+        .iter()
+        .map(|(anchor, payload)| Patch {
+            anchor: *anchor,
+            payload: Box::new(move |a: &mut redfat_x86::Asm| payload.emit(a)),
+        })
+        .collect();
+
+    let out = rewrite_with_bases(image, &disasm, &cfg, patches, bases)?;
+    stats.rewrite = out.stats;
+    Ok(Hardened {
+        image: out.image,
+        stats,
+        clobbers,
+    })
+}
+
+/// Runs analysis and batch/payload planning for one CFG component.
+/// `cfg` is a sub-`Cfg` from [`Cfg::components`]; all queries stay
+/// inside its blocks, so the results equal the whole-image pipeline's
+/// restricted to this component.
+fn instrument_shard(
+    disasm: &Disasm,
+    cfg: &Cfg,
+    config: &HardenConfig,
+    mode: PayloadMode,
+    roots: Option<&BTreeSet<u64>>,
+) -> ShardPlan {
+    let liveness = Liveness::compute(disasm, cfg);
+    let mut stats = HardenStats::default();
+
+    // Flow-sensitive provenance (when enabled).
+    let prov = config
+        .elim_flow
+        .then(|| Provenance::compute_with_roots(disasm, cfg, roots.expect("roots precomputed")));
+
+    // The shared classification: read/write policy + (optionally)
+    // syntactic and flow-sensitive check elimination.
+    let classify = |addr: u64, inst: &Inst| {
+        let Some(mem) = inst.memory_access() else {
+            return SiteClass::NotSite;
+        };
+        if !config.instrument_reads && !inst.writes_memory() {
+            return SiteClass::NotSite;
+        }
+        if config.elim && !can_reach_heap(&mem) {
+            return SiteClass::ElimSyntactic;
+        }
+        if let Some(p) = &prov {
+            if !p.site_can_reach_heap(disasm, cfg, addr, inst) {
+                return SiteClass::ElimFlow;
+            }
+        }
+        SiteClass::Instrument
     };
+    let filter = |addr: u64, inst: &Inst| classify(addr, inst) == SiteClass::Instrument;
 
     // Which sites the LowFat policy grants a *full* check.
     let allowed = |site: u64| match (&config.lowfat, mode) {
@@ -191,10 +335,10 @@ fn instrument(
     // predicate must be exactly "this site carries a full check", i.e.
     // the pipeline filter composed with the policy.
     let redundant = if config.elim_redundant && mode == PayloadMode::Harden {
-        Some(RedundantChecks::compute(
-            &disasm,
-            &cfg,
-            image.entry,
+        Some(RedundantChecks::compute_with_roots(
+            disasm,
+            cfg,
+            roots.expect("roots precomputed"),
             |a, i| filter(a, i) && allowed(a),
         ))
     } else {
@@ -210,30 +354,26 @@ fn instrument(
             .is_some_and(&allowed)
     };
 
-    // Count considered/eliminated/redundant for statistics (independent
-    // of filter composition order).
-    for (addr, inst, _) in disasm.iter() {
-        if let Some(mem) = inst.memory_access() {
-            if !config.instrument_reads && !inst.writes_memory() {
-                continue;
+    // Classification statistics for this shard's instructions.
+    for block in cfg.blocks.values() {
+        for &addr in &block.insts {
+            let (inst, _) = disasm.at(addr).expect("block member decoded");
+            match classify(addr, inst) {
+                SiteClass::NotSite => continue,
+                SiteClass::ElimSyntactic => stats.sites_eliminated += 1,
+                SiteClass::ElimFlow => stats.sites_eliminated_flow += 1,
+                SiteClass::Instrument => {}
             }
             stats.sites_considered += 1;
-            if config.elim && !can_reach_heap(&mem) {
-                stats.sites_eliminated += 1;
-            } else if let Some(p) = &prov {
-                if !p.site_can_reach_heap(&disasm, &cfg, addr, inst) {
-                    stats.sites_eliminated_flow += 1;
-                }
-            }
         }
     }
 
     let batching = config.batch && mode == PayloadMode::Harden;
-    let batches = plan_batches(&disasm, &cfg, batching, filter);
+    let batches = plan_batches(disasm, cfg, batching, filter);
 
     // Build payloads; split any batch whose operand registers starve the
     // scratch allocator (extremely rare; singletons always succeed).
-    let mut clobbers: HashMap<u64, ClobberInfo> = HashMap::new();
+    let mut clobbers: Vec<(u64, ClobberInfo)> = Vec::new();
     let mut planned: Vec<(u64, BatchPayload)> = Vec::new();
     let mut queue: Vec<Batch> = batches;
     let mut qi = 0;
@@ -256,7 +396,7 @@ fn instrument(
                 anchor: batch.anchor,
                 members: lf_members,
             };
-            for check in merge_checks(&disasm, &sub, config.merge) {
+            for check in merge_checks(disasm, &sub, config.merge) {
                 let lowfat = !check.sites.iter().all(|&s| downgraded(s));
                 if !lowfat {
                     batch_redundant += check.sites.len();
@@ -269,7 +409,7 @@ fn instrument(
                 anchor: batch.anchor,
                 members: rz_members,
             };
-            for check in merge_checks(&disasm, &sub, config.merge) {
+            for check in merge_checks(disasm, &sub, config.merge) {
                 specs.push(CheckSpec {
                     check,
                     lowfat: false,
@@ -305,13 +445,13 @@ fn instrument(
                         stats.sites_redzone += n;
                     }
                 }
-                clobbers.insert(
+                clobbers.push((
                     batch.anchor,
                     ClobberInfo {
                         regs: p.clobbers.clone(),
                         flags: !p.save_flags,
                     },
-                );
+                ));
                 planned.push((batch.anchor, p));
             }
             None => {
@@ -325,22 +465,10 @@ fn instrument(
             }
         }
     }
-    planned.sort_by_key(|(anchor, _)| *anchor);
-    stats.batches = planned.len();
 
-    let patches: Vec<Patch> = planned
-        .iter()
-        .map(|(anchor, payload)| Patch {
-            anchor: *anchor,
-            payload: Box::new(move |a: &mut redfat_x86::Asm| payload.emit(a)),
-        })
-        .collect();
-
-    let out = rewrite_with_bases(image, &disasm, &cfg, patches, bases)?;
-    stats.rewrite = out.stats;
-    Ok(Hardened {
-        image: out.image,
-        stats,
+    ShardPlan {
+        planned,
         clobbers,
-    })
+        stats,
+    }
 }

@@ -23,6 +23,13 @@
 //!    Figure 3 object layout (`base(p) <= p`, `p == base + 16`,
 //!    size-class consistency, metadata/canary round-trip, shadow-state
 //!    classification, double-free detection).
+//! 4. **Backend lockstep oracle** ([`backend_lockstep`]): runs the
+//!    superblock-translated execution backend against the single-step
+//!    reference interpreter on the *same* image and compares the full
+//!    architectural state (every register, flags, `rip`, all cost
+//!    counters, runtime error count) at every superblock boundary. The
+//!    translation cache is a pure performance optimization, so any
+//!    difference at all is a bug.
 //!
 //! When the lockstep oracle diverges, [`shrink_input`] applies ddmin-style
 //! [`minimize`]-ation to the program input so the repro is as small as the
@@ -38,7 +45,7 @@
 use crate::pipeline::{harden, ClobberInfo, HardenError};
 use crate::HardenConfig;
 use redfat_elf::Image;
-use redfat_emu::{syscalls, Emu, ErrorMode, HostRuntime, RunResult};
+use redfat_emu::{syscalls, Emu, EmuError, ErrorMode, HostRuntime, RunResult};
 use redfat_lowfat::{AllocError, LowFatConfig, ObjState, RedFatHeap, REDZONE_SIZE};
 use redfat_vm::{layout, Vm};
 use redfat_x86::{
@@ -847,6 +854,185 @@ pub fn minimize<T: Clone>(items: &[T], mut still_fails: impl FnMut(&[T]) -> bool
 }
 
 // ---------------------------------------------------------------------------
+// Superblock backend lockstep oracle
+// ---------------------------------------------------------------------------
+
+/// Result of a [`backend_lockstep`] run.
+#[derive(Debug, Default)]
+pub struct BackendReport {
+    /// Superblock boundaries at which full state was compared.
+    pub blocks: u64,
+    /// Instructions executed (identical for both backends by design).
+    pub instructions: u64,
+    /// Unexplained differences between the backends (capped).
+    pub divergences: Vec<Divergence>,
+    /// How the superblock run ended (`None` only on an internal stall).
+    pub superblock_exit: Option<RunResult>,
+    /// How the reference single-step run ended.
+    pub step_exit: Option<RunResult>,
+    /// `true` if both backends terminated within the step budget.
+    pub completed: bool,
+}
+
+impl BackendReport {
+    /// `true` if the backends never disagreed.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+fn push_divergence(divs: &mut Vec<Divergence>, rip: u64, detail: String) {
+    if divs.len() < MAX_FAILURES {
+        divs.push(Divergence { rip, detail });
+    }
+}
+
+/// Maps a `step`/`step_block` outcome to the run result `run_superblock`
+/// and `run` would report, so the two backends compare apples to apples.
+fn settle(outcome: Result<Option<RunResult>, EmuError>) -> Option<RunResult> {
+    match outcome {
+        Ok(r) => r,
+        Err(EmuError::AccessVetoed { error, .. }) => Some(RunResult::MemoryError(error)),
+        Err(e) => Some(RunResult::Error(e)),
+    }
+}
+
+/// Runs the superblock backend and the single-step reference interpreter
+/// in lockstep on `image` and compares the complete architectural state
+/// at every superblock boundary.
+///
+/// Unlike [`lockstep_images`], both emulators execute the *same* image,
+/// so the comparison is exact: every register (no dead-clobber
+/// exemptions), the flags, `rip`, the full cost-counter set, and the
+/// number of runtime error reports must agree at every boundary, and the
+/// final run results and guest IO digests must be equal.
+pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> BackendReport {
+    let mut sup = Emu::load_image(
+        image,
+        HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
+    );
+    let mut refr = Emu::load_image(
+        image,
+        HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
+    );
+    let mut report = BackendReport::default();
+    let mut remaining = max_steps;
+
+    let (sup_end, ref_end) = loop {
+        if remaining == 0 {
+            break (Some(RunResult::StepLimit), Some(RunResult::StepLimit));
+        }
+        let (executed, outcome) = sup.step_block(remaining);
+        remaining -= executed.min(remaining);
+        report.instructions += executed;
+        let sup_end = settle(outcome);
+        // The reference interpreter retires exactly as many instructions
+        // as the superblock executed; if it terminates first, the state
+        // comparison below reports where the two runs parted ways.
+        let mut ref_end = None;
+        for _ in 0..executed {
+            match settle(refr.step()) {
+                None => {}
+                some => {
+                    ref_end = some;
+                    break;
+                }
+            }
+        }
+
+        report.blocks += 1;
+        let rip = refr.cpu.rip;
+        let divs = &mut report.divergences;
+        if sup.cpu.rip != refr.cpu.rip {
+            push_divergence(
+                divs,
+                rip,
+                format!(
+                    "rip differs after block {}: superblock {:#x}, step {:#x}",
+                    report.blocks, sup.cpu.rip, refr.cpu.rip
+                ),
+            );
+        }
+        for c in 0..16u8 {
+            let r = Reg::from_code(c);
+            let (sv, rv) = (sup.cpu.get(r), refr.cpu.get(r));
+            if sv != rv {
+                push_divergence(
+                    divs,
+                    rip,
+                    format!("register {r:?} differs at {rip:#x}: superblock {sv:#x}, step {rv:#x}"),
+                );
+            }
+        }
+        if sup.cpu.flags != refr.cpu.flags {
+            push_divergence(
+                divs,
+                rip,
+                format!(
+                    "flags differ at {rip:#x}: superblock {:?}, step {:?}",
+                    sup.cpu.flags, refr.cpu.flags
+                ),
+            );
+        }
+        if sup.counters != refr.counters {
+            push_divergence(
+                divs,
+                rip,
+                format!(
+                    "cost counters differ at {rip:#x}: superblock {:?}, step {:?}",
+                    sup.counters, refr.counters
+                ),
+            );
+        }
+        if sup.runtime.errors.len() != refr.runtime.errors.len() {
+            push_divergence(
+                divs,
+                rip,
+                format!(
+                    "error report counts differ at {rip:#x}: superblock {}, step {}",
+                    sup.runtime.errors.len(),
+                    refr.runtime.errors.len()
+                ),
+            );
+        }
+        if divs.len() >= MAX_FAILURES {
+            break (sup_end, ref_end);
+        }
+        match (sup_end, ref_end) {
+            (None, None) => {
+                if executed == 0 {
+                    push_divergence(divs, rip, format!("superblock backend stalled at {rip:#x}"));
+                    break (None, None);
+                }
+            }
+            ends => break ends,
+        }
+    };
+
+    if sup_end != ref_end {
+        report.divergences.truncate(MAX_FAILURES - 1);
+        report.divergences.push(Divergence {
+            rip: refr.cpu.rip,
+            detail: format!("run results differ: superblock {sup_end:?}, step {ref_end:?}"),
+        });
+    } else if sup.runtime.io.digest() != refr.runtime.io.digest() {
+        report.divergences.truncate(MAX_FAILURES - 1);
+        report.divergences.push(Divergence {
+            rip: refr.cpu.rip,
+            detail: format!(
+                "guest IO digests differ: superblock {:#x}, step {:#x}",
+                sup.runtime.io.digest(),
+                refr.runtime.io.digest()
+            ),
+        });
+    }
+    report.completed = sup_end.is_some() && ref_end.is_some();
+    report.superblock_exit = sup_end;
+    report.step_exit = ref_end;
+    report
+}
+
+// ---------------------------------------------------------------------------
 // Lockstep differential oracle
 // ---------------------------------------------------------------------------
 
@@ -1436,6 +1622,54 @@ mod tests {
         let out = rewrite(&image, &disasm, &cfg, clobber_rbx_patch(anchor)).unwrap();
         let shrunk = shrink_input(&image, &out.image, &HashMap::new(), &[1, 2, 3], 100_000);
         assert!(shrunk.is_empty(), "{shrunk:?}");
+    }
+
+    #[test]
+    fn backend_lockstep_is_clean_on_baseline_and_hardened_images() {
+        let src = "fn main() {
+            var n = input();
+            var a = malloc(12 * 8);
+            for (var i = 0; i < 12; i = i + 1) { a[i] = i * n; }
+            var s = 0;
+            for (var i = 0; i < 12; i = i + 1) { s = s + a[i]; }
+            print(s);
+            free(a);
+            return 0;
+        }";
+        let image = redfat_minic::compile(src).unwrap();
+        let rep = backend_lockstep(&image, &[3], 5_000_000);
+        assert!(rep.completed, "baseline run incomplete: {rep:#?}");
+        assert!(rep.clean(), "{:#?}", rep.divergences);
+        assert_eq!(rep.superblock_exit, Some(RunResult::Exited(0)));
+        assert_eq!(rep.step_exit, Some(RunResult::Exited(0)));
+        assert!(rep.blocks > 0 && rep.instructions > rep.blocks);
+
+        // The hardened image exercises trampoline crossings and the
+        // inserted check payloads under the superblock backend.
+        let hardened = harden(&image, &HardenConfig::default()).unwrap();
+        let rep = backend_lockstep(&hardened.image, &[3], 5_000_000);
+        assert!(rep.completed, "hardened run incomplete: {rep:#?}");
+        assert!(rep.clean(), "{:#?}", rep.divergences);
+        assert_eq!(rep.superblock_exit, Some(RunResult::Exited(0)));
+    }
+
+    #[test]
+    fn backend_lockstep_agrees_on_step_budget_exhaustion() {
+        let src = "fn main() {
+            var s = 0;
+            for (var i = 0; i < 1000000; i = i + 1) { s = s + i; }
+            print(s);
+            return 0;
+        }";
+        let image = redfat_minic::compile(src).unwrap();
+        for budget in [1u64, 7, 100, 12345] {
+            let rep = backend_lockstep(&image, &[], budget);
+            assert!(rep.clean(), "budget {budget}: {:#?}", rep.divergences);
+            assert!(rep.completed, "budget {budget}");
+            assert_eq!(rep.superblock_exit, Some(RunResult::StepLimit));
+            assert_eq!(rep.step_exit, Some(RunResult::StepLimit));
+            assert_eq!(rep.instructions, budget);
+        }
     }
 
     #[test]

@@ -143,6 +143,7 @@ pub struct Emu<R: Runtime> {
     /// Accumulated counters.
     pub counters: Counters,
     icache: ICache,
+    pub(crate) trace: crate::trace::TraceCache,
     trap_table: HashMap<u64, u64>,
 }
 
@@ -158,6 +159,7 @@ impl<R: Runtime> Emu<R> {
             cost: CostModel::default(),
             counters: Counters::default(),
             icache: ICache::default(),
+            trace: crate::trace::TraceCache::default(),
             trap_table: HashMap::new(),
         }
     }
@@ -307,7 +309,12 @@ impl<R: Runtime> Emu<R> {
     }
 
     #[inline]
-    fn exec(&mut self, inst: &Inst, rip: u64, next: u64) -> Result<Option<RunResult>, EmuError> {
+    pub(crate) fn exec(
+        &mut self,
+        inst: &Inst,
+        rip: u64,
+        next: u64,
+    ) -> Result<Option<RunResult>, EmuError> {
         use Operands as O;
         let w = inst.w;
         match (inst.op, &inst.operands) {

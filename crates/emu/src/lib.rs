@@ -27,6 +27,7 @@ mod cpu;
 mod exec;
 mod loader;
 mod runtime;
+mod trace;
 
 pub use cost::{CostModel, Counters};
 pub use cpu::{Cpu, Flags};
@@ -35,3 +36,4 @@ pub use runtime::{
     syscalls, ErrorMode, GuestIo, HostRuntime, MemErrKind, MemoryError, ProfileStats, Runtime,
     SyscallOutcome,
 };
+pub use trace::{ExecBackend, SUPERBLOCK_CAP};

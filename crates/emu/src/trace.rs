@@ -1,0 +1,270 @@
+//! Superblock translation cache: the emulator's fast execution backend.
+//!
+//! The step interpreter ([`Emu::step`]) pays one instruction-cache probe
+//! (segment search, slot load, pool indirection, a full [`Inst`] copy)
+//! and one fall-through `rip` computation *per instruction*. This module
+//! instead decodes a straight-line run of instructions -- up to the next
+//! control transfer, or [`SUPERBLOCK_CAP`] -- into a pre-resolved
+//! *superblock* on first execution: operands are already split into
+//! their [`redfat_x86::Operands`] arms by the decoder, each entry stores
+//! its own address and precomputed fall-through `rip`, and execution
+//! needs a single cache probe per block.
+//!
+//! Counter semantics are *identical* to the step interpreter by
+//! construction: every entry charges `base + dbi_dispatch` and bumps
+//! `instructions` exactly as [`Emu::step`] does, and `cpu.rip` is set to
+//! the fall-through address *before* dispatch, so memory-fault and veto
+//! addresses, trampoline region-crossing accounting and step budgets all
+//! observe the same state. The differential self-test
+//! (`redfat-core::selftest`) locksteps this backend against the step
+//! interpreter to enforce that equivalence rather than argue it.
+//!
+//! Like the per-instruction icache, the block cache tracks code segments
+//! lazily (one slot array per executed segment) and never invalidates:
+//! self-modifying guest code is unsupported by the substrate, so a
+//! decoded superblock stays valid for the life of the run.
+
+use crate::exec::{Emu, EmuError, RunResult};
+use crate::runtime::Runtime;
+use redfat_x86::{decode_one, Inst, Op};
+use std::sync::Arc;
+
+/// Upper bound on instructions per superblock. Keeps pathological
+/// straight-line runs (huge unrolled loops) from producing unbounded
+/// decode work on a cold probe; a capped block simply falls through to
+/// the block starting at its end.
+pub const SUPERBLOCK_CAP: usize = 64;
+
+/// One pre-resolved instruction of a superblock.
+struct TraceInst {
+    inst: Inst,
+    /// The instruction's own address.
+    rip: u64,
+    /// Precomputed fall-through address (`rip + length`).
+    next: u64,
+}
+
+/// A decoded straight-line run ending at a control transfer (or the cap).
+pub(crate) struct TraceBlock {
+    insts: Vec<TraceInst>,
+}
+
+/// Per-segment superblock cache: one `u32` slot per code byte indexing
+/// the block that *starts* there (`u32::MAX` = none). Entries never
+/// invalidate (no self-modifying code; see module docs).
+#[derive(Default)]
+pub(crate) struct TraceCache {
+    segs: Vec<(u64, u64, Vec<u32>)>, // (base, end, slots)
+    blocks: Vec<Arc<TraceBlock>>,
+    last: usize,
+}
+
+impl TraceCache {
+    #[inline]
+    fn lookup(&mut self, rip: u64) -> Option<Arc<TraceBlock>> {
+        let seg = self.seg_of(rip)?;
+        let (base, _, slots) = &self.segs[seg];
+        let idx = slots[(rip - base) as usize];
+        if idx == u32::MAX {
+            None
+        } else {
+            Some(Arc::clone(&self.blocks[idx as usize]))
+        }
+    }
+
+    #[inline]
+    fn seg_of(&mut self, rip: u64) -> Option<usize> {
+        if let Some(&(b, e, _)) = self.segs.get(self.last) {
+            if rip >= b && rip < e {
+                return Some(self.last);
+            }
+        }
+        for (i, &(b, e, _)) in self.segs.iter().enumerate() {
+            if rip >= b && rip < e {
+                self.last = i;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn add_seg(&mut self, base: u64, size: u64) {
+        self.segs
+            .push((base, base + size, vec![u32::MAX; size as usize]));
+        self.last = self.segs.len() - 1;
+    }
+
+    fn insert(&mut self, rip: u64, block: Arc<TraceBlock>) {
+        if let Some(seg) = self.seg_of(rip) {
+            let idx = self.blocks.len() as u32;
+            self.blocks.push(block);
+            let (base, _, slots) = &mut self.segs[seg];
+            slots[(rip - *base) as usize] = idx;
+        }
+    }
+}
+
+/// Ops that end a superblock: everything that can transfer control away
+/// from the fall-through path (plus `ud2`, which never falls through).
+/// `syscall` continues at the next instruction, so it does not end a
+/// block; termination outcomes are checked per entry during execution.
+#[inline]
+fn ends_block(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Jmp | Op::JmpInd | Op::Jcc(_) | Op::Call | Op::CallInd | Op::Ret | Op::Ud2 | Op::Int3
+    )
+}
+
+/// Which execution backend [`Emu::run_backend`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// Per-instruction fetch/decode-cached interpretation ([`Emu::step`]).
+    #[default]
+    Step,
+    /// Superblock translation cache ([`Emu::step_block`]).
+    Superblock,
+}
+
+impl ExecBackend {
+    /// Parses a backend name (`"step"` / `"superblock"`).
+    pub fn parse(s: &str) -> Option<ExecBackend> {
+        match s {
+            "step" => Some(ExecBackend::Step),
+            "superblock" => Some(ExecBackend::Superblock),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecBackend::Step => write!(f, "step"),
+            ExecBackend::Superblock => write!(f, "superblock"),
+        }
+    }
+}
+
+impl<R: Runtime> Emu<R> {
+    /// Decodes the straight-line run starting at `rip` into a cached
+    /// superblock. Returns `None` when even the first instruction cannot
+    /// be fetched or decoded (the caller defers to [`Emu::step`] so the
+    /// error is produced with exactly the interpreter's semantics).
+    fn build_block(&mut self, rip: u64) -> Option<Arc<TraceBlock>> {
+        let mut insts = Vec::new();
+        let mut addr = rip;
+        while insts.len() < SUPERBLOCK_CAP {
+            let Ok(bytes) = self.vm.fetch(addr, 16) else {
+                break;
+            };
+            let Ok((inst, len)) = decode_one(bytes, addr) else {
+                break;
+            };
+            let next = addr + len as u64;
+            let terminal = ends_block(inst.op);
+            insts.push(TraceInst {
+                inst,
+                rip: addr,
+                next,
+            });
+            if terminal {
+                break;
+            }
+            addr = next;
+        }
+        if insts.is_empty() {
+            return None;
+        }
+        let block = Arc::new(TraceBlock { insts });
+        if self.trace.seg_of(rip).is_none() {
+            if let Some((base, size)) = self.vm.segment_span(rip) {
+                self.trace.add_seg(base, size);
+            }
+        }
+        self.trace.insert(rip, Arc::clone(&block));
+        Some(block)
+    }
+
+    /// Executes up to `budget` instructions of the superblock at the
+    /// current `rip` (one cache probe, then straight-line dispatch).
+    ///
+    /// Returns how many instructions were retired together with the
+    /// step outcome, with *identical* per-instruction counter and error
+    /// semantics to calling [`Emu::step`] that many times. A jump into
+    /// the middle of an existing block simply starts a new block there;
+    /// a `budget` smaller than the block executes a prefix and leaves
+    /// `rip` mid-run, where the next call re-enters.
+    pub fn step_block(&mut self, budget: u64) -> (u64, Result<Option<RunResult>, EmuError>) {
+        if budget == 0 {
+            return (0, Ok(None));
+        }
+        let rip = self.cpu.rip;
+        let block = match self.trace.lookup(rip) {
+            Some(b) => b,
+            None => match self.build_block(rip) {
+                Some(b) => b,
+                None => {
+                    // Unfetchable/undecodable first instruction: the
+                    // step interpreter owns the exact error behavior.
+                    let before = self.counters.instructions;
+                    let r = self.step();
+                    return (self.counters.instructions - before, r);
+                }
+            },
+        };
+        let n = (block.insts.len() as u64).min(budget) as usize;
+        // Charge the whole run up front (per-instruction state is
+        // unobservable between the charge and the dispatch: hooks and
+        // syscalls never read the counters mid-run) and roll the excess
+        // back if an entry terminates or errors early -- the counters
+        // then equal a per-instruction charge exactly.
+        let per_inst = self.cost.base + self.cost.dbi_dispatch;
+        self.counters.instructions += n as u64;
+        self.counters.cycles += per_inst * n as u64;
+        for (i, ti) in block.insts[..n].iter().enumerate() {
+            // Fall-through before dispatch, exactly like `step()`:
+            // faults and region-crossing accounting observe `next`.
+            self.cpu.rip = ti.next;
+            match self.exec(&ti.inst, ti.rip, ti.next) {
+                Ok(None) => {}
+                done => {
+                    let unexecuted = (n - (i + 1)) as u64;
+                    self.counters.instructions -= unexecuted;
+                    self.counters.cycles -= per_inst * unexecuted;
+                    return match done {
+                        Ok(some) => ((i + 1) as u64, Ok(some)),
+                        Err(e) => ((i + 1) as u64, Err(e)),
+                    };
+                }
+            }
+        }
+        (n as u64, Ok(None))
+    }
+
+    /// Runs until exit, error or `max_steps` instructions using the
+    /// superblock backend. Behaviorally identical to [`Emu::run`]
+    /// (result, counters, guest-visible state), just faster.
+    pub fn run_superblock(&mut self, max_steps: u64) -> RunResult {
+        let mut remaining = max_steps;
+        while remaining > 0 {
+            let (executed, outcome) = self.step_block(remaining);
+            remaining -= executed.min(remaining);
+            match outcome {
+                Ok(None) => {}
+                Ok(Some(result)) => return result,
+                Err(EmuError::AccessVetoed { error, .. }) => return RunResult::MemoryError(error),
+                Err(e) => return RunResult::Error(e),
+            }
+        }
+        RunResult::StepLimit
+    }
+
+    /// Runs with the selected backend (see [`ExecBackend`]).
+    pub fn run_backend(&mut self, backend: ExecBackend, max_steps: u64) -> RunResult {
+        match backend {
+            ExecBackend::Step => self.run(max_steps),
+            ExecBackend::Superblock => self.run_superblock(max_steps),
+        }
+    }
+}

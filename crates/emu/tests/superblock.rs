@@ -1,0 +1,177 @@
+//! Backend-equivalence tests: the superblock translation cache must be
+//! observationally identical to the step interpreter -- same run result,
+//! same counters (including modeled cycles), same final CPU state -- on
+//! control-flow shapes that stress the block cache: loops, one-instruction
+//! blocks, jumps into the middle of an already-decoded run, straight-line
+//! runs longer than [`SUPERBLOCK_CAP`], trampoline region crossings, and
+//! step budgets that expire mid-block.
+
+use redfat_elf::{Image, ImageKind, SegFlags, Segment};
+use redfat_emu::{syscalls, Emu, ErrorMode, ExecBackend, HostRuntime, RunResult, SUPERBLOCK_CAP};
+use redfat_vm::layout;
+use redfat_x86::{AluOp, Asm, Cond, Reg, Width};
+
+/// Builds an image from `f` (exit(rdi) appended), runs it under both
+/// backends, and asserts result / counters / registers are identical.
+/// Returns the common result and the rdi value at the end of the run.
+fn assert_backends_agree(image: &Image, max_steps: u64) -> (RunResult, i64) {
+    let mut by_backend = Vec::new();
+    for backend in [ExecBackend::Step, ExecBackend::Superblock] {
+        let mut emu = Emu::load_image(image, HostRuntime::new(ErrorMode::Log));
+        let result = emu.run_backend(backend, max_steps);
+        by_backend.push((result, emu.counters, emu.cpu.rip, emu.cpu.get(Reg::Rdi)));
+    }
+    let (r0, c0, rip0, rdi0) = by_backend.remove(0);
+    let (r1, c1, rip1, rdi1) = by_backend.remove(0);
+    assert_eq!(r0, r1, "run result differs between backends");
+    assert_eq!(c0, c1, "counters differ between backends");
+    assert_eq!(rip0, rip1, "final rip differs between backends");
+    assert_eq!(rdi0, rdi1, "final rdi differs between backends");
+    (r0, rdi0 as i64)
+}
+
+fn image_of(f: impl FnOnce(&mut Asm)) -> Image {
+    let mut a = Asm::new(layout::CODE_BASE);
+    f(&mut a);
+    a.mov_ri(Width::W64, Reg::Rax, syscalls::EXIT as i64);
+    a.syscall();
+    let p = a.finish().unwrap();
+    Image {
+        kind: ImageKind::Exec,
+        entry: layout::CODE_BASE,
+        segments: vec![Segment::new(p.base, SegFlags::RX, p.bytes)],
+        symbols: vec![],
+    }
+}
+
+#[test]
+fn loop_and_short_blocks() {
+    // A countdown loop whose body is a multi-instruction block, followed
+    // by a chain of one-instruction blocks (back-to-back jumps).
+    let image = image_of(|a| {
+        a.mov_ri(Width::W64, Reg::Rdi, 0);
+        a.mov_ri(Width::W64, Reg::Rbx, 10);
+        let head = a.label();
+        a.bind(head).unwrap();
+        a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 3);
+        a.alu_ri(AluOp::Sub, Width::W64, Reg::Rbx, 1);
+        a.jcc_label(Cond::Ne, head);
+        // Single-instruction blocks: each jmp is its own superblock.
+        let (b, c) = (a.label(), a.label());
+        a.jmp_label(b);
+        a.bind(c).unwrap();
+        a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1000);
+        let done = a.label();
+        a.jmp_label(done);
+        a.bind(b).unwrap();
+        a.jmp_label(c);
+        a.bind(done).unwrap();
+    });
+    let (r, rdi) = assert_backends_agree(&image, 100_000);
+    assert_eq!(r, RunResult::Exited(1030));
+    assert_eq!(rdi, 1030);
+}
+
+#[test]
+fn jump_into_middle_of_decoded_run() {
+    // The first pass decodes a straight-line block spanning `mid`; the
+    // loop then re-enters at `mid`, which starts a *new* block there.
+    let image = image_of(|a| {
+        a.mov_ri(Width::W64, Reg::Rdi, 0);
+        a.mov_ri(Width::W64, Reg::Rbx, 3);
+        a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+        let mid = a.label();
+        a.bind(mid).unwrap();
+        a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 10);
+        a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 100);
+        a.alu_ri(AluOp::Sub, Width::W64, Reg::Rbx, 1);
+        a.jcc_label(Cond::Ne, mid);
+    });
+    let (r, _) = assert_backends_agree(&image, 100_000);
+    assert_eq!(r, RunResult::Exited(331));
+}
+
+#[test]
+fn straight_line_longer_than_cap() {
+    // More fall-through instructions than SUPERBLOCK_CAP: the run is
+    // split across several capped blocks, with no behavioral difference.
+    let n = 2 * SUPERBLOCK_CAP + 17;
+    let image = image_of(|a| {
+        a.mov_ri(Width::W64, Reg::Rdi, 0);
+        for _ in 0..n {
+            a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+        }
+    });
+    let (r, _) = assert_backends_agree(&image, 100_000);
+    assert_eq!(r, RunResult::Exited(n as i64));
+}
+
+#[test]
+fn trampoline_region_crossings() {
+    // Main text jumps into a trampoline segment and back: both backends
+    // must count the same transfers and region crossings.
+    let mut a = Asm::new(layout::CODE_BASE);
+    a.mov_ri(Width::W64, Reg::Rdi, 7);
+    a.jmp_abs(layout::TRAMPOLINE_BASE).unwrap();
+    let ret = a.here();
+    a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+    a.mov_ri(Width::W64, Reg::Rax, syscalls::EXIT as i64);
+    a.syscall();
+    let main = a.finish().unwrap();
+
+    let mut t = Asm::new(layout::TRAMPOLINE_BASE);
+    t.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 35);
+    t.jmp_abs(ret).unwrap();
+    let tramp = t.finish().unwrap();
+
+    let image = Image {
+        kind: ImageKind::Exec,
+        entry: layout::CODE_BASE,
+        segments: vec![
+            Segment::new(main.base, SegFlags::RX, main.bytes),
+            Segment::new(tramp.base, SegFlags::RX, tramp.bytes),
+        ],
+        symbols: vec![],
+    };
+    let (r, _) = assert_backends_agree(&image, 100_000);
+    assert_eq!(r, RunResult::Exited(43));
+
+    // Sanity: the crossings actually happened (text -> trampoline -> text).
+    let mut emu = Emu::load_image(&image, HostRuntime::new(ErrorMode::Log));
+    emu.run_backend(ExecBackend::Superblock, 100_000);
+    assert_eq!(emu.counters.region_crossings, 2);
+}
+
+#[test]
+fn step_budget_expires_mid_block() {
+    // A budget that lands inside a straight-line run: both backends must
+    // report StepLimit with identical counters and an identical rip
+    // pointing mid-block.
+    let image = image_of(|a| {
+        a.mov_ri(Width::W64, Reg::Rdi, 0);
+        for _ in 0..40 {
+            a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+        }
+    });
+    for budget in [1, 2, 7, 23, 38] {
+        let (r, _) = assert_backends_agree(&image, budget);
+        assert_eq!(r, RunResult::StepLimit, "budget {budget}");
+    }
+}
+
+#[test]
+fn block_cache_reuse_is_exact() {
+    // Re-running the same loop many times exercises cache hits on every
+    // iteration after the first; counters must scale exactly linearly.
+    let image = image_of(|a| {
+        a.mov_ri(Width::W64, Reg::Rdi, 0);
+        a.mov_ri(Width::W64, Reg::Rbx, 1000);
+        let head = a.label();
+        a.bind(head).unwrap();
+        a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+        a.alu_ri(AluOp::Sub, Width::W64, Reg::Rbx, 1);
+        a.jcc_label(Cond::Ne, head);
+    });
+    let (r, _) = assert_backends_agree(&image, 100_000);
+    assert_eq!(r, RunResult::Exited(1000));
+}

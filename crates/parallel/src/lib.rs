@@ -1,0 +1,202 @@
+//! Shared scoped-thread work distribution and small numeric helpers.
+//!
+//! Hoisted out of `redfat-bench` so the hardening pipeline
+//! (`redfat-core`) and the CLI can use the same machinery without
+//! depending on the experiment harness; `redfat_bench` re-exports
+//! everything here for its bins and tests.
+
+/// Geometric mean helper.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Runs closures in parallel over a work list with scoped threads,
+/// preserving input order in the output. Each slot is `Err` with the
+/// item's index and panic message if its closure panicked; a poisoned
+/// item never prevents the other items from completing and reporting.
+pub fn try_parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<Result<U, String>>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<U, String>)>();
+    let items_ref = &items;
+    let f_ref = &f;
+    let next_ref = &next;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f_ref(&items_ref[i])))
+                        .map_err(|payload| {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string());
+                            format!("item {i} panicked: {msg}")
+                        });
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut results: Vec<Option<Result<U, String>>> = (0..n).map(|_| None).collect();
+        for (i, out) in rx {
+            results[i] = Some(out);
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| Err(format!("item {i}: no result reported"))))
+            .collect()
+    })
+}
+
+/// Runs closures in parallel over a work list with scoped threads,
+/// preserving input order in the output.
+///
+/// # Panics
+///
+/// Panics after *all* items have finished if any closure panicked,
+/// naming every failed item -- completed work is never thrown away
+/// mid-run by one bad item.
+pub fn parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let results = try_parallel_map(items, threads, f);
+    let failures: Vec<&str> = results
+        .iter()
+        .filter_map(|r| r.as_ref().err().map(|s| s.as_str()))
+        .collect();
+    if !failures.is_empty() {
+        panic!(
+            "parallel_map: {}/{} items failed:\n  {}",
+            failures.len(),
+            n,
+            failures.join("\n  ")
+        );
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("failures checked above"))
+        .collect()
+}
+
+/// Number of worker threads implied by the machine: `available_parallelism`,
+/// falling back to 1 when the runtime cannot tell.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves the effective thread count from an explicit request (CLI
+/// `--threads`), the `REDFAT_THREADS` environment variable, or the
+/// machine's available parallelism, in that priority order. Zero or
+/// unparsable requests fall through to the next source.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var("REDFAT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    available_threads()
+}
+
+/// Scans an argv-style iterator for `--threads N` and resolves the
+/// thread count with [`resolve_threads`]. Convenience for the bench
+/// bins, which otherwise take no arguments.
+pub fn threads_from_args(args: impl IntoIterator<Item = String>) -> usize {
+    let mut explicit = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            explicit = it.next().and_then(|v| v.parse::<usize>().ok());
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            explicit = v.parse::<usize>().ok();
+        }
+    }
+    resolve_threads(explicit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_item_does_not_sink_the_rest() {
+        let items: Vec<u32> = (0..8).collect();
+        let results = try_parallel_map(items, 4, |&v| {
+            if v == 3 {
+                panic!("poisoned workload {v}");
+            }
+            v * 10
+        });
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                let err = r.as_ref().expect_err("item 3 must fail");
+                assert!(err.contains("item 3"), "error names the item: {err}");
+                assert!(
+                    err.contains("poisoned workload 3"),
+                    "error keeps message: {err}"
+                );
+            } else {
+                assert_eq!(*r, Ok(i as u32 * 10), "item {i} must still complete");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..32).collect();
+        let doubled = parallel_map(items, 5, |&v| v * 2);
+        assert_eq!(doubled, (0..32).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resolve_threads_priority() {
+        // Explicit beats everything.
+        assert_eq!(resolve_threads(Some(3)), 3);
+        // Zero falls through to env/default, which is at least 1.
+        assert!(resolve_threads(Some(0)) >= 1);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn threads_from_args_parses_both_forms() {
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(threads_from_args(argv(&["--threads", "7"])), 7);
+        assert_eq!(threads_from_args(argv(&["--threads=5"])), 5);
+    }
+}
