@@ -51,7 +51,7 @@ fn main() {
             heap: 0,
             other: 0,
         };
-        let mut emu = Emu::load_image(&wl.image(), rt);
+        let mut emu = Emu::load_image(&wl.image(), rt).expect("loads");
         let _ = emu.run(u64::MAX);
         let r = &emu.runtime;
         let total = (r.stack + r.heap + r.other) as f64;

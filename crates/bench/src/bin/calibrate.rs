@@ -8,7 +8,7 @@ fn main() {
         let mut counts = Vec::new();
         for input in [&wl.train_input, &wl.ref_input] {
             let rt = HostRuntime::new(ErrorMode::Log).with_input(input.clone());
-            let mut emu = Emu::load_image(&image, rt);
+            let mut emu = Emu::load_image(&image, rt).expect("loads");
             let r = emu.run(2_000_000_000);
             counts.push((r, emu.counters.instructions, emu.counters.cycles));
         }

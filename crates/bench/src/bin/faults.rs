@@ -1,0 +1,42 @@
+//! Fault-injection campaign: the heavy, parallel counterpart of
+//! `redfat selftest --faults`.
+//!
+//! Runs a much larger seeded mutation sweep than the CLI subcommand
+//! (hundreds of mutants per SPEC stand-in), prints the classification
+//! breakdown by stage, and exits nonzero if any mutant escaped
+//! classification -- i.e. if anything in the parse → harden → load →
+//! run chain panicked instead of returning a structured error or a
+//! recorded degradation.
+
+use redfat_core::{fault_sweep, FaultConfig};
+
+fn main() {
+    let threads = redfat_bench::threads_from_args(std::env::args());
+    let config = FaultConfig {
+        mutants_per_workload: 400,
+        ..FaultConfig::default()
+    };
+    println!(
+        "faults: {} mutants per stand-in on {} threads (seed {:#x})...",
+        config.mutants_per_workload, threads, config.seed
+    );
+    let report = fault_sweep(&config, threads);
+    println!(
+        "faults: {} mutants: {} ok, {} errors, {} degraded",
+        report.cases, report.ok, report.errors, report.degraded
+    );
+    for (stage, n) in &report.by_stage {
+        println!("  stage {stage:<8} {n} errors");
+    }
+    if !report.clean() {
+        for f in &report.failures {
+            eprintln!("FAIL {f}");
+        }
+        eprintln!(
+            "fault sweep FAILED ({} unclassified)",
+            report.failures.len()
+        );
+        std::process::exit(1);
+    }
+    println!("fault sweep passed");
+}

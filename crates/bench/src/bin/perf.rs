@@ -71,7 +71,7 @@ fn time_backend(
     let mut outcome = None;
     for _ in 0..REPS {
         let rt = HostRuntime::new(ErrorMode::Log).with_input(input.to_vec());
-        let mut emu = Emu::load_image(image, rt);
+        let mut emu = Emu::load_image(image, rt).expect("loads");
         let t = Instant::now();
         let r = emu.run_backend(backend, budget);
         best = best.min(t.elapsed().as_secs_f64());

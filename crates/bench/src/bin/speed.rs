@@ -10,7 +10,7 @@ fn main() {
         let wl = spec::by_name(name).expect("known benchmark");
         let image = wl.image();
         let rt = HostRuntime::new(ErrorMode::Log).with_input(wl.ref_input.clone());
-        let mut emu = Emu::load_image(&image, rt);
+        let mut emu = Emu::load_image(&image, rt).expect("loads");
         let t = Instant::now();
         let r = emu.run(2_000_000_000);
         let dt = t.elapsed().as_secs_f64();

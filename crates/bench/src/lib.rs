@@ -139,7 +139,7 @@ pub fn table1_row(wl: &Workload) -> Table1Row {
         Err(_) => None,
         Ok(()) => {
             let rt = MemcheckRuntime::new(ErrorMode::Log).with_input(wl.ref_input.clone());
-            let mut emu = Emu::load_image(&image, rt);
+            let mut emu = Emu::load_image(&image, rt).expect("loads");
             emu.cost = MemcheckRuntime::cost_model();
             let r = emu.run(MAX_STEPS);
             assert!(
@@ -200,7 +200,7 @@ pub fn redfat_detects(image: &Image, attack_input: &[i64]) -> bool {
 /// Detection verdict under the Memcheck baseline.
 pub fn memcheck_detects(image: &Image, attack_input: &[i64]) -> bool {
     let rt = MemcheckRuntime::new(ErrorMode::Abort).with_input(attack_input.to_vec());
-    let mut emu = Emu::load_image(image, rt);
+    let mut emu = Emu::load_image(image, rt).expect("loads");
     emu.cost = MemcheckRuntime::cost_model();
     let r = emu.run(MAX_STEPS);
     matches!(r, RunResult::MemoryError(_)) || !emu.runtime.errors.is_empty()

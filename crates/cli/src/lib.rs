@@ -18,7 +18,7 @@
 //! returns the text it would print.
 
 use redfat_core::{
-    collect_allowlist, harden_threaded, instrument_profile, run_once, AllowList, HardenConfig,
+    collect_allowlist, harden_threaded, instrument_profile, try_run_once, AllowList, HardenConfig,
     LowFatPolicy,
 };
 use redfat_elf::Image;
@@ -70,6 +70,9 @@ commands:
                                        --superblock also runs the superblock
                                        execution backend against the step
                                        interpreter on every workload
+  selftest --faults [--quick]          fault-injection sweep: seeded mutants of
+                                       every stand-in driven through the full
+                                       pipeline; any panic fails the sweep
 
 `harden`, `analyze`, and `selftest` accept --threads N to set the worker
 thread count (falls back to the REDFAT_THREADS environment variable, then
@@ -289,12 +292,13 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 return Err(err("genlist needs exactly one profiling binary"));
             };
             let image = load_image(prof)?;
-            let run = run_once(
+            let run = try_run_once(
                 &image,
                 args.input_values()?,
                 ErrorMode::Log,
                 args.max_steps()?,
-            );
+            )
+            .map_err(|e| err(format!("cannot load {prof}: {e}")))?;
             if !matches!(run.result, RunResult::Exited(_)) {
                 return Err(err(format!("profiling run did not exit: {:?}", run.result)));
             }
@@ -351,7 +355,8 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
             let steps = args.max_steps()?;
             if args.has("--memcheck") {
                 let rt = MemcheckRuntime::new(ErrorMode::Log).with_input(inputs);
-                let mut emu = Emu::load_image(&image, rt);
+                let mut emu = Emu::load_image(&image, rt)
+                    .map_err(|e| err(format!("cannot load {input}: {e}")))?;
                 emu.cost = MemcheckRuntime::cost_model();
                 let r = emu.run(steps);
                 writeln!(out, "memcheck: {r:?}").expect("string write");
@@ -370,7 +375,8 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 } else {
                     ErrorMode::Abort
                 };
-                let result = run_once(&image, inputs, mode, steps);
+                let result = try_run_once(&image, inputs, mode, steps)
+                    .map_err(|e| err(format!("cannot load {input}: {e}")))?;
                 writeln!(out, "{:?}", result.result).expect("string write");
                 for v in &result.io.out_ints {
                     writeln!(out, "{v}").expect("string write");
@@ -443,12 +449,58 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
         "selftest" => {
             let quick = args.has("--quick");
             let superblock = args.has("--superblock");
-            run_selftest(quick, superblock, args.threads()?, &mut out)?;
+            if args.has("--faults") {
+                run_faults(quick, args.threads()?, &mut out)?;
+            } else {
+                run_selftest(quick, superblock, args.threads()?, &mut out)?;
+            }
         }
         "--help" | "-h" | "help" => writeln!(out, "{USAGE}").expect("string write"),
         other => return Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
     Ok(out)
+}
+
+/// The `selftest --faults` subcommand: the deterministic
+/// fault-injection sweep.
+///
+/// Mutates well-formed images from every SPEC stand-in (truncations,
+/// header/code/metadata byte flips, oversized table counts, corrupt
+/// trap tables) and drives each mutant through the full
+/// parse → harden → load → run chain. Every outcome must classify as
+/// ok, a structured error, or a recorded degradation -- a panic
+/// anywhere fails the invocation with a nonzero exit code, so CI can
+/// gate on `redfat selftest --faults --quick`.
+fn run_faults(quick: bool, threads: usize, out: &mut String) -> Result<(), CliError> {
+    use redfat_core::{fault_sweep, FaultConfig};
+    let config = FaultConfig {
+        // Quick ≈ a 1k-mutant sweep (35 x 29 stand-ins); full is ~3.5k.
+        mutants_per_workload: if quick { 35 } else { 120 },
+        ..FaultConfig::default()
+    };
+    let report = fault_sweep(&config, threads);
+    writeln!(
+        out,
+        "faults: {} mutants (seed {:#x}): {} ok, {} errors, {} degraded",
+        report.cases, config.seed, report.ok, report.errors, report.degraded
+    )
+    .expect("string write");
+    for (stage, n) in &report.by_stage {
+        writeln!(out, "  stage {stage}: {n} errors").expect("string write");
+    }
+    if report.clean() {
+        writeln!(out, "fault sweep passed").expect("string write");
+        Ok(())
+    } else {
+        Err(CliError {
+            message: format!(
+                "{out}fault sweep FAILED ({} unclassified):\n{}",
+                report.failures.len(),
+                report.failures.join("\n")
+            ),
+            code: 1,
+        })
+    }
 }
 
 /// The `selftest` subcommand: the differential self-test subsystem.

@@ -1,0 +1,194 @@
+//! The unifying structured error for the whole hardening toolchain.
+//!
+//! Every stage keeps its own precise error type (`ElfError`,
+//! `DecodeError`/`AsmError`, `RewriteError`, `LoadError`, `EmuError`);
+//! [`RedfatError`] is the umbrella that carries *which stage* failed, the
+//! stage's typed error, and an optional chain of human-readable context
+//! frames. `From` impls exist for every stage error, so `?` works across
+//! the parse → disasm → analyze → harden → load → run chain, and the
+//! fault-injection harness (and the CLI) can classify any failure without
+//! string matching.
+//!
+//! The invariant the fault harness enforces: a malformed input produces
+//! either a clean result, a `RedfatError`, or a recorded degradation
+//! ([`crate::HardenStats::degraded`]) -- never a panic.
+
+use crate::pipeline::HardenError;
+use redfat_elf::ElfError;
+use redfat_emu::{EmuError, LoadError};
+use redfat_rewriter::RewriteError;
+use redfat_x86::{AsmError, DecodeError};
+
+/// The pipeline stage an error originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// ELF parsing ([`redfat_elf::Image::parse`]).
+    Parse,
+    /// Instruction decoding / disassembly.
+    Disasm,
+    /// Static analysis (CFG, liveness, provenance).
+    Analyze,
+    /// Check synthesis + trampoline rewriting.
+    Harden,
+    /// Image loading into the guest address space.
+    Load,
+    /// Guest execution under the emulator.
+    Run,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Stage::Parse => "parse",
+            Stage::Disasm => "disasm",
+            Stage::Analyze => "analyze",
+            Stage::Harden => "harden",
+            Stage::Load => "load",
+            Stage::Run => "run",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// The typed per-stage error wrapped by [`RedfatError`].
+#[derive(Debug)]
+pub enum ErrorKind {
+    /// ELF parsing failed.
+    Elf(ElfError),
+    /// Instruction decoding failed.
+    Decode(DecodeError),
+    /// Assembly (check synthesis / trampoline emission) failed.
+    Asm(AsmError),
+    /// The trampoline rewrite failed.
+    Rewrite(RewriteError),
+    /// Image loading failed.
+    Load(LoadError),
+    /// Guest execution faulted.
+    Emu(EmuError),
+    /// A failure with no structured stage error (e.g. I/O).
+    Other(String),
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorKind::Elf(e) => write!(f, "{e}"),
+            ErrorKind::Decode(e) => write!(f, "{e}"),
+            ErrorKind::Asm(e) => write!(f, "{e}"),
+            ErrorKind::Rewrite(e) => write!(f, "{e}"),
+            ErrorKind::Load(e) => write!(f, "{e}"),
+            ErrorKind::Emu(e) => write!(f, "{e}"),
+            ErrorKind::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A structured toolchain error: stage + typed cause + context chain.
+#[derive(Debug)]
+pub struct RedfatError {
+    /// The stage that failed.
+    pub stage: Stage,
+    /// The stage's typed error.
+    pub kind: ErrorKind,
+    /// Context frames, innermost first (see [`RedfatError::context`]).
+    pub context: Vec<String>,
+}
+
+impl RedfatError {
+    /// Builds an error from a stage and kind with no context.
+    pub fn new(stage: Stage, kind: ErrorKind) -> RedfatError {
+        RedfatError {
+            stage,
+            kind,
+            context: Vec::new(),
+        }
+    }
+
+    /// Appends a context frame ("while hardening gzip", "mutant 17 of
+    /// seed 0x5eed") to the chain; frames render outermost last.
+    pub fn context(mut self, frame: impl Into<String>) -> RedfatError {
+        self.context.push(frame.into());
+        self
+    }
+}
+
+impl std::fmt::Display for RedfatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.stage, self.kind)?;
+        for frame in &self.context {
+            write!(f, " ({frame})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RedfatError {}
+
+impl From<ElfError> for RedfatError {
+    fn from(e: ElfError) -> RedfatError {
+        RedfatError::new(Stage::Parse, ErrorKind::Elf(e))
+    }
+}
+
+impl From<DecodeError> for RedfatError {
+    fn from(e: DecodeError) -> RedfatError {
+        RedfatError::new(Stage::Disasm, ErrorKind::Decode(e))
+    }
+}
+
+impl From<AsmError> for RedfatError {
+    fn from(e: AsmError) -> RedfatError {
+        RedfatError::new(Stage::Harden, ErrorKind::Asm(e))
+    }
+}
+
+impl From<RewriteError> for RedfatError {
+    fn from(e: RewriteError) -> RedfatError {
+        RedfatError::new(Stage::Harden, ErrorKind::Rewrite(e))
+    }
+}
+
+impl From<HardenError> for RedfatError {
+    fn from(e: HardenError) -> RedfatError {
+        match e {
+            HardenError::Rewrite(e) => e.into(),
+        }
+    }
+}
+
+impl From<LoadError> for RedfatError {
+    fn from(e: LoadError) -> RedfatError {
+        RedfatError::new(Stage::Load, ErrorKind::Load(e))
+    }
+}
+
+impl From<EmuError> for RedfatError {
+    fn from(e: EmuError) -> RedfatError {
+        RedfatError::new(Stage::Run, ErrorKind::Emu(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_and_context_render() {
+        let e: RedfatError = ElfError::NotElf64.into();
+        assert_eq!(e.stage, Stage::Parse);
+        let e = e.context("mutant 3").context("workload gzip");
+        let s = e.to_string();
+        assert!(s.starts_with("parse: "), "{s}");
+        assert!(s.contains("(mutant 3)"), "{s}");
+        assert!(s.contains("(workload gzip)"), "{s}");
+    }
+
+    #[test]
+    fn stage_errors_map_to_stages() {
+        let load: RedfatError = LoadError::NoImages.into();
+        assert_eq!(load.stage, Stage::Load);
+        let harden: RedfatError = HardenError::Rewrite(RewriteError::PatchWrite(0x40_0000)).into();
+        assert_eq!(harden.stage, Stage::Harden);
+        assert!(matches!(harden.kind, ErrorKind::Rewrite(_)));
+    }
+}

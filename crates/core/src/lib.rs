@@ -25,6 +25,8 @@
 mod allowlist;
 mod checks;
 mod config;
+pub mod error;
+pub mod faults;
 mod fuzz;
 mod pipeline;
 mod runner;
@@ -33,9 +35,11 @@ pub mod selftest;
 pub use allowlist::AllowList;
 pub use checks::CHECK_SCRATCH_CANDIDATES;
 pub use config::{HardenConfig, LowFatPolicy};
+pub use error::{ErrorKind, RedfatError, Stage};
+pub use faults::{classify_bytes, fault_sweep, FaultConfig, FaultOutcome, FaultReport};
 pub use fuzz::{fuzz_profile, FuzzConfig, FuzzOutcome};
 pub use pipeline::{
     collect_allowlist, harden, harden_threaded, harden_with_bases, instrument_profile, ClobberInfo,
     HardenError, HardenStats, Hardened,
 };
-pub use runner::{run_once, RunOutcome};
+pub use runner::{run_once, try_run_once, RunOutcome};

@@ -61,8 +61,23 @@ pub struct HardenStats {
     pub batches: usize,
     /// Merged checks emitted across all batches.
     pub checks: usize,
+    /// Sites skipped because a planned block member no longer decodes
+    /// (graceful degradation on corrupt code; zero on well-formed
+    /// inputs). Rewriter-level skips are counted separately in
+    /// [`RewriteStats::skipped_sites`].
+    pub sites_skipped: usize,
     /// Underlying rewriter statistics.
     pub rewrite: RewriteStats,
+}
+
+impl HardenStats {
+    /// `true` if any site was skipped rather than hardened -- the
+    /// `DegradedHarden` outcome of the fault-injection taxonomy: the
+    /// output image is valid and runs, but covers fewer sites than
+    /// planned. Always `false` for well-formed inputs.
+    pub fn degraded(&self) -> bool {
+        self.sites_skipped > 0 || self.rewrite.skipped_sites > 0
+    }
 }
 
 /// Liveness-derived clobber metadata for one instrumentation payload.
@@ -240,6 +255,7 @@ fn instrument(
         stats.sites_lowfat += shard.stats.sites_lowfat;
         stats.sites_redzone += shard.stats.sites_redzone;
         stats.checks += shard.stats.checks;
+        stats.sites_skipped += shard.stats.sites_skipped;
         clobbers.extend(shard.clobbers);
         planned.extend(shard.planned);
     }
@@ -357,7 +373,13 @@ fn instrument_shard(
     // Classification statistics for this shard's instructions.
     for block in cfg.blocks.values() {
         for &addr in &block.insts {
-            let (inst, _) = disasm.at(addr).expect("block member decoded");
+            // A block member that no longer decodes (corrupt input)
+            // degrades to skip-and-record instead of aborting the
+            // harden.
+            let Some((inst, _)) = disasm.at(addr) else {
+                stats.sites_skipped += 1;
+                continue;
+            };
             match classify(addr, inst) {
                 SiteClass::NotSite => continue,
                 SiteClass::ElimSyntactic => stats.sites_eliminated += 1,

@@ -3,7 +3,7 @@
 
 use redfat_elf::Image;
 use redfat_emu::{
-    Counters, Emu, ErrorMode, GuestIo, HostRuntime, MemoryError, ProfileStats, RunResult,
+    Counters, Emu, ErrorMode, GuestIo, HostRuntime, LoadError, MemoryError, ProfileStats, RunResult,
 };
 use std::collections::HashMap;
 
@@ -35,14 +35,25 @@ impl RunOutcome {
 /// `mode` selects abort-on-error (hardening) or log-and-continue
 /// (bug finding / profiling).
 pub fn run_once(image: &Image, input: Vec<i64>, mode: ErrorMode, max_steps: u64) -> RunOutcome {
+    try_run_once(image, input, mode, max_steps).expect("image loads")
+}
+
+/// [`run_once`] for images that may not load: a malformed image yields
+/// the loader's structured error instead of a panic.
+pub fn try_run_once(
+    image: &Image,
+    input: Vec<i64>,
+    mode: ErrorMode,
+    max_steps: u64,
+) -> Result<RunOutcome, LoadError> {
     let runtime = HostRuntime::new(mode).with_input(input);
-    let mut emu = Emu::load_image(image, runtime);
+    let mut emu = Emu::load_image(image, runtime)?;
     let result = emu.run(max_steps);
-    RunOutcome {
+    Ok(RunOutcome {
         result,
         counters: emu.counters,
         io: emu.runtime.io,
         errors: emu.runtime.errors,
         profile: emu.runtime.profile,
-    }
+    })
 }

@@ -910,11 +910,13 @@ pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> Backend
     let mut sup = Emu::load_image(
         image,
         HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
-    );
+    )
+    .expect("image loads");
     let mut refr = Emu::load_image(
         image,
         HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
-    );
+    )
+    .expect("image loads");
     let mut report = BackendReport::default();
     let mut remaining = max_steps;
 
@@ -1152,11 +1154,13 @@ pub fn lockstep_images(
     let mut base = Emu::load_image(
         baseline,
         HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
-    );
+    )
+    .expect("image loads");
     let mut hard = Emu::load_image(
         hardened,
         HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
-    );
+    )
+    .expect("image loads");
 
     let mut report = LockstepReport::default();
     // Registers (bit per GPR code) whose values may legitimately differ:

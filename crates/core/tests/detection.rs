@@ -347,7 +347,7 @@ fn hardening_without_runtime_tables_is_inert() {
     // NOTE: the heap wrapper still works (malloc goes through the host
     // runtime), but base()/size() lookups in *generated code* see zeroes.
     let runtime = NoTables(redfat_emu::HostRuntime::new(ErrorMode::Abort).with_input(vec![5]));
-    let mut emu = redfat_emu::Emu::load_image(&hardened.image, runtime);
+    let mut emu = redfat_emu::Emu::load_image(&hardened.image, runtime).expect("loads");
     let r = emu.run(1_000_000);
     assert_eq!(r, RunResult::Exited(0), "checks are inert without tables");
 }

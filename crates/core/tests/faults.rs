@@ -1,0 +1,66 @@
+//! Fault-injection harness integration tests: the seeded sweep must
+//! classify every mutant (no panics), be deterministic, and the
+//! individual panic fixes must hold through the public API.
+
+use redfat_core::{classify_bytes, fault_sweep, FaultConfig, FaultOutcome};
+use redfat_workloads::spec;
+
+/// A scaled-down sweep config so debug-build test time stays sane.
+fn small_config() -> FaultConfig {
+    FaultConfig {
+        mutants_per_workload: 4,
+        max_steps: 50_000,
+        ..FaultConfig::default()
+    }
+}
+
+#[test]
+fn sweep_classifies_every_mutant() {
+    let report = fault_sweep(&small_config(), 4);
+    assert!(report.clean(), "failures: {:#?}", report.failures);
+    assert_eq!(report.cases, 4 * spec::all().len());
+    assert_eq!(report.cases, report.ok + report.errors + report.degraded);
+    // A sweep that rejects nothing is not exercising the error paths.
+    assert!(report.errors > 0, "{report:?}");
+}
+
+#[test]
+fn sweep_is_deterministic_across_thread_counts() {
+    let a = fault_sweep(&small_config(), 1);
+    let b = fault_sweep(&small_config(), 7);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seed_changes_the_mutants() {
+    let a = fault_sweep(&small_config(), 4);
+    let b = fault_sweep(
+        &FaultConfig {
+            seed: 0x0DD5_EED5,
+            ..small_config()
+        },
+        4,
+    );
+    // Same case count, but (overwhelmingly likely) different outcomes.
+    assert_eq!(a.cases, b.cases);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn truncated_elf_classifies_as_parse_error() {
+    let w = spec::all().into_iter().next().unwrap();
+    let bytes = w.image().to_bytes();
+    let outcome = classify_bytes(&bytes[..20], &w.train_input, 10_000);
+    match outcome {
+        FaultOutcome::Error(e) => assert_eq!(e.stage, redfat_core::Stage::Parse),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn well_formed_workload_classifies_ok() {
+    let w = spec::all().into_iter().next().unwrap();
+    let bytes = w.image().to_bytes();
+    let outcome = classify_bytes(&bytes, &w.train_input, 2_000_000);
+    assert!(matches!(outcome, FaultOutcome::Ok), "{outcome:?}");
+}

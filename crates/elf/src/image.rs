@@ -64,9 +64,11 @@ impl Segment {
         }
     }
 
-    /// One past the last in-memory byte.
+    /// One past the last in-memory byte. Saturates at `u64::MAX` for
+    /// (corrupt) segments whose declared range would wrap the address
+    /// space, so address queries on a malformed image stay total.
     pub fn end(&self) -> u64 {
-        self.vaddr + self.mem_size
+        self.vaddr.saturating_add(self.mem_size)
     }
 
     /// Returns `true` if `addr` falls within this segment's memory image.
@@ -140,7 +142,7 @@ impl Image {
     pub fn read_bytes(&self, addr: u64, len: usize) -> Option<&[u8]> {
         let seg = self.segment_at(addr)?;
         let off = (addr - seg.vaddr) as usize;
-        seg.data.get(off..off + len)
+        seg.data.get(off..off.checked_add(len)?)
     }
 
     /// Overwrites bytes at virtual address `addr` in place.
@@ -152,7 +154,10 @@ impl Image {
             return false;
         };
         let off = (addr - seg.vaddr) as usize;
-        let Some(slot) = seg.data.get_mut(off..off + bytes.len()) else {
+        let Some(end) = off.checked_add(bytes.len()) else {
+            return false;
+        };
+        let Some(slot) = seg.data.get_mut(off..end) else {
             return false;
         };
         slot.copy_from_slice(bytes);
@@ -165,8 +170,11 @@ impl Image {
     }
 
     /// Total in-memory size of all segments (a scalability metric).
+    /// Saturating, so corrupt declared sizes cannot overflow the sum.
     pub fn memory_footprint(&self) -> u64 {
-        self.segments.iter().map(|s| s.mem_size).sum()
+        self.segments
+            .iter()
+            .fold(0u64, |acc, s| acc.saturating_add(s.mem_size))
     }
 }
 

@@ -29,7 +29,17 @@ impl std::fmt::Display for ElfError {
 impl std::error::Error for ElfError {}
 
 fn get<'a>(b: &'a [u8], off: usize, len: usize, what: &'static str) -> Result<&'a [u8], ElfError> {
-    b.get(off..off + len).ok_or(ElfError::Truncated(what))
+    off.checked_add(len)
+        .and_then(|end| b.get(off..end))
+        .ok_or(ElfError::Truncated(what))
+}
+
+/// `base + i * ent` with overflow reported as truncation (a corrupt
+/// table offset, count, or entry size that escapes the file).
+fn table_off(base: usize, i: usize, ent: usize, what: &'static str) -> Result<usize, ElfError> {
+    i.checked_mul(ent)
+        .and_then(|o| base.checked_add(o))
+        .ok_or(ElfError::Truncated(what))
 }
 
 fn u16le(b: &[u8], off: usize) -> Result<u16, ElfError> {
@@ -81,7 +91,10 @@ impl Image {
 
         let mut segments = Vec::new();
         for i in 0..phnum {
-            let ph = phoff + i * phentsize;
+            let ph = table_off(phoff, i, phentsize, "program header")?;
+            // Bound the header slot before the field offsets below are
+            // added to `ph`, so a corrupt `phoff` cannot overflow them.
+            get(bytes, ph, 56, "program header")?;
             let p_type = u32le(bytes, ph)?;
             if p_type != 1 {
                 continue; // not PT_LOAD
@@ -106,7 +119,8 @@ impl Image {
         if shoff != 0 && shnum != 0 {
             let mut symtab: Option<(usize, usize, usize)> = None; // off, size, link
             for i in 0..shnum {
-                let sh = shoff + i * shentsize;
+                let sh = table_off(shoff, i, shentsize, "section header")?;
+                get(bytes, sh, 48, "section header")?;
                 let sh_type = u32le(bytes, sh + 4)?;
                 if sh_type == 2 {
                     let off = u64le(bytes, sh + 24)? as usize;
@@ -117,10 +131,15 @@ impl Image {
                 }
             }
             if let Some((off, size, link)) = symtab {
-                let str_sh = shoff + link * shentsize;
+                let str_sh = table_off(shoff, link, shentsize, "string section header")?;
+                get(bytes, str_sh, 48, "string section header")?;
                 let str_off = u64le(bytes, str_sh + 24)? as usize;
                 let str_size = u64le(bytes, str_sh + 32)? as usize;
                 let strtab = get(bytes, str_off, str_size, "strtab")?;
+                // Bound the whole table first: a corrupt declared size
+                // must not drive the entry loop past the file (or into
+                // an effectively unbounded iteration count).
+                get(bytes, off, size, "symtab")?;
                 let nsyms = size / 24;
                 for i in 1..nsyms {
                     let s = off + i * 24;

@@ -32,6 +32,7 @@ mod trace;
 pub use cost::{CostModel, Counters};
 pub use cpu::{Cpu, Flags};
 pub use exec::{Emu, EmuError, RunResult, TRAP_TABLE_MAGIC};
+pub use loader::{LoadError, MAX_LOAD_BYTES};
 pub use runtime::{
     syscalls, ErrorMode, GuestIo, HostRuntime, MemErrKind, MemoryError, ProfileStats, Runtime,
     SyscallOutcome,

@@ -19,7 +19,7 @@ fn run_asm(f: impl FnOnce(&mut Asm)) -> Emu<HostRuntime> {
         segments: vec![Segment::new(p.base, SegFlags::RX, p.bytes)],
         symbols: vec![],
     };
-    let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort));
+    let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort)).expect("loads");
     let r = emu.run(100_000);
     assert!(matches!(r, RunResult::Exited(_)), "{r:?}");
     emu
@@ -114,7 +114,7 @@ fn divide_by_zero_faults() {
         segments: vec![Segment::new(p.base, SegFlags::RX, p.bytes)],
         symbols: vec![],
     };
-    let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort));
+    let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort)).expect("loads");
     assert!(matches!(
         emu.run(100),
         RunResult::Error(EmuError::DivideError { .. })
@@ -293,7 +293,7 @@ fn rip_relative_load_reads_code_constant() {
         ],
         symbols: vec![],
     };
-    let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort));
+    let mut emu = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort)).expect("loads");
     assert_eq!(emu.run(100), RunResult::Exited(0x4243_4445));
 }
 

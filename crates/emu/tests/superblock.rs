@@ -17,7 +17,7 @@ use redfat_x86::{AluOp, Asm, Cond, Reg, Width};
 fn assert_backends_agree(image: &Image, max_steps: u64) -> (RunResult, i64) {
     let mut by_backend = Vec::new();
     for backend in [ExecBackend::Step, ExecBackend::Superblock] {
-        let mut emu = Emu::load_image(image, HostRuntime::new(ErrorMode::Log));
+        let mut emu = Emu::load_image(image, HostRuntime::new(ErrorMode::Log)).expect("loads");
         let result = emu.run_backend(backend, max_steps);
         by_backend.push((result, emu.counters, emu.cpu.rip, emu.cpu.get(Reg::Rdi)));
     }
@@ -137,7 +137,7 @@ fn trampoline_region_crossings() {
     assert_eq!(r, RunResult::Exited(43));
 
     // Sanity: the crossings actually happened (text -> trampoline -> text).
-    let mut emu = Emu::load_image(&image, HostRuntime::new(ErrorMode::Log));
+    let mut emu = Emu::load_image(&image, HostRuntime::new(ErrorMode::Log)).expect("loads");
     emu.run_backend(ExecBackend::Superblock, 100_000);
     assert_eq!(emu.counters.region_crossings, 2);
 }

@@ -308,7 +308,7 @@ mod tests {
 
     fn run(img: &Image, input: Vec<i64>) -> (RunResult, Vec<MemoryError>) {
         let rt = MemcheckRuntime::new(ErrorMode::Abort).with_input(input);
-        let mut emu = Emu::load_image(img, rt);
+        let mut emu = Emu::load_image(img, rt).expect("loads");
         emu.cost = MemcheckRuntime::cost_model();
         let r = emu.run(1_000_000);
         (r, emu.runtime.errors.clone())
@@ -391,10 +391,10 @@ mod tests {
             sys(a, syscalls::EXIT);
         });
         // Native run.
-        let mut native = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort));
+        let mut native = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort)).expect("loads");
         let _ = native.run(1000);
         // Memcheck run.
-        let mut mc = Emu::load_image(&img, MemcheckRuntime::new(ErrorMode::Abort));
+        let mut mc = Emu::load_image(&img, MemcheckRuntime::new(ErrorMode::Abort)).expect("loads");
         mc.cost = MemcheckRuntime::cost_model();
         let _ = mc.run(1000);
         assert!(mc.counters.cycles > native.counters.cycles);
@@ -415,7 +415,7 @@ mod tests {
             sys(a, syscalls::EXIT);
         });
         let rt = MemcheckRuntime::new(ErrorMode::Abort);
-        let mut emu = Emu::load_image(&img, rt);
+        let mut emu = Emu::load_image(&img, rt).expect("loads");
         assert_eq!(emu.run(10_000), RunResult::Exited(0));
         let leaks = emu.runtime.leaked();
         assert_eq!(leaks.len(), 1);

@@ -7,7 +7,7 @@ use redfat_minic::compile;
 fn run(src: &str, input: Vec<i64>) -> (i64, Vec<i64>, Vec<u8>) {
     let image = compile(src).expect("compiles");
     let rt = HostRuntime::new(ErrorMode::Abort).with_input(input);
-    let mut emu = Emu::load_image(&image, rt);
+    let mut emu = Emu::load_image(&image, rt).expect("loads");
     match emu.run(50_000_000) {
         RunResult::Exited(code) => (
             code,
@@ -274,7 +274,7 @@ fn stripped_binary_still_runs() {
     let bytes = image.to_bytes();
     let image = redfat_elf::Image::parse(&bytes).unwrap();
     let rt = HostRuntime::new(ErrorMode::Abort);
-    let mut emu = Emu::load_image(&image, rt);
+    let mut emu = Emu::load_image(&image, rt).expect("loads");
     assert_eq!(emu.run(100_000), RunResult::Exited(0));
     assert_eq!(emu.runtime.io.out_ints, vec![1]);
 }

@@ -61,13 +61,19 @@ pub struct RewriteStats {
     pub displaced: usize,
     /// Bytes of trampoline code emitted.
     pub trampoline_bytes: usize,
+    /// Patch sites skipped because their anchor (or a displaced group
+    /// member) does not decode -- the opportunistic-hardening fallback
+    /// for corrupt or undecodable code. Zero on well-formed inputs.
+    pub skipped_sites: usize,
 }
 
 /// A rewrite failure.
+///
+/// Undecodable anchors are *not* an error: they degrade to
+/// skip-site-and-record (see [`RewriteStats::skipped_sites`]), matching
+/// the paper's opportunistic-hardening model.
 #[derive(Debug)]
 pub enum RewriteError {
-    /// A patch anchor does not decode to an instruction.
-    BadAnchor(u64),
     /// Trampoline assembly failed.
     Asm(AsmError),
     /// Patch anchors were not strictly increasing / unique.
@@ -79,7 +85,6 @@ pub enum RewriteError {
 impl std::fmt::Display for RewriteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RewriteError::BadAnchor(a) => write!(f, "patch anchor {a:#x} is not an instruction"),
             RewriteError::Asm(e) => write!(f, "trampoline assembly failed: {e}"),
             RewriteError::UnorderedPatches(a) => {
                 write!(f, "patch anchors must be unique and sorted (at {a:#x})")
@@ -169,10 +174,24 @@ pub fn rewrite_with_bases(
     for (i, patch) in patches.iter_mut().enumerate() {
         let anchor = patch.anchor;
         let next_anchor = anchors.get(i + 1).copied();
-        let (_, _) = *disasm.at(anchor).ok_or(RewriteError::BadAnchor(anchor))?;
+        // Opportunistic degradation: an anchor that does not decode
+        // (possible only for corrupt or adversarial code bytes) cannot
+        // be patched. The site is skipped and recorded instead of
+        // failing the whole rewrite.
+        let Some(&(anchor_inst, anchor_len)) = disasm.at(anchor) else {
+            stats.skipped_sites += 1;
+            continue;
+        };
 
-        // Select the displaced group.
-        let group = select_group(disasm, cfg, anchor, next_anchor);
+        // Select and decode the displaced group *before* emitting any
+        // trampoline bytes, so a member that fails to resolve degrades
+        // to a clean skip rather than leaving a half-built trampoline.
+        let group = select_group(disasm, cfg, anchor, next_anchor).and_then(|members| {
+            members
+                .iter()
+                .map(|&addr| disasm.at(addr).map(|&(inst, len)| (inst, len)))
+                .collect::<Option<Vec<(Inst, u8)>>>()
+        });
 
         let tramp_start = tramp.here();
         (patch.payload)(&mut tramp)?;
@@ -183,8 +202,7 @@ pub fn rewrite_with_bases(
                 // trampoline, then jump back.
                 let mut group_len = 0u64;
                 let mut terminal = false;
-                for &addr in &members {
-                    let (inst, len) = *disasm.at(addr).expect("group member decodes");
+                for &(inst, len) in &members {
                     group_len += len as u64;
                     tramp.emit(reencode_check(inst))?;
                     stats.displaced += 1;
@@ -220,11 +238,10 @@ pub fn rewrite_with_bases(
             None => {
                 // T-trap: int3 at the anchor's first byte; the displaced
                 // instruction is just the anchor.
-                let (inst, len) = *disasm.at(anchor).expect("anchor decodes");
-                tramp.emit(reencode_check(inst))?;
+                tramp.emit(reencode_check(anchor_inst))?;
                 stats.displaced += 1;
-                if !always_transfers(&inst) {
-                    tramp.jmp_abs(anchor + len as u64)?;
+                if !always_transfers(&anchor_inst) {
+                    tramp.jmp_abs(anchor + anchor_len as u64)?;
                 }
                 if !out.write_bytes(anchor, &[0xCC]) {
                     return Err(RewriteError::PatchWrite(anchor));
@@ -480,8 +497,12 @@ mod tests {
 
         // Both images compute the same address at runtime.
         use redfat_emu::{Emu, ErrorMode, HostRuntime};
-        let base = Emu::load_image(&img, HostRuntime::new(ErrorMode::Log)).run(10_000);
-        let hard = Emu::load_image(&out.image, HostRuntime::new(ErrorMode::Log)).run(10_000);
+        let base = Emu::load_image(&img, HostRuntime::new(ErrorMode::Log))
+            .expect("loads")
+            .run(10_000);
+        let hard = Emu::load_image(&out.image, HostRuntime::new(ErrorMode::Log))
+            .expect("loads")
+            .run(10_000);
         assert_eq!(base.expect_exit(), target as i64);
         assert_eq!(hard.expect_exit(), target as i64);
     }
@@ -515,11 +536,14 @@ mod tests {
     }
 
     #[test]
-    fn bad_anchor_rejected() {
+    fn bad_anchor_skipped_and_recorded() {
+        // An anchor that does not decode degrades to skip-and-record:
+        // the rewrite succeeds, the site is counted, and the image is
+        // byte-identical to the input (no patch, no trampoline).
         let img = build_image(|a| a.ret());
         let d = disassemble(&img);
         let cfg = Cfg::recover(&d, img.entry, &[]);
-        let err = rewrite(
+        let out = rewrite(
             &img,
             &d,
             &cfg,
@@ -527,7 +551,11 @@ mod tests {
                 anchor: 0x12345,
                 payload: no_payload(),
             }],
-        );
-        assert!(matches!(err, Err(RewriteError::BadAnchor(0x12345))));
+        )
+        .unwrap();
+        assert_eq!(out.stats.skipped_sites, 1);
+        assert_eq!(out.stats.jmp_patches, 0);
+        assert_eq!(out.stats.trap_patches, 0);
+        assert_eq!(out.image, img);
     }
 }

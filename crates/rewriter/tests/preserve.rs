@@ -75,7 +75,7 @@ fn demo_program(a: &mut Asm) {
 }
 
 fn run(image: &Image) -> (RunResult, Vec<i64>, u64) {
-    let mut emu = Emu::load_image(image, HostRuntime::new(ErrorMode::Abort));
+    let mut emu = Emu::load_image(image, HostRuntime::new(ErrorMode::Abort)).expect("loads");
     let result = emu.run(1_000_000);
     let ints = emu.runtime.io.out_ints.clone();
     (result, ints, emu.counters.cycles)
@@ -238,7 +238,7 @@ fn payload_executes_before_displaced_instruction() {
         }],
     )
     .unwrap();
-    let mut emu = Emu::load_image(&out.image, HostRuntime::new(ErrorMode::Abort));
+    let mut emu = Emu::load_image(&out.image, HostRuntime::new(ErrorMode::Abort)).expect("loads");
     let r = emu.run(10_000);
     assert_eq!(r, RunResult::Exited(0));
     assert_eq!(emu.vm.read_u64(layout::GLOBALS_BASE).unwrap(), 0x77);

@@ -47,7 +47,8 @@ fn identity_rewrite_preserves_random_programs() {
     for case in 0..64 {
         let src = random_program(&mut r);
         let image = compile(&src).expect("compiles");
-        let mut base_emu = Emu::load_image(&image, HostRuntime::new(ErrorMode::Abort));
+        let mut base_emu =
+            Emu::load_image(&image, HostRuntime::new(ErrorMode::Abort)).expect("loads");
         let base = base_emu.run(20_000_000);
         assert_eq!(base, RunResult::Exited(0), "case {case}");
         let base_out = base_emu.runtime.io.out_ints.clone();
@@ -68,7 +69,8 @@ fn identity_rewrite_preserves_random_programs() {
         let out = rewrite(&image, &d, &cfg, patches).expect("rewrites");
         assert!(n_patches > 0, "case {case}: programs always touch the heap");
 
-        let mut emu = Emu::load_image(&out.image, HostRuntime::new(ErrorMode::Abort));
+        let mut emu =
+            Emu::load_image(&out.image, HostRuntime::new(ErrorMode::Abort)).expect("loads");
         let result = emu.run(40_000_000);
         assert_eq!(result, RunResult::Exited(0), "case {case}");
         assert_eq!(emu.runtime.io.out_ints, base_out, "case {case}");

@@ -111,7 +111,7 @@ mod tests {
         let img = build().image();
         for input in [vec![0, 1], vec![1, 1], vec![14, 1]] {
             let rt = HostRuntime::new(ErrorMode::Abort).with_input(input.clone());
-            let mut emu = Emu::load_image(&img, rt);
+            let mut emu = Emu::load_image(&img, rt).expect("loads");
             let r = emu.run(200_000_000);
             assert_eq!(r, RunResult::Exited(0), "input {input:?}");
             assert_eq!(emu.runtime.io.out_ints.len(), 1);

@@ -92,7 +92,7 @@ fn eliminated_sites_never_touch_the_heap() {
                 eliminated: eliminated.clone(),
                 violations: Vec::new(),
             };
-            let mut emu = Emu::load_image(&image, rt);
+            let mut emu = Emu::load_image(&image, rt).expect("loads");
             let r = emu.run(4_000_000_000);
             assert!(
                 matches!(r, RunResult::Exited(_)),

@@ -7,7 +7,7 @@ use redfat_workloads::spec;
 fn run_baseline(wl: &redfat_workloads::Workload, input: &[i64]) -> (RunResult, Vec<i64>, u64) {
     let image = wl.image();
     let rt = HostRuntime::new(ErrorMode::Log).with_input(input.to_vec());
-    let mut emu = Emu::load_image(&image, rt);
+    let mut emu = Emu::load_image(&image, rt).expect("loads");
     let r = emu.run(400_000_000);
     (
         r,

@@ -57,7 +57,7 @@ fn run(main_img: &Image, lib_img: &Image, idx: i64, who: i64) -> RunResult {
         .expect("library exports lib_store")
         .value;
     let rt = HostRuntime::new(ErrorMode::Abort).with_input(vec![lib_fn as i64, idx, who]);
-    let mut emu = Emu::load_images(&[main_img, lib_img], rt);
+    let mut emu = Emu::load_images(&[main_img, lib_img], rt).expect("loads");
     emu.run(10_000_000)
 }
 

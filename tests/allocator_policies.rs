@@ -36,7 +36,7 @@ fn run_uaf(quarantine: usize, churn: i64) -> RunResult {
         },
     )
     .with_input(vec![churn]);
-    let mut emu = Emu::load_image(&hardened.image, rt);
+    let mut emu = Emu::load_image(&hardened.image, rt).expect("loads");
     emu.run(10_000_000)
 }
 
@@ -89,7 +89,7 @@ fn randomization_varies_heap_layout_not_behavior() {
                 ..LowFatConfig::default()
             },
         );
-        let mut emu = Emu::load_image(&image, rt);
+        let mut emu = Emu::load_image(&image, rt).expect("loads");
         assert_eq!(emu.run(10_000_000), RunResult::Exited(0));
         let out = &emu.runtime.io.out_ints;
         assert_eq!(out[0], 16, "program semantics unchanged");

@@ -156,7 +156,7 @@ fn metadata_hardening_catches_foreign_corruption() {
     // -- here we simply run the whole program against a pre-corrupted
     // heap by replaying: load, corrupt first object's metadata, run.
     let runtime = redfat::emu::HostRuntime::new(ErrorMode::Abort).with_input(vec![2]);
-    let mut emu = redfat::emu::Emu::load_image(&hardened.image, runtime);
+    let mut emu = redfat::emu::Emu::load_image(&hardened.image, runtime).expect("loads");
     // Execute until the first malloc has happened (watch out_ints? no:
     // step until a heap object exists).
     let mut corrupted = false;
@@ -202,7 +202,7 @@ fn minus_size_accepts_what_metadata_hardening_rejects() {
     .unwrap();
     let hardened = harden(&image, &HardenConfig::minus_size(LowFatPolicy::All)).unwrap();
     let runtime = redfat::emu::HostRuntime::new(ErrorMode::Abort).with_input(vec![2]);
-    let mut emu = redfat::emu::Emu::load_image(&hardened.image, runtime);
+    let mut emu = redfat::emu::Emu::load_image(&hardened.image, runtime).expect("loads");
     let mut corrupted = false;
     let result = loop {
         match emu.step() {

@@ -45,7 +45,7 @@ fn run(main_img: &Image, lib_img: &Image, idx: i64, who: i64) -> (RunResult, Vec
     let store_fn = lib_img.symbol("lib_store").unwrap().value as i64;
     let sum_fn = lib_img.symbol("lib_sum").unwrap().value as i64;
     let rt = HostRuntime::new(ErrorMode::Abort).with_input(vec![store_fn, sum_fn, idx, who]);
-    let mut emu = Emu::load_images(&[main_img, lib_img], rt);
+    let mut emu = Emu::load_images(&[main_img, lib_img], rt).expect("loads");
     let r = emu.run(10_000_000);
     (r, emu.runtime.io.out_ints.clone())
 }
