@@ -3,6 +3,7 @@
 use crate::disasm::Disasm;
 use redfat_x86::Op;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Upper bound on instructions per recovered block (defensive cap).
 pub const MAX_BLOCK: usize = 4096;
@@ -30,8 +31,16 @@ pub struct Cfg {
     /// Every address that is (conservatively) a potential jump/call
     /// target. Instructions at these addresses must stay addressable:
     /// the rewriter may not displace them as the *interior* of a
-    /// multi-instruction patch.
-    pub leaders: BTreeSet<u64>,
+    /// multi-instruction patch. Shared (not copied) across the sub-CFGs
+    /// that [`Cfg::components`] produces, so leader queries stay global
+    /// and splitting a large image stays cheap.
+    pub leaders: Arc<BTreeSet<u64>>,
+    /// Recovered function entry points: the image entry plus every
+    /// direct `call` target. A direct `jmp` to one of these is a tail
+    /// call — control transfers to another function and returns to
+    /// *this* function's caller — so it carries no successor edge.
+    /// Shared across sub-CFGs like `leaders`.
+    pub func_entries: Arc<BTreeSet<u64>>,
 }
 
 impl Cfg {
@@ -96,7 +105,8 @@ impl Cfg {
                     .iter()
                     .map(|m| (*m, self.blocks[m].clone()))
                     .collect(),
-                leaders: self.leaders.clone(),
+                leaders: Arc::clone(&self.leaders),
+                func_entries: Arc::clone(&self.func_entries),
             });
         }
         out
@@ -111,11 +121,16 @@ impl Cfg {
         let mut leaders: BTreeSet<u64> = BTreeSet::new();
         leaders.insert(entry);
         leaders.extend(extra_leaders.iter().copied());
+        let mut func_entries: BTreeSet<u64> = BTreeSet::new();
+        func_entries.insert(entry);
 
-        // Pass 1: collect leaders.
+        // Pass 1: collect leaders and function entries.
         for (addr, inst, len) in disasm.iter() {
             if let Some(t) = inst.branch_target() {
                 leaders.insert(t);
+                if inst.op == Op::Call {
+                    func_entries.insert(t);
+                }
             }
             let next = addr + len as u64;
             match inst.op {
@@ -165,8 +180,17 @@ impl Cfg {
                 let next = addr + *len as u64;
                 match inst.op {
                     Op::Jmp => {
-                        if let Some(t) = inst.branch_target() {
-                            succs.push(t);
+                        match inst.branch_target() {
+                            // A direct jump to another function's entry is
+                            // a tail call: control leaves this function and
+                            // the callee's `ret` returns to *our* caller.
+                            // No intra-function successor edge; the exit is
+                            // opaque exactly like a `ret`.
+                            Some(t) if func_entries.contains(&t) && t != leader => {
+                                opaque = true;
+                            }
+                            Some(t) => succs.push(t),
+                            None => {}
                         }
                         break;
                     }
@@ -219,7 +243,11 @@ impl Cfg {
             );
         }
 
-        Cfg { blocks, leaders }
+        Cfg {
+            blocks,
+            leaders: Arc::new(leaders),
+            func_entries: Arc::new(func_entries),
+        }
     }
 }
 
@@ -307,6 +335,57 @@ mod tests {
         // The nop after the call starts a block.
         assert_eq!(first.insts.len(), 1);
         assert!(cfg.is_leader(first.succs[0]));
+    }
+
+    #[test]
+    fn tail_call_jmp_to_function_entry_has_no_succ_edge() {
+        // entry: call f; ret;  g: jmp f (tail call);  f: ret
+        let (img, entry) = build(|a| {
+            let f = a.label();
+            a.call_label(f);
+            a.ret();
+            // g — reachable only as an extra leader, tail-calls f.
+            a.jmp_label(f);
+            a.bind(f).unwrap();
+            a.ret();
+        });
+        let d = disassemble(&img);
+        // The jmp sits right after the entry block's ret.
+        let g = d.next_addr(d.next_addr(entry).unwrap()).unwrap();
+        let cfg = Cfg::recover(&d, entry, &[g]);
+        let gb = &cfg.blocks[&g];
+        assert!(
+            gb.succs.is_empty(),
+            "tail-call jmp must not create an intra-function edge, got {:?}",
+            gb.succs
+        );
+        assert!(gb.opaque_exit, "tail call exits like a ret");
+        assert_eq!(gb.insts.len(), 1);
+        // f is a recovered function entry (direct call target).
+        let f = d.at(entry).unwrap().0.branch_target().unwrap();
+        assert!(cfg.func_entries.contains(&entry));
+        assert!(cfg.func_entries.contains(&f));
+        // The tail-calling block and its target land in different
+        // weakly-connected components.
+        let comps = cfg.components();
+        let of = |addr: u64| comps.iter().position(|c| c.blocks.contains_key(&addr));
+        assert_ne!(of(g), of(f), "g and f split into components");
+    }
+
+    #[test]
+    fn jmp_to_non_entry_is_still_a_branch() {
+        let (img, entry) = build(|a| {
+            let l = a.label();
+            a.jmp_label(l);
+            a.nop();
+            a.bind(l).unwrap();
+            a.ret();
+        });
+        let d = disassemble(&img);
+        let cfg = Cfg::recover(&d, entry, &[]);
+        let b = &cfg.blocks[&entry];
+        assert_eq!(b.succs.len(), 1, "plain jmp keeps its edge");
+        assert!(!b.opaque_exit);
     }
 
     #[test]

@@ -63,7 +63,9 @@ commands:
                                        coverage-guided profiling (E9AFL-style)
   run     <in.elf> [--input v,v,..] [--log] [--memcheck] [--max-steps N]
   disasm  <in.elf>                     linear disassembly of code segments
-  analyze <in.elf>                     per-site static analysis report
+  analyze <in.elf> [--interproc]       per-site static analysis report
+  analyze <in.elf> --callgraph         call graph + function summaries
+                                       (text report followed by Graphviz DOT)
   stats   <in.elf>                     image and instrumentation-plan statistics
   selftest [--quick] [--superblock]    differential self-test: lockstep oracle,
                                        round-trip fuzzer, allocator invariants;
@@ -87,6 +89,7 @@ harden options:
   --no-elim | --no-batch | --no-merge  disable an optimization (Table 1)
   --no-flow                 disable flow-sensitive provenance elimination
   --no-redundant            disable dominator-based redundant-check elimination
+  --interproc               enable interprocedural call summaries (+interproc)
   --strip                   strip symbols before hardening";
 
 struct Args {
@@ -219,6 +222,17 @@ fn harden_config(args: &Args) -> Result<HardenConfig, CliError> {
     if args.has("--lowfat-only") {
         cfg.lowfat_only = true;
     }
+    // Interprocedural summaries ride on the flow pass; requesting them
+    // alongside --no-flow/--no-elim is a contradiction worth rejecting
+    // rather than silently ignoring.
+    if args.has("--interproc") {
+        if !cfg.elim_flow {
+            return Err(err(
+                "--interproc requires the flow pass (drop --no-flow/--no-elim)",
+            ));
+        }
+        cfg.interproc = true;
+    }
     Ok(cfg)
 }
 
@@ -258,13 +272,14 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
             writeln!(
                 out,
                 "hardened {input}: {} sites ({} full, {} redzone-only, {} eliminated, \
-                 {} flow-eliminated, {} redundant), \
+                 {} flow-eliminated, {} interproc-eliminated, {} redundant), \
                  {} trampolines ({} jmp, {} int3), {} trampoline bytes",
                 s.sites_considered,
                 s.sites_lowfat,
                 s.sites_redzone,
                 s.sites_eliminated,
                 s.sites_eliminated_flow,
+                s.sites_eliminated_interproc,
                 s.sites_redundant,
                 s.batches,
                 s.rewrite.jmp_patches,
@@ -414,8 +429,22 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 return Err(err("analyze needs exactly one binary"));
             };
             let image = load_image(input)?;
-            let report = redfat_analysis::analyze_image_threaded(&image, args.threads()?);
-            out.push_str(&redfat_analysis::report::render(&report));
+            if args.has("--callgraph") {
+                let d = redfat_analysis::disassemble(&image);
+                let cfg = redfat_analysis::Cfg::recover(&d, image.entry, &[]);
+                let roots = redfat_analysis::unknown_entries(&d, &cfg, image.entry);
+                let sums = redfat_analysis::Summaries::compute(&d, &cfg, &roots);
+                out.push_str(&redfat_analysis::render_callgraph(&sums));
+                out.push('\n');
+                out.push_str(&redfat_analysis::render_callgraph_dot(&sums));
+            } else {
+                let opts = redfat_analysis::AnalyzeOptions {
+                    threads: args.threads()?,
+                    interproc: args.has("--interproc"),
+                };
+                let report = redfat_analysis::analyze_image_opts(&image, opts);
+                out.push_str(&redfat_analysis::report::render(&report));
+            }
         }
         "stats" => {
             let [input] = &args.positional[..] else {
@@ -554,7 +583,10 @@ fn run_selftest(
 
     // Lockstep oracle over the SPEC stand-ins.
     let max_steps: u64 = if quick { 50_000_000 } else { 400_000_000 };
-    let config = HardenConfig::default();
+    // Run the oracle against the most aggressive elimination tier so the
+    // interprocedural summaries are exercised differentially, not just by
+    // unit tests.
+    let config = HardenConfig::with_interproc(LowFatPolicy::All);
     for w in redfat_workloads::spec::all() {
         let image = w.image();
         let input = if quick {

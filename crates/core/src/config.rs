@@ -37,6 +37,12 @@ pub struct HardenConfig {
     /// subsumed by an identical dominating check is downgraded to
     /// redzone-only. Requires `elim_flow`.
     pub elim_redundant: bool,
+    /// Interprocedural summaries: per-function call effects (at-return
+    /// register facts, may-write masks, heap purity) threaded into the
+    /// flow and redundant passes at direct call sites. Off by default;
+    /// when disabled the hardened output is byte-identical to the
+    /// intraprocedural pipeline. Requires `elim_flow`.
+    pub interproc: bool,
     /// Metadata hardening (§4.2): validate `SIZE` against the immutable
     /// class size. Disabled by the `-size` column.
     pub size_harden: bool,
@@ -62,6 +68,7 @@ impl HardenConfig {
             merge: false,
             elim_flow: false,
             elim_redundant: false,
+            interproc: false,
             size_harden: true,
             instrument_reads: true,
             lowfat,
@@ -108,6 +115,15 @@ impl HardenConfig {
         HardenConfig {
             elim_redundant: true,
             ..HardenConfig::with_flow(lowfat)
+        }
+    }
+
+    /// Table 1 "+interproc": interprocedural call summaries on top of
+    /// "+redund".
+    pub fn with_interproc(lowfat: LowFatPolicy) -> HardenConfig {
+        HardenConfig {
+            interproc: true,
+            ..HardenConfig::with_redundant(lowfat)
         }
     }
 
@@ -168,9 +184,15 @@ mod tests {
         assert!(f.merge && f.elim_flow && !f.elim_redundant);
         let d = HardenConfig::with_redundant(LowFatPolicy::All);
         assert!(d.elim_flow && d.elim_redundant && d.size_harden);
+        assert!(!d.interproc, "interproc is off throughout the base ladder");
+        let i = HardenConfig::with_interproc(LowFatPolicy::All);
+        assert!(i.elim_flow && i.elim_redundant && i.interproc);
         let s = HardenConfig::minus_size(LowFatPolicy::All);
-        assert!(!s.size_harden && s.instrument_reads && s.elim_redundant);
+        assert!(!s.size_harden && s.instrument_reads && s.elim_redundant && !s.interproc);
         let r = HardenConfig::minus_reads(LowFatPolicy::All);
         assert!(!r.size_harden && !r.instrument_reads);
+        // The default stays the intraprocedural pipeline: off-by-default
+        // contract for byte-identical output.
+        assert!(!HardenConfig::default().interproc);
     }
 }

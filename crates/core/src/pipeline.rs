@@ -4,8 +4,9 @@
 use crate::allowlist::AllowList;
 use crate::checks::{BatchPayload, CheckSpec, PayloadMode};
 use crate::config::{HardenConfig, LowFatPolicy};
+use redfat_analysis::provenance::CallEffect;
 use redfat_analysis::{can_reach_heap, unknown_entries, Disasm, Provenance, RedundantChecks};
-use redfat_analysis::{disassemble, merge_checks, plan_batches, Batch, Cfg, Liveness};
+use redfat_analysis::{disassemble, merge_checks, plan_batches, Batch, Cfg, Liveness, Summaries};
 use redfat_elf::Image;
 use redfat_emu::ProfileStats;
 use redfat_parallel::parallel_map;
@@ -48,6 +49,11 @@ pub struct HardenStats {
     /// (kept by the syntactic rule, proven non-heap by the interval
     /// analysis).
     pub sites_eliminated_flow: usize,
+    /// Sites eliminated only with interprocedural call summaries
+    /// applied: the intraprocedural provenance keeps them, the
+    /// summary-augmented one proves them non-heap. Zero unless
+    /// [`HardenConfig::interproc`] is set.
+    pub sites_eliminated_interproc: usize,
     /// Full-check sites downgraded to redzone-only because a dominating
     /// identical check subsumes them. Counts materialized downgrades
     /// only: a merged check is downgraded iff every site it covers is
@@ -167,6 +173,7 @@ pub fn instrument_profile(image: &Image) -> Result<Hardened, HardenError> {
         merge: false,
         elim_flow: false, // profile counters must cover every site
         elim_redundant: false,
+        interproc: false,
         size_harden: true,
         instrument_reads: true,
         lowfat: LowFatPolicy::All,
@@ -206,9 +213,15 @@ enum SiteClass {
     ElimSyntactic,
     /// Additionally eliminated by flow-sensitive provenance.
     ElimFlow,
+    /// Eliminated only with interprocedural call summaries applied.
+    ElimInterproc,
     /// Receives instrumentation.
     Instrument,
 }
+
+/// The precomputed interprocedural tables handed to every shard:
+/// per-call-site effects and per-function pure-write masks.
+type SummaryTables = (HashMap<u64, CallEffect>, HashMap<u64, u16>);
 
 /// The per-shard output of the analysis + planning stages: everything
 /// the serial rewrite needs, in a form that merges deterministically.
@@ -234,12 +247,29 @@ fn instrument(
     let need_roots = config.elim_flow || (config.elim_redundant && mode == PayloadMode::Harden);
     let roots = need_roots.then(|| unknown_entries(&disasm, &cfg, image.entry));
 
+    // Interprocedural summaries are a whole-image fixpoint (call edges
+    // cross component boundaries by construction), so they are computed
+    // once here -- serially, for determinism -- and handed to every
+    // shard. With the knob off, shards behave exactly as before.
+    let summaries: Option<SummaryTables> = (config.interproc && config.elim_flow && need_roots)
+        .then(|| {
+            let sums = Summaries::compute(&disasm, &cfg, roots.as_ref().expect("roots computed"));
+            (sums.call_effects(), sums.pure_write_masks())
+        });
+
     // Shard along weakly-connected CFG components (≈ functions): no
     // edge crosses a shard, so every per-shard analysis result is the
     // exact restriction of its whole-image counterpart, and the shard
     // granularity -- not the thread count -- determines the output.
     let shards = parallel_map(cfg.components(), threads, |sub| {
-        instrument_shard(&disasm, sub, config, mode, roots.as_ref())
+        instrument_shard(
+            &disasm,
+            sub,
+            config,
+            mode,
+            roots.as_ref(),
+            summaries.as_ref(),
+        )
     });
 
     // Deterministic merge: shards arrive in component order; anchors
@@ -251,6 +281,7 @@ fn instrument(
         stats.sites_considered += shard.stats.sites_considered;
         stats.sites_eliminated += shard.stats.sites_eliminated;
         stats.sites_eliminated_flow += shard.stats.sites_eliminated_flow;
+        stats.sites_eliminated_interproc += shard.stats.sites_eliminated_interproc;
         stats.sites_redundant += shard.stats.sites_redundant;
         stats.sites_lowfat += shard.stats.sites_lowfat;
         stats.sites_redzone += shard.stats.sites_redzone;
@@ -308,13 +339,28 @@ fn instrument_shard(
     config: &HardenConfig,
     mode: PayloadMode,
     roots: Option<&BTreeSet<u64>>,
+    summaries: Option<&SummaryTables>,
 ) -> ShardPlan {
     let liveness = Liveness::compute(disasm, cfg);
     let mut stats = HardenStats::default();
 
-    // Flow-sensitive provenance (when enabled).
-    let prov = config
-        .elim_flow
+    // Flow-sensitive provenance (when enabled), with callee effects
+    // applied at direct call sites when interprocedural summaries are
+    // on.
+    let prov = config.elim_flow.then(|| {
+        let roots = roots.expect("roots precomputed");
+        match summaries {
+            Some((effects, _)) => {
+                Provenance::compute_with_roots_and_effects(disasm, cfg, roots, effects.clone())
+            }
+            None => Provenance::compute_with_roots(disasm, cfg, roots),
+        }
+    });
+    // The plain (summary-free) provenance, used only to attribute an
+    // elimination to the interprocedural tier in the statistics. The
+    // summary-augmented analysis eliminates a superset of the plain
+    // one's sites, so the filter itself only consults `prov`.
+    let prov_base = (config.elim_flow && summaries.is_some())
         .then(|| Provenance::compute_with_roots(disasm, cfg, roots.expect("roots precomputed")));
 
     // The shared classification: read/write policy + (optionally)
@@ -331,7 +377,12 @@ fn instrument_shard(
         }
         if let Some(p) = &prov {
             if !p.site_can_reach_heap(disasm, cfg, addr, inst) {
-                return SiteClass::ElimFlow;
+                return match &prov_base {
+                    Some(base) if base.site_can_reach_heap(disasm, cfg, addr, inst) => {
+                        SiteClass::ElimInterproc
+                    }
+                    _ => SiteClass::ElimFlow,
+                };
             }
         }
         SiteClass::Instrument
@@ -351,11 +402,13 @@ fn instrument_shard(
     // predicate must be exactly "this site carries a full check", i.e.
     // the pipeline filter composed with the policy.
     let redundant = if config.elim_redundant && mode == PayloadMode::Harden {
-        Some(RedundantChecks::compute_with_roots(
+        let pure_masks = summaries.map(|(_, m)| m.clone()).unwrap_or_default();
+        Some(RedundantChecks::compute_with_roots_and_masks(
             disasm,
             cfg,
             roots.expect("roots precomputed"),
             |a, i| filter(a, i) && allowed(a),
+            pure_masks,
         ))
     } else {
         None
@@ -384,6 +437,7 @@ fn instrument_shard(
                 SiteClass::NotSite => continue,
                 SiteClass::ElimSyntactic => stats.sites_eliminated += 1,
                 SiteClass::ElimFlow => stats.sites_eliminated_flow += 1,
+                SiteClass::ElimInterproc => stats.sites_eliminated_interproc += 1,
                 SiteClass::Instrument => {}
             }
             stats.sites_considered += 1;

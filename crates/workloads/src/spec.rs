@@ -56,6 +56,16 @@ fn perlbench() -> Workload {
         "{PRELUDE}
 global chk;
 global opstat[4];
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn hash_bytes(key, len) {{
     var h = 5381;
     for (var i = 0; i < len; i = i + 1) {{
@@ -102,6 +112,9 @@ fn main() {{
         var st = &opstat;
         st[0] = st[0] + 1;
         st[1] = st[1] + klen;
+        // Key-length histogram: the bucket index flows out of a call, so
+        // only an interprocedural return-range summary bounds it.
+        cbump(h + klen);
         step = step + 1;
     }}
     var st2 = &opstat;
@@ -125,6 +138,16 @@ fn opcount(k) {{
     st[0] = st[0] + 1;
     st[1] = st[1] + k;
     return st[0] + st[1];
+}}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
 }}
 fn main() {{
     var n = input();
@@ -158,6 +181,7 @@ fn main() {{
         store8(out, o + 1, run);
         o = o + 2;
         opcount(run);
+        cbump(r + run);
         i = i + run;
     }}
     // Checksum of the encoding.
@@ -212,6 +236,16 @@ fn build(depth) {{
     node[3] = 0;
     return node;
 }}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn main() {{
     var n = input();
     srnd(4003);
@@ -225,6 +259,7 @@ fn main() {{
         chk = (chk + fold(tree)) & 0xffffffff;
 {anti}
         opcount(step);
+        cbump(chk);
         step = step + 1;
     }}
     print(opcount(0));
@@ -249,6 +284,16 @@ fn opcount(k) {{
     st[1] = st[1] + k;
     return st[0] + st[1];
 }}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn main() {{
     var n = input();
     srnd(429);
@@ -271,6 +316,7 @@ fn main() {{
             var node = g + i * 64;
             var d = node[0];
             opcount(d);
+            cbump(d);
             if (d < 0x3fffffff) {{
                 var deg = node[1];
                 for (var e = 0; e < deg; e = e + 1) {{
@@ -314,6 +360,16 @@ fn liberties(board, pos) {{
     if (board[pos + 21] == 0) {{ libs = libs + 1; }}
     return libs;
 }}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn main() {{
     var n = input();
     srnd(445);
@@ -335,6 +391,7 @@ fn main() {{
         var pos = 22 + (rnd() % 19) * 21 + (rnd() % 19);
         var color = 1 + (mv % 2);
         opcount(pos);
+        cbump(pos);
         if (board[pos] == 0) {{
             board[pos] = color;
             var l = liberties(board, pos);
@@ -409,6 +466,16 @@ fn score2(seq, slen, hmm, m) {{
     free(vit);
     return best;
 }}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn main() {{
     var n = input();
     var mode = input();
@@ -426,6 +493,7 @@ fn main() {{
             chk = chk + score2(seq, slen, hmm, m);
         }}
         opcount(slen);
+        cbump(chk);
     }}
     print(opcount(0));
     print(chk & 0xffffffff);
@@ -466,6 +534,16 @@ fn negamax(board, depth, color) {{
     }}
     return best;
 }}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn main() {{
     var n = input();
     srnd(458);
@@ -476,6 +554,7 @@ fn main() {{
         for (var i = 0; i < 16; i = i + 1) {{ board[i] = rnd() % 3; }}
         chk = chk + negamax(board, 4, 1);
         opcount(g);
+        cbump(chk);
     }}
     print(chk & 0xffffffff);
     print(nodes);
@@ -498,6 +577,16 @@ fn opcount(k) {{
     st[1] = st[1] + k;
     return st[0] + st[1];
 }}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn main() {{
     var n = input();
     srnd(462);
@@ -513,6 +602,7 @@ fn main() {{
         var target = it % qubits;
         var mask = 1 << target;
         opcount(mask);
+        cbump(mask);
         // \"Hadamard-ish\" butterfly on integer amplitudes.
         for (var i = 0; i < states; i = i + 1) {{
             if ((i & mask) == 0) {{
@@ -600,6 +690,16 @@ fn deblock(frame, w, bx, by) {{
     }}
     return s;
 }}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn main() {{
     var n = input();
     var mode = input();
@@ -625,6 +725,7 @@ fn main() {{
         }}
         chk = chk + best;
         opcount(best);
+        cbump(best);
         if (mode > 0) {{
             chk = chk + halfpel(frame, refframe, width, bx, by);
             chk = chk + quarterpel(frame, refframe, width, bx, by);
@@ -716,6 +817,16 @@ fn opcount(k) {{
     st[1] = st[1] + k;
     return st[0] + st[1];
 }}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn main() {{
     var n = input();
     srnd(473);
@@ -738,6 +849,7 @@ fn main() {{
             var cur = queue[head];
             head = head + 1;
             opcount(cur);
+            cbump(cur);
             var d = dist[cur];
             var x = cur % dim;
             var y = cur / dim;
@@ -829,6 +941,16 @@ fn opcount(k) {{
     st[1] = st[1] + k;
     return st[0] + st[1];
 }}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn main() {{
     var n = input();
     srnd(433);
@@ -842,6 +964,7 @@ fn main() {{
             // m = field[s] * field[e] + field[south] (2x2 integer),
             // through element pointers.
             opcount(s);
+            cbump(s);
             var ap = field + s * 32;
             var bp = field + ((s + 1) % sites) * 32;
             var sp = field + ((s + dim) % sites) * 32;
@@ -924,6 +1047,16 @@ fn opcount(k) {{
     st[1] = st[1] + k;
     return st[0] + st[1];
 }}
+global cstat[8];
+fn classify(x) {{
+    return x & 7;
+}}
+fn cbump(x) {{
+    var ci = classify(x);
+    var cst = &cstat;
+    cst[ci] = cst[ci] + 1;
+    return 0;
+}}
 fn main() {{
     var n = input();
     srnd(482);
@@ -952,6 +1085,7 @@ fn main() {{
         }}
         chk = chk + best;
         opcount(best);
+        cbump(best);
     }}
     print(opcount(0));
     print(chk & 0xffffffff);

@@ -13,7 +13,7 @@
 //!    must reach exactly the same detection verdicts as "+merge" on the
 //!    Table 2 attack/benign suites.
 
-use redfat_analysis::{analyze_image, SiteVerdict};
+use redfat_analysis::{analyze_image, analyze_image_opts, AnalyzeOptions, SiteVerdict};
 use redfat_core::{harden, run_once, HardenConfig, LowFatPolicy};
 use redfat_emu::{
     Cpu, Emu, ErrorMode, HostRuntime, MemoryError, RunResult, Runtime, SyscallOutcome,
@@ -109,6 +109,123 @@ fn eliminated_sites_never_touch_the_heap() {
             );
         }
     }
+}
+
+/// The interprocedural tier makes a strictly stronger claim: sites it
+/// eliminates via call summaries must also never touch the heap. Same
+/// oracle, summaries enabled, all three elimination verdicts included.
+#[test]
+fn interproc_eliminated_sites_never_touch_the_heap() {
+    for wl in spec::all() {
+        let image = wl.image();
+        let report = analyze_image_opts(
+            &image,
+            AnalyzeOptions {
+                threads: 0,
+                interproc: true,
+            },
+        );
+        let eliminated_addrs: BTreeSet<u64> = report
+            .sites
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.verdict,
+                    SiteVerdict::EliminatedSyntactic
+                        | SiteVerdict::EliminatedFlow
+                        | SiteVerdict::EliminatedInterproc
+                )
+            })
+            .map(|s| s.addr)
+            .collect();
+        let disasm = redfat_analysis::disassemble(&image);
+        let eliminated: BTreeSet<u64> = disasm
+            .iter()
+            .filter(|(a, _, _)| eliminated_addrs.contains(a))
+            .map(|(a, _, len)| a + len as u64)
+            .collect();
+
+        for input in [&wl.train_input, &wl.ref_input] {
+            let rt = OracleRuntime {
+                inner: HostRuntime::new(ErrorMode::Log).with_input(input.clone()),
+                eliminated: eliminated.clone(),
+                violations: Vec::new(),
+            };
+            let mut emu = Emu::load_image(&image, rt).expect("loads");
+            let r = emu.run(4_000_000_000);
+            assert!(
+                matches!(r, RunResult::Exited(_)),
+                "{}: interproc oracle run must exit ({r:?})",
+                wl.name
+            );
+            assert!(
+                emu.runtime.violations.is_empty(),
+                "{}: {} interproc-eliminated site(s) touched the heap, \
+                 first at rip {:#x} addr {:#x}",
+                wl.name,
+                emu.runtime.violations.len(),
+                emu.runtime.violations[0].0,
+                emu.runtime.violations[0].1
+            );
+        }
+    }
+}
+
+/// The interprocedural ablation win: "+interproc" eliminates sites that
+/// "+redund" cannot on at least 8 of the 29 stand-ins, never loses an
+/// elimination, never costs extra cycles, and never changes output.
+#[test]
+fn interproc_pass_wins_on_at_least_eight_benchmarks() {
+    let mut interproc_wins = 0usize;
+    let suite = spec::all();
+    for wl in &suite {
+        let image = wl.image();
+        let redund = harden(&image, &HardenConfig::with_redundant(LowFatPolicy::All)).unwrap();
+        let inter = harden(&image, &HardenConfig::with_interproc(LowFatPolicy::All)).unwrap();
+
+        assert_eq!(redund.stats.sites_eliminated_interproc, 0);
+        assert!(
+            inter.stats.sites_eliminated + inter.stats.sites_eliminated_flow
+                >= redund.stats.sites_eliminated + redund.stats.sites_eliminated_flow,
+            "{}: interproc config lost intraprocedural eliminations",
+            wl.name
+        );
+
+        let base = run_once(
+            &redund.image,
+            wl.train_input.clone(),
+            ErrorMode::Log,
+            4_000_000_000,
+        );
+        let opt = run_once(
+            &inter.image,
+            wl.train_input.clone(),
+            ErrorMode::Log,
+            4_000_000_000,
+        );
+        assert_eq!(
+            base.io.digest(),
+            opt.io.digest(),
+            "{}: +interproc changed output",
+            wl.name
+        );
+        assert!(
+            opt.counters.cycles <= base.counters.cycles,
+            "{}: +interproc cost extra cycles ({} vs {})",
+            wl.name,
+            opt.counters.cycles,
+            base.counters.cycles
+        );
+        if inter.stats.sites_eliminated_interproc > 0 {
+            interproc_wins += 1;
+        }
+    }
+    assert!(
+        interproc_wins >= 8,
+        "+interproc must eliminate extra sites on at least 8 of {} benchmarks, \
+         got {interproc_wins}",
+        suite.len()
+    );
 }
 
 /// The tentpole's Table 1 claim: "+flow" eliminates strictly more sites
