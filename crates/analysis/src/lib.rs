@@ -57,7 +57,7 @@ pub use dataflow::{solve_forward, unknown_entries, ForwardAnalysis, ForwardSolut
 pub use disasm::{disassemble, Disasm};
 pub use domtree::DomTree;
 pub use elim::can_reach_heap;
-pub use liveness::Liveness;
+pub use liveness::{dead_flags_in_run, flags_live_after_run, Liveness};
 pub use provenance::{operand_non_heap, span_avoids_heap, AbsVal, Provenance, RegFacts};
 pub use redundant::RedundantChecks;
 pub use report::{

@@ -125,6 +125,83 @@ impl Liveness {
     }
 }
 
+/// Returns `true` if executing `inst` may leave a straight-line run
+/// early -- a memory fault, an access veto, a divide error, a trap, or a
+/// syscall exit -- making the architectural flags observable *before*
+/// the following instruction retires. Implicit stack traffic
+/// (`push`/`pop`/`call`/`ret`) counts: `Inst::memory_access` only
+/// reports explicit memory operands.
+fn may_exit_run(inst: &redfat_x86::Inst) -> bool {
+    use redfat_x86::Op;
+    inst.memory_access().is_some()
+        || matches!(
+            inst.op,
+            Op::Push
+                | Op::Pop
+                | Op::Pushfq
+                | Op::Popfq
+                | Op::Call
+                | Op::CallInd
+                | Op::Ret
+                | Op::MulDiv(_)
+                | Op::Syscall
+                | Op::Int3
+                | Op::Ud2
+        )
+}
+
+/// Whether `inst` writes *any* flag bits at all. This is the may-write
+/// superset of the must-write-all predicate [`redfat_x86::Inst::writes_flags`]:
+/// `shl cl`-style shifts write the flags only when the runtime count is
+/// nonzero, so they may write without being reported as must-writers.
+fn writes_any_flags(inst: &redfat_x86::Inst) -> bool {
+    inst.writes_flags() || matches!(inst.op, redfat_x86::Op::ShiftCl(_))
+}
+
+/// Backward flag deadness over a straight-line run (no CFG).
+///
+/// Returns, for each instruction, `true` when its EFLAGS outputs are
+/// provably unobservable: some later instruction *in the run* fully
+/// rewrites the flags before anything reads them, and no instruction in
+/// between can leave the run early. The flags are conservatively assumed
+/// live at the end of the run (a trace exit may branch on them) and at
+/// every potential early exit ([`may_exit_run`]), so a trace executor may
+/// skip computing the flags of every `true` entry without the skipped
+/// values ever becoming architecturally visible.
+pub fn dead_flags_in_run(insts: &[redfat_x86::Inst]) -> Vec<bool> {
+    let mut dead = vec![false; insts.len()];
+    // `live` holds liveness *after* instruction `i` within the loop.
+    let mut live = true;
+    for (i, inst) in insts.iter().enumerate().rev() {
+        let exit = may_exit_run(inst);
+        dead[i] = !live && !exit && writes_any_flags(inst);
+        // live-before(i): an exit or a flag read observes the incoming
+        // flags; a must-write-all kills them; otherwise flow through.
+        live = exit || inst.reads_flags() || (live && !inst.writes_flags());
+    }
+    dead
+}
+
+/// Backward flags-liveness *after* each instruction of a straight-line
+/// run: `out[i]` is `false` only when the flags as left by instruction
+/// `i` are provably unobservable -- a later instruction in the run
+/// fully rewrites them before any read, and nothing in between can
+/// leave the run early. Same conservative rules as
+/// [`dead_flags_in_run`] (flags live at the end of the run and at
+/// every potential early exit); the two differ only in what they
+/// report: this is the raw liveness-out, used by the trace tier to
+/// decide whether a compare-and-branch pair may skip materializing the
+/// compare's flags on its predicted path.
+pub fn flags_live_after_run(insts: &[redfat_x86::Inst]) -> Vec<bool> {
+    let mut out = vec![true; insts.len()];
+    let mut live = true;
+    for (i, inst) in insts.iter().enumerate().rev() {
+        out[i] = live;
+        live = may_exit_run(inst) || inst.reads_flags() || (live && !inst.writes_flags());
+    }
+    out
+}
+
 fn transfer(inst: &redfat_x86::Inst, after: LiveSet) -> LiveSet {
     let mut regs = after.regs;
     let mut flags = after.flags;
@@ -254,6 +331,188 @@ mod tests {
             vec![site]
         });
         assert!(!lv.dead_regs_before(marks[0]).contains(&Reg::Rbx));
+    }
+
+    fn inst(op: redfat_x86::Op, w: Width, operands: redfat_x86::Operands) -> redfat_x86::Inst {
+        redfat_x86::Inst::new(op, w, operands)
+    }
+
+    #[test]
+    fn dead_flags_killed_by_later_cmp() {
+        use redfat_x86::{Op, Operands};
+        // cmp ; mov ; cmp ; jcc -- the first cmp's flags are rewritten by
+        // the second before the jcc reads them, with no exit in between.
+        let run = [
+            inst(
+                Op::Alu(AluOp::Cmp),
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::Rax,
+                    src: Reg::Rbx,
+                },
+            ),
+            inst(
+                Op::Mov,
+                Width::W64,
+                Operands::RI {
+                    dst: Reg::Rcx,
+                    imm: 7,
+                },
+            ),
+            inst(
+                Op::Alu(AluOp::Cmp),
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::Rcx,
+                    src: Reg::Rdx,
+                },
+            ),
+            inst(Op::Jcc(redfat_x86::Cond::E), Width::W64, Operands::Rel(0)),
+        ];
+        assert_eq!(dead_flags_in_run(&run), vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn memory_access_pins_flags_live() {
+        use redfat_x86::{Op, Operands};
+        // cmp ; load ; cmp -- the load may fault, which makes the first
+        // cmp's flags observable at the fault boundary: not dead.
+        let run = [
+            inst(
+                Op::Alu(AluOp::Cmp),
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::Rax,
+                    src: Reg::Rbx,
+                },
+            ),
+            inst(
+                Op::Mov,
+                Width::W64,
+                Operands::RM {
+                    dst: Reg::Rcx,
+                    src: Mem::base(Reg::Rsi),
+                },
+            ),
+            inst(
+                Op::Alu(AluOp::Cmp),
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::Rcx,
+                    src: Reg::Rdx,
+                },
+            ),
+        ];
+        assert_eq!(dead_flags_in_run(&run), vec![false, false, false]);
+    }
+
+    #[test]
+    fn implicit_stack_traffic_counts_as_exit() {
+        use redfat_x86::{Op, Operands};
+        // add ; push ; cmp -- push accesses the stack (no explicit memory
+        // operand), so the add's flags survive to a potential fault.
+        let run = [
+            inst(
+                Op::Alu(AluOp::Add),
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::Rax,
+                    src: Reg::Rbx,
+                },
+            ),
+            inst(Op::Push, Width::W64, Operands::R(Reg::Rax)),
+            inst(
+                Op::Alu(AluOp::Cmp),
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::Rax,
+                    src: Reg::Rdx,
+                },
+            ),
+        ];
+        assert_eq!(dead_flags_in_run(&run), vec![false, false, false]);
+    }
+
+    #[test]
+    fn last_instruction_flags_are_always_live() {
+        use redfat_x86::{Op, Operands};
+        // Flags are conservatively live at the run's end: a lone add's
+        // output is never dead.
+        let run = [inst(
+            Op::Alu(AluOp::Add),
+            Width::W64,
+            Operands::RR {
+                dst: Reg::Rax,
+                src: Reg::Rbx,
+            },
+        )];
+        assert_eq!(dead_flags_in_run(&run), vec![false]);
+    }
+
+    #[test]
+    fn flag_reader_blocks_elision() {
+        use redfat_x86::{Op, Operands};
+        // cmp ; setcc ; cmp -- the setcc reads the first cmp's flags.
+        let run = [
+            inst(
+                Op::Alu(AluOp::Cmp),
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::Rax,
+                    src: Reg::Rbx,
+                },
+            ),
+            inst(
+                Op::Setcc(redfat_x86::Cond::E),
+                Width::W8,
+                Operands::R(Reg::Rcx),
+            ),
+            inst(
+                Op::Alu(AluOp::Cmp),
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::Rax,
+                    src: Reg::Rdx,
+                },
+            ),
+        ];
+        assert_eq!(dead_flags_in_run(&run), vec![false, false, false]);
+    }
+
+    #[test]
+    fn shiftcl_is_killed_but_never_kills() {
+        use redfat_x86::{Op, Operands, ShiftOp};
+        // shl-cl ; cmp ; jcc -- the variable shift may or may not write
+        // flags (count could be zero), so its output is elidable when a
+        // later must-writer kills it, but it must never itself count as
+        // the killer: add ; shl-cl ; jcc keeps the add live.
+        let killed = [
+            inst(Op::ShiftCl(ShiftOp::Shl), Width::W64, Operands::R(Reg::Rax)),
+            inst(
+                Op::Alu(AluOp::Cmp),
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::Rax,
+                    src: Reg::Rbx,
+                },
+            ),
+            inst(Op::Jcc(redfat_x86::Cond::E), Width::W64, Operands::Rel(0)),
+        ];
+        assert_eq!(dead_flags_in_run(&killed), vec![true, false, false]);
+
+        let not_killer = [
+            inst(
+                Op::Alu(AluOp::Add),
+                Width::W64,
+                Operands::RR {
+                    dst: Reg::Rax,
+                    src: Reg::Rbx,
+                },
+            ),
+            inst(Op::ShiftCl(ShiftOp::Shl), Width::W64, Operands::R(Reg::Rcx)),
+            inst(Op::Jcc(redfat_x86::Cond::E), Width::W64, Operands::Rel(0)),
+        ];
+        assert_eq!(dead_flags_in_run(&not_killer), vec![false, false, false]);
     }
 
     #[test]

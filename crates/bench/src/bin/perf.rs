@@ -3,12 +3,18 @@
 //! Measures, across the SPEC stand-in suite:
 //!
 //! * **Emulator throughput** -- retired instructions/sec of the step
-//!   interpreter vs the superblock-translated backend on the baseline
-//!   image. The two backends must agree exactly on the run result and
-//!   every cost counter; any difference aborts the run.
+//!   interpreter vs the superblock backend vs the trace-linked backend
+//!   (chaining + indirect-branch inline caches + dead-flag elision) on
+//!   the baseline image. All three backends must agree exactly on the
+//!   run result and every cost counter; any difference aborts the run.
+//!   The headline `emu_speedup` is step → trace; `superblock_speedup`
+//!   records the mid tier. Trace-cache behavior (hits, misses, chain
+//!   follows, inline-cache hits/misses) is recorded per workload.
 //! * **Harden wall-clock** -- end-to-end `harden()` time serial
 //!   (1 thread) vs parallel (`--threads`/`REDFAT_THREADS`/available
-//!   parallelism). The two images must be byte-identical.
+//!   parallelism). The two images must be byte-identical, and the
+//!   parallel path must not regress below serial beyond timing noise
+//!   (the 1-thread thread-pool overhead regression stays fixed).
 //!
 //! Modes:
 //!
@@ -16,9 +22,10 @@
 //!   JSON to `-o` (default `BENCH_perf.json`). The quick-subset geomeans
 //!   are stored alongside the full ones so CI can compare like for like.
 //! * `--quick`: measure only the quick subset (train inputs, reduced
-//!   step budget), validate the committed baseline's schema, and fail
-//!   if the measured geomean emulator speedup regressed more than 10%
-//!   against the baseline's recorded quick geomean.
+//!   step budget), validate the committed baseline's schema, fail if
+//!   the measured geomean emulator speedup regressed more than 10%
+//!   against the baseline's recorded quick geomean, and assert the
+//!   trace-linked tier is at least as fast as the superblock tier.
 //! * `--check <file>`: validate the schema of an existing JSON file and
 //!   exit (no measurement).
 //!
@@ -28,12 +35,12 @@
 
 use redfat_bench::{geomean, threads_from_args};
 use redfat_core::{harden_threaded, HardenConfig};
-use redfat_emu::{Emu, ErrorMode, ExecBackend, HostRuntime, RunResult};
+use redfat_emu::{Emu, ErrorMode, ExecBackend, HostRuntime, RunResult, TraceStats};
 use redfat_workloads::{spec, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SCHEMA: &str = "redfat-bench-perf/v1";
+const SCHEMA: &str = "redfat-bench-perf/v2";
 /// Step cap for the full sweep (ref inputs all exit well below this).
 const FULL_BUDGET: u64 = 4_000_000_000;
 /// Step cap for the quick subset (train inputs).
@@ -41,6 +48,11 @@ const QUICK_BUDGET: u64 = 100_000_000;
 /// Quick mode fails if the emulator speedup geomean drops below
 /// `baseline * (1 - REGRESSION_TOLERANCE)`.
 const REGRESSION_TOLERANCE: f64 = 0.10;
+/// Per-workload floor on serial/parallel harden ratio: the parallel
+/// entry point must never be meaningfully slower than the serial path
+/// (catches a return of the 1-thread thread-pool overhead bug while
+/// absorbing wall-clock jitter).
+const MIN_HARDEN_SPEEDUP: f64 = 0.80;
 /// Timing repetitions; the minimum is reported.
 const REPS: usize = 3;
 
@@ -49,7 +61,12 @@ struct Row {
     instructions: u64,
     step_mips: f64,
     superblock_mips: f64,
+    trace_mips: f64,
+    /// Headline: step → trace throughput ratio.
     emu_speedup: f64,
+    /// Mid tier: step → superblock throughput ratio.
+    superblock_speedup: f64,
+    stats: TraceStats,
     harden_serial_ms: f64,
     harden_parallel_ms: f64,
     harden_speedup: f64,
@@ -60,13 +77,13 @@ fn quick_subset(suite: Vec<Workload>) -> Vec<Workload> {
     suite.into_iter().step_by(4).collect()
 }
 
-/// Times one emulator run; returns (result, counters, best seconds).
+/// Times one emulator run; returns (result, counters, stats, best secs).
 fn time_backend(
     image: &redfat_elf::Image,
     input: &[i64],
     backend: ExecBackend,
     budget: u64,
-) -> (RunResult, redfat_emu::Counters, f64) {
+) -> (RunResult, redfat_emu::Counters, TraceStats, f64) {
     let mut best = f64::INFINITY;
     let mut outcome = None;
     for _ in 0..REPS {
@@ -75,23 +92,34 @@ fn time_backend(
         let t = Instant::now();
         let r = emu.run_backend(backend, budget);
         best = best.min(t.elapsed().as_secs_f64());
-        outcome = Some((r, emu.counters));
+        outcome = Some((r, emu.counters, emu.trace_stats()));
     }
-    let (r, c) = outcome.expect("REPS > 0");
-    (r, c, best.max(1e-9))
+    let (r, c, s) = outcome.expect("REPS > 0");
+    (r, c, s, best.max(1e-9))
 }
 
 fn measure(wl: &Workload, input: &[i64], budget: u64, threads: usize) -> Row {
     let image = wl.image();
 
-    let (r_step, c_step, t_step) = time_backend(&image, input, ExecBackend::Step, budget);
-    let (r_sup, c_sup, t_sup) = time_backend(&image, input, ExecBackend::Superblock, budget);
+    let (r_step, c_step, _, t_step) = time_backend(&image, input, ExecBackend::Step, budget);
+    let (r_sup, c_sup, _, t_sup) = time_backend(&image, input, ExecBackend::Superblock, budget);
+    let (r_tr, c_tr, stats, t_tr) = time_backend(&image, input, ExecBackend::Trace, budget);
     assert_eq!(
         r_step, r_sup,
         "{}: backend run results diverge (step {r_step:?}, superblock {r_sup:?})",
         wl.name
     );
-    assert_eq!(c_step, c_sup, "{}: backend cost counters diverge", wl.name);
+    assert_eq!(
+        r_step, r_tr,
+        "{}: backend run results diverge (step {r_step:?}, trace {r_tr:?})",
+        wl.name
+    );
+    assert_eq!(
+        c_step, c_sup,
+        "{}: superblock cost counters diverge",
+        wl.name
+    );
+    assert_eq!(c_step, c_tr, "{}: trace cost counters diverge", wl.name);
     assert!(
         matches!(r_step, RunResult::Exited(_) | RunResult::StepLimit),
         "{}: unexpected run result {r_step:?}",
@@ -119,16 +147,26 @@ fn measure(wl: &Workload, input: &[i64], budget: u64, threads: usize) -> Row {
         "{}: hardened image differs between 1 and {threads} threads",
         wl.name
     );
+    let harden_speedup = serial_best / parallel_best.max(1e-9);
+    assert!(
+        harden_speedup >= MIN_HARDEN_SPEEDUP,
+        "{}: harden_threaded({threads}) is {harden_speedup:.2}x vs serial -- the \
+         parallel entry point regressed below the {MIN_HARDEN_SPEEDUP:.2}x floor",
+        wl.name
+    );
 
     Row {
         name: wl.name,
         instructions: c_step.instructions,
         step_mips: c_step.instructions as f64 / t_step / 1e6,
         superblock_mips: c_step.instructions as f64 / t_sup / 1e6,
-        emu_speedup: t_step / t_sup,
+        trace_mips: c_step.instructions as f64 / t_tr / 1e6,
+        emu_speedup: t_step / t_tr,
+        superblock_speedup: t_step / t_sup,
+        stats,
         harden_serial_ms: serial_best * 1e3,
         harden_parallel_ms: parallel_best.max(1e-9) * 1e3,
-        harden_speedup: serial_best / parallel_best.max(1e-9),
+        harden_speedup,
     }
 }
 
@@ -144,12 +182,13 @@ fn sweep(suite: &[Workload], quick: bool, threads: usize) -> Vec<Row> {
             let budget = if quick { QUICK_BUDGET } else { FULL_BUDGET };
             let row = measure(wl, input, budget, threads);
             eprintln!(
-                "perf: {:<14} {:>11} insts  step {:>7.1} M/s  superblock {:>7.1} M/s  \
-                 emu {:.2}x  harden {:.2}x",
+                "perf: {:<14} {:>11} insts  step {:>6.1} M/s  superblock {:>7.1} M/s  \
+                 trace {:>7.1} M/s  emu {:.2}x  harden {:.2}x",
                 row.name,
                 row.instructions,
                 row.step_mips,
                 row.superblock_mips,
+                row.trace_mips,
                 row.emu_speedup,
                 row.harden_speedup
             );
@@ -167,13 +206,23 @@ fn rows_json(rows: &[Row]) -> String {
         let _ = write!(
             s,
             "\n    {{\"name\":\"{}\",\"instructions\":{},\"step_mips\":{:.3},\
-             \"superblock_mips\":{:.3},\"emu_speedup\":{:.4},\"harden_serial_ms\":{:.3},\
-             \"harden_parallel_ms\":{:.3},\"harden_speedup\":{:.4}}}",
+             \"superblock_mips\":{:.3},\"trace_mips\":{:.3},\"emu_speedup\":{:.4},\
+             \"superblock_speedup\":{:.4},\
+             \"trace_hits\":{},\"trace_misses\":{},\"trace_chain_follows\":{},\
+             \"trace_ic_hits\":{},\"trace_ic_misses\":{},\
+             \"harden_serial_ms\":{:.3},\"harden_parallel_ms\":{:.3},\"harden_speedup\":{:.4}}}",
             r.name,
             r.instructions,
             r.step_mips,
             r.superblock_mips,
+            r.trace_mips,
             r.emu_speedup,
+            r.superblock_speedup,
+            r.stats.hits,
+            r.stats.misses,
+            r.stats.chain_follows,
+            r.stats.ic_hits,
+            r.stats.ic_misses,
             r.harden_serial_ms,
             r.harden_parallel_ms,
             r.harden_speedup
@@ -187,6 +236,10 @@ fn emu_geomean(rows: &[Row]) -> f64 {
     geomean(rows.iter().map(|r| r.emu_speedup))
 }
 
+fn superblock_geomean(rows: &[Row]) -> f64 {
+    geomean(rows.iter().map(|r| r.superblock_speedup))
+}
+
 fn harden_geomean(rows: &[Row]) -> f64 {
     geomean(rows.iter().map(|r| r.harden_speedup))
 }
@@ -195,12 +248,16 @@ fn render_json(full: &[Row], quick: &[Row], threads: usize, cores: usize) -> Str
     format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \
          \"full_budget\": {FULL_BUDGET},\n  \"quick_budget\": {QUICK_BUDGET},\n  \
-         \"geomean_emu_speedup\": {:.4},\n  \"geomean_harden_speedup\": {:.4},\n  \
-         \"quick_geomean_emu_speedup\": {:.4},\n  \"quick_geomean_harden_speedup\": {:.4},\n  \
+         \"geomean_emu_speedup\": {:.4},\n  \"geomean_superblock_speedup\": {:.4},\n  \
+         \"geomean_harden_speedup\": {:.4},\n  \
+         \"quick_geomean_emu_speedup\": {:.4},\n  \"quick_geomean_superblock_speedup\": {:.4},\n  \
+         \"quick_geomean_harden_speedup\": {:.4},\n  \
          \"workloads\": {},\n  \"quick_workloads\": {}\n}}\n",
         emu_geomean(full),
+        superblock_geomean(full),
         harden_geomean(full),
         emu_geomean(quick),
+        superblock_geomean(quick),
         harden_geomean(quick),
         rows_json(full),
         rows_json(quick),
@@ -226,8 +283,10 @@ fn validate_schema(text: &str) -> Result<(), String> {
     }
     for key in [
         "geomean_emu_speedup",
+        "geomean_superblock_speedup",
         "geomean_harden_speedup",
         "quick_geomean_emu_speedup",
+        "quick_geomean_superblock_speedup",
         "quick_geomean_harden_speedup",
         "threads",
         "cores",
@@ -241,6 +300,9 @@ fn validate_schema(text: &str) -> Result<(), String> {
     }
     if !text.contains("\"name\":") {
         return Err("workload arrays are empty".into());
+    }
+    if !text.contains("\"trace_mips\":") || !text.contains("\"trace_chain_follows\":") {
+        return Err("missing per-workload trace backend columns".into());
     }
     Ok(())
 }
@@ -285,10 +347,19 @@ fn main() {
         eprintln!("perf: quick subset on {threads} threads ({cores} cores)...",);
         let rows = sweep(&quick_subset(suite), true, threads);
         let measured = emu_geomean(&rows);
+        let sup = superblock_geomean(&rows);
         println!(
-            "perf quick: geomean emu speedup {measured:.3}x, harden speedup {:.3}x",
+            "perf quick: geomean emu speedup {measured:.3}x (superblock {sup:.3}x), \
+             harden speedup {:.3}x",
             harden_geomean(&rows)
         );
+        if measured < sup {
+            eprintln!(
+                "perf: REGRESSION: trace-linked tier ({measured:.3}x) is slower than the \
+                 superblock tier ({sup:.3}x) it builds on"
+            );
+            std::process::exit(1);
+        }
 
         let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
             eprintln!("perf: cannot read committed baseline {baseline_path}: {e}");
@@ -324,8 +395,10 @@ fn main() {
     validate_schema(&json).expect("self-produced JSON validates");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!(
-        "perf: geomean emu speedup {:.3}x, harden speedup {:.3}x ({} workloads) -> {out_path}",
+        "perf: geomean emu speedup {:.3}x (superblock {:.3}x), harden speedup {:.3}x \
+         ({} workloads) -> {out_path}",
         emu_geomean(&full),
+        superblock_geomean(&full),
         harden_geomean(&full),
         full.len()
     );

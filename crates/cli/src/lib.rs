@@ -18,11 +18,11 @@
 //! returns the text it would print.
 
 use redfat_core::{
-    collect_allowlist, harden_threaded, instrument_profile, try_run_once, AllowList, HardenConfig,
-    LowFatPolicy,
+    collect_allowlist, harden_threaded, instrument_profile, try_run_backend, try_run_once,
+    AllowList, HardenConfig, LowFatPolicy,
 };
 use redfat_elf::Image;
-use redfat_emu::{Emu, ErrorMode, RunResult};
+use redfat_emu::{Emu, ErrorMode, ExecBackend, RunResult};
 use redfat_memcheck::MemcheckRuntime;
 use redfat_parallel::resolve_threads;
 use std::fmt::Write as _;
@@ -62,6 +62,10 @@ commands:
   fuzzlist <in.elf> -o <allow.lst> [--input seed,..] [--iters N]
                                        coverage-guided profiling (E9AFL-style)
   run     <in.elf> [--input v,v,..] [--log] [--memcheck] [--max-steps N]
+          [--backend step|superblock|trace] [--stats]
+                                       --backend selects the execution tier
+                                       (default step); --stats prints the
+                                       translation-cache counters afterwards
   disasm  <in.elf>                     linear disassembly of code segments
   analyze <in.elf> [--interproc]       per-site static analysis report
   analyze <in.elf> --callgraph         call graph + function summaries
@@ -98,13 +102,14 @@ struct Args {
 }
 
 /// Flags that take a value.
-const VALUE_FLAGS: [&str; 6] = [
+const VALUE_FLAGS: [&str; 7] = [
     "-o",
     "--input",
     "--max-steps",
     "--allowlist",
     "--iters",
     "--threads",
+    "--backend",
 ];
 
 fn parse_args(argv: &[String]) -> Result<Args, CliError> {
@@ -159,6 +164,15 @@ impl Args {
         match self.flags.get("--max-steps").and_then(|v| v.as_deref()) {
             None => Ok(1_000_000_000),
             Some(s) => s.parse().map_err(|e| err(format!("bad --max-steps: {e}"))),
+        }
+    }
+
+    /// Execution backend for `run`: `--backend step|superblock|trace`.
+    fn backend(&self) -> Result<ExecBackend, CliError> {
+        match self.flags.get("--backend").and_then(|v| v.as_deref()) {
+            None => Ok(ExecBackend::Step),
+            Some(s) => ExecBackend::parse(s)
+                .ok_or_else(|| err(format!("bad --backend {s:?} (step|superblock|trace)"))),
         }
     }
 
@@ -368,12 +382,13 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
             let image = load_image(input)?;
             let inputs = args.input_values()?;
             let steps = args.max_steps()?;
+            let backend = args.backend()?;
             if args.has("--memcheck") {
                 let rt = MemcheckRuntime::new(ErrorMode::Log).with_input(inputs);
                 let mut emu = Emu::load_image(&image, rt)
                     .map_err(|e| err(format!("cannot load {input}: {e}")))?;
                 emu.cost = MemcheckRuntime::cost_model();
-                let r = emu.run(steps);
+                let r = emu.run_backend(backend, steps);
                 writeln!(out, "memcheck: {r:?}").expect("string write");
                 for e in &emu.runtime.errors {
                     writeln!(out, "memcheck error: {e}").expect("string write");
@@ -384,13 +399,16 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                     emu.counters.instructions, emu.counters.cycles
                 )
                 .expect("string write");
+                if args.has("--stats") {
+                    writeln!(out, "trace-cache: {}", emu.trace_stats()).expect("string write");
+                }
             } else {
                 let mode = if args.has("--log") {
                     ErrorMode::Log
                 } else {
                     ErrorMode::Abort
                 };
-                let result = try_run_once(&image, inputs, mode, steps)
+                let result = try_run_backend(&image, inputs, mode, backend, steps)
                     .map_err(|e| err(format!("cannot load {input}: {e}")))?;
                 writeln!(out, "{:?}", result.result).expect("string write");
                 for v in &result.io.out_ints {
@@ -409,6 +427,9 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                     result.counters.instructions, result.counters.cycles
                 )
                 .expect("string write");
+                if args.has("--stats") {
+                    writeln!(out, "trace-cache: {}", result.trace_stats).expect("string write");
+                }
             }
         }
         "disasm" => {
@@ -597,24 +618,32 @@ fn run_selftest(
         let hardened = harden_threaded(&image, &config, threads)
             .map_err(|e| err(format!("selftest: hardening {} failed: {e}", w.name)))?;
         if superblock {
-            for (kind, img) in [("baseline", &image), ("hardened", &hardened.image)] {
-                let rep = backend_lockstep(img, &input, max_steps);
-                writeln!(
-                    out,
-                    "backend  {:<14} {kind:<8} {:>9} blocks, {} divergences{}",
-                    w.name,
-                    rep.blocks,
-                    rep.divergences.len(),
-                    if rep.completed { "" } else { " (incomplete)" }
-                )
-                .expect("string write");
-                if !rep.clean() || !rep.completed {
-                    let detail = rep
-                        .divergences
-                        .first()
-                        .map(|d| d.detail.clone())
-                        .unwrap_or_else(|| "run did not complete within the step budget".into());
-                    failures.push(format!("backend {} ({kind}):\n{detail}", w.name));
+            // Audit both translated backends: the superblock tier and
+            // the trace-linked tier (chaining + inline caches + dead-
+            // flag elision fully enabled).
+            for backend in [ExecBackend::Superblock, ExecBackend::Trace] {
+                for (kind, img) in [("baseline", &image), ("hardened", &hardened.image)] {
+                    let rep = backend_lockstep(img, &input, backend, max_steps);
+                    writeln!(
+                        out,
+                        "backend  {:<14} {:<10} {kind:<8} {:>9} blocks, {} divergences{}",
+                        w.name,
+                        backend.to_string(),
+                        rep.blocks,
+                        rep.divergences.len(),
+                        if rep.completed { "" } else { " (incomplete)" }
+                    )
+                    .expect("string write");
+                    if !rep.clean() || !rep.completed {
+                        let detail = rep
+                            .divergences
+                            .first()
+                            .map(|d| d.detail.clone())
+                            .unwrap_or_else(|| {
+                                "run did not complete within the step budget".into()
+                            });
+                        failures.push(format!("backend {} {backend} ({kind}):\n{detail}", w.name));
+                    }
                 }
             }
         }

@@ -42,4 +42,4 @@ pub use pipeline::{
     collect_allowlist, harden, harden_threaded, harden_with_bases, instrument_profile, ClobberInfo,
     HardenError, HardenStats, Hardened,
 };
-pub use runner::{run_once, try_run_once, RunOutcome};
+pub use runner::{run_once, try_run_backend, try_run_once, RunOutcome};

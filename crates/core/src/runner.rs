@@ -3,7 +3,8 @@
 
 use redfat_elf::Image;
 use redfat_emu::{
-    Counters, Emu, ErrorMode, GuestIo, HostRuntime, LoadError, MemoryError, ProfileStats, RunResult,
+    Counters, Emu, ErrorMode, ExecBackend, GuestIo, HostRuntime, LoadError, MemoryError,
+    ProfileStats, RunResult, TraceStats,
 };
 use std::collections::HashMap;
 
@@ -20,6 +21,8 @@ pub struct RunOutcome {
     pub errors: Vec<MemoryError>,
     /// Per-site profiling counters (profiling binaries only).
     pub profile: HashMap<u64, ProfileStats>,
+    /// Translation-cache counters (all zero under the step backend).
+    pub trace_stats: TraceStats,
 }
 
 impl RunOutcome {
@@ -46,14 +49,32 @@ pub fn try_run_once(
     mode: ErrorMode,
     max_steps: u64,
 ) -> Result<RunOutcome, LoadError> {
+    try_run_backend(image, input, mode, ExecBackend::Step, max_steps)
+}
+
+/// [`try_run_once`] on an explicit execution backend: `step` (the
+/// reference interpreter), `superblock`, or the trace-linked tier.
+/// Counters, I/O, and reported errors are backend-independent (the
+/// translated tiers are audited against `step` by the selftest
+/// lockstep oracle); only wall-clock time and [`RunOutcome::trace_stats`]
+/// differ.
+pub fn try_run_backend(
+    image: &Image,
+    input: Vec<i64>,
+    mode: ErrorMode,
+    backend: ExecBackend,
+    max_steps: u64,
+) -> Result<RunOutcome, LoadError> {
     let runtime = HostRuntime::new(mode).with_input(input);
     let mut emu = Emu::load_image(image, runtime)?;
-    let result = emu.run(max_steps);
+    let result = emu.run_backend(backend, max_steps);
+    let trace_stats = emu.trace_stats();
     Ok(RunOutcome {
         result,
         counters: emu.counters,
         io: emu.runtime.io,
         errors: emu.runtime.errors,
         profile: emu.runtime.profile,
+        trace_stats,
     })
 }

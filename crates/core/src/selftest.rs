@@ -45,7 +45,7 @@
 use crate::pipeline::{harden, ClobberInfo, HardenError};
 use crate::HardenConfig;
 use redfat_elf::Image;
-use redfat_emu::{syscalls, Emu, EmuError, ErrorMode, HostRuntime, RunResult};
+use redfat_emu::{syscalls, Emu, EmuError, ErrorMode, ExecBackend, HostRuntime, RunResult};
 use redfat_lowfat::{AllocError, LowFatConfig, ObjState, RedFatHeap, REDZONE_SIZE};
 use redfat_vm::{layout, Vm};
 use redfat_x86::{
@@ -866,7 +866,7 @@ pub struct BackendReport {
     pub instructions: u64,
     /// Unexplained differences between the backends (capped).
     pub divergences: Vec<Divergence>,
-    /// How the superblock run ended (`None` only on an internal stall).
+    /// How the translated-backend run ended (`None` only on a stall).
     pub superblock_exit: Option<RunResult>,
     /// How the reference single-step run ended.
     pub step_exit: Option<RunResult>,
@@ -897,16 +897,24 @@ fn settle(outcome: Result<Option<RunResult>, EmuError>) -> Option<RunResult> {
     }
 }
 
-/// Runs the superblock backend and the single-step reference interpreter
-/// in lockstep on `image` and compares the complete architectural state
-/// at every superblock boundary.
+/// Runs a translated backend (superblock or trace-linked) and the
+/// single-step reference interpreter in lockstep on `image` and compares
+/// the complete architectural state at every block boundary.
 ///
 /// Unlike [`lockstep_images`], both emulators execute the *same* image,
 /// so the comparison is exact: every register (no dead-clobber
 /// exemptions), the flags, `rip`, the full cost-counter set, and the
 /// number of runtime error reports must agree at every boundary, and the
-/// final run results and guest IO digests must be equal.
-pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> BackendReport {
+/// final run results and guest IO digests must be equal. For the
+/// trace-linked backend a "boundary" is wherever `step_trace` returns
+/// (budget exhaustion or an unlinkable successor), so chained execution
+/// is still audited against the reference run whenever it surfaces.
+pub fn backend_lockstep(
+    image: &Image,
+    input: &[i64],
+    backend: ExecBackend,
+    max_steps: u64,
+) -> BackendReport {
     let mut sup = Emu::load_image(
         image,
         HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
@@ -924,7 +932,14 @@ pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> Backend
         if remaining == 0 {
             break (Some(RunResult::StepLimit), Some(RunResult::StepLimit));
         }
-        let (executed, outcome) = sup.step_block(remaining);
+        let (executed, outcome) = match backend {
+            // Chained execution would otherwise run the whole budget in
+            // one call; bound each slice so full state is compared at
+            // thousands of boundaries and mid-block budget expiry (the
+            // exact-prefix path) is exercised continuously.
+            ExecBackend::Trace => sup.step_trace(remaining.min(4096)),
+            _ => sup.step_block(remaining),
+        };
         remaining -= executed.min(remaining);
         report.instructions += executed;
         let sup_end = settle(outcome);
@@ -950,7 +965,7 @@ pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> Backend
                 divs,
                 rip,
                 format!(
-                    "rip differs after block {}: superblock {:#x}, step {:#x}",
+                    "rip differs after block {}: {backend} {:#x}, step {:#x}",
                     report.blocks, sup.cpu.rip, refr.cpu.rip
                 ),
             );
@@ -962,7 +977,7 @@ pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> Backend
                 push_divergence(
                     divs,
                     rip,
-                    format!("register {r:?} differs at {rip:#x}: superblock {sv:#x}, step {rv:#x}"),
+                    format!("register {r:?} differs at {rip:#x}: {backend} {sv:#x}, step {rv:#x}"),
                 );
             }
         }
@@ -971,7 +986,7 @@ pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> Backend
                 divs,
                 rip,
                 format!(
-                    "flags differ at {rip:#x}: superblock {:?}, step {:?}",
+                    "flags differ at {rip:#x}: {backend} {:?}, step {:?}",
                     sup.cpu.flags, refr.cpu.flags
                 ),
             );
@@ -981,7 +996,7 @@ pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> Backend
                 divs,
                 rip,
                 format!(
-                    "cost counters differ at {rip:#x}: superblock {:?}, step {:?}",
+                    "cost counters differ at {rip:#x}: {backend} {:?}, step {:?}",
                     sup.counters, refr.counters
                 ),
             );
@@ -991,7 +1006,7 @@ pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> Backend
                 divs,
                 rip,
                 format!(
-                    "error report counts differ at {rip:#x}: superblock {}, step {}",
+                    "error report counts differ at {rip:#x}: {backend} {}, step {}",
                     sup.runtime.errors.len(),
                     refr.runtime.errors.len()
                 ),
@@ -1003,7 +1018,7 @@ pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> Backend
         match (sup_end, ref_end) {
             (None, None) => {
                 if executed == 0 {
-                    push_divergence(divs, rip, format!("superblock backend stalled at {rip:#x}"));
+                    push_divergence(divs, rip, format!("{backend} backend stalled at {rip:#x}"));
                     break (None, None);
                 }
             }
@@ -1015,14 +1030,14 @@ pub fn backend_lockstep(image: &Image, input: &[i64], max_steps: u64) -> Backend
         report.divergences.truncate(MAX_FAILURES - 1);
         report.divergences.push(Divergence {
             rip: refr.cpu.rip,
-            detail: format!("run results differ: superblock {sup_end:?}, step {ref_end:?}"),
+            detail: format!("run results differ: {backend} {sup_end:?}, step {ref_end:?}"),
         });
     } else if sup.runtime.io.digest() != refr.runtime.io.digest() {
         report.divergences.truncate(MAX_FAILURES - 1);
         report.divergences.push(Divergence {
             rip: refr.cpu.rip,
             detail: format!(
-                "guest IO digests differ: superblock {:#x}, step {:#x}",
+                "guest IO digests differ: {backend} {:#x}, step {:#x}",
                 sup.runtime.io.digest(),
                 refr.runtime.io.digest()
             ),
@@ -1641,20 +1656,28 @@ mod tests {
             return 0;
         }";
         let image = redfat_minic::compile(src).unwrap();
-        let rep = backend_lockstep(&image, &[3], 5_000_000);
-        assert!(rep.completed, "baseline run incomplete: {rep:#?}");
-        assert!(rep.clean(), "{:#?}", rep.divergences);
-        assert_eq!(rep.superblock_exit, Some(RunResult::Exited(0)));
-        assert_eq!(rep.step_exit, Some(RunResult::Exited(0)));
-        assert!(rep.blocks > 0 && rep.instructions > rep.blocks);
-
-        // The hardened image exercises trampoline crossings and the
-        // inserted check payloads under the superblock backend.
         let hardened = harden(&image, &HardenConfig::default()).unwrap();
-        let rep = backend_lockstep(&hardened.image, &[3], 5_000_000);
-        assert!(rep.completed, "hardened run incomplete: {rep:#?}");
-        assert!(rep.clean(), "{:#?}", rep.divergences);
-        assert_eq!(rep.superblock_exit, Some(RunResult::Exited(0)));
+        for backend in [ExecBackend::Superblock, ExecBackend::Trace] {
+            let rep = backend_lockstep(&image, &[3], backend, 5_000_000);
+            assert!(
+                rep.completed,
+                "{backend}: baseline run incomplete: {rep:#?}"
+            );
+            assert!(rep.clean(), "{backend}: {:#?}", rep.divergences);
+            assert_eq!(rep.superblock_exit, Some(RunResult::Exited(0)));
+            assert_eq!(rep.step_exit, Some(RunResult::Exited(0)));
+            assert!(rep.blocks > 0 && rep.instructions > rep.blocks);
+
+            // The hardened image exercises trampoline crossings and the
+            // inserted check payloads under the translated backends.
+            let rep = backend_lockstep(&hardened.image, &[3], backend, 5_000_000);
+            assert!(
+                rep.completed,
+                "{backend}: hardened run incomplete: {rep:#?}"
+            );
+            assert!(rep.clean(), "{backend}: {:#?}", rep.divergences);
+            assert_eq!(rep.superblock_exit, Some(RunResult::Exited(0)));
+        }
     }
 
     #[test]
@@ -1666,13 +1689,19 @@ mod tests {
             return 0;
         }";
         let image = redfat_minic::compile(src).unwrap();
-        for budget in [1u64, 7, 100, 12345] {
-            let rep = backend_lockstep(&image, &[], budget);
-            assert!(rep.clean(), "budget {budget}: {:#?}", rep.divergences);
-            assert!(rep.completed, "budget {budget}");
-            assert_eq!(rep.superblock_exit, Some(RunResult::StepLimit));
-            assert_eq!(rep.step_exit, Some(RunResult::StepLimit));
-            assert_eq!(rep.instructions, budget);
+        for backend in [ExecBackend::Superblock, ExecBackend::Trace] {
+            for budget in [1u64, 7, 100, 12345] {
+                let rep = backend_lockstep(&image, &[], backend, budget);
+                assert!(
+                    rep.clean(),
+                    "{backend} budget {budget}: {:#?}",
+                    rep.divergences
+                );
+                assert!(rep.completed, "{backend} budget {budget}");
+                assert_eq!(rep.superblock_exit, Some(RunResult::StepLimit));
+                assert_eq!(rep.step_exit, Some(RunResult::StepLimit));
+                assert_eq!(rep.instructions, budget);
+            }
         }
     }
 

@@ -77,6 +77,51 @@ pub struct Counters {
     pub int3_traps: u64,
 }
 
+/// Observability counters for the translated execution backends
+/// (superblock and trace-linked tiers).
+///
+/// Deliberately *not* part of [`Counters`]: the backend lockstep oracle
+/// requires `Counters` to be bit-identical between `step()` and the
+/// translated backends, while cache probes, chain follows and
+/// inline-cache hits are properties of one backend's machinery, not of
+/// the guest's execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Block-cache probes that found an existing block.
+    pub hits: u64,
+    /// Block-cache probes that missed (block decoded, or the probe fell
+    /// back to the step interpreter).
+    pub misses: u64,
+    /// Direct-exit links followed block-to-block without a cache probe.
+    pub chain_follows: u64,
+    /// Indirect-branch inline-cache hits (`ret`, indirect `jmp`/`call`).
+    pub ic_hits: u64,
+    /// Indirect-branch inline-cache misses (fell back to the probe path).
+    pub ic_misses: u64,
+    /// Code-segment invalidations (version bumps).
+    pub invalidations: u64,
+    /// Stale direct links and inline-cache entries severed after an
+    /// invalidation.
+    pub links_severed: u64,
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits {}  misses {}  chain-follows {}  ic-hits {}  ic-misses {}  \
+             invalidations {}  links-severed {}",
+            self.hits,
+            self.misses,
+            self.chain_follows,
+            self.ic_hits,
+            self.ic_misses,
+            self.invalidations,
+            self.links_severed
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -76,7 +76,9 @@ impl RunResult {
 
 /// Per-segment instruction cache: one `u32` slot per code byte indexing
 /// into a pool of decoded instructions (`u32::MAX` = not yet decoded).
-/// Self-modifying guest code is unsupported, so entries never invalidate.
+/// Guest stores never invalidate entries (self-modifying code is
+/// unsupported by the substrate); the host can explicitly drop a
+/// segment's decodes via [`Emu::invalidate_code`] after reloading code.
 #[derive(Default)]
 struct ICache {
     segs: Vec<(u64, u64, Vec<u32>)>, // (base, end, slots)
@@ -128,6 +130,20 @@ impl ICache {
             slots[off] = idx;
         }
     }
+
+    /// Drops every cached decode in the segment containing `addr`.
+    /// Returns `false` when no tracked segment contains it. The pool
+    /// keeps the stale entries (bounded garbage, same policy as the
+    /// superblock cache); only the slot mapping is reset.
+    fn invalidate(&mut self, addr: u64) -> bool {
+        match self.seg_of(addr) {
+            Some(seg) => {
+                self.segs[seg].2.fill(u32::MAX);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// The emulator: CPU + address space + runtime + cost accounting.
@@ -145,6 +161,11 @@ pub struct Emu<R: Runtime> {
     icache: ICache,
     pub(crate) trace: crate::trace::TraceCache,
     trap_table: HashMap<u64, u64>,
+    /// Dead-flag elision switch: when set, the flag helpers skip writing
+    /// `cpu.flags`. Only the trace-linked backend sets it, and only
+    /// around instructions whose flag outputs
+    /// [`redfat_analysis::dead_flags_in_run`] proved unobservable.
+    pub(crate) noflags: bool,
 }
 
 impl<R: Runtime> Emu<R> {
@@ -161,7 +182,14 @@ impl<R: Runtime> Emu<R> {
             icache: ICache::default(),
             trace: crate::trace::TraceCache::default(),
             trap_table: HashMap::new(),
+            noflags: false,
         }
+    }
+
+    /// See [`ICache::invalidate`]; the public entry point is
+    /// [`Emu::invalidate_code`], which also drops the block cache.
+    pub(crate) fn icache_invalidate(&mut self, addr: u64) -> bool {
+        self.icache.invalidate(addr)
     }
 
     /// Registers an `int3` trap-table entry (normally discovered by the
@@ -185,7 +213,7 @@ impl<R: Runtime> Emu<R> {
 
     /// Effective address of a memory operand.
     #[inline]
-    fn ea(&self, m: &Mem) -> u64 {
+    pub(crate) fn ea(&self, m: &Mem) -> u64 {
         if m.rip {
             // The decoder resolves RIP-relative displacements to absolute.
             return m.disp as u64;
@@ -201,23 +229,29 @@ impl<R: Runtime> Emu<R> {
     }
 
     #[inline]
-    fn load(&mut self, m: &Mem, w: Width) -> Result<u64, EmuError> {
+    pub(crate) fn load(&mut self, m: &Mem, w: Width) -> Result<u64, EmuError> {
         let addr = self.ea(m);
         self.load_at(addr, w)
     }
 
     #[inline]
     fn load_at(&mut self, addr: u64, w: Width) -> Result<u64, EmuError> {
+        let rip = self.cpu.rip;
+        self.load_at_rip(addr, w, rip)
+    }
+
+    /// [`Emu::load_at`] with the fault-reporting `rip` passed explicitly,
+    /// so callers that have not stored the architectural `rip` (the
+    /// trace tier's fast paths) still report faults at the exact address
+    /// `step()` would.
+    #[inline]
+    pub(crate) fn load_at_rip(&mut self, addr: u64, w: Width, rip: u64) -> Result<u64, EmuError> {
         let extra = self
             .runtime
-            .on_memory_access(&self.vm, addr, w.bytes(), false, self.cpu.rip)
-            .map_err(|error| EmuError::AccessVetoed {
-                rip: self.cpu.rip,
-                error,
-            })?;
+            .on_memory_access(&self.vm, addr, w.bytes(), false, rip)
+            .map_err(|error| EmuError::AccessVetoed { rip, error })?;
         self.counters.cycles += extra + self.cost.mem;
         self.counters.loads += 1;
-        let rip = self.cpu.rip;
         let wrap = |fault| EmuError::Fault { rip, fault };
         Ok(match w {
             Width::W8 => self.vm.read_u8(addr).map_err(wrap)? as u64,
@@ -227,23 +261,33 @@ impl<R: Runtime> Emu<R> {
     }
 
     #[inline]
-    fn store(&mut self, m: &Mem, w: Width, v: u64) -> Result<(), EmuError> {
+    pub(crate) fn store(&mut self, m: &Mem, w: Width, v: u64) -> Result<(), EmuError> {
         let addr = self.ea(m);
         self.store_at(addr, w, v)
     }
 
     #[inline]
     fn store_at(&mut self, addr: u64, w: Width, v: u64) -> Result<(), EmuError> {
+        let rip = self.cpu.rip;
+        self.store_at_rip(addr, w, v, rip)
+    }
+
+    /// [`Emu::store_at`] with an explicit fault-reporting `rip`; see
+    /// [`Emu::load_at_rip`].
+    #[inline]
+    pub(crate) fn store_at_rip(
+        &mut self,
+        addr: u64,
+        w: Width,
+        v: u64,
+        rip: u64,
+    ) -> Result<(), EmuError> {
         let extra = self
             .runtime
-            .on_memory_access(&self.vm, addr, w.bytes(), true, self.cpu.rip)
-            .map_err(|error| EmuError::AccessVetoed {
-                rip: self.cpu.rip,
-                error,
-            })?;
+            .on_memory_access(&self.vm, addr, w.bytes(), true, rip)
+            .map_err(|error| EmuError::AccessVetoed { rip, error })?;
         self.counters.cycles += extra + self.cost.mem;
         self.counters.stores += 1;
-        let rip = self.cpu.rip;
         let wrap = |fault| EmuError::Fault { rip, fault };
         match w {
             Width::W8 => self.vm.write_u8(addr, v as u8).map_err(wrap),
@@ -252,7 +296,7 @@ impl<R: Runtime> Emu<R> {
         }
     }
 
-    fn push64(&mut self, v: u64) -> Result<(), EmuError> {
+    pub(crate) fn push64(&mut self, v: u64) -> Result<(), EmuError> {
         let rsp = self.cpu.get(Reg::Rsp).wrapping_sub(8);
         self.cpu.set(Reg::Rsp, rsp);
         self.store_at(rsp, Width::W64, v)
@@ -270,7 +314,6 @@ impl<R: Runtime> Emu<R> {
     fn transfer_to(&mut self, target: u64) {
         self.counters.transfers += 1;
         self.counters.cycles += self.cost.transfer;
-        let in_tramp = |a: u64| (layout::TRAMPOLINE_BASE..layout::STACK_TOP).contains(&a);
         if in_tramp(self.cpu.rip) != in_tramp(target) {
             self.counters.region_crossings += 1;
             self.counters.cycles += self.cost.cross_region;
@@ -480,7 +523,9 @@ impl<R: Runtime> Emu<R> {
                 let a = self.cpu.read(*r, w);
                 let v = self.alu(AluOp::Sub, w, 0, a);
                 self.cpu.write(*r, w, v);
-                self.cpu.flags.cf = a != 0;
+                if !self.noflags {
+                    self.cpu.flags.cf = a != 0;
+                }
             }
             (Op::Neg, O::M(m)) => {
                 let mm = *m;
@@ -633,7 +678,10 @@ impl<R: Runtime> Emu<R> {
 
     // ---- flag helpers ----
 
-    fn alu(&mut self, op: AluOp, w: Width, a: u64, b: u64) -> u64 {
+    pub(crate) fn alu(&mut self, op: AluOp, w: Width, a: u64, b: u64) -> u64 {
+        if self.noflags {
+            return alu_value(op, w, a, b);
+        }
         let m = width_mask(w);
         let sign = sign_bit(w);
         match op {
@@ -669,20 +717,29 @@ impl<R: Runtime> Emu<R> {
         }
     }
 
-    fn logic_flags(&mut self, w: Width, r: u64) {
+    pub(crate) fn logic_flags(&mut self, w: Width, r: u64) {
+        if self.noflags {
+            return;
+        }
         self.cpu.flags.cf = false;
         self.cpu.flags.of = false;
         self.result_flags(w, r);
     }
 
     fn result_flags(&mut self, w: Width, r: u64) {
+        if self.noflags {
+            return;
+        }
         let r = r & width_mask(w);
         self.cpu.flags.zf = r == 0;
         self.cpu.flags.sf = r & sign_bit(w) != 0;
         self.cpu.flags.pf = (r as u8).count_ones().is_multiple_of(2);
     }
 
-    fn shift(&mut self, op: ShiftOp, w: Width, a: u64, count: u32) -> u64 {
+    pub(crate) fn shift(&mut self, op: ShiftOp, w: Width, a: u64, count: u32) -> u64 {
+        if self.noflags {
+            return shift_value(op, w, a, count);
+        }
         let bits = w.bits();
         let c = count & if w == Width::W64 { 63 } else { 31 };
         if c == 0 {
@@ -715,11 +772,14 @@ impl<R: Runtime> Emu<R> {
         r
     }
 
-    fn imul_flags(&mut self, w: Width, a: u64, b: u64) -> u64 {
+    pub(crate) fn imul_flags(&mut self, w: Width, a: u64, b: u64) -> u64 {
         let sa = sign_extend(a, w) as i128;
         let sb = sign_extend(b, w) as i128;
         let full = sa * sb;
         let r = (full as u64) & width_mask(w);
+        if self.noflags {
+            return r;
+        }
         let fits = sign_extend(r, w) as i128 == full;
         self.cpu.flags.cf = !fits;
         self.cpu.flags.of = !fits;
@@ -733,7 +793,13 @@ impl<R: Runtime> Emu<R> {
     // writers, so the liveness analysis lets instrumentation trash the
     // flags right before one. Partially preserving them here would leak
     // that trash through -- result_flags() pins every bit.
-    fn muldiv(&mut self, op: MulDivOp, w: Width, src: u64, rip: u64) -> Result<(), EmuError> {
+    pub(crate) fn muldiv(
+        &mut self,
+        op: MulDivOp,
+        w: Width,
+        src: u64,
+        rip: u64,
+    ) -> Result<(), EmuError> {
         match op {
             MulDivOp::Mul => {
                 self.counters.cycles += self.cost.mul;
@@ -829,8 +895,48 @@ impl<R: Runtime> Emu<R> {
     }
 }
 
+/// `true` when `a` lies in the trampoline region (used for the
+/// region-crossing cost; shared with the trace-linked backend's inline
+/// exit handling).
 #[inline]
-fn width_mask(w: Width) -> u64 {
+pub(crate) fn in_tramp(a: u64) -> bool {
+    (layout::TRAMPOLINE_BASE..layout::STACK_TOP).contains(&a)
+}
+
+/// The pure value an ALU operation computes, without flag effects. The
+/// trace-linked backend's specialized entries use this for operations
+/// whose flags were proven dead ([`Emu::alu`] stays the single source of
+/// truth for flag semantics).
+#[inline]
+pub(crate) fn alu_value(op: AluOp, w: Width, a: u64, b: u64) -> u64 {
+    let m = width_mask(w);
+    match op {
+        AluOp::Add => a.wrapping_add(b) & m,
+        AluOp::Sub | AluOp::Cmp => a.wrapping_sub(b) & m,
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+    }
+}
+
+/// The pure value a constant-count shift computes (count already known
+/// nonzero after masking), without flag effects.
+#[inline]
+pub(crate) fn shift_value(op: ShiftOp, w: Width, a: u64, count: u32) -> u64 {
+    let c = count & if w == Width::W64 { 63 } else { 31 };
+    let m = width_mask(w);
+    if c == 0 {
+        return a & m;
+    }
+    match op {
+        ShiftOp::Shl => (a << c) & m,
+        ShiftOp::Shr => (a & m) >> c,
+        ShiftOp::Sar => ((sign_extend(a, w) >> c.min(63)) as u64) & m,
+    }
+}
+
+#[inline]
+pub(crate) fn width_mask(w: Width) -> u64 {
     match w {
         Width::W8 => 0xFF,
         Width::W32 => 0xFFFF_FFFF,

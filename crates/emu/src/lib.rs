@@ -29,7 +29,7 @@ mod loader;
 mod runtime;
 mod trace;
 
-pub use cost::{CostModel, Counters};
+pub use cost::{CostModel, Counters, TraceStats};
 pub use cpu::{Cpu, Flags};
 pub use exec::{Emu, EmuError, RunResult, TRAP_TABLE_MAGIC};
 pub use loader::{LoadError, MAX_LOAD_BYTES};

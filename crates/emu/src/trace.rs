@@ -1,33 +1,87 @@
-//! Superblock translation cache: the emulator's fast execution backend.
+//! Translated execution backends: the superblock cache and the
+//! trace-linked tier built on top of it.
 //!
 //! The step interpreter ([`Emu::step`]) pays one instruction-cache probe
 //! (segment search, slot load, pool indirection, a full [`Inst`] copy)
-//! and one fall-through `rip` computation *per instruction*. This module
-//! instead decodes a straight-line run of instructions -- up to the next
-//! control transfer, or [`SUPERBLOCK_CAP`] -- into a pre-resolved
-//! *superblock* on first execution: operands are already split into
-//! their [`redfat_x86::Operands`] arms by the decoder, each entry stores
-//! its own address and precomputed fall-through `rip`, and execution
-//! needs a single cache probe per block.
+//! and one fall-through `rip` computation *per instruction*. The
+//! **superblock** backend ([`Emu::step_block`]) instead decodes a
+//! straight-line run of instructions -- up to the next control transfer,
+//! or [`SUPERBLOCK_CAP`] -- into a pre-resolved block on first
+//! execution, so execution needs a single cache probe per block.
+//!
+//! The **trace-linked** backend ([`Emu::step_trace`]) removes the
+//! remaining per-block costs (DESIGN.md §12):
+//!
+//! * **Trace formation.** Where the superblock tier stops at every
+//!   control transfer, the trace builder follows *direct* edges: an
+//!   unconditional `jmp`/`call` keeps decoding at its target (the
+//!   transfer becomes an interior charge pseudo-op), a conditional
+//!   branch keeps decoding along its predicted direction (backward
+//!   taken, forward fall-through -- the classic loop heuristic) and
+//!   becomes a checked [`FastOp::JccInline`] with a **side exit** for
+//!   the other direction, and a `ret` whose matching `call` was inlined
+//!   earlier in the same trace becomes [`FastOp::RetInline`]: the
+//!   return address is popped and *compared* against the build-time
+//!   prediction, so an entire call-return pair of a small helper runs
+//!   inside one trace. Formation stops at indirect transfers, at
+//!   addresses already in the trace (loop closure), at
+//!   [`TRACE_CAP`] instructions or [`MAX_INLINE_DEPTH`] nested inlined
+//!   calls. Mispredicted interior branches roll back the unexecuted
+//!   tail of the block charge and leave through a per-site side link.
+//! * **Chaining.** A trace ending in a direct jump, call, conditional
+//!   branch or fall-through stores link slots (`link_taken` /
+//!   `link_fall`) naming its successor block, and every interior side
+//!   exit has its own link slot. Links are patched on first execution
+//!   and validated against the owning segments' versions on every
+//!   follow (a trace records one `(segment, version)` dependency per
+//!   code segment it decoded from); [`Emu::invalidate_code`] bumps the
+//!   version, which lazily severs every stale link. Hot loops run
+//!   trace-to-trace without touching the block cache at all.
+//! * **Indirect-branch inline caches.** Blocks ending in `ret` or an
+//!   indirect `jmp`/`call` carry a tiny per-exit-site cache of
+//!   (observed target → block index) pairs, probed before the global
+//!   cache and maintained LRU. Version-checked like direct links.
+//! * **Dead-flag elision.** At build time,
+//!   [`redfat_analysis::dead_flags_in_run`] marks instructions whose
+//!   EFLAGS outputs are provably overwritten before any read *within
+//!   the block*, under a conservative "flags live at every possible
+//!   exit" rule (any instruction that can fault, trap or leave the
+//!   block pins flags live). Marked instructions execute through pure
+//!   value helpers ([`alu_value`]/[`shift_value`]) or with the flag
+//!   helpers muted (`Emu::noflags`), skipping flag materialization.
+//! * **Build-time specialization.** The block body is compiled into a
+//!   dense [`FastOp`] stream: operand shapes resolved once at decode
+//!   time (register codes, width-masked immediates, flattened
+//!   [`MemFast`] addressing), sized so the hot loop streams small
+//!   fixed-width entries instead of full [`Inst`] records. Fast paths
+//!   never store the architectural `rip` (it is unobservable between
+//!   exits); instructions that can fault pass their fall-through
+//!   address to [`Emu::load_at_rip`]/[`Emu::store_at_rip`] so faults
+//!   report exactly the `rip` the step interpreter would, and the cold
+//!   error path materializes `cpu.rip` before unwinding.
 //!
 //! Counter semantics are *identical* to the step interpreter by
-//! construction: every entry charges `base + dbi_dispatch` and bumps
-//! `instructions` exactly as [`Emu::step`] does, and `cpu.rip` is set to
-//! the fall-through address *before* dispatch, so memory-fault and veto
-//! addresses, trampoline region-crossing accounting and step budgets all
-//! observe the same state. The differential self-test
-//! (`redfat-core::selftest`) locksteps this backend against the step
-//! interpreter to enforce that equivalence rather than argue it.
+//! construction on all backends: every entry charges
+//! `base + dbi_dispatch` and bumps `instructions` exactly as
+//! [`Emu::step`] does, block-level charges are rolled back on early
+//! exit, terminal transfers replicate `step()`'s branch/transfer/
+//! crossing accounting (`ret` and register-indirect `jmp`/`call`
+//! terminals are replicated inline; memory-indirect forms and traps
+//! defer to the interpreter), and a budget smaller than the block falls
+//! back to exact per-instruction interpretation (with elision disabled,
+//! so flags are architecturally exact at the step-limit boundary). The
+//! differential self-test (`redfat-core::selftest`) locksteps both
+//! backends against the step interpreter to enforce that equivalence
+//! rather than argue it.
 //!
-//! Like the per-instruction icache, the block cache tracks code segments
-//! lazily (one slot array per executed segment) and never invalidates:
-//! self-modifying guest code is unsupported by the substrate, so a
-//! decoded superblock stays valid for the life of the run.
+//! Cache-maintenance counters live in [`TraceStats`], deliberately
+//! outside [`crate::Counters`] (the lockstep oracle requires `Counters`
+//! to be bit-identical across backends).
 
-use crate::exec::{Emu, EmuError, RunResult};
+use crate::cost::TraceStats;
+use crate::exec::{alu_value, in_tramp, shift_value, width_mask, Emu, EmuError, RunResult};
 use crate::runtime::Runtime;
-use redfat_x86::{decode_one, Inst, Op};
-use std::sync::Arc;
+use redfat_x86::{decode_one, AluOp, Cond, Inst, Mem, MulDivOp, Op, Operands, Reg, ShiftOp, Width};
 
 /// Upper bound on instructions per superblock. Keeps pathological
 /// straight-line runs (huge unrolled loops) from producing unbounded
@@ -35,7 +89,563 @@ use std::sync::Arc;
 /// the block starting at its end.
 pub const SUPERBLOCK_CAP: usize = 64;
 
-/// One pre-resolved instruction of a superblock.
+/// Upper bound on instructions per *trace* (the mega-block form built
+/// by the trace-linked tier, which keeps decoding across direct
+/// edges). Must stay below `u8::MAX`: slow-path ops index the decoded
+/// instruction table with a `u8`.
+pub const TRACE_CAP: usize = 192;
+
+/// Maximum depth of `call`s inlined into one trace (bounds the
+/// build-time return stack; recursion stops at the cap).
+pub const MAX_INLINE_DEPTH: usize = 8;
+
+/// "No successor linked" sentinel for link slots and IC entries.
+const NO_LINK: u32 = u32::MAX;
+
+/// Ways in the per-exit-site indirect-branch inline cache.
+const IC_WAYS: usize = 2;
+
+/// "No register" sentinel in [`MemFast`].
+const NO_REG: u8 = 0xFF;
+
+const RSP: usize = Reg::Rsp as usize;
+
+/// A memory operand flattened for the fast path: register codes with a
+/// sentinel instead of `Option<Reg>`, and RIP-relative forms already
+/// reduced to an absolute displacement (the decoder resolves them).
+/// Segment overrides are ignored, exactly like [`Emu::ea`].
+#[derive(Clone, Copy)]
+struct MemFast {
+    base: u8,
+    index: u8,
+    scale: u8,
+    disp: i64,
+}
+
+impl MemFast {
+    fn from(m: &Mem) -> MemFast {
+        if m.rip {
+            return MemFast {
+                base: NO_REG,
+                index: NO_REG,
+                scale: 0,
+                disp: m.disp,
+            };
+        }
+        MemFast {
+            base: m.base.map_or(NO_REG, Reg::code),
+            index: m.index.map_or(NO_REG, Reg::code),
+            scale: m.scale,
+            disp: m.disp,
+        }
+    }
+}
+
+/// Effective address of a flattened memory operand; mirrors [`Emu::ea`].
+#[inline(always)]
+fn ea_fast(regs: &[u64; 16], m: &MemFast) -> u64 {
+    let mut a = m.disp as u64;
+    if m.base != NO_REG {
+        a = a.wrapping_add(regs[m.base as usize]);
+    }
+    if m.index != NO_REG {
+        a = a.wrapping_add(regs[m.index as usize].wrapping_mul(m.scale as u64));
+    }
+    a
+}
+
+/// Register read at width; mirrors `Cpu::read` without the `Reg`
+/// round-trip.
+#[inline(always)]
+fn rd(regs: &[u64; 16], r: u8, w: Width) -> u64 {
+    let v = regs[r as usize];
+    match w {
+        Width::W8 => v & 0xFF,
+        Width::W32 => v & 0xFFFF_FFFF,
+        Width::W64 => v,
+    }
+}
+
+/// Register write at width with x86-64 semantics; mirrors `Cpu::write`.
+#[inline(always)]
+fn wr(regs: &mut [u64; 16], r: u8, w: Width, v: u64) {
+    let slot = &mut regs[r as usize];
+    match w {
+        Width::W8 => *slot = (*slot & !0xFF) | (v & 0xFF),
+        Width::W32 => *slot = v & 0xFFFF_FFFF,
+        Width::W64 => *slot = v,
+    }
+}
+
+/// Register-extension kinds with a fast path.
+#[derive(Clone, Copy)]
+enum ExtKind {
+    Zx8,
+    Sx8,
+    Sxd,
+}
+
+/// Build-time specialization of one instruction. `Slow` defers to the
+/// full interpreter arm ([`Emu::exec`]) via an index into the block's
+/// decoded [`TraceInst`] table; every other variant replicates the
+/// corresponding `exec` arm exactly (same reads, same widths, same
+/// fault order) with the operand shape pre-resolved. Variants that
+/// touch memory carry their fall-through address so faults report the
+/// exact `rip` the step interpreter would.
+#[derive(Clone, Copy)]
+enum FastOp {
+    /// Full interpreter dispatch of `insts[idx]`.
+    Slow {
+        idx: u8,
+    },
+    /// Full interpreter dispatch with flag computation muted (the
+    /// instruction's flag outputs are provably dead in this block and
+    /// it cannot exit the run).
+    SlowElide {
+        idx: u8,
+    },
+    /// No architectural effect: `nop`, or a `cmp`/`test` whose flags
+    /// are dead.
+    Nop,
+    MovRR {
+        w64: bool,
+        dst: u8,
+        src: u8,
+    },
+    /// `imm` already width-masked for a full register write.
+    MovRI {
+        dst: u8,
+        imm: u64,
+    },
+    AluRR {
+        op: AluOp,
+        w: Width,
+        dst: u8,
+        src: u8,
+        flags: bool,
+    },
+    AluRI {
+        op: AluOp,
+        w: Width,
+        dst: u8,
+        imm: u64,
+        flags: bool,
+    },
+    AluRM {
+        op: AluOp,
+        w: Width,
+        dst: u8,
+        flags: bool,
+        mem: MemFast,
+        next: u64,
+    },
+    TestRR {
+        w: Width,
+        a: u8,
+        b: u8,
+    },
+    TestRI {
+        w: Width,
+        a: u8,
+        imm: u64,
+    },
+    Lea {
+        w: Width,
+        dst: u8,
+        mem: MemFast,
+    },
+    LoadRM {
+        w: Width,
+        dst: u8,
+        mem: MemFast,
+        next: u64,
+    },
+    StoreMR {
+        w: Width,
+        src: u8,
+        mem: MemFast,
+        next: u64,
+    },
+    StoreMI {
+        w: Width,
+        imm: u64,
+        mem: MemFast,
+        next: u64,
+    },
+    ExtRR {
+        kind: ExtKind,
+        dst: u8,
+        src: u8,
+    },
+    ExtRM {
+        kind: ExtKind,
+        dst: u8,
+        mem: MemFast,
+        next: u64,
+    },
+    SetccR {
+        cond: Cond,
+        dst: u8,
+    },
+    CmovRR {
+        cond: Cond,
+        w: Width,
+        dst: u8,
+        src: u8,
+    },
+    ShiftRI {
+        op: ShiftOp,
+        w: Width,
+        dst: u8,
+        count: u32,
+        flags: bool,
+    },
+    PushR {
+        src: u8,
+        next: u64,
+    },
+    PopR {
+        dst: u8,
+        next: u64,
+    },
+    Cqo {
+        w64: bool,
+    },
+    Imul2RR {
+        w: Width,
+        dst: u8,
+        src: u8,
+    },
+    Imul2RM {
+        w: Width,
+        dst: u8,
+        mem: MemFast,
+        next: u64,
+    },
+    /// `imm` already width-masked.
+    Imul3RRI {
+        w: Width,
+        dst: u8,
+        src: u8,
+        imm: u64,
+    },
+    MulDivR {
+        op: MulDivOp,
+        w: Width,
+        src: u8,
+        rip: u64,
+        next: u64,
+    },
+    /// Interior direct `jmp` (trace formation followed the edge):
+    /// transfer/crossing accounting only, control stays in-trace.
+    ChargeJmp {
+        next: u64,
+        to: u64,
+    },
+    /// Interior direct `call`: push the return address (faultable),
+    /// then transfer accounting; the callee body follows in-trace.
+    ChargeCall {
+        next: u64,
+        to: u64,
+    },
+    /// Interior conditional branch. The trace was built along the
+    /// `expect_taken` direction; when the runtime outcome matches,
+    /// control stays in-trace (accounting only), otherwise the op sets
+    /// `rip` and leaves through side link `side`.
+    JccInline {
+        cond: Cond,
+        expect_taken: bool,
+        next: u64,
+        to: u64,
+        side: u16,
+    },
+    /// Interior `ret` whose matching `call` was inlined earlier in the
+    /// trace: pop + transfer accounting, then the popped target is
+    /// compared against the build-time return address `expect`; a
+    /// mismatch (stack rewritten under us) leaves through `side`.
+    RetInline {
+        expect: u64,
+        next: u64,
+        side: u16,
+    },
+    /// Fused compare-and-branch: an adjacent `cmp`/`test` +
+    /// [`FastOp::JccInline`] pair whose flags are provably dead after
+    /// the branch *within the trace*
+    /// ([`redfat_analysis::flags_live_after_run`]). The condition is
+    /// evaluated directly from the operands -- no flag materialization
+    /// on the predicted path; the mispredict side exit materializes
+    /// the compare's flags exactly before leaving (the operand
+    /// registers are untouched between the pair). The compare's slot
+    /// in the op stream stays as a [`FastOp::Nop`] so op indices keep
+    /// matching instruction indices for charge rollback.
+    CmpJcc {
+        w: Width,
+        a: u8,
+        /// `NO_REG` selects `imm` as the right-hand side.
+        b: u8,
+        imm: u64,
+        /// `test` (and) semantics instead of `cmp` (sub).
+        test: bool,
+        cond: Cond,
+        expect_taken: bool,
+        next: u64,
+        to: u64,
+        side: u16,
+    },
+}
+
+/// Sign-extended value of a width-masked operand.
+#[inline(always)]
+fn sx(w: Width, v: u64) -> i64 {
+    match w {
+        Width::W8 => v as u8 as i8 as i64,
+        Width::W32 => v as u32 as i32 as i64,
+        Width::W64 => v as i64,
+    }
+}
+
+/// Whether [`cmp_cond`]/[`test_cond`] can evaluate `cond` directly
+/// (the unsupported combinations need the overflow/parity bits of a
+/// subtraction, which cost as much as materializing the flags).
+fn fusable_cond(cond: Cond, test: bool) -> bool {
+    !matches!(cond, Cond::O | Cond::No | Cond::P | Cond::Np) || test
+}
+
+/// `cond` after `cmp a, b` (sub compare), via the standard x86
+/// identities (zf ⇔ `a == b`, cf ⇔ unsigned borrow, sf≠of ⇔ signed
+/// less-than); operands are width-masked.
+#[inline(always)]
+fn cmp_cond(cond: Cond, w: Width, a: u64, b: u64) -> bool {
+    match cond {
+        Cond::E => a == b,
+        Cond::Ne => a != b,
+        Cond::B => a < b,
+        Cond::Ae => a >= b,
+        Cond::Be => a <= b,
+        Cond::A => a > b,
+        Cond::L => sx(w, a) < sx(w, b),
+        Cond::Ge => sx(w, a) >= sx(w, b),
+        Cond::Le => sx(w, a) <= sx(w, b),
+        Cond::G => sx(w, a) > sx(w, b),
+        Cond::S => sx(w, a.wrapping_sub(b) & width_mask(w)) < 0,
+        Cond::Ns => sx(w, a.wrapping_sub(b) & width_mask(w)) >= 0,
+        Cond::O | Cond::No | Cond::P | Cond::Np => unreachable!("not fused"),
+    }
+}
+
+/// `cond` after `test a, b` (`r = a & b`, cf = of = 0); `r` is
+/// width-masked.
+#[inline(always)]
+fn test_cond(cond: Cond, w: Width, r: u64) -> bool {
+    match cond {
+        Cond::E | Cond::Be => r == 0,
+        Cond::Ne | Cond::A => r != 0,
+        Cond::B | Cond::O => false,
+        Cond::Ae | Cond::No => true,
+        Cond::S | Cond::L => sx(w, r) < 0,
+        Cond::Ns | Cond::Ge => sx(w, r) >= 0,
+        Cond::Le => r == 0 || sx(w, r) < 0,
+        Cond::G => r != 0 && sx(w, r) >= 0,
+        Cond::P => (r as u8).count_ones().is_multiple_of(2),
+        Cond::Np => !(r as u8).count_ones().is_multiple_of(2),
+    }
+}
+
+/// Resolves an instruction's fast path. `dead_flags` is the verdict of
+/// [`redfat_analysis::dead_flags_in_run`]: when true the instruction
+/// must-writes all flags, cannot exit the run, and no later instruction
+/// reads its flag outputs before they are overwritten.
+fn specialize(inst: &Inst, rip: u64, next: u64, idx: u8, dead_flags: bool) -> FastOp {
+    use Operands as O;
+    let w = inst.w;
+    match (inst.op, &inst.operands) {
+        (Op::Nop, O::None) => FastOp::Nop,
+        (Op::Push, O::R(r)) => FastOp::PushR {
+            src: r.code(),
+            next,
+        },
+        (Op::Pop, O::R(r)) => FastOp::PopR {
+            dst: r.code(),
+            next,
+        },
+        (Op::Cqo, O::None) => FastOp::Cqo {
+            w64: w == Width::W64,
+        },
+        (Op::Imul2, O::RR { dst, src }) => FastOp::Imul2RR {
+            w,
+            dst: dst.code(),
+            src: src.code(),
+        },
+        (Op::Imul2, O::RM { dst, src }) => FastOp::Imul2RM {
+            w,
+            dst: dst.code(),
+            mem: MemFast::from(src),
+            next,
+        },
+        (Op::Imul3, O::RRI { dst, src, imm }) => FastOp::Imul3RRI {
+            w,
+            dst: dst.code(),
+            src: src.code(),
+            imm: *imm as u64 & width_mask(w),
+        },
+        (Op::MulDiv(op), O::R(r)) => FastOp::MulDivR {
+            op,
+            w,
+            src: r.code(),
+            rip,
+            next,
+        },
+        (Op::Mov, O::RR { dst, src }) if w != Width::W8 => FastOp::MovRR {
+            w64: w == Width::W64,
+            dst: dst.code(),
+            src: src.code(),
+        },
+        (Op::Mov, O::RI { dst, imm }) if w != Width::W8 => FastOp::MovRI {
+            dst: dst.code(),
+            imm: *imm as u64 & width_mask(w),
+        },
+        (Op::Mov, O::RM { dst, src }) => FastOp::LoadRM {
+            w,
+            dst: dst.code(),
+            mem: MemFast::from(src),
+            next,
+        },
+        (Op::Mov, O::MR { dst, src }) => FastOp::StoreMR {
+            w,
+            src: src.code(),
+            mem: MemFast::from(dst),
+            next,
+        },
+        (Op::Mov, O::MI { dst, imm }) => FastOp::StoreMI {
+            w,
+            imm: *imm as u64,
+            mem: MemFast::from(dst),
+            next,
+        },
+        (Op::Movzx8, O::RR { dst, src }) => FastOp::ExtRR {
+            kind: ExtKind::Zx8,
+            dst: dst.code(),
+            src: src.code(),
+        },
+        (Op::Movsx8, O::RR { dst, src }) => FastOp::ExtRR {
+            kind: ExtKind::Sx8,
+            dst: dst.code(),
+            src: src.code(),
+        },
+        (Op::Movsxd, O::RR { dst, src }) => FastOp::ExtRR {
+            kind: ExtKind::Sxd,
+            dst: dst.code(),
+            src: src.code(),
+        },
+        (Op::Movzx8, O::RM { dst, src }) => FastOp::ExtRM {
+            kind: ExtKind::Zx8,
+            dst: dst.code(),
+            mem: MemFast::from(src),
+            next,
+        },
+        (Op::Movsx8, O::RM { dst, src }) => FastOp::ExtRM {
+            kind: ExtKind::Sx8,
+            dst: dst.code(),
+            mem: MemFast::from(src),
+            next,
+        },
+        (Op::Movsxd, O::RM { dst, src }) => FastOp::ExtRM {
+            kind: ExtKind::Sxd,
+            dst: dst.code(),
+            mem: MemFast::from(src),
+            next,
+        },
+        (Op::Lea, O::RM { dst, src }) => FastOp::Lea {
+            w,
+            dst: dst.code(),
+            mem: MemFast::from(src),
+        },
+        (Op::Alu(op), O::RR { dst, src }) => {
+            if dead_flags && op == AluOp::Cmp {
+                FastOp::Nop
+            } else {
+                FastOp::AluRR {
+                    op,
+                    w,
+                    dst: dst.code(),
+                    src: src.code(),
+                    flags: !dead_flags,
+                }
+            }
+        }
+        (Op::Alu(op), O::RI { dst, imm }) => {
+            if dead_flags && op == AluOp::Cmp {
+                FastOp::Nop
+            } else {
+                FastOp::AluRI {
+                    op,
+                    w,
+                    dst: dst.code(),
+                    imm: *imm as u64 & width_mask(w),
+                    flags: !dead_flags,
+                }
+            }
+        }
+        (Op::Alu(op), O::RM { dst, src }) => FastOp::AluRM {
+            op,
+            w,
+            dst: dst.code(),
+            flags: !dead_flags,
+            mem: MemFast::from(src),
+            next,
+        },
+        (Op::Test, O::RR { dst, src }) => {
+            if dead_flags {
+                FastOp::Nop
+            } else {
+                FastOp::TestRR {
+                    w,
+                    a: dst.code(),
+                    b: src.code(),
+                }
+            }
+        }
+        (Op::Test, O::RI { dst, imm }) => {
+            if dead_flags {
+                FastOp::Nop
+            } else {
+                FastOp::TestRI {
+                    w,
+                    a: dst.code(),
+                    imm: *imm as u64 & width_mask(w),
+                }
+            }
+        }
+        (Op::Shift(op), O::RI { dst, imm }) => FastOp::ShiftRI {
+            op,
+            w,
+            dst: dst.code(),
+            count: *imm as u32,
+            flags: !dead_flags,
+        },
+        (Op::Setcc(c), O::R(r)) => FastOp::SetccR {
+            cond: c,
+            dst: r.code(),
+        },
+        (Op::Cmovcc(c), O::RR { dst, src }) => FastOp::CmovRR {
+            cond: c,
+            w,
+            dst: dst.code(),
+            src: src.code(),
+        },
+        _ => {
+            if dead_flags {
+                FastOp::SlowElide { idx }
+            } else {
+                FastOp::Slow { idx }
+            }
+        }
+    }
+}
+
+/// One decoded instruction of a block, kept for the slow path, the
+/// budget-limited prefix path and terminal handling. The hot loop
+/// streams the parallel [`FastOp`] array instead.
 struct TraceInst {
     inst: Inst,
     /// The instruction's own address.
@@ -44,43 +654,158 @@ struct TraceInst {
     next: u64,
 }
 
-/// A decoded straight-line run ending at a control transfer (or the cap).
-pub(crate) struct TraceBlock {
-    insts: Vec<TraceInst>,
+/// How a block hands off control, pre-resolved for inline terminal
+/// handling and successor linking.
+#[derive(Clone, Copy)]
+enum BlockExit {
+    /// Capped straight-line run: control continues at the last entry's
+    /// fall-through address.
+    Fall,
+    /// Direct `jmp`.
+    Jmp { to: u64 },
+    /// Direct conditional branch (taken → `to`, else fall-through).
+    Jcc { cond: Cond, to: u64 },
+    /// Direct `call` (pushes the return address, then jumps).
+    Call { to: u64 },
+    /// `ret`: inline pop + transfer, successor via the inline cache.
+    Ret,
+    /// Register-indirect `jmp`: target read inline, IC successor.
+    JmpIndR { src: u8 },
+    /// Register-indirect `call`: push + transfer inline, IC successor.
+    CallIndR { src: u8 },
+    /// Memory-indirect `jmp`/`call` and `int3` trap dispatch: terminal
+    /// executed via the interpreter, successor via the inline cache.
+    Indirect,
+    /// Terminal executed via the interpreter with no successor worth
+    /// predicting (`ud2`, malformed control flow).
+    Other,
 }
 
-/// Per-segment superblock cache: one `u32` slot per code byte indexing
-/// the block that *starts* there (`u32::MAX` = none). Entries never
-/// invalidate (no self-modifying code; see module docs).
+impl BlockExit {
+    /// Whether the successor target is data-dependent (resolved through
+    /// the inline cache rather than the direct link slots).
+    #[inline]
+    fn is_indirect(self) -> bool {
+        matches!(
+            self,
+            BlockExit::Ret
+                | BlockExit::JmpIndR { .. }
+                | BlockExit::CallIndR { .. }
+                | BlockExit::Indirect
+                | BlockExit::Other
+        )
+    }
+}
+
+/// Build-time classification of a decoded instruction inside a trace:
+/// either an ordinary body instruction (`None`), or a direct transfer
+/// the builder followed, which executes as an interior pseudo-op.
+enum Interior {
+    None,
+    Jmp {
+        to: u64,
+    },
+    Call {
+        to: u64,
+    },
+    Jcc {
+        cond: Cond,
+        to: u64,
+        expect_taken: bool,
+    },
+    Ret {
+        expect: u64,
+    },
+}
+
+/// The [`BlockExit`] a terminal instruction produces when the trace
+/// ends at it (also used to demote a followed edge whose target turned
+/// out to be undecodable).
+fn exit_of(inst: &Inst) -> BlockExit {
+    match (inst.op, &inst.operands) {
+        (Op::Jmp, Operands::Rel(t)) => BlockExit::Jmp { to: *t },
+        (Op::Jcc(c), Operands::Rel(t)) => BlockExit::Jcc { cond: c, to: *t },
+        (Op::Call, Operands::Rel(t)) => BlockExit::Call { to: *t },
+        (Op::Ret, Operands::None) => BlockExit::Ret,
+        (Op::JmpInd, Operands::R(r)) => BlockExit::JmpIndR { src: r.code() },
+        (Op::CallInd, Operands::R(r)) => BlockExit::CallIndR { src: r.code() },
+        (Op::Ret | Op::JmpInd | Op::CallInd | Op::Int3, _) => BlockExit::Indirect,
+        _ => BlockExit::Other,
+    }
+}
+
+/// A decoded straight-line run ending at a control transfer (or the
+/// cap), plus its chaining state.
+pub(crate) struct TraceBlock {
+    /// Dense body dispatch stream (terminal excluded unless the block
+    /// falls through at the cap); parallel to `insts[..ops.len()]`.
+    ops: Box<[FastOp]>,
+    insts: Box<[TraceInst]>,
+    exit: BlockExit,
+    /// The address the block starts at (side links validate their
+    /// target against this: a `ret` side exit is data-dependent).
+    start: u64,
+    /// `(segment index, version)` dependency per code segment the
+    /// trace decoded from (a trace may cross segments through followed
+    /// calls/jumps). Any version mismatch means the block is stale: it
+    /// is never entered via links and its slot was cleared by the
+    /// invalidation.
+    deps: Box<[(u32, u32)]>,
+    /// Direct-exit successor links (`NO_LINK` = not yet patched).
+    /// `link_taken` covers the jump/call/branch-taken edge,
+    /// `link_fall` the fall-through edge.
+    link_taken: u32,
+    link_fall: u32,
+    /// One successor link per interior side exit (mispredicted
+    /// [`FastOp::JccInline`] direction / [`FastOp::RetInline`] target).
+    side_links: Box<[u32]>,
+    /// Indirect-branch inline cache: (observed target, block index),
+    /// most recent first.
+    ic: [(u64, u32); IC_WAYS],
+}
+
+/// Per-segment block cache: one `u32` slot per code byte indexing the
+/// block that *starts* there (`u32::MAX` = none), plus a version
+/// counter bumped by [`Emu::invalidate_code`]. Invalidation clears the
+/// slots and strands the segment's existing blocks (links to them fail
+/// the version check and are severed lazily).
+struct TraceSeg {
+    base: u64,
+    end: u64,
+    slots: Vec<u32>,
+    version: u32,
+}
+
 #[derive(Default)]
 pub(crate) struct TraceCache {
-    segs: Vec<(u64, u64, Vec<u32>)>, // (base, end, slots)
-    blocks: Vec<Arc<TraceBlock>>,
+    segs: Vec<TraceSeg>,
+    blocks: Vec<TraceBlock>,
     last: usize,
+    pub(crate) stats: TraceStats,
 }
 
 impl TraceCache {
     #[inline]
-    fn lookup(&mut self, rip: u64) -> Option<Arc<TraceBlock>> {
+    fn lookup_idx(&mut self, rip: u64) -> Option<u32> {
         let seg = self.seg_of(rip)?;
-        let (base, _, slots) = &self.segs[seg];
-        let idx = slots[(rip - base) as usize];
-        if idx == u32::MAX {
+        let s = &self.segs[seg];
+        let idx = s.slots[(rip - s.base) as usize];
+        if idx == NO_LINK {
             None
         } else {
-            Some(Arc::clone(&self.blocks[idx as usize]))
+            Some(idx)
         }
     }
 
     #[inline]
     fn seg_of(&mut self, rip: u64) -> Option<usize> {
-        if let Some(&(b, e, _)) = self.segs.get(self.last) {
-            if rip >= b && rip < e {
+        if let Some(s) = self.segs.get(self.last) {
+            if rip >= s.base && rip < s.end {
                 return Some(self.last);
             }
         }
-        for (i, &(b, e, _)) in self.segs.iter().enumerate() {
-            if rip >= b && rip < e {
+        for (i, s) in self.segs.iter().enumerate() {
+            if rip >= s.base && rip < s.end {
                 self.last = i;
                 return Some(i);
             }
@@ -88,23 +813,74 @@ impl TraceCache {
         None
     }
 
-    fn add_seg(&mut self, base: u64, size: u64) {
-        self.segs
-            .push((base, base + size, vec![u32::MAX; size as usize]));
+    fn add_seg(&mut self, base: u64, size: u64) -> usize {
+        self.segs.push(TraceSeg {
+            base,
+            end: base + size,
+            slots: vec![NO_LINK; size as usize],
+            version: 0,
+        });
         self.last = self.segs.len() - 1;
+        self.last
     }
 
-    fn insert(&mut self, rip: u64, block: Arc<TraceBlock>) {
-        if let Some(seg) = self.seg_of(rip) {
-            let idx = self.blocks.len() as u32;
-            self.blocks.push(block);
-            let (base, _, slots) = &mut self.segs[seg];
-            slots[(rip - *base) as usize] = idx;
+    #[allow(clippy::too_many_arguments)]
+    fn insert(
+        &mut self,
+        seg: usize,
+        rip: u64,
+        ops: Vec<FastOp>,
+        insts: Vec<TraceInst>,
+        exit: BlockExit,
+        side_count: usize,
+        deps: Vec<(u32, u32)>,
+    ) -> u32 {
+        let idx = self.blocks.len() as u32;
+        self.blocks.push(TraceBlock {
+            ops: ops.into_boxed_slice(),
+            insts: insts.into_boxed_slice(),
+            exit,
+            start: rip,
+            deps: deps.into_boxed_slice(),
+            link_taken: NO_LINK,
+            link_fall: NO_LINK,
+            side_links: vec![NO_LINK; side_count].into_boxed_slice(),
+            ic: [(0, NO_LINK); IC_WAYS],
+        });
+        let base = self.segs[seg].base;
+        self.segs[seg].slots[(rip - base) as usize] = idx;
+        idx
+    }
+
+    /// Whether a linked block is still current (none of the segments
+    /// it decoded from have been invalidated since it was built).
+    #[inline]
+    fn block_current(&self, idx: u32) -> bool {
+        self.blocks[idx as usize]
+            .deps
+            .iter()
+            .all(|&(s, v)| self.segs[s as usize].version == v)
+    }
+
+    /// Invalidates the code segment containing `addr`: bumps the
+    /// version (severing every link into the segment's blocks on next
+    /// follow) and clears the slot array so re-execution rebuilds.
+    /// Returns whether a tracked segment was hit.
+    pub(crate) fn invalidate_addr(&mut self, addr: u64) -> bool {
+        match self.seg_of(addr) {
+            Some(si) => {
+                let s = &mut self.segs[si];
+                s.version = s.version.wrapping_add(1);
+                s.slots.fill(NO_LINK);
+                self.stats.invalidations += 1;
+                true
+            }
+            None => false,
         }
     }
 }
 
-/// Ops that end a superblock: everything that can transfer control away
+/// Ops that end a block: everything that can transfer control away
 /// from the fall-through path (plus `ud2`, which never falls through).
 /// `syscall` continues at the next instruction, so it does not end a
 /// block; termination outcomes are checked per entry during execution.
@@ -124,14 +900,18 @@ pub enum ExecBackend {
     Step,
     /// Superblock translation cache ([`Emu::step_block`]).
     Superblock,
+    /// Trace-linked tier: chaining + indirect-branch inline caches +
+    /// dead-flag elision ([`Emu::step_trace`]).
+    Trace,
 }
 
 impl ExecBackend {
-    /// Parses a backend name (`"step"` / `"superblock"`).
+    /// Parses a backend name (`"step"` / `"superblock"` / `"trace"`).
     pub fn parse(s: &str) -> Option<ExecBackend> {
         match s {
             "step" => Some(ExecBackend::Step),
             "superblock" => Some(ExecBackend::Superblock),
+            "trace" => Some(ExecBackend::Trace),
             _ => None,
         }
     }
@@ -142,19 +922,37 @@ impl std::fmt::Display for ExecBackend {
         match self {
             ExecBackend::Step => write!(f, "step"),
             ExecBackend::Superblock => write!(f, "superblock"),
+            ExecBackend::Trace => write!(f, "trace"),
         }
     }
 }
 
 impl<R: Runtime> Emu<R> {
-    /// Decodes the straight-line run starting at `rip` into a cached
-    /// superblock. Returns `None` when even the first instruction cannot
-    /// be fetched or decoded (the caller defers to [`Emu::step`] so the
-    /// error is produced with exactly the interpreter's semantics).
-    fn build_block(&mut self, rip: u64) -> Option<Arc<TraceBlock>> {
-        let mut insts = Vec::new();
+    /// Decodes the run starting at `rip` into a cached block. In
+    /// `mega` mode (the trace-linked tier) decoding continues across
+    /// direct edges -- see the module docs; otherwise it stops at the
+    /// first control transfer (the superblock tier). Returns `None`
+    /// when even the first instruction cannot be fetched or decoded
+    /// (the caller defers to [`Emu::step`] so the error is produced
+    /// with exactly the interpreter's semantics).
+    fn build_block(&mut self, trace: &mut TraceCache, rip: u64, mega: bool) -> Option<u32> {
+        let cap = if mega { TRACE_CAP } else { SUPERBLOCK_CAP };
+        let mut insts: Vec<TraceInst> = Vec::new();
+        let mut kinds: Vec<Interior> = Vec::new();
+        // Interior edge targets: dependency tracking (a trace decoding
+        // from several segments must be severed when any of them is
+        // invalidated).
+        let mut targets: Vec<u64> = Vec::new();
+        // Addresses already decoded into this trace: following an edge
+        // to one would re-enter the trace mid-way, so it ends it
+        // instead (loop closure chains the trace to itself).
+        let mut visited: Vec<u64> = Vec::new();
+        // Build-time return-address stack for inlined calls.
+        let mut ret_stack: Vec<u64> = Vec::new();
         let mut addr = rip;
-        while insts.len() < SUPERBLOCK_CAP {
+        let mut exit = BlockExit::Fall;
+        let mut done = false;
+        while !done && insts.len() < cap {
             let Ok(bytes) = self.vm.fetch(addr, 16) else {
                 break;
             };
@@ -162,28 +960,236 @@ impl<R: Runtime> Emu<R> {
                 break;
             };
             let next = addr + len as u64;
-            let terminal = ends_block(inst.op);
+            visited.push(addr);
             insts.push(TraceInst {
                 inst,
                 rip: addr,
                 next,
             });
-            if terminal {
-                break;
+            if !ends_block(inst.op) {
+                kinds.push(Interior::None);
+                addr = next;
+                continue;
             }
-            addr = next;
+            // Direct transfer: follow the edge in mega mode.
+            let followed: Option<(Interior, u64)> = if !mega {
+                None
+            } else {
+                match (inst.op, &inst.operands) {
+                    (Op::Jmp, Operands::Rel(t)) if !visited.contains(t) => {
+                        Some((Interior::Jmp { to: *t }, *t))
+                    }
+                    (Op::Call, Operands::Rel(t))
+                        if !visited.contains(t) && ret_stack.len() < MAX_INLINE_DEPTH =>
+                    {
+                        ret_stack.push(next);
+                        Some((Interior::Call { to: *t }, *t))
+                    }
+                    (Op::Jcc(c), Operands::Rel(t)) => {
+                        // Backward-taken / forward-fall-through
+                        // direction heuristic. No fallback to the
+                        // other direction: when the predicted target
+                        // is already in the trace (a loop-closing
+                        // conditional), the trace ends there -- the
+                        // unpredicted path is cold, and decoding it
+                        // would grow a tail that every iteration
+                        // side-exits around.
+                        let (expect_taken, cand) = if *t <= addr {
+                            (true, *t)
+                        } else {
+                            (false, next)
+                        };
+                        (!visited.contains(&cand)).then_some((
+                            Interior::Jcc {
+                                cond: c,
+                                to: *t,
+                                expect_taken,
+                            },
+                            cand,
+                        ))
+                    }
+                    (Op::Ret, Operands::None) => match ret_stack.pop() {
+                        Some(ra) if !visited.contains(&ra) => {
+                            Some((Interior::Ret { expect: ra }, ra))
+                        }
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            };
+            match followed {
+                Some((kind, target)) => {
+                    kinds.push(kind);
+                    targets.push(target);
+                    addr = target;
+                }
+                None => {
+                    kinds.push(Interior::None);
+                    exit = exit_of(&inst);
+                    done = true;
+                }
+            }
         }
         if insts.is_empty() {
             return None;
         }
-        let block = Arc::new(TraceBlock { insts });
-        if self.trace.seg_of(rip).is_none() {
-            if let Some((base, size)) = self.vm.segment_span(rip) {
-                self.trace.add_seg(base, size);
+        if !done {
+            // Ended at the cap or at an unfetchable/undecodable follow
+            // target: a trailing followed edge has no in-trace
+            // continuation, so demote it back to the block terminal.
+            if let Some(k) = kinds.last_mut() {
+                if !matches!(k, Interior::None) {
+                    exit = exit_of(&insts.last().expect("nonempty").inst);
+                    *k = Interior::None;
+                    targets.pop();
+                }
             }
         }
-        self.trace.insert(rip, Arc::clone(&block));
-        Some(block)
+        // Flag liveness over the whole trace; the terminal stays on
+        // the slow path (its flag inputs -- Jcc -- are read inline, and
+        // dead[last] is always false under the exit-conservative
+        // rule). Interior transfers are conservative by construction:
+        // `jcc` reads the flags, `call`/`ret` touch the stack (may
+        // exit), and an interior `jmp` is infallible so flowing
+        // liveness through it is exact.
+        let flat: Vec<Inst> = insts.iter().map(|ti| ti.inst).collect();
+        let dead = redfat_analysis::dead_flags_in_run(&flat);
+        let body_len = match exit {
+            BlockExit::Fall => insts.len(),
+            _ => insts.len() - 1,
+        };
+        let mut sides: u16 = 0;
+        let ops: Vec<FastOp> = insts[..body_len]
+            .iter()
+            .zip(&kinds)
+            .enumerate()
+            .map(|(i, (ti, kind))| match *kind {
+                Interior::None => specialize(&ti.inst, ti.rip, ti.next, i as u8, dead[i]),
+                Interior::Jmp { to } => FastOp::ChargeJmp { next: ti.next, to },
+                Interior::Call { to } => FastOp::ChargeCall { next: ti.next, to },
+                Interior::Jcc {
+                    cond,
+                    to,
+                    expect_taken,
+                } => {
+                    let side = sides;
+                    sides += 1;
+                    FastOp::JccInline {
+                        cond,
+                        expect_taken,
+                        next: ti.next,
+                        to,
+                        side,
+                    }
+                }
+                Interior::Ret { expect } => {
+                    let side = sides;
+                    sides += 1;
+                    FastOp::RetInline {
+                        expect,
+                        next: ti.next,
+                        side,
+                    }
+                }
+            })
+            .collect();
+        // Fuse adjacent compare + interior-branch pairs whose flags
+        // die (within the trace) after the branch; the compare slot
+        // becomes a `Nop` to keep op indices aligned with instruction
+        // indices.
+        let mut ops = ops;
+        let live_after = redfat_analysis::flags_live_after_run(&flat);
+        for i in 0..ops.len().saturating_sub(1) {
+            let FastOp::JccInline {
+                cond,
+                expect_taken,
+                next,
+                to,
+                side,
+            } = ops[i + 1]
+            else {
+                continue;
+            };
+            if live_after[i + 1] {
+                continue;
+            }
+            let fused = match ops[i] {
+                FastOp::AluRR {
+                    op: AluOp::Cmp,
+                    w,
+                    dst,
+                    src,
+                    ..
+                } if fusable_cond(cond, false) => Some((w, dst, src, 0, false)),
+                FastOp::AluRI {
+                    op: AluOp::Cmp,
+                    w,
+                    dst,
+                    imm,
+                    ..
+                } if fusable_cond(cond, false) => Some((w, dst, NO_REG, imm, false)),
+                FastOp::TestRR { w, a, b } if fusable_cond(cond, true) => Some((w, a, b, 0, true)),
+                FastOp::TestRI { w, a, imm } if fusable_cond(cond, true) => {
+                    Some((w, a, NO_REG, imm, true))
+                }
+                _ => None,
+            };
+            if let Some((w, a, b, imm, test)) = fused {
+                ops[i] = FastOp::Nop;
+                ops[i + 1] = FastOp::CmpJcc {
+                    w,
+                    a,
+                    b,
+                    imm,
+                    test,
+                    cond,
+                    expect_taken,
+                    next,
+                    to,
+                    side,
+                };
+            }
+        }
+        let seg = match trace.seg_of(rip) {
+            Some(s) => s,
+            None => {
+                let (base, size) = self.vm.segment_span(rip)?;
+                trace.add_seg(base, size)
+            }
+        };
+        let mut deps: Vec<(u32, u32)> = vec![(seg as u32, trace.segs[seg].version)];
+        for &t in &targets {
+            let s = match trace.seg_of(t) {
+                Some(s) => s,
+                None => {
+                    let (base, size) = self.vm.segment_span(t)?;
+                    trace.add_seg(base, size)
+                }
+            };
+            if !deps.iter().any(|&(ds, _)| ds == s as u32) {
+                deps.push((s as u32, trace.segs[s].version));
+            }
+        }
+        Some(trace.insert(seg, rip, ops, insts, exit, sides as usize, deps))
+    }
+
+    /// One global-cache probe, building on miss. `None` means the first
+    /// instruction at `rip` is unfetchable/undecodable; the caller
+    /// defers to [`Emu::step`] for the exact error.
+    fn lookup_or_build(&mut self, trace: &mut TraceCache, rip: u64, mega: bool) -> Option<u32> {
+        if let Some(idx) = trace.lookup_idx(rip) {
+            if trace.block_current(idx) {
+                trace.stats.hits += 1;
+                return Some(idx);
+            }
+            // A mega trace that starts in a live segment but decoded
+            // across an edge into a since-invalidated one is still
+            // reachable through its own segment's slot: sever it here
+            // (the rebuild below overwrites the slot).
+            trace.stats.links_severed += 1;
+        }
+        trace.stats.misses += 1;
+        self.build_block(trace, rip, mega)
     }
 
     /// Executes up to `budget` instructions of the superblock at the
@@ -199,20 +1205,32 @@ impl<R: Runtime> Emu<R> {
         if budget == 0 {
             return (0, Ok(None));
         }
+        // Detach the cache so block borrows can coexist with `&mut
+        // self` exec calls; `self.trace` is empty (and unused) for the
+        // duration.
+        let mut trace = std::mem::take(&mut self.trace);
+        let out = self.step_block_inner(&mut trace, budget);
+        self.trace = trace;
+        out
+    }
+
+    fn step_block_inner(
+        &mut self,
+        trace: &mut TraceCache,
+        budget: u64,
+    ) -> (u64, Result<Option<RunResult>, EmuError>) {
         let rip = self.cpu.rip;
-        let block = match self.trace.lookup(rip) {
+        let bidx = match self.lookup_or_build(trace, rip, false) {
             Some(b) => b,
-            None => match self.build_block(rip) {
-                Some(b) => b,
-                None => {
-                    // Unfetchable/undecodable first instruction: the
-                    // step interpreter owns the exact error behavior.
-                    let before = self.counters.instructions;
-                    let r = self.step();
-                    return (self.counters.instructions - before, r);
-                }
-            },
+            None => {
+                // Unfetchable/undecodable first instruction: the step
+                // interpreter owns the exact error behavior.
+                let before = self.counters.instructions;
+                let r = self.step();
+                return (self.counters.instructions - before, r);
+            }
         };
+        let block = &trace.blocks[bidx as usize];
         let n = (block.insts.len() as u64).min(budget) as usize;
         // Charge the whole run up front (per-instruction state is
         // unobservable between the charge and the dispatch: hooks and
@@ -227,19 +1245,741 @@ impl<R: Runtime> Emu<R> {
             // faults and region-crossing accounting observe `next`.
             self.cpu.rip = ti.next;
             match self.exec(&ti.inst, ti.rip, ti.next) {
-                Ok(None) => {}
+                Ok(None) => {
+                    // Control left the recorded line (an interior
+                    // conditional of a shared-cache trace went the
+                    // other way): stop here, the next probe re-enters
+                    // at the actual `rip`.
+                    if i + 1 < n && self.cpu.rip != block.insts[i + 1].rip {
+                        let unexecuted = (n - (i + 1)) as u64;
+                        self.counters.instructions -= unexecuted;
+                        self.counters.cycles -= per_inst * unexecuted;
+                        return ((i + 1) as u64, Ok(None));
+                    }
+                }
                 done => {
                     let unexecuted = (n - (i + 1)) as u64;
                     self.counters.instructions -= unexecuted;
                     self.counters.cycles -= per_inst * unexecuted;
-                    return match done {
-                        Ok(some) => ((i + 1) as u64, Ok(some)),
-                        Err(e) => ((i + 1) as u64, Err(e)),
-                    };
+                    return ((i + 1) as u64, done);
                 }
             }
         }
         (n as u64, Ok(None))
+    }
+
+    /// Executes up to `budget` instructions on the trace-linked tier:
+    /// one cache probe at entry, then block-to-block execution via
+    /// direct links and indirect-branch inline caches until the budget
+    /// runs out or a successor cannot be linked (unfetchable target --
+    /// the next call's probe falls back to [`Emu::step`] for the exact
+    /// error).
+    ///
+    /// Same contract as [`Emu::step_block`]: retired-count plus step
+    /// outcome, with counter and error semantics identical to `step()`.
+    pub fn step_trace(&mut self, budget: u64) -> (u64, Result<Option<RunResult>, EmuError>) {
+        if budget == 0 {
+            return (0, Ok(None));
+        }
+        let mut trace = std::mem::take(&mut self.trace);
+        let out = self.step_trace_inner(&mut trace, budget);
+        self.trace = trace;
+        out
+    }
+
+    fn step_trace_inner(
+        &mut self,
+        trace: &mut TraceCache,
+        budget: u64,
+    ) -> (u64, Result<Option<RunResult>, EmuError>) {
+        let mut executed: u64 = 0;
+        let per_inst = self.cost.base + self.cost.dbi_dispatch;
+        // Rolls back the upfront block charge to a per-instruction
+        // charge and returns, after entry `$i` of an `$n`-entry block
+        // ended the run early.
+        macro_rules! bail {
+            ($n:expr, $i:expr, $res:expr) => {{
+                let unexecuted = ($n - ($i + 1)) as u64;
+                self.counters.instructions -= unexecuted;
+                self.counters.cycles -= per_inst * unexecuted;
+                return (executed + $i as u64 + 1, $res);
+            }};
+        }
+
+        let mut bidx = match self.lookup_or_build(trace, self.cpu.rip, true) {
+            Some(b) => b,
+            None => {
+                let before = self.counters.instructions;
+                let r = self.step();
+                return (self.counters.instructions - before, r);
+            }
+        };
+        loop {
+            // ---- execute one block ----
+            let block = &trace.blocks[bidx as usize];
+            let n = block.insts.len();
+            let exit = block.exit;
+            let remaining = budget - executed;
+            if remaining < n as u64 {
+                // Budget-limited prefix: exact per-instruction
+                // interpretation with elision disabled -- the flags
+                // must be architecturally exact at the step-limit
+                // boundary, exactly as `step()` would leave them.
+                let pref = remaining as usize;
+                for (i, ti) in block.insts[..pref].iter().enumerate() {
+                    self.counters.instructions += 1;
+                    self.counters.cycles += per_inst;
+                    self.cpu.rip = ti.next;
+                    executed += 1;
+                    match self.exec(&ti.inst, ti.rip, ti.next) {
+                        Ok(None) => {
+                            // An interior conditional went against the
+                            // recorded direction (or an inlined `ret`
+                            // returned elsewhere): leave the trace, the
+                            // next call re-probes at the actual `rip`.
+                            if i + 1 < pref && self.cpu.rip != block.insts[i + 1].rip {
+                                return (executed, Ok(None));
+                            }
+                        }
+                        done => return (executed, done),
+                    }
+                }
+                return (executed, Ok(None));
+            }
+            self.counters.instructions += n as u64;
+            self.counters.cycles += per_inst * n as u64;
+            // Interior side exit taken: `op index << 16 | side-link
+            // slot`, `u64::MAX` = none (packed: a plain register beats
+            // an `Option` tuple in the dispatch loop's codegen).
+            let mut side_exit: u64 = u64::MAX;
+            'body: for (i, op) in block.ops.iter().enumerate() {
+                match *op {
+                    FastOp::Nop => {}
+                    FastOp::MovRR { w64, dst, src } => {
+                        let v = self.cpu.regs[src as usize];
+                        self.cpu.regs[dst as usize] = if w64 { v } else { v & 0xFFFF_FFFF };
+                    }
+                    FastOp::MovRI { dst, imm } => self.cpu.regs[dst as usize] = imm,
+                    FastOp::AluRR {
+                        op,
+                        w,
+                        dst,
+                        src,
+                        flags,
+                    } => {
+                        let a = rd(&self.cpu.regs, dst, w);
+                        let b = rd(&self.cpu.regs, src, w);
+                        let r = if flags {
+                            self.alu(op, w, a, b)
+                        } else {
+                            alu_value(op, w, a, b)
+                        };
+                        if op != AluOp::Cmp {
+                            wr(&mut self.cpu.regs, dst, w, r);
+                        }
+                    }
+                    FastOp::AluRI {
+                        op,
+                        w,
+                        dst,
+                        imm,
+                        flags,
+                    } => {
+                        let a = rd(&self.cpu.regs, dst, w);
+                        let r = if flags {
+                            self.alu(op, w, a, imm)
+                        } else {
+                            alu_value(op, w, a, imm)
+                        };
+                        if op != AluOp::Cmp {
+                            wr(&mut self.cpu.regs, dst, w, r);
+                        }
+                    }
+                    FastOp::AluRM {
+                        op,
+                        w,
+                        dst,
+                        flags,
+                        mem,
+                        next,
+                    } => {
+                        let addr = ea_fast(&self.cpu.regs, &mem);
+                        let b = match self.load_at_rip(addr, w, next) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                self.cpu.rip = next;
+                                bail!(n, i, Err(e));
+                            }
+                        };
+                        let a = rd(&self.cpu.regs, dst, w);
+                        let r = if flags {
+                            self.alu(op, w, a, b)
+                        } else {
+                            alu_value(op, w, a, b)
+                        };
+                        if op != AluOp::Cmp {
+                            wr(&mut self.cpu.regs, dst, w, r);
+                        }
+                    }
+                    FastOp::TestRR { w, a, b } => {
+                        let r = rd(&self.cpu.regs, a, w) & rd(&self.cpu.regs, b, w);
+                        self.logic_flags(w, r);
+                    }
+                    FastOp::TestRI { w, a, imm } => {
+                        let r = rd(&self.cpu.regs, a, w) & imm;
+                        self.logic_flags(w, r);
+                    }
+                    FastOp::Lea { w, dst, mem } => {
+                        let a = ea_fast(&self.cpu.regs, &mem);
+                        wr(&mut self.cpu.regs, dst, w, a);
+                    }
+                    FastOp::LoadRM { w, dst, mem, next } => {
+                        let addr = ea_fast(&self.cpu.regs, &mem);
+                        match self.load_at_rip(addr, w, next) {
+                            Ok(v) => wr(&mut self.cpu.regs, dst, w, v),
+                            Err(e) => {
+                                self.cpu.rip = next;
+                                bail!(n, i, Err(e));
+                            }
+                        }
+                    }
+                    FastOp::StoreMR { w, src, mem, next } => {
+                        let addr = ea_fast(&self.cpu.regs, &mem);
+                        let v = rd(&self.cpu.regs, src, w);
+                        if let Err(e) = self.store_at_rip(addr, w, v, next) {
+                            self.cpu.rip = next;
+                            bail!(n, i, Err(e));
+                        }
+                    }
+                    FastOp::StoreMI { w, imm, mem, next } => {
+                        let addr = ea_fast(&self.cpu.regs, &mem);
+                        if let Err(e) = self.store_at_rip(addr, w, imm, next) {
+                            self.cpu.rip = next;
+                            bail!(n, i, Err(e));
+                        }
+                    }
+                    FastOp::ExtRR { kind, dst, src } => {
+                        let v = match kind {
+                            ExtKind::Zx8 => self.cpu.regs[src as usize] & 0xFF,
+                            ExtKind::Sx8 => self.cpu.regs[src as usize] as u8 as i8 as i64 as u64,
+                            ExtKind::Sxd => self.cpu.regs[src as usize] as u32 as i32 as i64 as u64,
+                        };
+                        self.cpu.regs[dst as usize] = v;
+                    }
+                    FastOp::ExtRM {
+                        kind,
+                        dst,
+                        mem,
+                        next,
+                    } => {
+                        let addr = ea_fast(&self.cpu.regs, &mem);
+                        let lw = match kind {
+                            ExtKind::Zx8 | ExtKind::Sx8 => Width::W8,
+                            ExtKind::Sxd => Width::W32,
+                        };
+                        match self.load_at_rip(addr, lw, next) {
+                            Ok(raw) => {
+                                let v = match kind {
+                                    ExtKind::Zx8 => raw,
+                                    ExtKind::Sx8 => raw as u8 as i8 as i64 as u64,
+                                    ExtKind::Sxd => raw as u32 as i32 as i64 as u64,
+                                };
+                                self.cpu.regs[dst as usize] = v;
+                            }
+                            Err(e) => {
+                                self.cpu.rip = next;
+                                bail!(n, i, Err(e));
+                            }
+                        }
+                    }
+                    FastOp::SetccR { cond, dst } => {
+                        let v = self.cpu.flags.cond(cond) as u64;
+                        wr(&mut self.cpu.regs, dst, Width::W8, v);
+                    }
+                    FastOp::CmovRR { cond, w, dst, src } => {
+                        if self.cpu.flags.cond(cond) {
+                            let v = rd(&self.cpu.regs, src, w);
+                            wr(&mut self.cpu.regs, dst, w, v);
+                        } else if w == Width::W32 {
+                            // cmov always writes the destination at
+                            // 32-bit width (zero-extending) even when
+                            // the move is suppressed.
+                            let v = rd(&self.cpu.regs, dst, Width::W32);
+                            wr(&mut self.cpu.regs, dst, Width::W32, v);
+                        }
+                    }
+                    FastOp::ShiftRI {
+                        op,
+                        w,
+                        dst,
+                        count,
+                        flags,
+                    } => {
+                        let a = rd(&self.cpu.regs, dst, w);
+                        let r = if flags {
+                            self.shift(op, w, a, count)
+                        } else {
+                            shift_value(op, w, a, count)
+                        };
+                        wr(&mut self.cpu.regs, dst, w, r);
+                    }
+                    FastOp::PushR { src, next } => {
+                        // Source read before the `rsp` adjust (push of
+                        // `rsp` pushes the pre-decrement value), and
+                        // `rsp` adjusted before the store faults, both
+                        // like `exec`'s `push64`.
+                        let v = self.cpu.regs[src as usize];
+                        let rsp = self.cpu.regs[RSP].wrapping_sub(8);
+                        self.cpu.regs[RSP] = rsp;
+                        if let Err(e) = self.store_at_rip(rsp, Width::W64, v, next) {
+                            self.cpu.rip = next;
+                            bail!(n, i, Err(e));
+                        }
+                    }
+                    FastOp::PopR { dst, next } => {
+                        let rsp = self.cpu.regs[RSP];
+                        match self.load_at_rip(rsp, Width::W64, next) {
+                            Ok(v) => {
+                                // Increment before the register write:
+                                // `pop rsp` keeps the popped value.
+                                self.cpu.regs[RSP] = rsp.wrapping_add(8);
+                                self.cpu.regs[dst as usize] = v;
+                            }
+                            Err(e) => {
+                                self.cpu.rip = next;
+                                bail!(n, i, Err(e));
+                            }
+                        }
+                    }
+                    FastOp::Cqo { w64 } => {
+                        let rax = self.cpu.regs[0];
+                        self.cpu.regs[2] = if w64 {
+                            ((rax as i64) >> 63) as u64
+                        } else {
+                            (((rax as u32 as i32) >> 31) as u32) as u64
+                        };
+                    }
+                    FastOp::Imul2RR { w, dst, src } => {
+                        let a = rd(&self.cpu.regs, dst, w);
+                        let b = rd(&self.cpu.regs, src, w);
+                        let r = self.imul_flags(w, a, b);
+                        wr(&mut self.cpu.regs, dst, w, r);
+                        self.counters.cycles += self.cost.mul;
+                    }
+                    FastOp::Imul2RM { w, dst, mem, next } => {
+                        let addr = ea_fast(&self.cpu.regs, &mem);
+                        let b = match self.load_at_rip(addr, w, next) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                self.cpu.rip = next;
+                                bail!(n, i, Err(e));
+                            }
+                        };
+                        let a = rd(&self.cpu.regs, dst, w);
+                        let r = self.imul_flags(w, a, b);
+                        wr(&mut self.cpu.regs, dst, w, r);
+                        self.counters.cycles += self.cost.mul;
+                    }
+                    FastOp::Imul3RRI { w, dst, src, imm } => {
+                        let b = rd(&self.cpu.regs, src, w);
+                        let r = self.imul_flags(w, b, imm);
+                        wr(&mut self.cpu.regs, dst, w, r);
+                        self.counters.cycles += self.cost.mul;
+                    }
+                    FastOp::MulDivR {
+                        op,
+                        w,
+                        src,
+                        rip,
+                        next,
+                    } => {
+                        let v = rd(&self.cpu.regs, src, w);
+                        if let Err(e) = self.muldiv(op, w, v, rip) {
+                            self.cpu.rip = next;
+                            bail!(n, i, Err(e));
+                        }
+                    }
+                    FastOp::ChargeJmp { next, to } => {
+                        // Interior direct jump: `transfer_to` minus the
+                        // `rip` store (control stays in-trace).
+                        self.counters.transfers += 1;
+                        self.counters.cycles += self.cost.transfer;
+                        if in_tramp(next) != in_tramp(to) {
+                            self.counters.region_crossings += 1;
+                            self.counters.cycles += self.cost.cross_region;
+                        }
+                    }
+                    FastOp::ChargeCall { next, to } => {
+                        // Interior direct call: push the return address
+                        // (rsp adjusted before the store faults, like
+                        // `push64`), then transfer accounting.
+                        let rsp = self.cpu.regs[RSP].wrapping_sub(8);
+                        self.cpu.regs[RSP] = rsp;
+                        if let Err(e) = self.store_at_rip(rsp, Width::W64, next, next) {
+                            self.cpu.rip = next;
+                            bail!(n, i, Err(e));
+                        }
+                        self.counters.transfers += 1;
+                        self.counters.cycles += self.cost.transfer;
+                        if in_tramp(next) != in_tramp(to) {
+                            self.counters.region_crossings += 1;
+                            self.counters.cycles += self.cost.cross_region;
+                        }
+                    }
+                    FastOp::JccInline {
+                        cond,
+                        expect_taken,
+                        next,
+                        to,
+                        side,
+                    } => {
+                        let taken = self.cpu.flags.cond(cond);
+                        if taken {
+                            self.counters.taken_branches += 1;
+                            self.counters.cycles += self.cost.branch_taken;
+                            if in_tramp(next) != in_tramp(to) {
+                                self.counters.region_crossings += 1;
+                                self.counters.cycles += self.cost.cross_region;
+                            }
+                        }
+                        if taken != expect_taken {
+                            self.cpu.rip = if taken { to } else { next };
+                            side_exit = ((i as u64) << 16) | side as u64;
+                            break 'body;
+                        }
+                    }
+                    FastOp::CmpJcc {
+                        w,
+                        a,
+                        b,
+                        imm,
+                        test,
+                        cond,
+                        expect_taken,
+                        next,
+                        to,
+                        side,
+                    } => {
+                        let av = rd(&self.cpu.regs, a, w);
+                        let bv = if b == NO_REG {
+                            imm
+                        } else {
+                            rd(&self.cpu.regs, b, w)
+                        };
+                        let taken = if test {
+                            test_cond(cond, w, av & bv)
+                        } else {
+                            cmp_cond(cond, w, av, bv)
+                        };
+                        if taken {
+                            self.counters.taken_branches += 1;
+                            self.counters.cycles += self.cost.branch_taken;
+                            if in_tramp(next) != in_tramp(to) {
+                                self.counters.region_crossings += 1;
+                                self.counters.cycles += self.cost.cross_region;
+                            }
+                        }
+                        if taken != expect_taken {
+                            // Leaving the trace: the compare's flags
+                            // become observable, materialize them
+                            // exactly (the operand registers are
+                            // untouched between the fused pair).
+                            if test {
+                                self.logic_flags(w, av & bv);
+                            } else {
+                                self.alu(AluOp::Cmp, w, av, bv);
+                            }
+                            self.cpu.rip = if taken { to } else { next };
+                            side_exit = ((i as u64) << 16) | side as u64;
+                            break 'body;
+                        }
+                    }
+                    FastOp::RetInline { expect, next, side } => {
+                        // Inline `pop64` + `transfer_to` accounting;
+                        // control stays in-trace only when the popped
+                        // return address matches the build-time
+                        // prediction.
+                        let rsp = self.cpu.regs[RSP];
+                        match self.load_at_rip(rsp, Width::W64, next) {
+                            Ok(t) => {
+                                self.cpu.regs[RSP] = rsp.wrapping_add(8);
+                                self.counters.transfers += 1;
+                                self.counters.cycles += self.cost.transfer;
+                                if in_tramp(next) != in_tramp(t) {
+                                    self.counters.region_crossings += 1;
+                                    self.counters.cycles += self.cost.cross_region;
+                                }
+                                if t != expect {
+                                    self.cpu.rip = t;
+                                    side_exit = ((i as u64) << 16) | side as u64;
+                                    break 'body;
+                                }
+                            }
+                            Err(e) => {
+                                self.cpu.rip = next;
+                                bail!(n, i, Err(e));
+                            }
+                        }
+                    }
+                    FastOp::SlowElide { idx } => {
+                        let ti = &block.insts[idx as usize];
+                        self.cpu.rip = ti.next;
+                        self.noflags = true;
+                        let r = self.exec(&ti.inst, ti.rip, ti.next);
+                        self.noflags = false;
+                        match r {
+                            Ok(None) => {}
+                            done => bail!(n, i, done),
+                        }
+                    }
+                    FastOp::Slow { idx } => {
+                        let ti = &block.insts[idx as usize];
+                        self.cpu.rip = ti.next;
+                        match self.exec(&ti.inst, ti.rip, ti.next) {
+                            Ok(None) => {}
+                            done => bail!(n, i, done),
+                        }
+                    }
+                }
+            }
+            if side_exit != u64::MAX {
+                let (i, side) = ((side_exit >> 16) as usize, (side_exit & 0xFFFF) as u16);
+                // ---- interior side exit: rollback + side link ----
+                // `rip` was set by the exiting op; roll the unexecuted
+                // tail of the upfront charge back, then chain through
+                // the per-site side link. Side links validate the
+                // successor's start address: a `ret` side exit is
+                // data-dependent, so a patched link may be for a
+                // different target.
+                let unexecuted = (n - (i + 1)) as u64;
+                self.counters.instructions -= unexecuted;
+                self.counters.cycles -= per_inst * unexecuted;
+                executed += (i + 1) as u64;
+                if executed >= budget {
+                    return (executed, Ok(None));
+                }
+                let target = self.cpu.rip;
+                let slot = trace.blocks[bidx as usize].side_links[side as usize];
+                bidx = if slot != NO_LINK
+                    && trace.block_current(slot)
+                    && trace.blocks[slot as usize].start == target
+                {
+                    trace.stats.chain_follows += 1;
+                    slot
+                } else {
+                    if slot != NO_LINK {
+                        // Stale (invalidated) or retargeted link.
+                        trace.stats.links_severed += 1;
+                    }
+                    match self.lookup_or_build(trace, target, true) {
+                        Some(idx) => {
+                            trace.blocks[bidx as usize].side_links[side as usize] = idx;
+                            idx
+                        }
+                        None => return (executed, Ok(None)),
+                    }
+                };
+                continue;
+            }
+            // ---- terminal: replicate `exec`'s transfer accounting ----
+            let mut use_taken = true;
+            match exit {
+                BlockExit::Fall => {
+                    self.cpu.rip = block.insts[n - 1].next;
+                    use_taken = false;
+                }
+                BlockExit::Jmp { to } => {
+                    let next = block.insts[n - 1].next;
+                    self.counters.transfers += 1;
+                    self.counters.cycles += self.cost.transfer;
+                    if in_tramp(next) != in_tramp(to) {
+                        self.counters.region_crossings += 1;
+                        self.counters.cycles += self.cost.cross_region;
+                    }
+                    self.cpu.rip = to;
+                }
+                BlockExit::Jcc { cond, to } => {
+                    let next = block.insts[n - 1].next;
+                    if self.cpu.flags.cond(cond) {
+                        self.counters.taken_branches += 1;
+                        self.counters.cycles += self.cost.branch_taken;
+                        if in_tramp(next) != in_tramp(to) {
+                            self.counters.region_crossings += 1;
+                            self.counters.cycles += self.cost.cross_region;
+                        }
+                        self.cpu.rip = to;
+                    } else {
+                        self.cpu.rip = next;
+                        use_taken = false;
+                    }
+                }
+                BlockExit::Call { to } => {
+                    let next = block.insts[n - 1].next;
+                    // rip = fall-through before the push, like step():
+                    // a stack fault reports the post-increment rip.
+                    self.cpu.rip = next;
+                    if let Err(e) = self.push64(next) {
+                        return (executed + n as u64, Err(e));
+                    }
+                    self.counters.transfers += 1;
+                    self.counters.cycles += self.cost.transfer;
+                    if in_tramp(next) != in_tramp(to) {
+                        self.counters.region_crossings += 1;
+                        self.counters.cycles += self.cost.cross_region;
+                    }
+                    self.cpu.rip = to;
+                }
+                BlockExit::Ret => {
+                    let next = block.insts[n - 1].next;
+                    // Inline `pop64` + `transfer_to`, with the fault
+                    // rip (= fall-through) passed explicitly; `rsp` is
+                    // only bumped once the load succeeds, like `pop64`.
+                    let rsp = self.cpu.regs[RSP];
+                    match self.load_at_rip(rsp, Width::W64, next) {
+                        Ok(t) => {
+                            self.cpu.regs[RSP] = rsp.wrapping_add(8);
+                            self.counters.transfers += 1;
+                            self.counters.cycles += self.cost.transfer;
+                            if in_tramp(next) != in_tramp(t) {
+                                self.counters.region_crossings += 1;
+                                self.counters.cycles += self.cost.cross_region;
+                            }
+                            self.cpu.rip = t;
+                        }
+                        Err(e) => {
+                            self.cpu.rip = next;
+                            return (executed + n as u64, Err(e));
+                        }
+                    }
+                }
+                BlockExit::JmpIndR { src } => {
+                    let next = block.insts[n - 1].next;
+                    let t = self.cpu.regs[src as usize];
+                    self.counters.transfers += 1;
+                    self.counters.cycles += self.cost.transfer;
+                    if in_tramp(next) != in_tramp(t) {
+                        self.counters.region_crossings += 1;
+                        self.counters.cycles += self.cost.cross_region;
+                    }
+                    self.cpu.rip = t;
+                }
+                BlockExit::CallIndR { src } => {
+                    let next = block.insts[n - 1].next;
+                    // Target read before the push, like `exec` (the
+                    // push may clobber `rsp`-relative sources only
+                    // after the read).
+                    let t = self.cpu.regs[src as usize];
+                    self.cpu.rip = next;
+                    if let Err(e) = self.push64(next) {
+                        return (executed + n as u64, Err(e));
+                    }
+                    self.counters.transfers += 1;
+                    self.counters.cycles += self.cost.transfer;
+                    if in_tramp(next) != in_tramp(t) {
+                        self.counters.region_crossings += 1;
+                        self.counters.cycles += self.cost.cross_region;
+                    }
+                    self.cpu.rip = t;
+                }
+                BlockExit::Indirect | BlockExit::Other => {
+                    let ti = &block.insts[n - 1];
+                    self.cpu.rip = ti.next;
+                    match self.exec(&ti.inst, ti.rip, ti.next) {
+                        Ok(None) => {}
+                        done => return (executed + n as u64, done),
+                    }
+                }
+            }
+            executed += n as u64;
+            if executed >= budget {
+                return (executed, Ok(None));
+            }
+            // ---- resolve the successor: links / IC / probe ----
+            let target = self.cpu.rip;
+            bidx = if exit.is_indirect() {
+                let ic = trace.blocks[bidx as usize].ic;
+                let mut hit = None;
+                for (way, &(t, idx)) in ic.iter().enumerate() {
+                    if idx != NO_LINK && t == target {
+                        if trace.block_current(idx) {
+                            hit = Some((way, idx));
+                        } else {
+                            trace.blocks[bidx as usize].ic[way] = (0, NO_LINK);
+                            trace.stats.links_severed += 1;
+                        }
+                        break;
+                    }
+                }
+                match hit {
+                    Some((way, idx)) => {
+                        trace.stats.ic_hits += 1;
+                        if way != 0 {
+                            trace.blocks[bidx as usize].ic.swap(0, way);
+                        }
+                        idx
+                    }
+                    None => {
+                        trace.stats.ic_misses += 1;
+                        match self.lookup_or_build(trace, target, true) {
+                            Some(idx) => {
+                                let b = &mut trace.blocks[bidx as usize];
+                                for k in (1..IC_WAYS).rev() {
+                                    b.ic[k] = b.ic[k - 1];
+                                }
+                                b.ic[0] = (target, idx);
+                                idx
+                            }
+                            None => return (executed, Ok(None)),
+                        }
+                    }
+                }
+            } else {
+                let slot = {
+                    let b = &trace.blocks[bidx as usize];
+                    if use_taken {
+                        b.link_taken
+                    } else {
+                        b.link_fall
+                    }
+                };
+                if slot != NO_LINK && trace.block_current(slot) {
+                    trace.stats.chain_follows += 1;
+                    slot
+                } else {
+                    if slot != NO_LINK {
+                        // Stale link (segment invalidated): sever.
+                        trace.stats.links_severed += 1;
+                    }
+                    let linked = self.lookup_or_build(trace, target, true);
+                    let b = &mut trace.blocks[bidx as usize];
+                    let slot = if use_taken {
+                        &mut b.link_taken
+                    } else {
+                        &mut b.link_fall
+                    };
+                    *slot = linked.unwrap_or(NO_LINK);
+                    match linked {
+                        Some(idx) => idx,
+                        None => return (executed, Ok(None)),
+                    }
+                }
+            };
+        }
+    }
+
+    /// Invalidates translated code containing `addr` in both the block
+    /// cache (version bump: severs stale chain links and IC entries
+    /// lazily) and the per-instruction icache. Returns whether any
+    /// cached code was dropped. Models self-modifying / reloaded code.
+    pub fn invalidate_code(&mut self, addr: u64) -> bool {
+        let t = self.trace.invalidate_addr(addr);
+        let i = self.icache_invalidate(addr);
+        t || i
+    }
+
+    /// Cache-maintenance counters for the translated backends.
+    pub fn trace_stats(&self) -> TraceStats {
+        self.trace.stats
     }
 
     /// Runs until exit, error or `max_steps` instructions using the
@@ -260,11 +2000,30 @@ impl<R: Runtime> Emu<R> {
         RunResult::StepLimit
     }
 
+    /// Runs until exit, error or `max_steps` instructions using the
+    /// trace-linked backend. Behaviorally identical to [`Emu::run`]
+    /// (result, counters, guest-visible state), just faster still.
+    pub fn run_trace(&mut self, max_steps: u64) -> RunResult {
+        let mut remaining = max_steps;
+        while remaining > 0 {
+            let (executed, outcome) = self.step_trace(remaining);
+            remaining -= executed.min(remaining);
+            match outcome {
+                Ok(None) => {}
+                Ok(Some(result)) => return result,
+                Err(EmuError::AccessVetoed { error, .. }) => return RunResult::MemoryError(error),
+                Err(e) => return RunResult::Error(e),
+            }
+        }
+        RunResult::StepLimit
+    }
+
     /// Runs with the selected backend (see [`ExecBackend`]).
     pub fn run_backend(&mut self, backend: ExecBackend, max_steps: u64) -> RunResult {
         match backend {
             ExecBackend::Step => self.run(max_steps),
             ExecBackend::Superblock => self.run_superblock(max_steps),
+            ExecBackend::Trace => self.run_trace(max_steps),
         }
     }
 }

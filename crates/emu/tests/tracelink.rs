@@ -1,0 +1,173 @@
+//! Trace-linked tier tests: the chained backend must stay
+//! observationally identical to the step interpreter across the
+//! machinery the superblock tier does not have -- direct-exit chaining,
+//! indirect-branch inline caches, cross-segment mega traces, segment
+//! invalidation mid-loop, and step budgets that expire inside a trace.
+
+use redfat_elf::{Image, ImageKind, SegFlags, Segment};
+use redfat_emu::{syscalls, Emu, ErrorMode, ExecBackend, HostRuntime, RunResult};
+use redfat_vm::layout;
+use redfat_x86::{AluOp, Asm, Cond, Reg, Width};
+
+/// Two-phase workload exercising every link kind. Phase 1 is a
+/// single-trace spin loop (the loop-closing `jne` is a direct terminal,
+/// so iterations chain through `link_taken`). Phase 2 calls a helper in
+/// the *trampoline segment* through a register-indirect call: the
+/// `call` and the helper's `ret` both exit through inline caches, and
+/// the helper's trace depends on the trampoline segment alone, so
+/// invalidating that segment strands it while the main-segment traces
+/// holding IC entries to it stay live. Exits with rdi = 1800.
+fn cross_segment_loop() -> (Image, i64) {
+    let mut a = Asm::new(layout::CODE_BASE);
+    a.mov_ri(Width::W64, Reg::Rdi, 0);
+    // Phase 1: direct chaining.
+    a.mov_ri(Width::W64, Reg::Rbx, 300);
+    let spin = a.label();
+    a.bind(spin).unwrap();
+    a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+    a.alu_ri(AluOp::Sub, Width::W64, Reg::Rbx, 1);
+    a.jcc_label(Cond::Ne, spin);
+    // Phase 2: inline-cached indirect call into the trampoline segment.
+    a.mov_ri(Width::W64, Reg::Rbx, 500);
+    a.mov_ri(Width::W64, Reg::Rsi, layout::TRAMPOLINE_BASE as i64);
+    let head = a.label();
+    a.bind(head).unwrap();
+    a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 2);
+    a.call_ind_r(Reg::Rsi);
+    a.alu_ri(AluOp::Sub, Width::W64, Reg::Rbx, 1);
+    a.jcc_label(Cond::Ne, head);
+    a.mov_ri(Width::W64, Reg::Rax, syscalls::EXIT as i64);
+    a.syscall();
+    let main = a.finish().unwrap();
+
+    let mut t = Asm::new(layout::TRAMPOLINE_BASE);
+    t.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+    t.ret();
+    let tramp = t.finish().unwrap();
+
+    let image = Image {
+        kind: ImageKind::Exec,
+        entry: layout::CODE_BASE,
+        segments: vec![
+            Segment::new(main.base, SegFlags::RX, main.bytes),
+            Segment::new(tramp.base, SegFlags::RX, tramp.bytes),
+        ],
+        symbols: vec![],
+    };
+    (image, 300 + 500 * 3)
+}
+
+fn load(image: &Image) -> Emu<HostRuntime> {
+    Emu::load_image(image, HostRuntime::new(ErrorMode::Log)).expect("loads")
+}
+
+/// Architectural snapshot compared between backends.
+fn snap(emu: &Emu<HostRuntime>) -> (u64, i64, i64, redfat_emu::Counters) {
+    (
+        emu.cpu.rip,
+        emu.cpu.get(Reg::Rdi) as i64,
+        emu.cpu.get(Reg::Rbx) as i64,
+        emu.counters,
+    )
+}
+
+#[test]
+fn chained_run_matches_step_and_uses_every_link_kind() {
+    let (image, expect) = cross_segment_loop();
+    let mut step = load(&image);
+    let rs = step.run_backend(ExecBackend::Step, 1_000_000);
+    let mut trace = load(&image);
+    let rt = trace.run_backend(ExecBackend::Trace, 1_000_000);
+    assert_eq!(rs, RunResult::Exited(expect));
+    assert_eq!(rt, RunResult::Exited(expect));
+    assert_eq!(snap(&step), snap(&trace), "architectural state differs");
+
+    // The observability counters prove the tier actually engaged.
+    let s = trace.trace_stats();
+    assert!(s.chain_follows > 0, "direct chaining never fired: {s}");
+    assert!(s.ic_hits > 0, "inline caches never hit: {s}");
+    assert_eq!(s.invalidations, 0);
+    assert_eq!(s.links_severed, 0);
+    // The step backend touches no translation machinery at all.
+    let s = step.trace_stats();
+    assert_eq!((s.hits, s.misses, s.chain_follows, s.ic_hits), (0, 0, 0, 0));
+}
+
+#[test]
+fn invalidation_severs_links_and_inline_caches_mid_loop() {
+    let (image, expect) = cross_segment_loop();
+    // Stop mid-way through the indirect-call loop, once chaining and
+    // the inline caches are warm.
+    let mut emu = load(&image);
+    assert_eq!(
+        emu.run_backend(ExecBackend::Trace, 2500),
+        RunResult::StepLimit
+    );
+    let before = emu.trace_stats();
+    assert!(before.chain_follows > 0 && before.ic_hits > 0, "{before}");
+    assert_eq!(before.invalidations, 0);
+
+    // Bump the trampoline segment's version. The helper's trace is
+    // stranded; the main-segment traces stay reachable but their IC
+    // entries (and any link into the trampoline) must be severed on
+    // the next follow, not silently executed stale.
+    assert!(emu.invalidate_code(layout::TRAMPOLINE_BASE));
+    assert!(!emu.invalidate_code(0xdead_0000), "untracked address");
+    assert_eq!(
+        emu.run_backend(ExecBackend::Trace, 1_000_000),
+        RunResult::Exited(expect)
+    );
+    let after = emu.trace_stats();
+    assert_eq!(after.invalidations, 1);
+    assert!(
+        after.links_severed > before.links_severed,
+        "stale links/IC entries were not severed: {after}"
+    );
+    assert!(
+        after.misses > before.misses,
+        "stranded traces were not rebuilt"
+    );
+
+    // Counter equivalence must hold across the invalidation: the whole
+    // interrupted-invalidated-resumed run retires exactly what one
+    // uninterrupted step() run does.
+    let mut step = load(&image);
+    step.run_backend(ExecBackend::Step, 1_000_000);
+    assert_eq!(
+        snap(&step),
+        snap(&emu),
+        "state diverged across invalidation"
+    );
+}
+
+#[test]
+fn budget_expiry_mid_trace_retires_identical_counter_deltas() {
+    let (image, expect) = cross_segment_loop();
+    // Budgets landing in the spin trace, on its boundary, and inside
+    // the inlined call loop: at every stop the chained tier must have
+    // retired exactly the step interpreter's counter deltas, and
+    // resuming must converge to the same final state.
+    for budget in [1, 2, 3, 901, 902, 903, 910, 1500, 2500, 3901] {
+        let mut step = load(&image);
+        let mut trace = load(&image);
+        assert_eq!(
+            step.run_backend(ExecBackend::Step, budget),
+            RunResult::StepLimit
+        );
+        assert_eq!(
+            trace.run_backend(ExecBackend::Trace, budget),
+            RunResult::StepLimit
+        );
+        assert_eq!(snap(&step), snap(&trace), "divergence at budget {budget}");
+
+        let rs = step.run_backend(ExecBackend::Step, 1_000_000);
+        let rt = trace.run_backend(ExecBackend::Trace, 1_000_000);
+        assert_eq!(rs, RunResult::Exited(expect));
+        assert_eq!(rt, RunResult::Exited(expect));
+        assert_eq!(
+            snap(&step),
+            snap(&trace),
+            "post-resume divergence (budget {budget})"
+        );
+    }
+}

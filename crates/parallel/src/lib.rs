@@ -19,16 +19,45 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     (log_sum / n as f64).exp()
 }
 
+/// Runs `f(&items[i])` under `catch_unwind`, mapping a panic to the
+/// canonical `"item {i} panicked: {msg}"` error string. Shared by the
+/// threaded and serial paths of [`try_parallel_map`] so the observable
+/// failure shape is identical in both.
+fn catch_item<T, U>(i: usize, item: &T, f: impl Fn(&T) -> U) -> Result<U, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))).map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("item {i} panicked: {msg}")
+    })
+}
+
 /// Runs closures in parallel over a work list with scoped threads,
 /// preserving input order in the output. Each slot is `Err` with the
 /// item's index and panic message if its closure panicked; a poisoned
 /// item never prevents the other items from completing and reporting.
+///
+/// With `threads <= 1` no worker thread is spawned at all: the items
+/// run serially on the *calling* thread (same `ThreadId`), with the
+/// same per-item `catch_unwind` isolation and error format. This keeps
+/// `--threads 1` a true baseline -- no scope/channel setup, no
+/// thread-spawn cost, and thread-local state on the caller stays
+/// visible to the closures.
 pub fn try_parallel_map<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<Result<U, String>>
 where
     T: Send + Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| catch_item(i, item, &f))
+            .collect();
+    }
     let n = items.len();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<U, String>)>();
@@ -43,16 +72,7 @@ where
                 if i >= n {
                     break;
                 }
-                let out =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f_ref(&items_ref[i])))
-                        .map_err(|payload| {
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "non-string panic payload".to_string());
-                            format!("item {i} panicked: {msg}")
-                        });
+                let out = catch_item(i, &items_ref[i], f_ref);
                 if tx.send((i, out)).is_err() {
                     break;
                 }
@@ -175,6 +195,37 @@ mod tests {
                 assert_eq!(*r, Ok(i as u32 * 10), "item {i} must still complete");
             }
         }
+    }
+
+    #[test]
+    fn single_thread_runs_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        let results = try_parallel_map((0..4).collect::<Vec<u32>>(), 1, |&v| {
+            (std::thread::current().id(), v * 10)
+        });
+        for (i, r) in results.iter().enumerate() {
+            let (tid, v) = r.as_ref().expect("no panics");
+            assert_eq!(*tid, caller, "item {i} must run on the caller's thread");
+            assert_eq!(*v, i as u32 * 10);
+        }
+        // threads == 0 takes the same serial path.
+        let results = try_parallel_map(vec![7u32], 0, |_| std::thread::current().id());
+        assert_eq!(results[0], Ok(caller));
+    }
+
+    #[test]
+    fn single_thread_keeps_per_item_panic_isolation() {
+        let results = try_parallel_map((0..4).collect::<Vec<u32>>(), 1, |&v| {
+            if v == 2 {
+                panic!("boom {v}");
+            }
+            v
+        });
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(results[1], Ok(1));
+        let err = results[2].as_ref().expect_err("item 2 must fail");
+        assert_eq!(err, "item 2 panicked: boom 2");
+        assert_eq!(results[3], Ok(3), "later items still run after a panic");
     }
 
     #[test]

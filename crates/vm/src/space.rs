@@ -93,14 +93,24 @@ pub struct VmSegmentInfo {
     pub name: String,
 }
 
+/// Entries in the direct-mapped lookup TLB (must be a power of two).
+const TLB_SIZE: usize = 64;
+/// Log2 of the TLB page size (4 KiB).
+const TLB_SHIFT: u32 = 12;
+
 /// A sparse 64-bit address space backed by disjoint segments.
 ///
-/// Segments are kept sorted by base address; lookups use a one-entry
-/// last-hit cache followed by binary search, which keeps the emulator's
-/// hot loop fast without a page-table walk.
+/// Segments are kept sorted by base address; lookups go through a small
+/// direct-mapped software TLB (page → segment index) followed by binary
+/// search on miss, which keeps the emulator's hot loop fast without a
+/// page-table walk even when consecutive accesses alternate between
+/// segments (stack spills interleaved with heap traffic).
 pub struct Vm {
     segments: Vec<Segment>,
-    last_hit: Cell<usize>,
+    /// `(page + 1, segment index)` per slot; 0 ⇒ empty. Entries are
+    /// re-validated against the segment bounds on every hit, so a stale
+    /// or colliding entry is a slow lookup, never a wrong one.
+    tlb: [Cell<(u64, u32)>; TLB_SIZE],
 }
 
 impl Default for Vm {
@@ -114,7 +124,14 @@ impl Vm {
     pub fn new() -> Vm {
         Vm {
             segments: Vec::new(),
-            last_hit: Cell::new(0),
+            tlb: std::array::from_fn(|_| Cell::new((0, 0))),
+        }
+    }
+
+    /// Drops every TLB entry (segment indices are about to change).
+    fn tlb_flush(&self) {
+        for c in &self.tlb {
+            c.set((0, 0));
         }
     }
 
@@ -148,7 +165,7 @@ impl Vm {
                 name: name.to_owned(),
             },
         );
-        self.last_hit.set(0);
+        self.tlb_flush();
     }
 
     /// Maps a segment and copies `data` into its start.
@@ -204,8 +221,11 @@ impl Vm {
 
     #[inline]
     fn find(&self, addr: u64) -> Option<&Segment> {
-        let hint = self.last_hit.get();
-        if let Some(s) = self.segments.get(hint) {
+        let page = addr >> TLB_SHIFT;
+        let slot = &self.tlb[(page as usize) & (TLB_SIZE - 1)];
+        let (tpage, tidx) = slot.get();
+        if tpage == page + 1 {
+            let s = &self.segments[tidx as usize];
             if addr >= s.base && addr < s.end() {
                 return Some(s);
             }
@@ -216,7 +236,7 @@ impl Vm {
         }
         let s = &self.segments[idx - 1];
         if addr < s.end() {
-            self.last_hit.set(idx - 1);
+            slot.set((page + 1, (idx - 1) as u32));
             Some(s)
         } else {
             None
@@ -225,22 +245,57 @@ impl Vm {
 
     #[inline]
     fn find_mut(&mut self, addr: u64) -> Option<&mut Segment> {
+        let page = addr >> TLB_SHIFT;
+        let slot = &self.tlb[(page as usize) & (TLB_SIZE - 1)];
+        let (tpage, tidx) = slot.get();
+        if tpage == page + 1 {
+            let s = &self.segments[tidx as usize];
+            if addr >= s.base && addr < s.end() {
+                return Some(&mut self.segments[tidx as usize]);
+            }
+        }
         let idx = self.segments.partition_point(|s| s.base <= addr);
         if idx == 0 {
             return None;
         }
-        let s = &mut self.segments[idx - 1];
+        let s = &self.segments[idx - 1];
         if addr < s.base + s.data.len() as u64 {
-            self.last_hit.set(idx - 1);
-            Some(s)
+            slot.set((page + 1, (idx - 1) as u32));
+            Some(&mut self.segments[idx - 1])
         } else {
             None
         }
     }
 
     /// Reads `N` bytes at `addr` with permission checking.
+    ///
+    /// Fast path: on a TLB tag match, the page is guaranteed to lie in
+    /// the cached segment (segments never shrink or move), so a single
+    /// in-bounds slice `get` is the only range check needed; any
+    /// failure (protection, straddle, `addr` below a mid-page segment
+    /// start) drops to the slow path, which reproduces the exact fault
+    /// kind.
     #[inline]
     pub fn read<const N: usize>(&self, addr: u64, prot: Prot) -> Result<[u8; N], VmFault> {
+        let page = addr >> TLB_SHIFT;
+        let slot = &self.tlb[(page as usize) & (TLB_SIZE - 1)];
+        let (tpage, tidx) = slot.get();
+        if tpage == page + 1 {
+            let s = &self.segments[tidx as usize];
+            if s.prot.allows(prot) {
+                let off = addr.wrapping_sub(s.base) as usize;
+                if let Some(end) = off.checked_add(N) {
+                    if let Some(slice) = s.data.get(off..end) {
+                        return Ok(slice.try_into().expect("N bytes"));
+                    }
+                }
+            }
+        }
+        self.read_slow(addr, prot)
+    }
+
+    #[cold]
+    fn read_slow<const N: usize>(&self, addr: u64, prot: Prot) -> Result<[u8; N], VmFault> {
         let seg = self.find(addr).ok_or(VmFault {
             addr,
             kind: VmFaultKind::Unmapped,
@@ -262,9 +317,30 @@ impl Vm {
         Ok(slice.try_into().expect("N bytes"))
     }
 
-    /// Writes bytes at `addr` with permission checking.
+    /// Writes bytes at `addr` with permission checking; same fast/slow
+    /// split as [`Vm::read`].
     #[inline]
     pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), VmFault> {
+        let page = addr >> TLB_SHIFT;
+        let slot = &self.tlb[(page as usize) & (TLB_SIZE - 1)];
+        let (tpage, tidx) = slot.get();
+        if tpage == page + 1 {
+            let s = &mut self.segments[tidx as usize];
+            if s.prot.allows(Prot::W) {
+                let off = addr.wrapping_sub(s.base) as usize;
+                if let Some(end) = off.checked_add(bytes.len()) {
+                    if let Some(slot) = s.data.get_mut(off..end) {
+                        slot.copy_from_slice(bytes);
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        self.write_slow(addr, bytes)
+    }
+
+    #[cold]
+    fn write_slow(&mut self, addr: u64, bytes: &[u8]) -> Result<(), VmFault> {
         let seg = self.find_mut(addr).ok_or(VmFault {
             addr,
             kind: VmFaultKind::Unmapped,
