@@ -15,6 +15,11 @@
 //!   parallelism). The two images must be byte-identical, and the
 //!   parallel path must not regress below serial beyond timing noise
 //!   (the 1-thread thread-pool overhead regression stays fixed).
+//! * **Service caches** -- cold vs warm component-cache hardening
+//!   wall-clock (warm must reuse every component and stay
+//!   byte-identical) and on-disk artifact-cache verified-hit / miss
+//!   latency, the `"service"` section. Quick mode fails if the geomean
+//!   warm-cache speedup drops below 1.0.
 //!
 //! Modes:
 //!
@@ -33,14 +38,16 @@
 //! *ratios* are the stable, host-independent quantities the regression
 //! gate uses.
 
+use redfat_bench::service::{measure_service, ServiceRow};
 use redfat_bench::{geomean, threads_from_args};
 use redfat_core::{harden_threaded, HardenConfig};
 use redfat_emu::{Emu, ErrorMode, ExecBackend, HostRuntime, RunResult, TraceStats};
+use redfat_service::ArtifactCache;
 use redfat_workloads::{spec, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SCHEMA: &str = "redfat-bench-perf/v2";
+const SCHEMA: &str = "redfat-bench-perf/v3";
 /// Step cap for the full sweep (ref inputs all exit well below this).
 const FULL_BUDGET: u64 = 4_000_000_000;
 /// Step cap for the quick subset (train inputs).
@@ -232,6 +239,60 @@ fn rows_json(rows: &[Row]) -> String {
     s
 }
 
+fn service_rows_json(rows: &[ServiceRow]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"name\":\"{}\",\"components\":{},\"cold_ms\":{:.3},\"warm_ms\":{:.3},\
+             \"warm_speedup\":{:.4},\"artifact_hit_ms\":{:.4},\"artifact_miss_ms\":{:.4}}}",
+            r.name,
+            r.components,
+            r.cold_ms,
+            r.warm_ms,
+            r.warm_speedup,
+            r.artifact_hit_ms,
+            r.artifact_miss_ms
+        );
+    }
+    s.push_str("\n  ]");
+    s
+}
+
+/// Cache measurements over a suite, against a scratch on-disk artifact
+/// cache that is removed afterwards.
+fn sweep_service(suite: &[Workload]) -> Vec<ServiceRow> {
+    let dir = std::env::temp_dir().join(format!("redfat-perf-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let artifacts = ArtifactCache::open(&dir).expect("artifact cache");
+    let rows: Vec<ServiceRow> = suite
+        .iter()
+        .map(|wl| {
+            let row = measure_service(wl, &artifacts);
+            eprintln!(
+                "perf: {:<14} {:>3} components  cache cold {:>8.3} ms  warm {:>8.3} ms \
+                 ({:.2}x)  artifact hit {:.4} ms",
+                row.name,
+                row.components,
+                row.cold_ms,
+                row.warm_ms,
+                row.warm_speedup,
+                row.artifact_hit_ms
+            );
+            row
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    rows
+}
+
+fn warm_cache_geomean(rows: &[ServiceRow]) -> f64 {
+    geomean(rows.iter().map(|r| r.warm_speedup))
+}
+
 fn emu_geomean(rows: &[Row]) -> f64 {
     geomean(rows.iter().map(|r| r.emu_speedup))
 }
@@ -244,7 +305,13 @@ fn harden_geomean(rows: &[Row]) -> f64 {
     geomean(rows.iter().map(|r| r.harden_speedup))
 }
 
-fn render_json(full: &[Row], quick: &[Row], threads: usize, cores: usize) -> String {
+fn render_json(
+    full: &[Row],
+    quick: &[Row],
+    service: &[ServiceRow],
+    threads: usize,
+    cores: usize,
+) -> String {
     format!(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \
          \"full_budget\": {FULL_BUDGET},\n  \"quick_budget\": {QUICK_BUDGET},\n  \
@@ -252,15 +319,18 @@ fn render_json(full: &[Row], quick: &[Row], threads: usize, cores: usize) -> Str
          \"geomean_harden_speedup\": {:.4},\n  \
          \"quick_geomean_emu_speedup\": {:.4},\n  \"quick_geomean_superblock_speedup\": {:.4},\n  \
          \"quick_geomean_harden_speedup\": {:.4},\n  \
-         \"workloads\": {},\n  \"quick_workloads\": {}\n}}\n",
+         \"geomean_warm_cache_speedup\": {:.4},\n  \
+         \"workloads\": {},\n  \"quick_workloads\": {},\n  \"service\": {}\n}}\n",
         emu_geomean(full),
         superblock_geomean(full),
         harden_geomean(full),
         emu_geomean(quick),
         superblock_geomean(quick),
         harden_geomean(quick),
+        warm_cache_geomean(service),
         rows_json(full),
         rows_json(quick),
+        service_rows_json(service),
     )
 }
 
@@ -288,6 +358,7 @@ fn validate_schema(text: &str) -> Result<(), String> {
         "quick_geomean_emu_speedup",
         "quick_geomean_superblock_speedup",
         "quick_geomean_harden_speedup",
+        "geomean_warm_cache_speedup",
         "threads",
         "cores",
     ] {
@@ -303,6 +374,9 @@ fn validate_schema(text: &str) -> Result<(), String> {
     }
     if !text.contains("\"trace_mips\":") || !text.contains("\"trace_chain_follows\":") {
         return Err("missing per-workload trace backend columns".into());
+    }
+    if !text.contains("\"service\":") || !text.contains("\"warm_speedup\":") {
+        return Err("missing service cache section".into());
     }
     Ok(())
 }
@@ -361,6 +435,17 @@ fn main() {
             std::process::exit(1);
         }
 
+        let service = sweep_service(&quick_subset(spec::all()));
+        let warm = warm_cache_geomean(&service);
+        println!("perf quick: geomean warm-cache speedup {warm:.3}x");
+        if warm < 1.0 {
+            eprintln!(
+                "perf: REGRESSION: warm component-cache re-hardening ({warm:.3}x) is \
+                 slower than cold analysis"
+            );
+            std::process::exit(1);
+        }
+
         let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
             eprintln!("perf: cannot read committed baseline {baseline_path}: {e}");
             std::process::exit(1);
@@ -391,15 +476,18 @@ fn main() {
     let full = sweep(&suite, false, threads);
     eprintln!("perf: quick subset...");
     let quick_rows = sweep(&quick_subset(spec::all()), true, threads);
-    let json = render_json(&full, &quick_rows, threads, cores);
+    eprintln!("perf: service cache sweep...");
+    let service = sweep_service(&suite);
+    let json = render_json(&full, &quick_rows, &service, threads, cores);
     validate_schema(&json).expect("self-produced JSON validates");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!(
-        "perf: geomean emu speedup {:.3}x (superblock {:.3}x), harden speedup {:.3}x \
-         ({} workloads) -> {out_path}",
+        "perf: geomean emu speedup {:.3}x (superblock {:.3}x), harden speedup {:.3}x, \
+         warm cache {:.3}x ({} workloads) -> {out_path}",
         emu_geomean(&full),
         superblock_geomean(&full),
         harden_geomean(&full),
+        warm_cache_geomean(&service),
         full.len()
     );
 }

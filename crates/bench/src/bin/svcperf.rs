@@ -1,0 +1,57 @@
+//! Standalone cache-performance report for the hardening service.
+//!
+//! For every SPEC stand-in (or the quick subset with `--quick`):
+//! cold vs warm component-cache hardening wall-clock, and the
+//! verified-hit / miss latency of the on-disk artifact cache.
+//!
+//! Fails (nonzero exit) if any warm run re-analyzes a component, if
+//! warm output is not byte-identical to cold, or if the geomean warm
+//! speedup drops below 1.0 -- a component cache that does not pay for
+//! itself is a regression.
+
+use redfat_bench::geomean;
+use redfat_bench::service::{measure_service, ServiceRow};
+use redfat_service::ArtifactCache;
+use redfat_workloads::spec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let dir = std::env::temp_dir().join(format!("redfat-svcperf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let artifacts = ArtifactCache::open(&dir).expect("artifact cache");
+
+    let suite = spec::all();
+    let step = if quick { 4 } else { 1 };
+    let rows: Vec<ServiceRow> = suite
+        .iter()
+        .step_by(step)
+        .map(|wl| {
+            let row = measure_service(wl, &artifacts);
+            println!(
+                "svcperf: {:<14} {:>3} components  cold {:>8.3} ms  warm {:>8.3} ms \
+                 ({:>5.2}x)  artifact hit {:>7.4} ms / miss {:>7.4} ms",
+                row.name,
+                row.components,
+                row.cold_ms,
+                row.warm_ms,
+                row.warm_speedup,
+                row.artifact_hit_ms,
+                row.artifact_miss_ms
+            );
+            row
+        })
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let warm = geomean(rows.iter().map(|r| r.warm_speedup));
+    println!(
+        "svcperf: geomean warm-cache speedup {warm:.3}x over {} workloads",
+        rows.len()
+    );
+    if warm < 1.0 {
+        eprintln!("svcperf: REGRESSION: warm component-cache runs are slower than cold");
+        std::process::exit(1);
+    }
+}

@@ -2,6 +2,8 @@
 //! `falsepos`, `table2` and `figure8` binaries (one per paper artifact)
 //! and the micro-benchmarks.
 
+pub mod service;
+
 use redfat_core::{
     collect_allowlist, harden, instrument_profile, run_once, HardenConfig, LowFatPolicy,
 };

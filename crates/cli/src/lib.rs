@@ -80,6 +80,16 @@ commands:
                                        every stand-in driven through the full
                                        pipeline; any panic fails the sweep
 
+  serve    --socket <sock> [--cache-dir <dir>] [--workers N]
+                                       hardening-as-a-service daemon: accepts
+                                       submit jobs, dedupes identical in-flight
+                                       requests, and serves warm results from a
+                                       content-addressed artifact cache
+  submit   <in.elf> --socket <sock> [-o <out.elf>] [--op harden|analyze|profile]
+           [harden opts]               submit a job to a running daemon
+  svcstats --socket <sock>             print a running daemon's counters
+  shutdown --socket <sock>             ask a running daemon to exit
+
 `harden`, `analyze`, and `selftest` accept --threads N to set the worker
 thread count (falls back to the REDFAT_THREADS environment variable, then
 to the available parallelism).
@@ -102,7 +112,7 @@ struct Args {
 }
 
 /// Flags that take a value.
-const VALUE_FLAGS: [&str; 7] = [
+const VALUE_FLAGS: [&str; 11] = [
     "-o",
     "--input",
     "--max-steps",
@@ -110,6 +120,10 @@ const VALUE_FLAGS: [&str; 7] = [
     "--iters",
     "--threads",
     "--backend",
+    "--socket",
+    "--cache-dir",
+    "--workers",
+    "--op",
 ];
 
 fn parse_args(argv: &[String]) -> Result<Args, CliError> {
@@ -174,6 +188,15 @@ impl Args {
             Some(s) => ExecBackend::parse(s)
                 .ok_or_else(|| err(format!("bad --backend {s:?} (step|superblock|trace)"))),
         }
+    }
+
+    /// Daemon socket path: `--socket <path>` (required for the service
+    /// commands).
+    fn socket(&self) -> Result<&str, CliError> {
+        self.flags
+            .get("--socket")
+            .and_then(|v| v.as_deref())
+            .ok_or_else(|| err("missing --socket <path>"))
     }
 
     /// Worker thread count: `--threads N`, then `REDFAT_THREADS`, then
@@ -268,7 +291,7 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
             let image = redfat_minic::compile(&text).map_err(|e| err(e.to_string()))?;
             save_image(&image, args.out()?)?;
             let code: u64 = image.exec_segments().map(|s| s.data.len() as u64).sum();
-            writeln!(out, "compiled {src}: {code} bytes of code").expect("string write");
+            writeln!(out, "compiled {src}: {code} bytes of code").ok();
         }
         "harden" => {
             let [input] = &args.positional[..] else {
@@ -300,7 +323,7 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 s.rewrite.trap_patches,
                 s.rewrite.trampoline_bytes
             )
-            .expect("string write");
+            .ok();
         }
         "profile" => {
             let [input] = &args.positional[..] else {
@@ -314,7 +337,7 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 "profiling binary written: {} instrumented sites",
                 prof.stats.sites_lowfat
             )
-            .expect("string write");
+            .ok();
         }
         "genlist" => {
             let [prof] = &args.positional[..] else {
@@ -340,7 +363,7 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 run.profile.len(),
                 allow.len()
             )
-            .expect("string write");
+            .ok();
         }
         "fuzzlist" => {
             let [input] = &args.positional[..] else {
@@ -373,7 +396,7 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 outcome.profile.len(),
                 allow.len()
             )
-            .expect("string write");
+            .ok();
         }
         "run" => {
             let [input] = &args.positional[..] else {
@@ -389,18 +412,18 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                     .map_err(|e| err(format!("cannot load {input}: {e}")))?;
                 emu.cost = MemcheckRuntime::cost_model();
                 let r = emu.run_backend(backend, steps);
-                writeln!(out, "memcheck: {r:?}").expect("string write");
+                writeln!(out, "memcheck: {r:?}").ok();
                 for e in &emu.runtime.errors {
-                    writeln!(out, "memcheck error: {e}").expect("string write");
+                    writeln!(out, "memcheck error: {e}").ok();
                 }
                 writeln!(
                     out,
                     "instructions {}  cycles {}",
                     emu.counters.instructions, emu.counters.cycles
                 )
-                .expect("string write");
+                .ok();
                 if args.has("--stats") {
-                    writeln!(out, "trace-cache: {}", emu.trace_stats()).expect("string write");
+                    writeln!(out, "trace-cache: {}", emu.trace_stats()).ok();
                 }
             } else {
                 let mode = if args.has("--log") {
@@ -410,25 +433,24 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 };
                 let result = try_run_backend(&image, inputs, mode, backend, steps)
                     .map_err(|e| err(format!("cannot load {input}: {e}")))?;
-                writeln!(out, "{:?}", result.result).expect("string write");
+                writeln!(out, "{:?}", result.result).ok();
                 for v in &result.io.out_ints {
-                    writeln!(out, "{v}").expect("string write");
+                    writeln!(out, "{v}").ok();
                 }
                 if !result.io.out_bytes.is_empty() {
-                    writeln!(out, "{}", String::from_utf8_lossy(&result.io.out_bytes))
-                        .expect("string write");
+                    writeln!(out, "{}", String::from_utf8_lossy(&result.io.out_bytes)).ok();
                 }
                 for e in &result.errors {
-                    writeln!(out, "error: {}", symbolize(&image, e)).expect("string write");
+                    writeln!(out, "error: {}", symbolize(&image, e)).ok();
                 }
                 writeln!(
                     out,
                     "instructions {}  cycles {}",
                     result.counters.instructions, result.counters.cycles
                 )
-                .expect("string write");
+                .ok();
                 if args.has("--stats") {
-                    writeln!(out, "trace-cache: {}", result.trace_stats).expect("string write");
+                    writeln!(out, "trace-cache: {}", result.trace_stats).ok();
                 }
             }
         }
@@ -439,10 +461,10 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
             let image = load_image(input)?;
             let d = redfat_analysis::disassemble(&image);
             for (addr, inst, _) in d.iter() {
-                writeln!(out, "{addr:#x}: {inst}").expect("string write");
+                writeln!(out, "{addr:#x}: {inst}").ok();
             }
             for (start, end) in &d.unknown {
-                writeln!(out, "{start:#x}..{end:#x}: <undecodable>").expect("string write");
+                writeln!(out, "{start:#x}..{end:#x}: <undecodable>").ok();
             }
         }
         "analyze" => {
@@ -485,16 +507,15 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                         .is_some_and(|m| !redfat_analysis::can_reach_heap(&m))
                 })
                 .count();
-            writeln!(out, "kind:            {:?}", image.kind).expect("string write");
-            writeln!(out, "entry:           {:#x}", image.entry).expect("string write");
-            writeln!(out, "segments:        {}", image.segments.len()).expect("string write");
-            writeln!(out, "memory:          {} bytes", image.memory_footprint())
-                .expect("string write");
-            writeln!(out, "symbols:         {}", image.symbols.len()).expect("string write");
-            writeln!(out, "instructions:    {}", d.len()).expect("string write");
-            writeln!(out, "basic blocks:    {}", cfg.blocks.len()).expect("string write");
-            writeln!(out, "memory accesses: {accesses}").expect("string write");
-            writeln!(out, "eliminable:      {eliminable}").expect("string write");
+            writeln!(out, "kind:            {:?}", image.kind).ok();
+            writeln!(out, "entry:           {:#x}", image.entry).ok();
+            writeln!(out, "segments:        {}", image.segments.len()).ok();
+            writeln!(out, "memory:          {} bytes", image.memory_footprint()).ok();
+            writeln!(out, "symbols:         {}", image.symbols.len()).ok();
+            writeln!(out, "instructions:    {}", d.len()).ok();
+            writeln!(out, "basic blocks:    {}", cfg.blocks.len()).ok();
+            writeln!(out, "memory accesses: {accesses}").ok();
+            writeln!(out, "eliminable:      {eliminable}").ok();
         }
         "selftest" => {
             let quick = args.has("--quick");
@@ -505,7 +526,97 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 run_selftest(quick, superblock, args.threads()?, &mut out)?;
             }
         }
-        "--help" | "-h" | "help" => writeln!(out, "{USAGE}").expect("string write"),
+        "serve" => {
+            let socket = args.socket()?.to_string();
+            let cache_dir = match args.flags.get("--cache-dir").and_then(|v| v.as_deref()) {
+                Some(d) => d.to_string(),
+                None => format!("{socket}.cache"),
+            };
+            let workers = match args.flags.get("--workers").and_then(|v| v.as_deref()) {
+                None => 2,
+                Some(s) => s.parse().map_err(|e| err(format!("bad --workers: {e}")))?,
+            };
+            let server = redfat_service::Server::bind(redfat_service::ServerConfig {
+                socket: socket.clone().into(),
+                cache_dir: cache_dir.into(),
+                workers,
+                threads: args.threads()?,
+            })
+            .map_err(|e| err(format!("cannot bind {socket}: {e}")))?;
+            let stats = server
+                .run()
+                .map_err(|e| err(format!("daemon failed: {e}")))?;
+            writeln!(out, "daemon exited; final counters:").ok();
+            out.push_str(&stats);
+        }
+        "submit" => {
+            let [input] = &args.positional[..] else {
+                return Err(err("submit needs exactly one input binary"));
+            };
+            let op = match args.flags.get("--op").and_then(|v| v.as_deref()) {
+                None | Some("harden") => redfat_service::Op::Harden,
+                Some("analyze") => redfat_service::Op::Analyze,
+                Some("profile") => redfat_service::Op::Profile,
+                Some(other) => {
+                    return Err(err(format!("bad --op {other:?} (harden|analyze|profile)")))
+                }
+            };
+            let cfg = harden_config(&args)?;
+            let image_bytes =
+                std::fs::read(input).map_err(|e| err(format!("cannot read {input}: {e}")))?;
+            let mut client = redfat_service::Client::connect(args.socket()?)
+                .map_err(|e| err(format!("cannot connect to daemon: {e}")))?;
+            match client
+                .job(op, cfg.canonical_bytes(), image_bytes)
+                .map_err(|e| err(format!("submit failed: {e}")))?
+            {
+                redfat_service::Response::Ok {
+                    source,
+                    micros,
+                    stats,
+                    artifact,
+                } => {
+                    let source = match source {
+                        redfat_service::Source::Computed => "computed",
+                        redfat_service::Source::ArtifactHit => "artifact-hit",
+                        redfat_service::Source::Deduped => "deduped",
+                    };
+                    if let Some(Some(path)) = args.flags.get("-o") {
+                        std::fs::write(path, &artifact)
+                            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+                    }
+                    writeln!(
+                        out,
+                        "{input}: {source} in {micros}us, {} artifact bytes",
+                        artifact.len()
+                    )
+                    .ok();
+                    out.push_str(&stats);
+                }
+                redfat_service::Response::Err(e) => {
+                    return Err(err(format!("daemon refused job: {e}")))
+                }
+            }
+        }
+        "svcstats" => {
+            let mut client = redfat_service::Client::connect(args.socket()?)
+                .map_err(|e| err(format!("cannot connect to daemon: {e}")))?;
+            let stats = client
+                .stats()
+                .map_err(|e| err(format!("stats failed: {e}")))?;
+            out.push_str(&stats);
+        }
+        "shutdown" => {
+            let mut client = redfat_service::Client::connect(args.socket()?)
+                .map_err(|e| err(format!("cannot connect to daemon: {e}")))?;
+            client
+                .shutdown()
+                .map_err(|e| err(format!("shutdown failed: {e}")))?;
+            writeln!(out, "daemon asked to shut down").ok();
+        }
+        "--help" | "-h" | "help" => {
+            writeln!(out, "{USAGE}").ok();
+        }
         other => return Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
     Ok(out)
@@ -534,12 +645,12 @@ fn run_faults(quick: bool, threads: usize, out: &mut String) -> Result<(), CliEr
         "faults: {} mutants (seed {:#x}): {} ok, {} errors, {} degraded",
         report.cases, config.seed, report.ok, report.errors, report.degraded
     )
-    .expect("string write");
+    .ok();
     for (stage, n) in &report.by_stage {
-        writeln!(out, "  stage {stage}: {n} errors").expect("string write");
+        writeln!(out, "  stage {stage}: {n} errors").ok();
     }
     if report.clean() {
-        writeln!(out, "fault sweep passed").expect("string write");
+        writeln!(out, "fault sweep passed").ok();
         Ok(())
     } else {
         Err(CliError {
@@ -583,7 +694,7 @@ fn run_selftest(
         rt.cases,
         rt.failures.len()
     )
-    .expect("string write");
+    .ok();
     for f in rt.failures.iter().take(8) {
         failures.push(format!("roundtrip: {f}"));
     }
@@ -597,7 +708,7 @@ fn run_selftest(
         ar.cases,
         ar.failures.len()
     )
-    .expect("string write");
+    .ok();
     for f in ar.failures.iter().take(8) {
         failures.push(format!("allocator: {f}"));
     }
@@ -633,7 +744,7 @@ fn run_selftest(
                         rep.divergences.len(),
                         if rep.completed { "" } else { " (incomplete)" }
                     )
-                    .expect("string write");
+                    .ok();
                     if !rep.clean() || !rep.completed {
                         let detail = rep
                             .divergences
@@ -663,7 +774,7 @@ fn run_selftest(
             rep.hardened_errors,
             if rep.completed { "" } else { " (incomplete)" }
         )
-        .expect("string write");
+        .ok();
         if !rep.clean() || !rep.completed {
             let shrunk = shrink_input(
                 &image,
@@ -734,10 +845,10 @@ fn run_selftest(
         "juliet: {jl_runs} runs ({} cases), {jl_divergent} divergent, {jl_reports} check reports",
         cases.iter().step_by(stride).count()
     )
-    .expect("string write");
+    .ok();
 
     if failures.is_empty() {
-        writeln!(out, "selftest passed").expect("string write");
+        writeln!(out, "selftest passed").ok();
         Ok(())
     } else {
         Err(CliError {

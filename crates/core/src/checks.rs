@@ -66,6 +66,7 @@ pub(crate) enum PayloadMode {
 }
 
 /// Everything needed to emit one batch's payload.
+#[derive(Debug, Clone)]
 pub(crate) struct BatchPayload {
     pub checks: Vec<CheckSpec>,
     /// Scratch registers saved in the prologue (live ones only), in push
@@ -230,6 +231,12 @@ impl BatchPayload {
         if may_be_clobbered {
             for r in [Reg::Rax, Reg::Rdx] {
                 if mem.regs().any(|or| or == r) {
+                    // Safety of the expect: `slot_of` covers every
+                    // register the batch planner marked live, and a
+                    // register appearing in a check operand is live by
+                    // construction; a miss here is a planner bug that
+                    // must not silently emit an unreloaded operand.
+                    #[allow(clippy::expect_used)]
                     let slot = self
                         .slot_of(r)
                         .expect("operand register is live, hence saved");

@@ -1,6 +1,7 @@
 //! Hardening configuration: the knobs of Table 1.
 
 use crate::allowlist::AllowList;
+use crate::digest::{sha256, Digest};
 
 /// Which memory operations receive the full (Redzone)+(LowFat) check, as
 /// opposed to the (Redzone)-only fallback (paper §3, "opportunistic
@@ -155,7 +156,123 @@ impl HardenConfig {
             ..HardenConfig::with_merge(LowFatPolicy::All)
         }
     }
+
+    /// The canonical byte encoding of this configuration: a versioned
+    /// tag, the nine boolean knobs, and the LowFat policy (with the
+    /// allow-list sites in sorted order). Two configs encode to the
+    /// same bytes iff they are `==`, which makes [`Self::digest`] a
+    /// sound cache-key component and the encoding itself a usable wire
+    /// format for the service protocol.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CONFIG_TAG);
+        for flag in [
+            self.elim,
+            self.batch,
+            self.merge,
+            self.elim_flow,
+            self.elim_redundant,
+            self.interproc,
+            self.size_harden,
+            self.instrument_reads,
+            self.lowfat_only,
+        ] {
+            out.push(flag as u8);
+        }
+        match &self.lowfat {
+            LowFatPolicy::Disabled => out.push(0),
+            LowFatPolicy::All => out.push(1),
+            LowFatPolicy::AllowList(list) => {
+                out.push(2);
+                out.extend_from_slice(&(list.len() as u64).to_le_bytes());
+                for site in list.iter() {
+                    out.extend_from_slice(&site.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes [`Self::canonical_bytes`]. Trailing garbage, a wrong
+    /// tag, or a truncated allow-list are all hard errors -- a config
+    /// that does not round-trip exactly must never be hardened under.
+    pub fn from_canonical_bytes(bytes: &[u8]) -> Result<HardenConfig, String> {
+        let rest = bytes
+            .strip_prefix(CONFIG_TAG)
+            .ok_or_else(|| "config encoding: bad or missing version tag".to_string())?;
+        if rest.len() < 10 {
+            return Err("config encoding: truncated flag block".to_string());
+        }
+        let (flags, rest) = rest.split_at(9);
+        for (i, &b) in flags.iter().enumerate() {
+            if b > 1 {
+                return Err(format!("config encoding: flag {i} is {b}, not a bool"));
+            }
+        }
+        let (policy, mut rest) = (rest[0], &rest[1..]);
+        let lowfat = match policy {
+            0 => LowFatPolicy::Disabled,
+            1 => LowFatPolicy::All,
+            2 => {
+                if rest.len() < 8 {
+                    return Err("config encoding: truncated allow-list count".to_string());
+                }
+                let (count_bytes, tail) = rest.split_at(8);
+                let mut count_le = [0u8; 8];
+                count_le.copy_from_slice(count_bytes);
+                let count = u64::from_le_bytes(count_le);
+                let need = (count as usize)
+                    .checked_mul(8)
+                    .ok_or_else(|| "config encoding: allow-list count overflows".to_string())?;
+                if tail.len() < need {
+                    return Err(format!(
+                        "config encoding: allow-list declares {count} sites, {} bytes available",
+                        tail.len()
+                    ));
+                }
+                let (sites_bytes, tail) = tail.split_at(need);
+                rest = tail;
+                let mut list = AllowList::new();
+                for chunk in sites_bytes.chunks_exact(8) {
+                    let mut le = [0u8; 8];
+                    le.copy_from_slice(chunk);
+                    list.insert(u64::from_le_bytes(le));
+                }
+                LowFatPolicy::AllowList(list)
+            }
+            other => return Err(format!("config encoding: unknown policy byte {other}")),
+        };
+        if !rest.is_empty() {
+            return Err(format!(
+                "config encoding: {} trailing bytes after policy",
+                rest.len()
+            ));
+        }
+        Ok(HardenConfig {
+            elim: flags[0] == 1,
+            batch: flags[1] == 1,
+            merge: flags[2] == 1,
+            elim_flow: flags[3] == 1,
+            elim_redundant: flags[4] == 1,
+            interproc: flags[5] == 1,
+            size_harden: flags[6] == 1,
+            instrument_reads: flags[7] == 1,
+            lowfat,
+            lowfat_only: flags[8] == 1,
+        })
+    }
+
+    /// Content digest of the canonical encoding: the config component
+    /// of every artifact- and component-cache key.
+    pub fn digest(&self) -> Digest {
+        sha256(&self.canonical_bytes())
+    }
 }
+
+/// Version tag of the canonical config encoding. Bump when the
+/// encoding changes shape; old cache keys then miss instead of
+/// colliding with entries produced under different semantics.
+const CONFIG_TAG: &[u8] = b"redfat-config/v1\n";
 
 impl Default for HardenConfig {
     /// Fully optimized with full LowFat coverage (callers wanting the
@@ -194,5 +311,65 @@ mod tests {
         // The default stays the intraprocedural pipeline: off-by-default
         // contract for byte-identical output.
         assert!(!HardenConfig::default().interproc);
+    }
+
+    #[test]
+    fn canonical_roundtrip_all_presets() {
+        let allow = LowFatPolicy::AllowList(AllowList::from_sites([0x40_1000, 0x40_2000]));
+        let configs = [
+            HardenConfig::unoptimized(LowFatPolicy::Disabled),
+            HardenConfig::with_elim(LowFatPolicy::All),
+            HardenConfig::with_batch(allow.clone()),
+            HardenConfig::with_merge(LowFatPolicy::All),
+            HardenConfig::with_flow(allow.clone()),
+            HardenConfig::with_redundant(LowFatPolicy::All),
+            HardenConfig::with_interproc(LowFatPolicy::All),
+            HardenConfig::minus_size(LowFatPolicy::All),
+            HardenConfig::minus_reads(allow),
+            HardenConfig::lowfat_only(),
+        ];
+        for c in &configs {
+            let bytes = c.canonical_bytes();
+            let back = HardenConfig::from_canonical_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("roundtrip failed: {e}"));
+            assert_eq!(&back, c);
+        }
+        // Distinct configs encode (and thus digest) distinctly.
+        let mut seen = std::collections::HashSet::new();
+        for c in &configs {
+            assert!(seen.insert(c.digest()), "digest collision for {c:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_decode_rejects_malformed() {
+        let good = HardenConfig::default().canonical_bytes();
+        assert!(HardenConfig::from_canonical_bytes(&[]).is_err());
+        assert!(HardenConfig::from_canonical_bytes(b"not-a-config").is_err());
+        // Truncations at every length must error, never panic.
+        for len in 0..good.len() {
+            assert!(
+                HardenConfig::from_canonical_bytes(&good[..len]).is_err(),
+                "truncation to {len} must be rejected"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(HardenConfig::from_canonical_bytes(&padded).is_err());
+        // Non-bool flag byte is rejected.
+        let mut bad_flag = good.clone();
+        bad_flag[CONFIG_TAG.len()] = 7;
+        assert!(HardenConfig::from_canonical_bytes(&bad_flag).is_err());
+        // Unknown policy byte is rejected.
+        let mut bad_policy = good;
+        let policy_at = CONFIG_TAG.len() + 9;
+        bad_policy[policy_at] = 9;
+        assert!(HardenConfig::from_canonical_bytes(&bad_policy).is_err());
+        // A truncated allow-list (declared count > bytes) is rejected.
+        let listed =
+            HardenConfig::with_merge(LowFatPolicy::AllowList(AllowList::from_sites([1, 2, 3])))
+                .canonical_bytes();
+        assert!(HardenConfig::from_canonical_bytes(&listed[..listed.len() - 4]).is_err());
     }
 }

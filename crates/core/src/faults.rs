@@ -297,14 +297,15 @@ fn mutate_and_drive(
 }
 
 /// Corrupts the hardened image's trap-table segment: truncation, count
-/// inflation, or an entry byte flip. `None` if no trap table exists.
+/// inflation, a mid-entry cut with the count still claiming the partial
+/// entry, or an entry byte flip. `None` if no trap table exists.
 fn mutate_trap_table(hardened: &Image, rng: &mut SplitMix64) -> Option<Image> {
     let mut img = hardened.clone();
     let seg = img
         .segments
         .iter_mut()
         .find(|s| s.data.len() >= 16 && s.data[..8] == TRAP_TABLE_MAGIC.to_le_bytes())?;
-    match rng.below(3) {
+    match rng.below(4) {
         0 => {
             // Truncate the table mid-entry (keeping the header so the
             // magic is still recognized).
@@ -316,6 +317,24 @@ fn mutate_trap_table(hardened: &Image, rng: &mut SplitMix64) -> Option<Image> {
             // Declare far more entries than the data holds.
             let huge = rng.next_u64() | (1 << 32);
             seg.data[8..16].copy_from_slice(&huge.to_le_bytes());
+        }
+        2 => {
+            // Cut one entry in half and rewrite the declared count to
+            // still claim the partial entry: the header and count look
+            // internally consistent, but the last entry's field reads
+            // run off the end of the data. This is the exact shape the
+            // loader's unchecked `expect("8 bytes")` slice conversions
+            // would have turned into a panic.
+            let entries = (seg.data.len() - 16) / 16;
+            if entries == 0 {
+                return None;
+            }
+            let cut_entry = rng.below(entries as u64) as usize;
+            let keep = 16 + cut_entry * 16 + 8;
+            seg.data.truncate(keep);
+            seg.mem_size = seg.data.len() as u64;
+            let claimed = (cut_entry + 1) as u64;
+            seg.data[8..16].copy_from_slice(&claimed.to_le_bytes());
         }
         _ => {
             // Flip a byte somewhere in the count or entries.

@@ -21,10 +21,16 @@
 //! The generated checks are real x86-64 code operating on the low-fat
 //! SIZES/MAGICS tables installed by the runtime; no host-side shortcut
 //! participates in detection.
+// Production code must surface failures as structured errors, not
+// panics: the pipeline feeds a long-running daemon. Deliberate
+// exceptions carry an `allow` with a safety comment at the site.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod allowlist;
+mod cache;
 mod checks;
 mod config;
+pub mod digest;
 pub mod error;
 pub mod faults;
 mod fuzz;
@@ -33,13 +39,16 @@ mod runner;
 pub mod selftest;
 
 pub use allowlist::AllowList;
+pub use cache::{MemoryComponentCache, DEFAULT_COMPONENT_CAPACITY};
 pub use checks::CHECK_SCRATCH_CANDIDATES;
 pub use config::{HardenConfig, LowFatPolicy};
+pub use digest::{image_digest, sha256, Digest, Sha256, TOOL_VERSION};
 pub use error::{ErrorKind, RedfatError, Stage};
 pub use faults::{classify_bytes, fault_sweep, FaultConfig, FaultOutcome, FaultReport};
 pub use fuzz::{fuzz_profile, FuzzConfig, FuzzOutcome};
 pub use pipeline::{
-    collect_allowlist, harden, harden_threaded, harden_with_bases, instrument_profile, ClobberInfo,
-    HardenError, HardenStats, Hardened,
+    collect_allowlist, harden, harden_cached, harden_threaded, harden_with_bases,
+    instrument_profile, ClobberInfo, ComponentCache, ComponentPlan, HardenError, HardenStats,
+    Hardened,
 };
 pub use runner::{run_once, try_run_backend, try_run_once, RunOutcome};

@@ -4,6 +4,7 @@
 use crate::allowlist::AllowList;
 use crate::checks::{BatchPayload, CheckSpec, PayloadMode};
 use crate::config::{HardenConfig, LowFatPolicy};
+use crate::digest::{image_digest, Digest, Sha256, TOOL_VERSION};
 use redfat_analysis::provenance::CallEffect;
 use redfat_analysis::{can_reach_heap, unknown_entries, Disasm, Provenance, RedundantChecks};
 use redfat_analysis::{disassemble, merge_checks, plan_batches, Batch, Cfg, Liveness, Summaries};
@@ -13,6 +14,7 @@ use redfat_parallel::parallel_map;
 use redfat_rewriter::{rewrite_with_bases, Patch, RewriteBases, RewriteError, RewriteStats};
 use redfat_x86::Inst;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// A hardening failure.
 #[derive(Debug)]
@@ -72,6 +74,14 @@ pub struct HardenStats {
     /// inputs). Rewriter-level skips are counted separately in
     /// [`RewriteStats::skipped_sites`].
     pub sites_skipped: usize,
+    /// Weakly-connected CFG components the image decomposed into (the
+    /// unit of analysis sharding and of incremental reuse).
+    pub components: usize,
+    /// Components whose analysis/planning results were served from a
+    /// [`ComponentCache`] instead of being recomputed. Always zero when
+    /// no cache is supplied; equal to [`Self::components`] on a fully
+    /// warm incremental re-harden.
+    pub components_reused: usize,
     /// Underlying rewriter statistics.
     pub rewrite: RewriteStats,
 }
@@ -223,12 +233,166 @@ enum SiteClass {
 /// per-call-site effects and per-function pure-write masks.
 type SummaryTables = (HashMap<u64, CallEffect>, HashMap<u64, u16>);
 
-/// The per-shard output of the analysis + planning stages: everything
-/// the serial rewrite needs, in a form that merges deterministically.
-struct ShardPlan {
+/// The per-component output of the analysis + planning stages:
+/// everything the serial rewrite needs, in a form that merges
+/// deterministically. Opaque to callers -- it exists publicly only so
+/// [`ComponentCache`] implementations can hold and hand back plans.
+pub struct ComponentPlan {
     planned: Vec<(u64, BatchPayload)>,
     clobbers: Vec<(u64, ClobberInfo)>,
     stats: HardenStats,
+}
+
+/// A cache of per-CFG-component analysis/planning results, keyed by a
+/// content digest over everything the component's analysis can observe
+/// (instruction bytes, block structure, roots, function entries,
+/// config, mode, tool version -- see [`component_key`]). Equal key
+/// therefore implies equal plan, so a `get` hit may be substituted for
+/// recomputation without changing the hardened output by a single
+/// byte.
+///
+/// Implementations must be safe to call from the analysis worker
+/// threads. `put` may be called concurrently for the same key with
+/// equal plans; keeping either is correct.
+pub trait ComponentCache: Sync {
+    /// Looks up a previously published plan.
+    fn get(&self, key: &Digest) -> Option<Arc<ComponentPlan>>;
+    /// Publishes a freshly computed plan.
+    fn put(&self, key: &Digest, plan: Arc<ComponentPlan>);
+}
+
+/// [`harden_threaded`] with a [`ComponentCache`]: per-component
+/// analysis results are reused when a component's key (byte content +
+/// analysis context) matches a cached entry, and newly computed
+/// results are published for future runs. The output is byte-identical
+/// to an uncached run; [`HardenStats::components_reused`] reports how
+/// much analysis was skipped.
+pub fn harden_cached(
+    image: &Image,
+    config: &HardenConfig,
+    threads: usize,
+    cache: &dyn ComponentCache,
+) -> Result<Hardened, HardenError> {
+    instrument_with_cache(
+        image,
+        config,
+        PayloadMode::Harden,
+        RewriteBases::default(),
+        threads,
+        Some(cache),
+    )
+}
+
+/// The digest prefix shared by every component key of one (image,
+/// config, mode) run: tool version, canonical config, payload mode,
+/// and -- when interprocedural summaries are enabled -- the whole-image
+/// digest. Summaries are a whole-image fixpoint handed to every shard,
+/// so under `interproc` a component's plan can depend on bytes outside
+/// the component; folding the image digest into the prefix keeps the
+/// key sound at the cost of degrading reuse to whole-image granularity
+/// for that (non-default) configuration.
+fn cache_prefix(image: &Image, config: &HardenConfig, mode: PayloadMode) -> Digest {
+    let mut h = Sha256::new();
+    let tool = TOOL_VERSION.as_bytes();
+    h.update_u64(tool.len() as u64);
+    h.update(tool);
+    let cfg_bytes = config.canonical_bytes();
+    h.update_u64(cfg_bytes.len() as u64);
+    h.update(&cfg_bytes);
+    h.update(&[match mode {
+        PayloadMode::Harden => 1,
+        PayloadMode::Profile => 2,
+    }]);
+    if config.interproc {
+        h.update(image_digest(image).as_bytes());
+    }
+    h.finalize()
+}
+
+/// The content key for one component: the run prefix plus every input
+/// the shard analysis can observe -- block structure, member
+/// instruction addresses and raw bytes, successor edges, opaque exits,
+/// and the restrictions of the global root/leader/function-entry sets
+/// to this component. A byte change anywhere in the component (or in
+/// context it can see) changes the key; a change elsewhere in the
+/// image leaves it untouched, which is exactly the incremental-reuse
+/// granularity.
+fn component_key(
+    prefix: &Digest,
+    disasm: &Disasm,
+    image: &Image,
+    sub: &Cfg,
+    roots: Option<&BTreeSet<u64>>,
+) -> Digest {
+    let mut h = Sha256::new();
+    h.update(prefix.as_bytes());
+    h.update_u64(sub.blocks.len() as u64);
+    for block in sub.blocks.values() {
+        h.update_u64(block.start);
+        h.update_u64(block.insts.len() as u64);
+        let mut block_end = block.start;
+        for &addr in &block.insts {
+            h.update_u64(addr);
+            match disasm.at(addr) {
+                Some(&(_, len)) => {
+                    h.update_u64(len as u64);
+                    match image.read_bytes(addr, len as usize) {
+                        Some(bytes) => h.update(bytes),
+                        // Unreadable bytes for a decoded instruction
+                        // cannot happen (decode read them); a distinct
+                        // marker keeps the encoding total anyway.
+                        None => h.update(&[0xFF]),
+                    }
+                    block_end = block_end.max(addr.saturating_add(len as u64));
+                }
+                // Member no longer decodes: the shard degrades to
+                // skip-and-record, which the key must distinguish from
+                // a decodable member.
+                None => h.update_u64(u64::MAX),
+            }
+        }
+        h.update_u64(block.succs.len() as u64);
+        for &s in &block.succs {
+            h.update_u64(s);
+        }
+        h.update(&[u8::from(block.opaque_exit)]);
+        // Global leaders landing inside this block's byte span (block
+        // splits seen by in-block planning).
+        for &l in sub.leaders.range(block.start..block_end) {
+            h.update_u64(l);
+        }
+        h.update_u64(u64::MAX); // leader-list terminator
+    }
+    // Unknown-entry roots this component's analyses can see. `None`
+    // (analyses that need roots are disabled) must hash differently
+    // from "enabled with no roots in this component".
+    match roots {
+        Some(roots) => {
+            let in_comp: Vec<u64> = roots
+                .iter()
+                .copied()
+                .filter(|&r| sub.block_of(r).is_some())
+                .collect();
+            h.update_u64(in_comp.len() as u64);
+            for r in in_comp {
+                h.update_u64(r);
+            }
+        }
+        None => h.update_u64(u64::MAX),
+    }
+    // Function entries inside the component (call-boundary context for
+    // the flow/redundant analyses).
+    let entries: Vec<u64> = sub
+        .func_entries
+        .iter()
+        .copied()
+        .filter(|&e| sub.block_of(e).is_some())
+        .collect();
+    h.update_u64(entries.len() as u64);
+    for e in entries {
+        h.update_u64(e);
+    }
+    h.finalize()
 }
 
 fn instrument(
@@ -237,6 +401,17 @@ fn instrument(
     mode: PayloadMode,
     bases: RewriteBases,
     threads: usize,
+) -> Result<Hardened, HardenError> {
+    instrument_with_cache(image, config, mode, bases, threads, None)
+}
+
+fn instrument_with_cache(
+    image: &Image,
+    config: &HardenConfig,
+    mode: PayloadMode,
+    bases: RewriteBases,
+    threads: usize,
+    cache: Option<&dyn ComponentCache>,
 ) -> Result<Hardened, HardenError> {
     let disasm = disassemble(image);
     let cfg = Cfg::recover(&disasm, image.entry, &[]);
@@ -253,7 +428,12 @@ fn instrument(
     // shard. With the knob off, shards behave exactly as before.
     let summaries: Option<SummaryTables> = (config.interproc && config.elim_flow && need_roots)
         .then(|| {
-            let sums = Summaries::compute(&disasm, &cfg, roots.as_ref().expect("roots computed"));
+            // Safety of the expect: this closure only runs when
+            // `need_roots` held above, which is exactly when `roots`
+            // was populated.
+            #[allow(clippy::expect_used)]
+            let roots = roots.as_ref().expect("roots computed");
+            let sums = Summaries::compute(&disasm, &cfg, roots);
             (sums.call_effects(), sums.pure_write_masks())
         });
 
@@ -261,15 +441,31 @@ fn instrument(
     // edge crosses a shard, so every per-shard analysis result is the
     // exact restriction of its whole-image counterpart, and the shard
     // granularity -- not the thread count -- determines the output.
-    let shards = parallel_map(cfg.components(), threads, |sub| {
-        instrument_shard(
+    // With a cache, each component is first looked up by content key;
+    // a hit substitutes the cached plan for recomputation (same plan by
+    // the key's soundness argument), a miss computes and publishes.
+    let prefix = cache.map(|_| cache_prefix(image, config, mode));
+    let shards: Vec<(Arc<ComponentPlan>, bool)> = parallel_map(cfg.components(), threads, |sub| {
+        let key = prefix
+            .as_ref()
+            .map(|p| component_key(p, &disasm, image, sub, roots.as_ref()));
+        if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+            if let Some(plan) = cache.get(key) {
+                return (plan, true);
+            }
+        }
+        let plan = Arc::new(instrument_shard(
             &disasm,
             sub,
             config,
             mode,
             roots.as_ref(),
             summaries.as_ref(),
-        )
+        ));
+        if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+            cache.put(key, plan.clone());
+        }
+        (plan, false)
     });
 
     // Deterministic merge: shards arrive in component order; anchors
@@ -277,7 +473,9 @@ fn instrument(
     let mut stats = HardenStats::default();
     let mut clobbers: HashMap<u64, ClobberInfo> = HashMap::new();
     let mut planned: Vec<(u64, BatchPayload)> = Vec::new();
-    for shard in shards {
+    for (shard, reused) in shards {
+        stats.components += 1;
+        stats.components_reused += reused as usize;
         stats.sites_considered += shard.stats.sites_considered;
         stats.sites_eliminated += shard.stats.sites_eliminated;
         stats.sites_eliminated_flow += shard.stats.sites_eliminated_flow;
@@ -287,8 +485,8 @@ fn instrument(
         stats.sites_redzone += shard.stats.sites_redzone;
         stats.checks += shard.stats.checks;
         stats.sites_skipped += shard.stats.sites_skipped;
-        clobbers.extend(shard.clobbers);
-        planned.extend(shard.planned);
+        clobbers.extend(shard.clobbers.iter().cloned());
+        planned.extend(shard.planned.iter().cloned());
     }
     planned.sort_by_key(|(anchor, _)| *anchor);
     stats.batches = planned.len();
@@ -340,7 +538,7 @@ fn instrument_shard(
     mode: PayloadMode,
     roots: Option<&BTreeSet<u64>>,
     summaries: Option<&SummaryTables>,
-) -> ShardPlan {
+) -> ComponentPlan {
     let liveness = Liveness::compute(disasm, cfg);
     let mut stats = HardenStats::default();
 
@@ -348,6 +546,10 @@ fn instrument_shard(
     // applied at direct call sites when interprocedural summaries are
     // on.
     let prov = config.elim_flow.then(|| {
+        // Safety of the expect: the caller computes roots exactly when
+        // `elim_flow || (elim_redundant && mode == Harden)` holds, and
+        // this closure runs only under `elim_flow`.
+        #[allow(clippy::expect_used)]
         let roots = roots.expect("roots precomputed");
         match summaries {
             Some((effects, _)) => {
@@ -360,8 +562,12 @@ fn instrument_shard(
     // elimination to the interprocedural tier in the statistics. The
     // summary-augmented analysis eliminates a superset of the plain
     // one's sites, so the filter itself only consults `prov`.
-    let prov_base = (config.elim_flow && summaries.is_some())
-        .then(|| Provenance::compute_with_roots(disasm, cfg, roots.expect("roots precomputed")));
+    let prov_base = (config.elim_flow && summaries.is_some()).then(|| {
+        // Safety of the expect: same `elim_flow` guard as `prov` above.
+        #[allow(clippy::expect_used)]
+        let roots = roots.expect("roots precomputed");
+        Provenance::compute_with_roots(disasm, cfg, roots)
+    });
 
     // The shared classification: read/write policy + (optionally)
     // syntactic and flow-sensitive check elimination.
@@ -403,10 +609,14 @@ fn instrument_shard(
     // the pipeline filter composed with the policy.
     let redundant = if config.elim_redundant && mode == PayloadMode::Harden {
         let pure_masks = summaries.map(|(_, m)| m.clone()).unwrap_or_default();
+        // Safety of the expect: this branch is the other disjunct of
+        // the caller's roots-computation condition.
+        #[allow(clippy::expect_used)]
+        let roots = roots.expect("roots precomputed");
         Some(RedundantChecks::compute_with_roots_and_masks(
             disasm,
             cfg,
-            roots.expect("roots precomputed"),
+            roots,
             |a, i| filter(a, i) && allowed(a),
             pure_masks,
         ))
@@ -542,7 +752,7 @@ fn instrument_shard(
         }
     }
 
-    ShardPlan {
+    ComponentPlan {
         planned,
         clobbers,
         stats,

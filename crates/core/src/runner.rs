@@ -38,6 +38,10 @@ impl RunOutcome {
 /// `mode` selects abort-on-error (hardening) or log-and-continue
 /// (bug finding / profiling).
 pub fn run_once(image: &Image, input: Vec<i64>, mode: ErrorMode, max_steps: u64) -> RunOutcome {
+    // Safety of the expect: `run_once` is the documented panic-on-
+    // malformed-image convenience for tests and experiments; services
+    // and fault-tolerant callers use `try_run_once`.
+    #[allow(clippy::expect_used)]
     try_run_once(image, input, mode, max_steps).expect("image loads")
 }
 

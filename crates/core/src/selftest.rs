@@ -41,6 +41,13 @@
 //! introspect their own return addresses (which legitimately point into
 //! trampolines), and dead-register windows where a clobbered register is
 //! not compared until a full-width write re-synchronizes it.
+// Safety of the module-wide allow: this is test infrastructure that
+// happens to ship in the library (so the CLI can drive it). Its
+// expects/unwraps assert harness-internal invariants over images the
+// harness itself built; a panic here is a failing self-test, which is
+// exactly the signal the harness exists to produce. The daemon never
+// calls into this module.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::pipeline::{harden, ClobberInfo, HardenError};
 use crate::HardenConfig;

@@ -1,0 +1,157 @@
+//! Golden tests for incremental re-hardening: warm component-cache
+//! runs must do zero analysis and a one-component byte edit must
+//! re-analyze exactly that component, with output byte-identical to a
+//! cold run -- across every SPEC stand-in.
+
+use redfat_analysis::{disassemble, unknown_entries, Cfg};
+use redfat_core::{harden_cached, HardenConfig, MemoryComponentCache};
+use redfat_elf::Image;
+
+/// Finds a single-byte mutation of `image` that changes instruction
+/// *content* but not structure: identical decode boundaries, identical
+/// blocks/successors, identical leaders, function entries, and roots.
+/// Such an edit perturbs exactly one CFG component's content key.
+///
+/// Returns the mutated image. Deterministic: candidates are tried in
+/// address order (low bit of each instruction's last byte).
+fn mutate_one_component(image: &Image) -> Option<Image> {
+    let d0 = disassemble(image);
+    let cfg0 = Cfg::recover(&d0, image.entry, &[]);
+    let roots0 = unknown_entries(&d0, &cfg0, image.entry);
+    let bounds0: Vec<(u64, u8)> = d0.iter().map(|(a, _, l)| (a, l)).collect();
+
+    let mut tried = 0;
+    for (addr, _, len) in d0.iter() {
+        // Only instructions inside a recovered block participate in a
+        // component key; flipping anything else proves nothing.
+        if cfg0.block_of(addr).is_none() {
+            continue;
+        }
+        // Long instructions end in immediates/displacements far more
+        // often than in opcode bytes, so their low bit is the most
+        // likely structure-preserving flip.
+        if len < 4 {
+            continue;
+        }
+        tried += 1;
+        if tried > 300 {
+            break; // candidate budget; plenty for every stand-in
+        }
+
+        let mut mutated = image.clone();
+        let target = addr + u64::from(len) - 1;
+        let Some(seg) = mutated
+            .segments
+            .iter_mut()
+            .find(|s| s.vaddr <= target && target - s.vaddr < s.data.len() as u64)
+        else {
+            continue;
+        };
+        seg.data[(target - seg.vaddr) as usize] ^= 1;
+
+        // Validate: same decode boundaries and identical CFG structure
+        // (blocks compare instruction lists, successors, and opaque
+        // exits), so exactly one component's *content* changed.
+        let d1 = disassemble(&mutated);
+        let bounds1: Vec<(u64, u8)> = d1.iter().map(|(a, _, l)| (a, l)).collect();
+        if bounds1 != bounds0 {
+            continue;
+        }
+        let cfg1 = Cfg::recover(&d1, mutated.entry, &[]);
+        if cfg1.blocks != cfg0.blocks
+            || cfg1.leaders != cfg0.leaders
+            || cfg1.func_entries != cfg0.func_entries
+        {
+            continue;
+        }
+        if unknown_entries(&d1, &cfg1, mutated.entry) != roots0 {
+            continue;
+        }
+        return Some(mutated);
+    }
+    None
+}
+
+#[test]
+fn warm_and_incremental_rehardening_is_byte_identical_on_all_stand_ins() {
+    let config = HardenConfig::default();
+    for w in redfat_workloads::spec::all() {
+        let image = w.image();
+        let cache = MemoryComponentCache::new();
+
+        // Cold run: populates the cache, reuses nothing.
+        let cold = harden_cached(&image, &config, 2, &cache)
+            .unwrap_or_else(|e| panic!("{}: cold harden failed: {e}", w.name));
+        assert_eq!(cold.stats.components_reused, 0, "{}", w.name);
+        assert!(cold.stats.components > 1, "{}: multi-component", w.name);
+
+        // Warm run: every component served from the cache, zero
+        // analysis, byte-identical output.
+        let warm = harden_cached(&image, &config, 2, &cache)
+            .unwrap_or_else(|e| panic!("{}: warm harden failed: {e}", w.name));
+        assert_eq!(
+            warm.stats.components_reused, warm.stats.components,
+            "{}: warm run reuses every component",
+            w.name
+        );
+        assert_eq!(
+            warm.image.to_bytes(),
+            cold.image.to_bytes(),
+            "{}: warm bytes identical",
+            w.name
+        );
+
+        // One-component edit: only the touched component re-analyzes,
+        // and the result is byte-identical to hardening the edited
+        // image from a cold cache.
+        let mutated = mutate_one_component(&image)
+            .unwrap_or_else(|| panic!("{}: no structure-preserving mutation found", w.name));
+        let cold_cache = MemoryComponentCache::new();
+        let cold2 = harden_cached(&mutated, &config, 2, &cold_cache)
+            .unwrap_or_else(|e| panic!("{}: mutated cold harden failed: {e}", w.name));
+        let incr = harden_cached(&mutated, &config, 2, &cache)
+            .unwrap_or_else(|e| panic!("{}: incremental harden failed: {e}", w.name));
+        assert_eq!(incr.stats.components, cold2.stats.components, "{}", w.name);
+        assert_eq!(
+            incr.stats.components_reused,
+            incr.stats.components - 1,
+            "{}: exactly one component re-analyzed",
+            w.name
+        );
+        assert_eq!(
+            incr.image.to_bytes(),
+            cold2.image.to_bytes(),
+            "{}: incremental bytes identical to cold",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn interproc_config_degrades_reuse_to_whole_image_soundly() {
+    use redfat_core::LowFatPolicy;
+    let config = HardenConfig::with_interproc(LowFatPolicy::All);
+    let w = &redfat_workloads::spec::all()[0];
+    let image = w.image();
+    let cache = MemoryComponentCache::new();
+
+    // Same image: full reuse still applies (the whole-image digest in
+    // the prefix is unchanged).
+    let cold = harden_cached(&image, &config, 2, &cache).expect("cold");
+    let warm = harden_cached(&image, &config, 2, &cache).expect("warm");
+    assert_eq!(warm.stats.components_reused, warm.stats.components);
+    assert_eq!(warm.image.to_bytes(), cold.image.to_bytes());
+
+    // Any byte edit invalidates *every* component under interproc
+    // (summaries are a whole-image fixpoint), trading reuse for
+    // soundness.
+    let mutated = mutate_one_component(&image).expect("mutation");
+    let incr = harden_cached(&mutated, &config, 2, &cache).expect("incremental");
+    assert_eq!(
+        incr.stats.components_reused, 0,
+        "interproc degrades to whole-image granularity"
+    );
+    let cold_cache = MemoryComponentCache::new();
+    let cold2 = harden_cached(&mutated, &config, 2, &cold_cache).expect("mutated cold");
+    assert_eq!(incr.image.to_bytes(), cold2.image.to_bytes());
+}

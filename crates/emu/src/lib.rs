@@ -21,6 +21,10 @@
 //!
 //! Self-modifying guest code is unsupported (instructions are decode-
 //! cached), mirroring E9Patch's documented limitation (paper §7.4).
+// Emulator failures must be structured (`EmuError`, `LoadError`,
+// `RunResult`), never panics: the emulator runs attacker-influenced
+// guest images inside a long-running daemon.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod cost;
 mod cpu;
@@ -32,7 +36,7 @@ mod trace;
 pub use cost::{CostModel, Counters, TraceStats};
 pub use cpu::{Cpu, Flags};
 pub use exec::{Emu, EmuError, RunResult, TRAP_TABLE_MAGIC};
-pub use loader::{LoadError, MAX_LOAD_BYTES};
+pub use loader::{stub_image, LoadError, MAX_LOAD_BYTES};
 pub use runtime::{
     syscalls, ErrorMode, GuestIo, HostRuntime, MemErrKind, MemoryError, ProfileStats, Runtime,
     SyscallOutcome,

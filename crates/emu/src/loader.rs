@@ -8,8 +8,9 @@
 
 use crate::exec::{Emu, TRAP_TABLE_MAGIC};
 use crate::runtime::Runtime;
-use redfat_elf::Image;
+use redfat_elf::{Image, ImageKind, SegFlags, Segment};
 use redfat_vm::{layout, Prot, Vm};
+use redfat_x86::{Asm, AsmError};
 
 /// Upper bound on the total bytes of segment memory one address space
 /// will back. Well-formed workloads stay far below this; the cap exists
@@ -63,6 +64,14 @@ pub enum LoadError {
         /// Entries actually backed by segment data.
         available: u64,
     },
+    /// Assembling a runtime stub image failed (see [`stub_image`]).
+    Asm(AsmError),
+}
+
+impl From<AsmError> for LoadError {
+    fn from(e: AsmError) -> LoadError {
+        LoadError::Asm(e)
+    }
 }
 
 impl std::fmt::Display for LoadError {
@@ -102,6 +111,7 @@ impl std::fmt::Display for LoadError {
                      but has data for {available}"
                 )
             }
+            LoadError::Asm(e) => write!(f, "stub image assembly failed: {e}"),
         }
     }
 }
@@ -186,31 +196,35 @@ impl<R: Runtime> Emu<R> {
 
         // Trap tables are parsed up front too: data segments beginning
         // with the magic quadword, then a count, then (addr, target)
-        // pairs. A declared count the data cannot back is a load error
-        // naming the segment, not a wild slice.
+        // pairs. Every field is read through a bounds-checked helper:
+        // a declared count the data cannot back -- including one that
+        // truncates mid-entry -- is a load error naming the segment,
+        // never a wild slice or a panic.
         let mut traps: Vec<(u64, u64)> = Vec::new();
         for seg in images.iter().flat_map(|img| &img.segments) {
             if seg.data.len() < 16 {
                 continue;
             }
-            let magic = u64::from_le_bytes(seg.data[..8].try_into().expect("8 bytes"));
+            let Some(magic) = read_u64_le(&seg.data, 0) else {
+                continue;
+            };
             if magic != TRAP_TABLE_MAGIC {
                 continue;
             }
-            let declared = u64::from_le_bytes(seg.data[8..16].try_into().expect("8 bytes"));
             let available = (seg.data.len() as u64 - 16) / 16;
+            let truncated = |declared| LoadError::TruncatedTrapTable {
+                segment: seg.vaddr,
+                declared,
+                available,
+            };
+            let declared = read_u64_le(&seg.data, 8).ok_or_else(|| truncated(0))?;
             if declared > available {
-                return Err(LoadError::TruncatedTrapTable {
-                    segment: seg.vaddr,
-                    declared,
-                    available,
-                });
+                return Err(truncated(declared));
             }
             for i in 0..declared as usize {
                 let off = 16 + i * 16;
-                let addr = u64::from_le_bytes(seg.data[off..off + 8].try_into().expect("8 bytes"));
-                let target =
-                    u64::from_le_bytes(seg.data[off + 8..off + 16].try_into().expect("8 bytes"));
+                let addr = read_u64_le(&seg.data, off).ok_or_else(|| truncated(declared))?;
+                let target = read_u64_le(&seg.data, off + 8).ok_or_else(|| truncated(declared))?;
                 traps.push((addr, target));
             }
         }
@@ -260,9 +274,36 @@ impl<R: Runtime> Emu<R> {
     }
 }
 
+/// Reads the little-endian `u64` at byte offset `off`, or `None` when
+/// the slice ends mid-field. All trap-table field reads go through
+/// this so a truncated segment surfaces as a structured error at the
+/// caller, never an out-of-bounds slice panic.
+fn read_u64_le(data: &[u8], off: usize) -> Option<u64> {
+    let bytes = data.get(off..off.checked_add(8)?)?;
+    bytes.try_into().ok().map(u64::from_le_bytes)
+}
+
+/// Assembles a single-segment executable stub image at `base`: entry at
+/// the first instruction, one `RX` segment holding the assembled bytes.
+/// This is how runtime stubs and test fixtures become loadable
+/// [`Image`]s; an assembly failure (unbound label, encoding overflow)
+/// surfaces as [`LoadError::Asm`] instead of a panic, so a bad stub
+/// degrades like any other malformed input.
+pub fn stub_image(base: u64, build: impl FnOnce(&mut Asm)) -> Result<Image, LoadError> {
+    let mut a = Asm::new(base);
+    build(&mut a);
+    let p = a.finish()?;
+    Ok(Image {
+        kind: ImageKind::Exec,
+        entry: p.base,
+        segments: vec![Segment::new(p.base, SegFlags::RX, p.bytes)],
+        symbols: vec![],
+    })
+}
+
 #[cfg(test)]
 mod tests {
-    use super::LoadError;
+    use super::{stub_image, LoadError};
     use crate::runtime::{ErrorMode, HostRuntime};
     use crate::{Emu, RunResult};
     use redfat_elf::{Image, ImageKind, SegFlags, Segment};
@@ -271,15 +312,7 @@ mod tests {
 
     /// Builds a tiny image from assembled code at CODE_BASE.
     fn image_of(build: impl FnOnce(&mut Asm)) -> Image {
-        let mut a = Asm::new(layout::CODE_BASE);
-        build(&mut a);
-        let p = a.finish().expect("assembles");
-        Image {
-            kind: ImageKind::Exec,
-            entry: p.base,
-            segments: vec![Segment::new(p.base, SegFlags::RX, p.bytes)],
-            symbols: vec![],
-        }
+        stub_image(layout::CODE_BASE, build).expect("assembles")
     }
 
     fn exit_with(a: &mut Asm, reg_holding_code: Reg) {
@@ -503,6 +536,63 @@ mod tests {
                 .expect("must not load"),
             LoadError::ImageTooLarge { .. }
         ));
+    }
+
+    #[test]
+    fn mid_entry_truncated_trap_table_is_an_error() {
+        // Header intact, declared count intact, but the single declared
+        // entry's data stops 8 bytes short: the checked reads must
+        // surface TruncatedTrapTable, not panic on a slice conversion.
+        let mut table = Vec::new();
+        table.extend_from_slice(&crate::TRAP_TABLE_MAGIC.to_le_bytes());
+        table.extend_from_slice(&1u64.to_le_bytes());
+        table.extend_from_slice(&layout::CODE_BASE.to_le_bytes());
+        // Missing the 8-byte target field entirely.
+        let img = Image {
+            kind: ImageKind::Exec,
+            entry: layout::CODE_BASE,
+            segments: vec![
+                Segment::new(layout::CODE_BASE, SegFlags::RX, vec![0xC3]),
+                Segment::new(layout::GLOBALS_BASE, SegFlags::R, table),
+            ],
+            symbols: vec![],
+        };
+        let err = Emu::load_image(&img, HostRuntime::new(ErrorMode::Abort))
+            .err()
+            .expect("must not load");
+        assert!(
+            matches!(err, LoadError::TruncatedTrapTable { declared: 1, .. }),
+            "mid-entry truncation must classify as TruncatedTrapTable, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn checked_u64_reads_never_slice_out_of_bounds() {
+        use super::read_u64_le;
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8, 9];
+        assert_eq!(read_u64_le(&data, 0), Some(0x0807060504030201));
+        assert_eq!(read_u64_le(&data, 1), Some(0x0908070605040302));
+        assert_eq!(read_u64_le(&data, 2), None, "ends mid-field");
+        assert_eq!(read_u64_le(&data, 9), None);
+        assert_eq!(read_u64_le(&data, usize::MAX), None, "offset overflow");
+        assert_eq!(read_u64_le(&[], 0), None);
+    }
+
+    #[test]
+    fn stub_assembly_failure_is_a_structured_error() {
+        // An unbound label makes `Asm::finish` fail; stub_image must
+        // surface that as LoadError::Asm instead of panicking.
+        let err = stub_image(layout::CODE_BASE, |a| {
+            let never_bound = a.label();
+            a.jmp_label(never_bound);
+        })
+        .expect_err("must not assemble");
+        assert!(
+            matches!(err, LoadError::Asm(redfat_x86::AsmError::UnboundLabel(_))),
+            "unbound label must map to LoadError::Asm, got {err:?}"
+        );
+        // And the error carries a human-readable rendering.
+        assert!(err.to_string().contains("stub image assembly failed"));
     }
 
     #[test]

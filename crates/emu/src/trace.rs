@@ -1037,9 +1037,9 @@ impl<R: Runtime> Emu<R> {
             // Ended at the cap or at an unfetchable/undecodable follow
             // target: a trailing followed edge has no in-trace
             // continuation, so demote it back to the block terminal.
-            if let Some(k) = kinds.last_mut() {
+            if let (Some(k), Some(last)) = (kinds.last_mut(), insts.last()) {
                 if !matches!(k, Interior::None) {
-                    exit = exit_of(&insts.last().expect("nonempty").inst);
+                    exit = exit_of(&last.inst);
                     *k = Interior::None;
                     targets.pop();
                 }

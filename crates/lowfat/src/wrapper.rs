@@ -48,7 +48,14 @@ impl RedFatHeap {
 
     /// Allocates `size` bytes and returns the user pointer (`base + 16`).
     pub fn malloc(&mut self, vm: &mut Vm, size: u64) -> Result<u64, AllocError> {
-        let base = self.alloc.lowfat_malloc(vm, size + REDZONE_SIZE)?;
+        // A guest can pass any size (e.g. `malloc(-1)`); the redzone
+        // padding must not wrap around to a tiny allocation.
+        let padded = size
+            .checked_add(REDZONE_SIZE)
+            .ok_or(AllocError::TooLarge(size))?;
+        let base = self.alloc.lowfat_malloc(vm, padded)?;
+        // Safety of the expects: `lowfat_malloc` just returned `base`,
+        // which is mapped for at least `padded >= 16` bytes.
         vm.write_privileged(base, &size.to_le_bytes())
             .expect("fresh object mapped");
         vm.write_privileged(base + 8, &self.canary.to_le_bytes())
@@ -74,6 +81,8 @@ impl RedFatHeap {
         // Merged state representation: SIZE = 0 ⇒ Free. The object stays
         // mapped (and quarantined), so dangling dereferences hit the
         // metadata check rather than unmapped memory.
+        // Safety of the expect: `read_u64(base)` above succeeded, so the
+        // metadata word is mapped and writable via the privileged path.
         vm.write_privileged(base, &0u64.to_le_bytes())
             .expect("object mapped");
         self.alloc.lowfat_free(vm, base)
@@ -88,6 +97,8 @@ impl RedFatHeap {
         // Fresh subheap memory is already zero, but reused objects are
         // not: clear explicitly.
         let zeros = vec![0u8; size as usize];
+        // Safety of the expect: `malloc` above mapped at least `size`
+        // bytes at `ptr`.
         vm.write_privileged(ptr, &zeros).expect("object mapped");
         Ok(ptr)
     }
@@ -102,6 +113,9 @@ impl RedFatHeap {
             .ok_or(AllocError::InvalidFree(ptr))?;
         let new_ptr = self.malloc(vm, new_size)?;
         let copy = old_size.min(new_size) as usize;
+        // Safety of the expects: `object_size` proved `ptr` is inside a
+        // live object of `old_size >= copy` bytes, and `malloc` just
+        // mapped `new_size >= copy` bytes at `new_ptr`.
         let data = vm.read_bytes(ptr, copy).expect("old object mapped");
         vm.write_privileged(new_ptr, &data)
             .expect("new object mapped");
@@ -193,6 +207,25 @@ mod tests {
         let heap = RedFatHeap::new(LowFatConfig::default());
         heap.install(&mut vm);
         (heap, vm)
+    }
+
+    #[test]
+    fn huge_malloc_is_too_large_not_a_wraparound() {
+        let (mut h, mut vm) = setup();
+        // `size + REDZONE_SIZE` must not wrap to a tiny allocation.
+        for size in [u64::MAX, u64::MAX - 8, u64::MAX - 15] {
+            assert_eq!(
+                h.malloc(&mut vm, size),
+                Err(AllocError::TooLarge(size)),
+                "malloc({size:#x})"
+            );
+        }
+        // The largest non-wrapping size still classifies as too large
+        // (no size class holds it), through the normal path.
+        assert!(matches!(
+            h.malloc(&mut vm, u64::MAX - 16),
+            Err(AllocError::TooLarge(_))
+        ));
     }
 
     #[test]

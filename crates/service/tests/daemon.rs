@@ -1,0 +1,382 @@
+//! End-to-end daemon tests: dedupe, artifact warm hits, incremental
+//! component reuse, and corrupt-cache robustness.
+
+use redfat_core::selftest::SplitMix64;
+use redfat_core::{harden_threaded, HardenConfig, LowFatPolicy};
+use redfat_service::{
+    artifact_key, ArtifactCache, ArtifactEntry, Client, Op, Response, Server, ServerConfig, Source,
+};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("redfat-daemon-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Starts a daemon on a scratch socket; returns (config, join handle).
+fn start(tag: &str, workers: usize) -> (ServerConfig, std::thread::JoinHandle<String>) {
+    let dir = scratch(tag);
+    let config = ServerConfig {
+        socket: dir.join("daemon.sock"),
+        cache_dir: dir.join("cache"),
+        workers,
+        threads: 2,
+    };
+    let server = Server::bind(config.clone()).expect("bind daemon");
+    let handle = std::thread::spawn(move || server.run().expect("daemon run"));
+    (config, handle)
+}
+
+/// One stand-in image, built once per test binary: `spec::all()`
+/// compiles the whole suite, which is far too slow to repeat per test
+/// in debug mode.
+fn workload_image_bytes() -> Vec<u8> {
+    static IMAGE: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    IMAGE
+        .get_or_init(|| redfat_workloads::spec::all()[0].image().to_bytes())
+        .clone()
+}
+
+fn counter(stats: &str, key: &str) -> u64 {
+    for line in stats.lines() {
+        if let Some(v) = line.strip_prefix(key).and_then(|r| r.strip_prefix('=')) {
+            return v.parse().expect("counter value");
+        }
+    }
+    panic!("counter {key} missing from stats:\n{stats}");
+}
+
+#[test]
+fn concurrent_identical_requests_cost_one_computation() {
+    let (config, handle) = start("dedupe", 2);
+    let image = workload_image_bytes();
+    let cfg = HardenConfig::default().canonical_bytes();
+
+    const CLIENTS: usize = 4;
+    let mut joins = Vec::new();
+    for _ in 0..CLIENTS {
+        let socket = config.socket.clone();
+        let image = image.clone();
+        let cfg = cfg.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&socket).expect("connect");
+            c.job(Op::Harden, cfg, image).expect("submit")
+        }));
+    }
+    let responses: Vec<Response> = joins
+        .into_iter()
+        .map(|j| j.join().expect("client"))
+        .collect();
+
+    let mut artifacts = Vec::new();
+    for r in &responses {
+        match r {
+            Response::Ok { artifact, .. } => artifacts.push(artifact.clone()),
+            Response::Err(e) => panic!("job failed: {e}"),
+        }
+    }
+    // Every client gets the same bytes, and they match a direct
+    // one-shot harden of the same image and config.
+    let direct = harden_threaded(
+        &redfat_elf::Image::parse(&image).expect("parse"),
+        &HardenConfig::default(),
+        2,
+    )
+    .expect("direct harden")
+    .image
+    .to_bytes();
+    for a in &artifacts {
+        assert_eq!(a, &direct, "daemon artifact matches one-shot harden");
+    }
+
+    // However the arrivals interleaved, exactly one computation ran;
+    // everyone else was deduplicated in flight or hit the published
+    // artifact.
+    let mut c = Client::connect(&config.socket).expect("connect");
+    let stats = c.stats().expect("stats");
+    assert_eq!(counter(&stats, "computations"), 1, "stats:\n{stats}");
+    assert_eq!(
+        counter(&stats, "deduped") + counter(&stats, "artifact_hits"),
+        (CLIENTS - 1) as u64,
+        "stats:\n{stats}"
+    );
+    assert_eq!(counter(&stats, "errors"), 0, "stats:\n{stats}");
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn warm_artifact_hit_does_zero_analysis() {
+    let (config, handle) = start("warm", 1);
+    let image = workload_image_bytes();
+    let cfg = HardenConfig::default().canonical_bytes();
+
+    let mut c = Client::connect(&config.socket).expect("connect");
+    let cold = c
+        .job(Op::Harden, cfg.clone(), image.clone())
+        .expect("cold submit");
+    let (cold_bytes, cold_micros) = match cold {
+        Response::Ok {
+            source,
+            artifact,
+            micros,
+            ..
+        } => {
+            assert_eq!(source, Source::Computed);
+            (artifact, micros)
+        }
+        Response::Err(e) => panic!("cold job failed: {e}"),
+    };
+    let analyzed_after_cold = counter(&c.stats().expect("stats"), "components_analyzed");
+    assert!(analyzed_after_cold > 0, "cold run analyzed components");
+
+    let warm = c.job(Op::Harden, cfg, image).expect("warm submit");
+    match warm {
+        Response::Ok {
+            source,
+            artifact,
+            micros,
+            ..
+        } => {
+            assert_eq!(source, Source::ArtifactHit);
+            assert_eq!(artifact, cold_bytes, "warm hit is byte-identical");
+            assert!(
+                micros <= cold_micros,
+                "warm lookup ({micros}us) within cold compute ({cold_micros}us)"
+            );
+        }
+        Response::Err(e) => panic!("warm job failed: {e}"),
+    }
+    let stats = c.stats().expect("stats");
+    assert_eq!(
+        counter(&stats, "components_analyzed"),
+        analyzed_after_cold,
+        "warm hit did zero analysis; stats:\n{stats}"
+    );
+    assert_eq!(counter(&stats, "artifact_hits"), 1);
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn changed_input_reuses_unchanged_components() {
+    let (config, handle) = start("incr", 1);
+    let base = workload_image_bytes();
+    let cfg = HardenConfig::default().canonical_bytes();
+
+    let mut c = Client::connect(&config.socket).expect("connect");
+    match c
+        .job(Op::Harden, cfg.clone(), base.clone())
+        .expect("cold submit")
+    {
+        Response::Ok { source, .. } => assert_eq!(source, Source::Computed),
+        Response::Err(e) => panic!("cold job failed: {e}"),
+    }
+    let after_cold = c.stats().expect("stats");
+    let analyzed_cold = counter(&after_cold, "components_analyzed");
+    assert!(analyzed_cold > 1, "stand-in has multiple components");
+
+    // Submitting a *different* config over the same image is a new
+    // artifact key and a new component-cache prefix: it must recompute
+    // every component (config changes invalidate analysis), proving
+    // the reuse key is not input-bytes-only. `unoptimized` keeps the
+    // recompute cheap (no elimination analyses run).
+    let other = HardenConfig::unoptimized(LowFatPolicy::All).canonical_bytes();
+    match c
+        .job(Op::Harden, other, base.clone())
+        .expect("second submit")
+    {
+        Response::Ok { source, .. } => assert_eq!(source, Source::Computed),
+        Response::Err(e) => panic!("second job failed: {e}"),
+    }
+    let after_other = c.stats().expect("stats");
+    assert!(
+        counter(&after_other, "components_analyzed") > analyzed_cold,
+        "different config re-analyzes; stats:\n{after_other}"
+    );
+    assert_eq!(counter(&after_other, "components_reused"), 0);
+
+    // Re-submitting the original config exercises the artifact cache,
+    // not the component cache (whole-job hit short-circuits first).
+    match c.job(Op::Harden, cfg, base).expect("resubmit") {
+        Response::Ok { source, .. } => assert_eq!(source, Source::ArtifactHit),
+        Response::Err(e) => panic!("resubmit failed: {e}"),
+    }
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn malformed_and_non_job_requests_never_kill_the_daemon() {
+    let (config, handle) = start("malformed", 1);
+
+    // Garbage config bytes: structured error, daemon stays up.
+    let mut c = Client::connect(&config.socket).expect("connect");
+    match c
+        .job(Op::Harden, vec![0xFF; 8], workload_image_bytes())
+        .expect("submit garbage config")
+    {
+        Response::Err(e) => assert!(e.contains("bad config"), "error names the cause: {e}"),
+        Response::Ok { .. } => panic!("garbage config must not harden"),
+    }
+
+    // Garbage image bytes likewise.
+    let mut c = Client::connect(&config.socket).expect("connect");
+    match c
+        .job(
+            Op::Harden,
+            HardenConfig::default().canonical_bytes(),
+            b"not an elf".to_vec(),
+        )
+        .expect("submit garbage image")
+    {
+        Response::Err(e) => assert!(e.contains("parse failed"), "error names the cause: {e}"),
+        Response::Ok { .. } => panic!("garbage image must not harden"),
+    }
+
+    let mut c = Client::connect(&config.socket).expect("connect");
+    let stats = c.stats().expect("stats");
+    assert_eq!(counter(&stats, "errors"), 2, "stats:\n{stats}");
+    assert_eq!(counter(&stats, "computations"), 0);
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
+
+/// Satellite: corrupt artifact entries -- truncations, bit flips,
+/// wrong tool versions -- must classify as misses and recompute,
+/// never panic and never serve stale or wrong bytes.
+#[test]
+fn corrupted_artifacts_are_misses_never_stale() {
+    let dir = scratch("corrupt");
+    let cache = ArtifactCache::open(dir.join("cache")).expect("open cache");
+    let key = artifact_key(b"input-image", b"config-bytes", 1);
+    let entry = ArtifactEntry {
+        artifact: (0u16..700).map(|b| (b % 251) as u8).collect(),
+        stats: "sites=9\ncomponents=3\n".to_string(),
+    };
+    cache.put(&key, &entry).expect("publish");
+    let pristine = std::fs::read(cache.entry_path(&key)).expect("read entry");
+
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for case in 0..200 {
+        let mut bytes = pristine.clone();
+        match rng.below(3) {
+            // Truncate at a random point (including empty).
+            0 => bytes.truncate(rng.below(bytes.len() as u64) as usize),
+            // Flip one random bit.
+            1 => {
+                let i = rng.below(bytes.len() as u64) as usize;
+                bytes[i] ^= 1 << rng.below(8);
+            }
+            // Stamp a different tool version string over the header's
+            // version field (same length, different bytes).
+            _ => {
+                let start = 8 + 4 + 8; // magic + format + length prefix
+                let i = start + rng.below(8) as usize;
+                bytes[i] = bytes[i].wrapping_add(1);
+            }
+        }
+        if bytes == pristine {
+            continue; // mutation was a no-op; nothing to assert
+        }
+        std::fs::write(cache.entry_path(&key), &bytes).expect("plant corruption");
+        let got = cache.get(&key);
+        assert_eq!(got, None, "case {case}: corrupt entry must miss");
+        // Recompute-and-republish heals the entry.
+        cache.put(&key, &entry).expect("republish");
+        assert_eq!(cache.get(&key), Some(entry.clone()), "case {case}: healed");
+    }
+}
+
+/// A daemon pointed at a cache directory full of corrupt entries
+/// recomputes and heals without ever panicking.
+#[test]
+fn daemon_survives_poisoned_cache_directory() {
+    let (config, handle) = start("poisoned", 1);
+    let image = workload_image_bytes();
+    let cfg = HardenConfig::default().canonical_bytes();
+
+    let mut c = Client::connect(&config.socket).expect("connect");
+    let cold = match c
+        .job(Op::Harden, cfg.clone(), image.clone())
+        .expect("cold submit")
+    {
+        Response::Ok { artifact, .. } => artifact,
+        Response::Err(e) => panic!("cold job failed: {e}"),
+    };
+
+    // Corrupt the (single) published entry in place.
+    let cache = ArtifactCache::open(&config.cache_dir).expect("open cache");
+    let key = artifact_key(&image, &cfg, Op::Harden.to_byte());
+    let path = cache.entry_path(&key);
+    let mut bytes = std::fs::read(&path).expect("read entry");
+    let mid = bytes.len() / 2;
+    bytes.truncate(mid);
+    std::fs::write(&path, &bytes).expect("truncate entry");
+
+    // The truncated entry is a miss: the daemon recomputes (source is
+    // Computed, not ArtifactHit) and still returns identical bytes.
+    match c
+        .job(Op::Harden, cfg.clone(), image.clone())
+        .expect("resubmit")
+    {
+        Response::Ok {
+            source, artifact, ..
+        } => {
+            assert_eq!(source, Source::Computed, "corrupt entry recomputes");
+            assert_eq!(artifact, cold, "recompute is byte-identical");
+        }
+        Response::Err(e) => panic!("resubmit failed: {e}"),
+    }
+
+    // ... and the recompute healed the entry: next submit is a hit.
+    match c.job(Op::Harden, cfg, image).expect("warm submit") {
+        Response::Ok {
+            source, artifact, ..
+        } => {
+            assert_eq!(source, Source::ArtifactHit);
+            assert_eq!(artifact, cold);
+        }
+        Response::Err(e) => panic!("warm submit failed: {e}"),
+    }
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
+
+#[test]
+fn profile_op_and_analyze_op_have_distinct_artifacts() {
+    let (config, handle) = start("ops", 1);
+    let image = workload_image_bytes();
+    let cfg = HardenConfig::default().canonical_bytes();
+
+    let mut c = Client::connect(&config.socket).expect("connect");
+    let profiled = match c
+        .job(Op::Profile, cfg.clone(), image.clone())
+        .expect("profile")
+    {
+        Response::Ok { artifact, .. } => artifact,
+        Response::Err(e) => panic!("profile failed: {e}"),
+    };
+    assert!(!profiled.is_empty(), "profile op returns an image");
+
+    let analyzed = match c.job(Op::Analyze, cfg, image).expect("analyze") {
+        Response::Ok {
+            artifact, stats, ..
+        } => {
+            assert!(stats.contains("sites_considered="), "analyze returns stats");
+            artifact
+        }
+        Response::Err(e) => panic!("analyze failed: {e}"),
+    };
+    assert!(analyzed.is_empty(), "analyze op returns stats only");
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("daemon thread");
+}
