@@ -14,6 +14,9 @@ struct Classify {
 }
 
 impl Runtime for Classify {
+    // Accesses are bucketed through the hook.
+    const OBSERVES_MEMORY: bool = true;
+
     fn on_load(&mut self, vm: &mut Vm) {
         self.inner.on_load(vm);
     }

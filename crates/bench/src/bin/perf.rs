@@ -4,12 +4,15 @@
 //!
 //! * **Emulator throughput** -- retired instructions/sec of the step
 //!   interpreter vs the superblock backend vs the trace-linked backend
-//!   (chaining + indirect-branch inline caches + dead-flag elision) on
-//!   the baseline image. All three backends must agree exactly on the
-//!   run result and every cost counter; any difference aborts the run.
-//!   The headline `emu_speedup` is step → trace; `superblock_speedup`
-//!   records the mid tier. Trace-cache behavior (hits, misses, chain
-//!   follows, inline-cache hits/misses) is recorded per workload.
+//!   (chaining + indirect-branch inline caches + dead-flag elision) vs
+//!   the fast tier (host-pointer caching + batched counters + hook
+//!   elision) on the baseline image. All four backends must agree
+//!   exactly on the run result and every cost counter; a difference
+//!   aborts the run naming the first counter that diverged and both
+//!   values. The headline `fast_speedup` is step → fast; `emu_speedup`
+//!   (step → trace) and `superblock_speedup` record the mid tiers.
+//!   Trace-cache behavior (hits, misses, chain follows, inline-cache
+//!   hits/misses) is recorded per workload.
 //! * **Harden wall-clock** -- end-to-end `harden()` time serial
 //!   (1 thread) vs parallel (`--threads`/`REDFAT_THREADS`/available
 //!   parallelism). The two images must be byte-identical, and the
@@ -30,7 +33,13 @@
 //!   step budget), validate the committed baseline's schema, fail if
 //!   the measured geomean emulator speedup regressed more than 10%
 //!   against the baseline's recorded quick geomean, and assert the
-//!   trace-linked tier is at least as fast as the superblock tier.
+//!   tier ordering holds: fast at least as fast as trace-linked, which
+//!   is at least as fast as superblock.
+//! * `--micro`: run only the microbenchmark suite (reg-ALU, branch,
+//!   mem-load, mem-store and mixed loops; `micro_suite`), printing
+//!   per-category M instr/s for all four backends. The full sweep
+//!   always records the same suite in the `"micro"` JSON section, so
+//!   the per-category numbers are versioned with `BENCH_perf.json`.
 //! * `--check <file>`: validate the schema of an existing JSON file and
 //!   exit (no measurement).
 //!
@@ -41,13 +50,16 @@
 use redfat_bench::service::{measure_service, ServiceRow};
 use redfat_bench::{geomean, threads_from_args};
 use redfat_core::{harden_threaded, HardenConfig};
-use redfat_emu::{Emu, ErrorMode, ExecBackend, HostRuntime, RunResult, TraceStats};
+use redfat_elf::{Image, ImageKind, SegFlags, Segment};
+use redfat_emu::{syscalls, Emu, ErrorMode, ExecBackend, HostRuntime, RunResult, TraceStats};
 use redfat_service::ArtifactCache;
+use redfat_vm::layout;
 use redfat_workloads::{spec, Workload};
+use redfat_x86::{AluOp, Asm, Cond, Mem, Reg, Width};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SCHEMA: &str = "redfat-bench-perf/v3";
+const SCHEMA: &str = "redfat-bench-perf/v4";
 /// Step cap for the full sweep (ref inputs all exit well below this).
 const FULL_BUDGET: u64 = 4_000_000_000;
 /// Step cap for the quick subset (train inputs).
@@ -69,10 +81,13 @@ struct Row {
     step_mips: f64,
     superblock_mips: f64,
     trace_mips: f64,
-    /// Headline: step → trace throughput ratio.
+    fast_mips: f64,
+    /// step → trace throughput ratio (the v3 headline).
     emu_speedup: f64,
     /// Mid tier: step → superblock throughput ratio.
     superblock_speedup: f64,
+    /// Headline: step → fast throughput ratio.
+    fast_speedup: f64,
     stats: TraceStats,
     harden_serial_ms: f64,
     harden_parallel_ms: f64,
@@ -82,6 +97,39 @@ struct Row {
 /// Every 4th stand-in: 8 workloads spanning the suite.
 fn quick_subset(suite: Vec<Workload>) -> Vec<Workload> {
     suite.into_iter().step_by(4).collect()
+}
+
+/// Counter-equality precondition for the throughput comparison: when a
+/// translated backend disagrees with `step()`, name the first counter
+/// that diverged and both values -- "cost counters diverge" with two
+/// 9-field debug dumps made people diff structs by eye.
+fn assert_counters_equal(
+    wl: &str,
+    backend: ExecBackend,
+    step: &redfat_emu::Counters,
+    other: &redfat_emu::Counters,
+) {
+    let fields = [
+        ("instructions", step.instructions, other.instructions),
+        ("cycles", step.cycles, other.cycles),
+        ("loads", step.loads, other.loads),
+        ("stores", step.stores, other.stores),
+        ("taken_branches", step.taken_branches, other.taken_branches),
+        ("transfers", step.transfers, other.transfers),
+        (
+            "region_crossings",
+            step.region_crossings,
+            other.region_crossings,
+        ),
+        ("syscalls", step.syscalls, other.syscalls),
+        ("int3_traps", step.int3_traps, other.int3_traps),
+    ];
+    for (name, s, o) in fields {
+        assert_eq!(
+            s, o,
+            "{wl}: counter {name:?} diverges between step ({s}) and {backend} ({o})"
+        );
+    }
 }
 
 /// Times one emulator run; returns (result, counters, stats, best secs).
@@ -111,22 +159,19 @@ fn measure(wl: &Workload, input: &[i64], budget: u64, threads: usize) -> Row {
     let (r_step, c_step, _, t_step) = time_backend(&image, input, ExecBackend::Step, budget);
     let (r_sup, c_sup, _, t_sup) = time_backend(&image, input, ExecBackend::Superblock, budget);
     let (r_tr, c_tr, stats, t_tr) = time_backend(&image, input, ExecBackend::Trace, budget);
-    assert_eq!(
-        r_step, r_sup,
-        "{}: backend run results diverge (step {r_step:?}, superblock {r_sup:?})",
-        wl.name
-    );
-    assert_eq!(
-        r_step, r_tr,
-        "{}: backend run results diverge (step {r_step:?}, trace {r_tr:?})",
-        wl.name
-    );
-    assert_eq!(
-        c_step, c_sup,
-        "{}: superblock cost counters diverge",
-        wl.name
-    );
-    assert_eq!(c_step, c_tr, "{}: trace cost counters diverge", wl.name);
+    let (r_fast, c_fast, _, t_fast) = time_backend(&image, input, ExecBackend::Fast, budget);
+    for (backend, r, c) in [
+        (ExecBackend::Superblock, r_sup, &c_sup),
+        (ExecBackend::Trace, r_tr, &c_tr),
+        (ExecBackend::Fast, r_fast, &c_fast),
+    ] {
+        assert_eq!(
+            r_step, r,
+            "{}: backend run results diverge (step {r_step:?}, {backend} {r:?})",
+            wl.name
+        );
+        assert_counters_equal(wl.name, backend, &c_step, c);
+    }
     assert!(
         matches!(r_step, RunResult::Exited(_) | RunResult::StepLimit),
         "{}: unexpected run result {r_step:?}",
@@ -168,8 +213,10 @@ fn measure(wl: &Workload, input: &[i64], budget: u64, threads: usize) -> Row {
         step_mips: c_step.instructions as f64 / t_step / 1e6,
         superblock_mips: c_step.instructions as f64 / t_sup / 1e6,
         trace_mips: c_step.instructions as f64 / t_tr / 1e6,
+        fast_mips: c_step.instructions as f64 / t_fast / 1e6,
         emu_speedup: t_step / t_tr,
         superblock_speedup: t_step / t_sup,
+        fast_speedup: t_step / t_fast,
         stats,
         harden_serial_ms: serial_best * 1e3,
         harden_parallel_ms: parallel_best.max(1e-9) * 1e3,
@@ -190,13 +237,15 @@ fn sweep(suite: &[Workload], quick: bool, threads: usize) -> Vec<Row> {
             let row = measure(wl, input, budget, threads);
             eprintln!(
                 "perf: {:<14} {:>11} insts  step {:>6.1} M/s  superblock {:>7.1} M/s  \
-                 trace {:>7.1} M/s  emu {:.2}x  harden {:.2}x",
+                 trace {:>7.1} M/s  fast {:>7.1} M/s  emu {:.2}x  fast {:.2}x  harden {:.2}x",
                 row.name,
                 row.instructions,
                 row.step_mips,
                 row.superblock_mips,
                 row.trace_mips,
+                row.fast_mips,
                 row.emu_speedup,
+                row.fast_speedup,
                 row.harden_speedup
             );
             row
@@ -213,8 +262,8 @@ fn rows_json(rows: &[Row]) -> String {
         let _ = write!(
             s,
             "\n    {{\"name\":\"{}\",\"instructions\":{},\"step_mips\":{:.3},\
-             \"superblock_mips\":{:.3},\"trace_mips\":{:.3},\"emu_speedup\":{:.4},\
-             \"superblock_speedup\":{:.4},\
+             \"superblock_mips\":{:.3},\"trace_mips\":{:.3},\"fast_mips\":{:.3},\
+             \"emu_speedup\":{:.4},\"superblock_speedup\":{:.4},\"fast_speedup\":{:.4},\
              \"trace_hits\":{},\"trace_misses\":{},\"trace_chain_follows\":{},\
              \"trace_ic_hits\":{},\"trace_ic_misses\":{},\
              \"harden_serial_ms\":{:.3},\"harden_parallel_ms\":{:.3},\"harden_speedup\":{:.4}}}",
@@ -223,8 +272,10 @@ fn rows_json(rows: &[Row]) -> String {
             r.step_mips,
             r.superblock_mips,
             r.trace_mips,
+            r.fast_mips,
             r.emu_speedup,
             r.superblock_speedup,
+            r.fast_speedup,
             r.stats.hits,
             r.stats.misses,
             r.stats.chain_follows,
@@ -301,13 +352,202 @@ fn superblock_geomean(rows: &[Row]) -> f64 {
     geomean(rows.iter().map(|r| r.superblock_speedup))
 }
 
+fn fast_geomean(rows: &[Row]) -> f64 {
+    geomean(rows.iter().map(|r| r.fast_speedup))
+}
+
 fn harden_geomean(rows: &[Row]) -> f64 {
     geomean(rows.iter().map(|r| r.harden_speedup))
+}
+
+/// One microbenchmark category: retired instructions and throughput on
+/// each backend, run on the same hand-assembled loop.
+struct MicroRow {
+    name: &'static str,
+    instructions: u64,
+    step_mips: f64,
+    superblock_mips: f64,
+    trace_mips: f64,
+    fast_mips: f64,
+}
+
+/// Iterations per microbenchmark loop; each body is 2-5 instructions,
+/// so every category retires 1-2 M instructions per run.
+const MICRO_ITERS: i64 = 300_000;
+
+/// Hand-assembled single-category loops. The SPEC stand-ins mix
+/// categories; these isolate them so a per-backend win or regression
+/// can be attributed (e.g. host-pointer caching only moves the mem-*
+/// and mixed rows; batched counters move all of them).
+///
+/// Every loop uses the same skeleton -- rdi accumulator, rsi data base,
+/// rbx countdown, `sub rbx,1; jne` backedge -- so the backedge cost is
+/// a constant across categories. Memory categories get a small RW
+/// segment at `layout::GLOBALS_BASE`.
+fn micro_suite() -> Vec<(&'static str, Image)> {
+    fn build(with_data: bool, body: impl FnOnce(&mut Asm)) -> Image {
+        let mut a = Asm::new(layout::CODE_BASE);
+        a.mov_ri(Width::W64, Reg::Rdi, 0);
+        a.mov_ri(Width::W64, Reg::Rsi, layout::GLOBALS_BASE as i64);
+        a.mov_ri(Width::W64, Reg::Rbx, MICRO_ITERS);
+        let spin = a.label();
+        a.bind(spin).unwrap();
+        body(&mut a);
+        a.alu_ri(AluOp::Sub, Width::W64, Reg::Rbx, 1);
+        a.jcc_label(Cond::Ne, spin);
+        a.mov_ri(Width::W64, Reg::Rax, syscalls::EXIT as i64);
+        a.syscall();
+        let p = a.finish().unwrap();
+        let mut segments = vec![Segment::new(p.base, SegFlags::RX, p.bytes)];
+        if with_data {
+            segments.push(Segment::new(
+                layout::GLOBALS_BASE,
+                SegFlags::RW,
+                vec![0; 4096],
+            ));
+        }
+        Image {
+            kind: ImageKind::Exec,
+            entry: layout::CODE_BASE,
+            segments,
+            symbols: vec![],
+        }
+    }
+
+    vec![
+        (
+            "reg-alu",
+            build(false, |a| {
+                a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 5);
+                a.mov_rr(Width::W64, Reg::Rcx, Reg::Rdi);
+                a.alu_ri(AluOp::And, Width::W64, Reg::Rcx, 7);
+                a.alu_rr(AluOp::Xor, Width::W64, Reg::Rdi, Reg::Rcx);
+            }),
+        ),
+        // Taken on even counts, fall-through on odd: a 50% mispredict
+        // rate against the trace tier's expect-taken/expect-fallthrough
+        // block shapes, stressing the side-exit path.
+        (
+            "branch",
+            build(false, |a| {
+                a.mov_rr(Width::W64, Reg::Rcx, Reg::Rbx);
+                a.alu_ri(AluOp::And, Width::W64, Reg::Rcx, 1);
+                let skip = a.label();
+                a.jcc_label(Cond::E, skip);
+                a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+                a.bind(skip).unwrap();
+            }),
+        ),
+        (
+            "mem-load",
+            build(true, |a| {
+                a.alu_rm(AluOp::Add, Width::W64, Reg::Rdi, Mem::base(Reg::Rsi));
+                a.mov_rm(Width::W64, Reg::Rcx, Mem::base_disp(Reg::Rsi, 8));
+                a.alu_rm(
+                    AluOp::Add,
+                    Width::W64,
+                    Reg::Rdi,
+                    Mem::base_disp(Reg::Rsi, 16),
+                );
+            }),
+        ),
+        (
+            "mem-store",
+            build(true, |a| {
+                a.mov_mr(Width::W64, Mem::base(Reg::Rsi), Reg::Rbx);
+                a.mov_mi(Width::W64, Mem::base_disp(Reg::Rsi, 8), 7);
+                a.mov_mr(Width::W64, Mem::base_disp(Reg::Rsi, 16), Reg::Rdi);
+            }),
+        ),
+        (
+            "mixed",
+            build(true, |a| {
+                a.mov_mr(Width::W64, Mem::base(Reg::Rsi), Reg::Rbx);
+                a.alu_rm(AluOp::Add, Width::W64, Reg::Rdi, Mem::base(Reg::Rsi));
+                a.mov_rr(Width::W64, Reg::Rcx, Reg::Rdi);
+                a.alu_ri(AluOp::And, Width::W64, Reg::Rcx, 15);
+                let skip = a.label();
+                a.jcc_label(Cond::E, skip);
+                a.alu_ri(AluOp::Add, Width::W64, Reg::Rdi, 1);
+                a.bind(skip).unwrap();
+            }),
+        ),
+    ]
+}
+
+/// Times every category on all four backends, under the same
+/// run-result and counter-equality preconditions as the main sweep.
+fn sweep_micro() -> Vec<MicroRow> {
+    micro_suite()
+        .into_iter()
+        .map(|(name, image)| {
+            let (r_step, c_step, _, t_step) =
+                time_backend(&image, &[], ExecBackend::Step, FULL_BUDGET);
+            let (r_sup, c_sup, _, t_sup) =
+                time_backend(&image, &[], ExecBackend::Superblock, FULL_BUDGET);
+            let (r_tr, c_tr, _, t_tr) = time_backend(&image, &[], ExecBackend::Trace, FULL_BUDGET);
+            let (r_fast, c_fast, _, t_fast) =
+                time_backend(&image, &[], ExecBackend::Fast, FULL_BUDGET);
+            assert!(
+                matches!(r_step, RunResult::Exited(_)),
+                "micro {name}: unexpected run result {r_step:?}"
+            );
+            for (backend, r, c) in [
+                (ExecBackend::Superblock, r_sup, &c_sup),
+                (ExecBackend::Trace, r_tr, &c_tr),
+                (ExecBackend::Fast, r_fast, &c_fast),
+            ] {
+                assert_eq!(
+                    r_step, r,
+                    "micro {name}: backend run results diverge (step {r_step:?}, {backend} {r:?})"
+                );
+                assert_counters_equal(name, backend, &c_step, c);
+            }
+            let insts = c_step.instructions as f64;
+            let row = MicroRow {
+                name,
+                instructions: c_step.instructions,
+                step_mips: insts / t_step / 1e6,
+                superblock_mips: insts / t_sup / 1e6,
+                trace_mips: insts / t_tr / 1e6,
+                fast_mips: insts / t_fast / 1e6,
+            };
+            eprintln!(
+                "perf micro: {:<10} {:>9} insts  step {:>6.1} M/s  superblock {:>7.1} M/s  \
+                 trace {:>7.1} M/s  fast {:>7.1} M/s",
+                row.name,
+                row.instructions,
+                row.step_mips,
+                row.superblock_mips,
+                row.trace_mips,
+                row.fast_mips
+            );
+            row
+        })
+        .collect()
+}
+
+fn micro_rows_json(rows: &[MicroRow]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"name\":\"{}\",\"instructions\":{},\"step_mips\":{:.3},\
+             \"superblock_mips\":{:.3},\"trace_mips\":{:.3},\"fast_mips\":{:.3}}}",
+            r.name, r.instructions, r.step_mips, r.superblock_mips, r.trace_mips, r.fast_mips
+        );
+    }
+    s.push_str("\n  ]");
+    s
 }
 
 fn render_json(
     full: &[Row],
     quick: &[Row],
+    micro: &[MicroRow],
     service: &[ServiceRow],
     threads: usize,
     cores: usize,
@@ -316,20 +556,25 @@ fn render_json(
         "{{\n  \"schema\": \"{SCHEMA}\",\n  \"threads\": {threads},\n  \"cores\": {cores},\n  \
          \"full_budget\": {FULL_BUDGET},\n  \"quick_budget\": {QUICK_BUDGET},\n  \
          \"geomean_emu_speedup\": {:.4},\n  \"geomean_superblock_speedup\": {:.4},\n  \
+         \"geomean_fast_speedup\": {:.4},\n  \
          \"geomean_harden_speedup\": {:.4},\n  \
          \"quick_geomean_emu_speedup\": {:.4},\n  \"quick_geomean_superblock_speedup\": {:.4},\n  \
+         \"quick_geomean_fast_speedup\": {:.4},\n  \
          \"quick_geomean_harden_speedup\": {:.4},\n  \
          \"geomean_warm_cache_speedup\": {:.4},\n  \
-         \"workloads\": {},\n  \"quick_workloads\": {},\n  \"service\": {}\n}}\n",
+         \"workloads\": {},\n  \"quick_workloads\": {},\n  \"micro\": {},\n  \"service\": {}\n}}\n",
         emu_geomean(full),
         superblock_geomean(full),
+        fast_geomean(full),
         harden_geomean(full),
         emu_geomean(quick),
         superblock_geomean(quick),
+        fast_geomean(quick),
         harden_geomean(quick),
         warm_cache_geomean(service),
         rows_json(full),
         rows_json(quick),
+        micro_rows_json(micro),
         service_rows_json(service),
     )
 }
@@ -352,6 +597,7 @@ fn validate_schema(text: &str) -> Result<(), String> {
         return Err(format!("missing or unexpected schema id (want {SCHEMA})"));
     }
     for key in [
+        // v3 keys, all preserved in v4.
         "geomean_emu_speedup",
         "geomean_superblock_speedup",
         "geomean_harden_speedup",
@@ -361,6 +607,9 @@ fn validate_schema(text: &str) -> Result<(), String> {
         "geomean_warm_cache_speedup",
         "threads",
         "cores",
+        // v4: the fast tier.
+        "geomean_fast_speedup",
+        "quick_geomean_fast_speedup",
     ] {
         if json_number(text, key).is_none() {
             return Err(format!("missing numeric key {key:?}"));
@@ -375,6 +624,12 @@ fn validate_schema(text: &str) -> Result<(), String> {
     if !text.contains("\"trace_mips\":") || !text.contains("\"trace_chain_follows\":") {
         return Err("missing per-workload trace backend columns".into());
     }
+    if !text.contains("\"fast_mips\":") || !text.contains("\"fast_speedup\":") {
+        return Err("missing per-workload fast backend columns".into());
+    }
+    if !text.contains("\"micro\":") {
+        return Err("missing microbenchmark section".into());
+    }
     if !text.contains("\"service\":") || !text.contains("\"warm_speedup\":") {
         return Err("missing service cache section".into());
     }
@@ -388,6 +643,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let quick = args.iter().any(|a| a == "--quick");
+    let micro_only = args.iter().any(|a| a == "--micro");
     let mut out_path = "BENCH_perf.json".to_string();
     let mut baseline_path = "BENCH_perf.json".to_string();
     let mut check_path = None;
@@ -416,21 +672,40 @@ fn main() {
         }
     }
 
+    if micro_only {
+        eprintln!("perf: microbenchmark suite...");
+        let rows = sweep_micro();
+        println!(
+            "perf micro: fast/step geomean {:.3}x over {} categories",
+            geomean(rows.iter().map(|r| r.fast_mips / r.step_mips)),
+            rows.len()
+        );
+        return;
+    }
+
     let suite = spec::all();
     if quick {
         eprintln!("perf: quick subset on {threads} threads ({cores} cores)...",);
         let rows = sweep(&quick_subset(suite), true, threads);
         let measured = emu_geomean(&rows);
         let sup = superblock_geomean(&rows);
+        let fast = fast_geomean(&rows);
         println!(
-            "perf quick: geomean emu speedup {measured:.3}x (superblock {sup:.3}x), \
-             harden speedup {:.3}x",
+            "perf quick: geomean emu speedup {measured:.3}x (superblock {sup:.3}x, \
+             fast {fast:.3}x), harden speedup {:.3}x",
             harden_geomean(&rows)
         );
         if measured < sup {
             eprintln!(
                 "perf: REGRESSION: trace-linked tier ({measured:.3}x) is slower than the \
                  superblock tier ({sup:.3}x) it builds on"
+            );
+            std::process::exit(1);
+        }
+        if fast < measured {
+            eprintln!(
+                "perf: REGRESSION: fast tier ({fast:.3}x) is slower than the \
+                 trace-linked tier ({measured:.3}x) it builds on"
             );
             std::process::exit(1);
         }
@@ -476,16 +751,19 @@ fn main() {
     let full = sweep(&suite, false, threads);
     eprintln!("perf: quick subset...");
     let quick_rows = sweep(&quick_subset(spec::all()), true, threads);
+    eprintln!("perf: microbenchmark suite...");
+    let micro = sweep_micro();
     eprintln!("perf: service cache sweep...");
     let service = sweep_service(&suite);
-    let json = render_json(&full, &quick_rows, &service, threads, cores);
+    let json = render_json(&full, &quick_rows, &micro, &service, threads, cores);
     validate_schema(&json).expect("self-produced JSON validates");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!(
-        "perf: geomean emu speedup {:.3}x (superblock {:.3}x), harden speedup {:.3}x, \
-         warm cache {:.3}x ({} workloads) -> {out_path}",
+        "perf: geomean emu speedup {:.3}x (superblock {:.3}x, fast {:.3}x), \
+         harden speedup {:.3}x, warm cache {:.3}x ({} workloads) -> {out_path}",
         emu_geomean(&full),
         superblock_geomean(&full),
+        fast_geomean(&full),
         harden_geomean(&full),
         warm_cache_geomean(&service),
         full.len()

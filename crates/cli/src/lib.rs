@@ -62,7 +62,7 @@ commands:
   fuzzlist <in.elf> -o <allow.lst> [--input seed,..] [--iters N]
                                        coverage-guided profiling (E9AFL-style)
   run     <in.elf> [--input v,v,..] [--log] [--memcheck] [--max-steps N]
-          [--backend step|superblock|trace] [--stats]
+          [--backend step|superblock|trace|fast] [--stats]
                                        --backend selects the execution tier
                                        (default step); --stats prints the
                                        translation-cache counters afterwards
@@ -71,11 +71,14 @@ commands:
   analyze <in.elf> --callgraph         call graph + function summaries
                                        (text report followed by Graphviz DOT)
   stats   <in.elf>                     image and instrumentation-plan statistics
-  selftest [--quick] [--superblock]    differential self-test: lockstep oracle,
+  selftest [--quick] [--superblock] [--fast]
+                                       differential self-test: lockstep oracle,
                                        round-trip fuzzer, allocator invariants;
                                        --superblock also runs the superblock
-                                       execution backend against the step
-                                       interpreter on every workload
+                                       and trace-linked execution backends
+                                       against the step interpreter on every
+                                       workload; --fast adds the fast tier's
+                                       boundary-audit oracle
   selftest --faults [--quick]          fault-injection sweep: seeded mutants of
                                        every stand-in driven through the full
                                        pipeline; any panic fails the sweep
@@ -181,12 +184,12 @@ impl Args {
         }
     }
 
-    /// Execution backend for `run`: `--backend step|superblock|trace`.
+    /// Execution backend for `run`: `--backend step|superblock|trace|fast`.
     fn backend(&self) -> Result<ExecBackend, CliError> {
         match self.flags.get("--backend").and_then(|v| v.as_deref()) {
             None => Ok(ExecBackend::Step),
             Some(s) => ExecBackend::parse(s)
-                .ok_or_else(|| err(format!("bad --backend {s:?} (step|superblock|trace)"))),
+                .ok_or_else(|| err(format!("bad --backend {s:?} (step|superblock|trace|fast)"))),
         }
     }
 
@@ -520,10 +523,11 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
         "selftest" => {
             let quick = args.has("--quick");
             let superblock = args.has("--superblock");
+            let fast = args.has("--fast");
             if args.has("--faults") {
                 run_faults(quick, args.threads()?, &mut out)?;
             } else {
-                run_selftest(quick, superblock, args.threads()?, &mut out)?;
+                run_selftest(quick, superblock, fast, args.threads()?, &mut out)?;
             }
         }
         "serve" => {
@@ -669,14 +673,17 @@ fn run_faults(quick: bool, threads: usize, out: &mut String) -> Result<(), CliEr
 /// Runs the deterministic encoder/decoder round-trip fuzzer, the
 /// allocator invariant checker, and the lockstep divergence oracle over
 /// every SPEC stand-in plus a Juliet sample. With `superblock`, every
-/// stand-in additionally runs the superblock execution backend against
-/// the single-step reference interpreter on both the baseline and the
-/// hardened image. Any failure shrinks to a minimal repro and fails the
-/// invocation with a nonzero exit code, so CI can gate on
-/// `redfat selftest --quick`.
+/// stand-in additionally runs the superblock and trace-linked execution
+/// backends against the single-step reference interpreter on both the
+/// baseline and the hardened image; `fast` adds the fast tier's
+/// boundary-audit oracle ([`redfat_core::selftest::backend_lockstep`]
+/// with [`ExecBackend::Fast`]) to that sweep. Any failure shrinks to a
+/// minimal repro and fails the invocation with a nonzero exit code, so
+/// CI can gate on `redfat selftest --quick`.
 fn run_selftest(
     quick: bool,
     superblock: bool,
+    fast: bool,
     threads: usize,
     out: &mut String,
 ) -> Result<(), CliError> {
@@ -728,11 +735,19 @@ fn run_selftest(
         };
         let hardened = harden_threaded(&image, &config, threads)
             .map_err(|e| err(format!("selftest: hardening {} failed: {e}", w.name)))?;
-        if superblock {
-            // Audit both translated backends: the superblock tier and
+        if superblock || fast {
+            // Audit the translated backends: the superblock tier and
             // the trace-linked tier (chaining + inline caches + dead-
-            // flag elision fully enabled).
-            for backend in [ExecBackend::Superblock, ExecBackend::Trace] {
+            // flag elision fully enabled) under `--superblock`, plus
+            // the fast tier's boundary-audit oracle under `--fast`.
+            let mut backends = Vec::new();
+            if superblock {
+                backends.extend([ExecBackend::Superblock, ExecBackend::Trace]);
+            }
+            if fast {
+                backends.push(ExecBackend::Fast);
+            }
+            for backend in backends {
                 for (kind, img) in [("baseline", &image), ("hardened", &hardened.image)] {
                     let rep = backend_lockstep(img, &input, backend, max_steps);
                     writeln!(

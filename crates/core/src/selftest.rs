@@ -911,11 +911,26 @@ fn settle(outcome: Result<Option<RunResult>, EmuError>) -> Option<RunResult> {
 /// Unlike [`lockstep_images`], both emulators execute the *same* image,
 /// so the comparison is exact: every register (no dead-clobber
 /// exemptions), the flags, `rip`, the full cost-counter set, and the
-/// number of runtime error reports must agree at every boundary, and the
-/// final run results and guest IO digests must be equal. For the
-/// trace-linked backend a "boundary" is wherever `step_trace` returns
-/// (budget exhaustion or an unlinkable successor), so chained execution
-/// is still audited against the reference run whenever it surfaces.
+/// memory-error reports must agree element-for-element at every
+/// boundary, and the final run results and guest IO digests must be
+/// equal. For the trace-linked backend a "boundary" is wherever
+/// `step_trace` returns (budget exhaustion or an unlinkable successor),
+/// so chained execution is still audited against the reference run
+/// whenever it surfaces.
+///
+/// For [`ExecBackend::Fast`] this is the **boundary-audit oracle**: the
+/// fast tier batches counter updates and skips hook dispatch *within* a
+/// trace, so per-instruction lockstep would (correctly) observe
+/// mid-trace counters ahead of or behind the reference. But every
+/// `step_fast` return restores bit-exact `step()` state by
+/// construction (static-charge rollback on every early exit; budgets
+/// smaller than a block interpret per-instruction), and with no access
+/// hook attached nothing can observe the interior states -- so
+/// auditing all 16 GPRs, flags, `rip`, the full `Counters`, and the
+/// error reports at every return boundary, plus end-state equivalence,
+/// is exactly as strong a statement as the per-instruction oracle is
+/// for the other tiers. Slices are bounded at 4096 instructions so a
+/// run is audited at thousands of boundaries.
 pub fn backend_lockstep(
     image: &Image,
     input: &[i64],
@@ -945,7 +960,8 @@ pub fn backend_lockstep(
             // thousands of boundaries and mid-block budget expiry (the
             // exact-prefix path) is exercised continuously.
             ExecBackend::Trace => sup.step_trace(remaining.min(4096)),
-            _ => sup.step_block(remaining),
+            ExecBackend::Fast => sup.step_fast(remaining.min(4096)),
+            ExecBackend::Step | ExecBackend::Superblock => sup.step_block(remaining),
         };
         remaining -= executed.min(remaining);
         report.instructions += executed;
@@ -1008,12 +1024,17 @@ pub fn backend_lockstep(
                 ),
             );
         }
-        if sup.runtime.errors.len() != refr.runtime.errors.len() {
+        if sup.runtime.errors != refr.runtime.errors {
+            let n = sup.runtime.errors.len().min(refr.runtime.errors.len());
+            let at = (0..n)
+                .find(|&k| sup.runtime.errors[k] != refr.runtime.errors[k])
+                .unwrap_or(n);
             push_divergence(
                 divs,
                 rip,
                 format!(
-                    "error report counts differ at {rip:#x}: {backend} {}, step {}",
+                    "error reports differ at {rip:#x} (first mismatch is report #{at}): \
+                     {backend} has {}, step has {}",
                     sup.runtime.errors.len(),
                     refr.runtime.errors.len()
                 ),
@@ -1664,7 +1685,11 @@ mod tests {
         }";
         let image = redfat_minic::compile(src).unwrap();
         let hardened = harden(&image, &HardenConfig::default()).unwrap();
-        for backend in [ExecBackend::Superblock, ExecBackend::Trace] {
+        for backend in [
+            ExecBackend::Superblock,
+            ExecBackend::Trace,
+            ExecBackend::Fast,
+        ] {
             let rep = backend_lockstep(&image, &[3], backend, 5_000_000);
             assert!(
                 rep.completed,
@@ -1696,7 +1721,11 @@ mod tests {
             return 0;
         }";
         let image = redfat_minic::compile(src).unwrap();
-        for backend in [ExecBackend::Superblock, ExecBackend::Trace] {
+        for backend in [
+            ExecBackend::Superblock,
+            ExecBackend::Trace,
+            ExecBackend::Fast,
+        ] {
             for budget in [1u64, 7, 100, 12345] {
                 let rep = backend_lockstep(&image, &[], backend, budget);
                 assert!(

@@ -142,6 +142,18 @@ pub enum SyscallOutcome {
 
 /// The runtime services a guest can reach.
 pub trait Runtime {
+    /// Whether [`Runtime::on_memory_access`] actually observes guest
+    /// accesses. Consulted at compile time by the fast execution tier
+    /// ([`crate::ExecBackend::Fast`]): when `false` -- the default, and
+    /// correct for the stock [`HostRuntime`], whose instrumentation
+    /// reports errors through syscalls rather than the hook -- the fast
+    /// tier emits memory paths with no hook dispatch at all. Any
+    /// implementation that overrides [`Runtime::on_memory_access`]
+    /// MUST set this to `true`; the fast tier then transparently
+    /// degrades to trace-tier semantics so every access still
+    /// dispatches the hook in order.
+    const OBSERVES_MEMORY: bool = false;
+
     /// Called once after the image is loaded, before execution.
     fn on_load(&mut self, vm: &mut Vm);
 

@@ -74,13 +74,49 @@
 //! backends against the step interpreter to enforce that equivalence
 //! rather than argue it.
 //!
+//! The **fast** tier ([`Emu::step_fast`]) reuses the trace machinery
+//! and removes the per-access costs the trace tier still shares with
+//! `step()` (DESIGN.md §12's measured ceiling), under three cooperating
+//! optimizations:
+//!
+//! * **Host-pointer caching.** Every memory-touching trace op owns a
+//!   [`MemSlot`]: a `(page, segment, epoch)` resolution cache that lets
+//!   repeat accesses through the same operand skip the software-MMU
+//!   lookup *and* the protection check entirely
+//!   ([`redfat_vm::Vm::read_cached`]). Slots die with their block
+//!   (rebuilds after [`Emu::invalidate_code`] get fresh ones) and are
+//!   retired wholesale by the VM epoch when segments are mapped or
+//!   grown; any miss falls back to the tagged-TLB path with exact
+//!   fault semantics.
+//! * **Batched counters.** The build-time-known counter contributions
+//!   of a block's predicted path (memory cycles, loads/stores,
+//!   interior transfer accounting) are precomputed as prefix sums
+//!   ([`StaticCharge`]) and flushed in one batch at block entry instead
+//!   of per instruction; early exits roll back to the exiting op's
+//!   prefix and recharge its actual partial effects, so `Counters` are
+//!   bit-identical to `step()` at *every* `step_fast` return.
+//! * **Hook elision.** `step_fast` is compiled per runtime: when
+//!   [`Runtime::OBSERVES_MEMORY`] is `false` (the stock `redfat run`
+//!   case) the memory path contains no hook dispatch at all; observing
+//!   runtimes transparently degrade to trace-tier semantics.
+//!
+//! What the fast tier changes is *when* mid-trace state becomes
+//! current, never whether: with no access hook attached, nothing can
+//! observe counters or registers between trace entry and exit, and
+//! every exit (including faults, which recharge their op's exact
+//! partial) restores bit-exact `step()` state. The boundary-audit
+//! oracle (`redfat-core::selftest`) enforces exactly that contract at
+//! every trace boundary; budgets smaller than a block still interpret
+//! per-instruction, so `StepLimit` states stay bit-identical too.
+//!
 //! Cache-maintenance counters live in [`TraceStats`], deliberately
 //! outside [`crate::Counters`] (the lockstep oracle requires `Counters`
 //! to be bit-identical across backends).
 
-use crate::cost::TraceStats;
+use crate::cost::{CostModel, Counters, TraceStats};
 use crate::exec::{alu_value, in_tramp, shift_value, width_mask, Emu, EmuError, RunResult};
 use crate::runtime::Runtime;
+use redfat_vm::{MemSlot, Vm, VmFault};
 use redfat_x86::{decode_one, AluOp, Cond, Inst, Mem, MulDivOp, Op, Operands, Reg, ShiftOp, Width};
 
 /// Upper bound on instructions per superblock. Keeps pathological
@@ -392,6 +428,178 @@ enum FastOp {
         to: u64,
         side: u16,
     },
+}
+
+/// Build-time-known counter contributions of one trace op on its
+/// *predicted* (in-trace) path. The fast tier accumulates these as
+/// prefix sums over the op stream ([`TraceBlock::charge`]), charges the
+/// block total in one batch at entry, and on an early exit at op `i`
+/// rolls back to prefix `i` (or `i + 1` for ops whose fault path keeps
+/// their charge: `step()` prices memory before the access faults) plus
+/// the op's recharged actual effects. Assumes the cost model is fixed
+/// for the cache's lifetime, which it is: `Emu::cost` is configured
+/// before execution starts.
+#[derive(Clone, Copy, Default)]
+struct StaticCharge {
+    cycles: u32,
+    loads: u16,
+    stores: u16,
+    taken_branches: u16,
+    transfers: u16,
+    crossings: u16,
+}
+
+impl StaticCharge {
+    #[inline(always)]
+    fn add(&mut self, o: StaticCharge) {
+        self.cycles += o.cycles;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.taken_branches += o.taken_branches;
+        self.transfers += o.transfers;
+        self.crossings += o.crossings;
+    }
+
+    /// Field-wise `self - o`; callers only subtract a prefix from a
+    /// total that contains it.
+    #[inline(always)]
+    fn minus(self, o: StaticCharge) -> StaticCharge {
+        StaticCharge {
+            cycles: self.cycles - o.cycles,
+            loads: self.loads - o.loads,
+            stores: self.stores - o.stores,
+            taken_branches: self.taken_branches - o.taken_branches,
+            transfers: self.transfers - o.transfers,
+            crossings: self.crossings - o.crossings,
+        }
+    }
+
+    #[inline(always)]
+    fn apply(self, c: &mut Counters) {
+        c.cycles += self.cycles as u64;
+        c.loads += self.loads as u64;
+        c.stores += self.stores as u64;
+        c.taken_branches += self.taken_branches as u64;
+        c.transfers += self.transfers as u64;
+        c.region_crossings += self.crossings as u64;
+    }
+
+    #[inline(always)]
+    fn revert(self, c: &mut Counters) {
+        c.cycles -= self.cycles as u64;
+        c.loads -= self.loads as u64;
+        c.stores -= self.stores as u64;
+        c.taken_branches -= self.taken_branches as u64;
+        c.transfers -= self.transfers as u64;
+        c.region_crossings -= self.crossings as u64;
+    }
+}
+
+/// The static (build-time-known) charge of `op`'s predicted path,
+/// mirroring exactly what the trace tier accounts dynamically. Kept
+/// dynamic on purpose: `MulDivR` ([`Emu::muldiv`] self-charges, and the
+/// div price must land even on `DivideError`), the multiply cycle of
+/// `Imul2RM` (priced only after its load succeeds, like `exec`), and
+/// everything behind `Slow`/`SlowElide`.
+fn static_charge(op: &FastOp, cost: &CostModel) -> StaticCharge {
+    let mut c = StaticCharge::default();
+    let crossing = |c: &mut StaticCharge, a: u64, b: u64| {
+        if in_tramp(a) != in_tramp(b) {
+            c.crossings = 1;
+            c.cycles += cost.cross_region as u32;
+        }
+    };
+    match *op {
+        FastOp::LoadRM { .. }
+        | FastOp::ExtRM { .. }
+        | FastOp::AluRM { .. }
+        | FastOp::Imul2RM { .. }
+        | FastOp::PopR { .. } => {
+            c.loads = 1;
+            c.cycles = cost.mem as u32;
+        }
+        FastOp::StoreMR { .. } | FastOp::StoreMI { .. } | FastOp::PushR { .. } => {
+            c.stores = 1;
+            c.cycles = cost.mem as u32;
+        }
+        FastOp::Imul2RR { .. } | FastOp::Imul3RRI { .. } => c.cycles = cost.mul as u32,
+        FastOp::ChargeJmp { next, to } => {
+            c.transfers = 1;
+            c.cycles = cost.transfer as u32;
+            crossing(&mut c, next, to);
+        }
+        FastOp::ChargeCall { next, to } => {
+            c.stores = 1;
+            c.transfers = 1;
+            c.cycles = (cost.mem + cost.transfer) as u32;
+            crossing(&mut c, next, to);
+        }
+        FastOp::JccInline {
+            expect_taken,
+            next,
+            to,
+            ..
+        }
+        | FastOp::CmpJcc {
+            expect_taken,
+            next,
+            to,
+            ..
+        } if expect_taken => {
+            c.taken_branches = 1;
+            c.cycles = cost.branch_taken as u32;
+            crossing(&mut c, next, to);
+        }
+        FastOp::RetInline { expect, next, .. } => {
+            c.loads = 1;
+            c.transfers = 1;
+            c.cycles = (cost.mem + cost.transfer) as u32;
+            crossing(&mut c, next, expect);
+        }
+        _ => {}
+    }
+    c
+}
+
+/// Whether the fast tier's dispatch of `op` consumes one
+/// [`TraceBlock::mem_cache`] slot (must match the `FAST` arms of the
+/// body loop, in program order).
+fn uses_mem_slot(op: &FastOp) -> bool {
+    matches!(
+        op,
+        FastOp::AluRM { .. }
+            | FastOp::LoadRM { .. }
+            | FastOp::StoreMR { .. }
+            | FastOp::StoreMI { .. }
+            | FastOp::ExtRM { .. }
+            | FastOp::PushR { .. }
+            | FastOp::PopR { .. }
+            | FastOp::Imul2RM { .. }
+            | FastOp::ChargeCall { .. }
+            | FastOp::RetInline { .. }
+    )
+}
+
+/// Width dispatch over [`Vm::read_cached`]: [`Emu::load_at_rip`] minus
+/// the hook dispatch and the per-access counter writes, both of which
+/// the fast tier batches or elides.
+#[inline(always)]
+fn read_cached_w(vm: &Vm, addr: u64, w: Width, slot: &MemSlot) -> Result<u64, VmFault> {
+    Ok(match w {
+        Width::W8 => vm.read_cached::<1>(addr, slot)?[0] as u64,
+        Width::W32 => u32::from_le_bytes(vm.read_cached::<4>(addr, slot)?) as u64,
+        Width::W64 => u64::from_le_bytes(vm.read_cached::<8>(addr, slot)?),
+    })
+}
+
+/// Width dispatch over [`Vm::write_cached`]; see [`read_cached_w`].
+#[inline(always)]
+fn write_cached_w(vm: &mut Vm, addr: u64, w: Width, v: u64, slot: &MemSlot) -> Result<(), VmFault> {
+    match w {
+        Width::W8 => vm.write_cached(addr, &[v as u8], slot),
+        Width::W32 => vm.write_cached(addr, &(v as u32).to_le_bytes(), slot),
+        Width::W64 => vm.write_cached(addr, &v.to_le_bytes(), slot),
+    }
 }
 
 /// Sign-extended value of a width-masked operand.
@@ -762,6 +970,14 @@ pub(crate) struct TraceBlock {
     /// Indirect-branch inline cache: (observed target, block index),
     /// most recent first.
     ic: [(u64, u32); IC_WAYS],
+    /// Prefix sums of the ops' static charges (`charge[i]` covers
+    /// `ops[..i]`; `charge[ops.len()]` is the block total), flushed as
+    /// one batch at entry by the fast tier; ignored by the trace tier.
+    charge: Box<[StaticCharge]>,
+    /// One host-resolution cache slot per memory-touching op (see
+    /// [`uses_mem_slot`]), consumed in program order by the fast tier.
+    /// Dies with the block: invalidation rebuilds get fresh slots.
+    mem_cache: Box<[MemSlot]>,
 }
 
 /// Per-segment block cache: one `u32` slot per code byte indexing the
@@ -834,7 +1050,17 @@ impl TraceCache {
         exit: BlockExit,
         side_count: usize,
         deps: Vec<(u32, u32)>,
+        cost: &CostModel,
     ) -> u32 {
+        let mut charge = Vec::with_capacity(ops.len() + 1);
+        let mut acc = StaticCharge::default();
+        charge.push(acc);
+        let mut mem_slots = 0usize;
+        for op in &ops {
+            acc.add(static_charge(op, cost));
+            charge.push(acc);
+            mem_slots += uses_mem_slot(op) as usize;
+        }
         let idx = self.blocks.len() as u32;
         self.blocks.push(TraceBlock {
             ops: ops.into_boxed_slice(),
@@ -846,6 +1072,8 @@ impl TraceCache {
             link_fall: NO_LINK,
             side_links: vec![NO_LINK; side_count].into_boxed_slice(),
             ic: [(0, NO_LINK); IC_WAYS],
+            charge: charge.into_boxed_slice(),
+            mem_cache: vec![MemSlot::default(); mem_slots].into_boxed_slice(),
         });
         let base = self.segs[seg].base;
         self.segs[seg].slots[(rip - base) as usize] = idx;
@@ -903,15 +1131,23 @@ pub enum ExecBackend {
     /// Trace-linked tier: chaining + indirect-branch inline caches +
     /// dead-flag elision ([`Emu::step_trace`]).
     Trace,
+    /// Fast tier: the trace-linked tier plus host-pointer memory
+    /// caching, batched counter accounting and hook elision
+    /// ([`Emu::step_fast`]). Counters and architectural state are
+    /// bit-exact at every trace boundary (audited by the boundary-audit
+    /// oracle), not at every instruction mid-trace.
+    Fast,
 }
 
 impl ExecBackend {
-    /// Parses a backend name (`"step"` / `"superblock"` / `"trace"`).
+    /// Parses a backend name
+    /// (`"step"` / `"superblock"` / `"trace"` / `"fast"`).
     pub fn parse(s: &str) -> Option<ExecBackend> {
         match s {
             "step" => Some(ExecBackend::Step),
             "superblock" => Some(ExecBackend::Superblock),
             "trace" => Some(ExecBackend::Trace),
+            "fast" => Some(ExecBackend::Fast),
             _ => None,
         }
     }
@@ -923,6 +1159,7 @@ impl std::fmt::Display for ExecBackend {
             ExecBackend::Step => write!(f, "step"),
             ExecBackend::Superblock => write!(f, "superblock"),
             ExecBackend::Trace => write!(f, "trace"),
+            ExecBackend::Fast => write!(f, "fast"),
         }
     }
 }
@@ -1170,7 +1407,7 @@ impl<R: Runtime> Emu<R> {
                 deps.push((s as u32, trace.segs[s].version));
             }
         }
-        Some(trace.insert(seg, rip, ops, insts, exit, sides as usize, deps))
+        Some(trace.insert(seg, rip, ops, insts, exit, sides as usize, deps, &self.cost))
     }
 
     /// One global-cache probe, building on miss. `None` means the first
@@ -1282,29 +1519,92 @@ impl<R: Runtime> Emu<R> {
             return (0, Ok(None));
         }
         let mut trace = std::mem::take(&mut self.trace);
-        let out = self.step_trace_inner(&mut trace, budget);
+        let out = self.step_trace_inner::<false>(&mut trace, budget);
         self.trace = trace;
         out
     }
 
-    fn step_trace_inner(
+    /// Executes up to `budget` instructions on the fast tier: the
+    /// trace-linked machinery plus host-pointer memory caching, batched
+    /// counter accounting and hook elision (module docs).
+    ///
+    /// Same contract as [`Emu::step_trace`] *at every return*:
+    /// architectural state, `Counters` and error semantics are
+    /// bit-identical to `step()` whenever this function hands control
+    /// back (budget exhausted, fault, termination). Between entry and
+    /// return, counters lead or lag `step()` by the batched remainder
+    /// of the current block -- unobservable, because the tier only runs
+    /// when no memory-access observer is attached: when
+    /// [`Runtime::OBSERVES_MEMORY`] is `true` this transparently
+    /// degrades to [`Emu::step_trace`] (full hook dispatch in access
+    /// order).
+    pub fn step_fast(&mut self, budget: u64) -> (u64, Result<Option<RunResult>, EmuError>) {
+        if R::OBSERVES_MEMORY {
+            return self.step_trace(budget);
+        }
+        if budget == 0 {
+            return (0, Ok(None));
+        }
+        let mut trace = std::mem::take(&mut self.trace);
+        let out = self.step_trace_inner::<true>(&mut trace, budget);
+        self.trace = trace;
+        out
+    }
+
+    /// One guest load from the body loop: host-pointer-cached in fast
+    /// mode (hook elided, counters covered by the block's static
+    /// charge), [`Emu::load_at_rip`] otherwise. Consumes one
+    /// `mem_cache` slot in fast mode -- call sites must match
+    /// [`uses_mem_slot`] in program order.
+    #[inline(always)]
+    fn load_fast<const FAST: bool>(
+        &mut self,
+        block: &TraceBlock,
+        mslot: &mut usize,
+        addr: u64,
+        w: Width,
+        rip: u64,
+    ) -> Result<u64, EmuError> {
+        if FAST {
+            let slot = &block.mem_cache[*mslot];
+            *mslot += 1;
+            read_cached_w(&self.vm, addr, w, slot).map_err(|fault| EmuError::Fault { rip, fault })
+        } else {
+            self.load_at_rip(addr, w, rip)
+        }
+    }
+
+    /// Store counterpart of [`Emu::load_fast`].
+    #[inline(always)]
+    fn store_fast<const FAST: bool>(
+        &mut self,
+        block: &TraceBlock,
+        mslot: &mut usize,
+        addr: u64,
+        w: Width,
+        v: u64,
+        rip: u64,
+    ) -> Result<(), EmuError> {
+        if FAST {
+            let slot = &block.mem_cache[*mslot];
+            *mslot += 1;
+            write_cached_w(&mut self.vm, addr, w, v, slot)
+                .map_err(|fault| EmuError::Fault { rip, fault })
+        } else {
+            self.store_at_rip(addr, w, v, rip)
+        }
+    }
+
+    /// Shared engine of the trace and fast tiers; `FAST` is resolved at
+    /// monomorphization time, so each tier compiles to its own loop
+    /// with no runtime mode checks.
+    fn step_trace_inner<const FAST: bool>(
         &mut self,
         trace: &mut TraceCache,
         budget: u64,
     ) -> (u64, Result<Option<RunResult>, EmuError>) {
         let mut executed: u64 = 0;
         let per_inst = self.cost.base + self.cost.dbi_dispatch;
-        // Rolls back the upfront block charge to a per-instruction
-        // charge and returns, after entry `$i` of an `$n`-entry block
-        // ended the run early.
-        macro_rules! bail {
-            ($n:expr, $i:expr, $res:expr) => {{
-                let unexecuted = ($n - ($i + 1)) as u64;
-                self.counters.instructions -= unexecuted;
-                self.counters.cycles -= per_inst * unexecuted;
-                return (executed + $i as u64 + 1, $res);
-            }};
-        }
 
         let mut bidx = match self.lookup_or_build(trace, self.cpu.rip, true) {
             Some(b) => b,
@@ -1348,6 +1648,38 @@ impl<R: Runtime> Emu<R> {
             }
             self.counters.instructions += n as u64;
             self.counters.cycles += per_inst * n as u64;
+            // Fast tier: charge the whole block's predicted-path static
+            // cost upfront in one shot (`charge` holds prefix sums over
+            // `ops`; the last entry is the block total). Every early
+            // exit below rolls the unexecuted suffix back, so counters
+            // are bit-exact at every return boundary.
+            let charge = &block.charge;
+            let total = charge[block.ops.len()];
+            if FAST {
+                total.apply(&mut self.counters);
+            }
+            // Rolls back the upfront block charge to a per-instruction
+            // charge and returns, after entry `$i` of an `$n`-entry
+            // block ended the run early. In fast mode the batched
+            // static charge is rolled back to prefix `$keep`: `$i`
+            // when the exiting op's static charge must not stand (any
+            // partial effects were recharged inline by the arm),
+            // `$i + 1` when it stands in full (plain loads/stores:
+            // `step()` prices memory before the access faults).
+            macro_rules! bail {
+                ($n:expr, $i:expr, $keep:expr, $res:expr) => {{
+                    let unexecuted = ($n - ($i + 1)) as u64;
+                    self.counters.instructions -= unexecuted;
+                    self.counters.cycles -= per_inst * unexecuted;
+                    if FAST {
+                        total.minus(charge[$keep]).revert(&mut self.counters);
+                    }
+                    return (executed + $i as u64 + 1, $res);
+                }};
+            }
+            // Next host-pointer cache slot; advanced by exactly the
+            // ops `uses_mem_slot` claims, in program order.
+            let mut mslot = 0usize;
             // Interior side exit taken: `op index << 16 | side-link
             // slot`, `u64::MAX` = none (packed: a plain register beats
             // an `Option` tuple in the dispatch loop's codegen).
@@ -1404,11 +1736,11 @@ impl<R: Runtime> Emu<R> {
                         next,
                     } => {
                         let addr = ea_fast(&self.cpu.regs, &mem);
-                        let b = match self.load_at_rip(addr, w, next) {
+                        let b = match self.load_fast::<FAST>(block, &mut mslot, addr, w, next) {
                             Ok(v) => v,
                             Err(e) => {
                                 self.cpu.rip = next;
-                                bail!(n, i, Err(e));
+                                bail!(n, i, i + 1, Err(e));
                             }
                         };
                         let a = rd(&self.cpu.regs, dst, w);
@@ -1435,27 +1767,30 @@ impl<R: Runtime> Emu<R> {
                     }
                     FastOp::LoadRM { w, dst, mem, next } => {
                         let addr = ea_fast(&self.cpu.regs, &mem);
-                        match self.load_at_rip(addr, w, next) {
+                        match self.load_fast::<FAST>(block, &mut mslot, addr, w, next) {
                             Ok(v) => wr(&mut self.cpu.regs, dst, w, v),
                             Err(e) => {
                                 self.cpu.rip = next;
-                                bail!(n, i, Err(e));
+                                bail!(n, i, i + 1, Err(e));
                             }
                         }
                     }
                     FastOp::StoreMR { w, src, mem, next } => {
                         let addr = ea_fast(&self.cpu.regs, &mem);
                         let v = rd(&self.cpu.regs, src, w);
-                        if let Err(e) = self.store_at_rip(addr, w, v, next) {
+                        if let Err(e) = self.store_fast::<FAST>(block, &mut mslot, addr, w, v, next)
+                        {
                             self.cpu.rip = next;
-                            bail!(n, i, Err(e));
+                            bail!(n, i, i + 1, Err(e));
                         }
                     }
                     FastOp::StoreMI { w, imm, mem, next } => {
                         let addr = ea_fast(&self.cpu.regs, &mem);
-                        if let Err(e) = self.store_at_rip(addr, w, imm, next) {
+                        if let Err(e) =
+                            self.store_fast::<FAST>(block, &mut mslot, addr, w, imm, next)
+                        {
                             self.cpu.rip = next;
-                            bail!(n, i, Err(e));
+                            bail!(n, i, i + 1, Err(e));
                         }
                     }
                     FastOp::ExtRR { kind, dst, src } => {
@@ -1477,7 +1812,7 @@ impl<R: Runtime> Emu<R> {
                             ExtKind::Zx8 | ExtKind::Sx8 => Width::W8,
                             ExtKind::Sxd => Width::W32,
                         };
-                        match self.load_at_rip(addr, lw, next) {
+                        match self.load_fast::<FAST>(block, &mut mslot, addr, lw, next) {
                             Ok(raw) => {
                                 let v = match kind {
                                     ExtKind::Zx8 => raw,
@@ -1488,7 +1823,7 @@ impl<R: Runtime> Emu<R> {
                             }
                             Err(e) => {
                                 self.cpu.rip = next;
-                                bail!(n, i, Err(e));
+                                bail!(n, i, i + 1, Err(e));
                             }
                         }
                     }
@@ -1531,14 +1866,16 @@ impl<R: Runtime> Emu<R> {
                         let v = self.cpu.regs[src as usize];
                         let rsp = self.cpu.regs[RSP].wrapping_sub(8);
                         self.cpu.regs[RSP] = rsp;
-                        if let Err(e) = self.store_at_rip(rsp, Width::W64, v, next) {
+                        if let Err(e) =
+                            self.store_fast::<FAST>(block, &mut mslot, rsp, Width::W64, v, next)
+                        {
                             self.cpu.rip = next;
-                            bail!(n, i, Err(e));
+                            bail!(n, i, i + 1, Err(e));
                         }
                     }
                     FastOp::PopR { dst, next } => {
                         let rsp = self.cpu.regs[RSP];
-                        match self.load_at_rip(rsp, Width::W64, next) {
+                        match self.load_fast::<FAST>(block, &mut mslot, rsp, Width::W64, next) {
                             Ok(v) => {
                                 // Increment before the register write:
                                 // `pop rsp` keeps the popped value.
@@ -1547,7 +1884,7 @@ impl<R: Runtime> Emu<R> {
                             }
                             Err(e) => {
                                 self.cpu.rip = next;
-                                bail!(n, i, Err(e));
+                                bail!(n, i, i + 1, Err(e));
                             }
                         }
                     }
@@ -1564,27 +1901,33 @@ impl<R: Runtime> Emu<R> {
                         let b = rd(&self.cpu.regs, src, w);
                         let r = self.imul_flags(w, a, b);
                         wr(&mut self.cpu.regs, dst, w, r);
-                        self.counters.cycles += self.cost.mul;
+                        if !FAST {
+                            self.counters.cycles += self.cost.mul;
+                        }
                     }
                     FastOp::Imul2RM { w, dst, mem, next } => {
                         let addr = ea_fast(&self.cpu.regs, &mem);
-                        let b = match self.load_at_rip(addr, w, next) {
+                        let b = match self.load_fast::<FAST>(block, &mut mslot, addr, w, next) {
                             Ok(v) => v,
                             Err(e) => {
                                 self.cpu.rip = next;
-                                bail!(n, i, Err(e));
+                                bail!(n, i, i + 1, Err(e));
                             }
                         };
                         let a = rd(&self.cpu.regs, dst, w);
                         let r = self.imul_flags(w, a, b);
                         wr(&mut self.cpu.regs, dst, w, r);
+                        // Dynamic in both modes: `exec` prices the
+                        // multiply only once the load has succeeded.
                         self.counters.cycles += self.cost.mul;
                     }
                     FastOp::Imul3RRI { w, dst, src, imm } => {
                         let b = rd(&self.cpu.regs, src, w);
                         let r = self.imul_flags(w, b, imm);
                         wr(&mut self.cpu.regs, dst, w, r);
-                        self.counters.cycles += self.cost.mul;
+                        if !FAST {
+                            self.counters.cycles += self.cost.mul;
+                        }
                     }
                     FastOp::MulDivR {
                         op,
@@ -1596,17 +1939,20 @@ impl<R: Runtime> Emu<R> {
                         let v = rd(&self.cpu.regs, src, w);
                         if let Err(e) = self.muldiv(op, w, v, rip) {
                             self.cpu.rip = next;
-                            bail!(n, i, Err(e));
+                            bail!(n, i, i, Err(e));
                         }
                     }
                     FastOp::ChargeJmp { next, to } => {
                         // Interior direct jump: `transfer_to` minus the
-                        // `rip` store (control stays in-trace).
-                        self.counters.transfers += 1;
-                        self.counters.cycles += self.cost.transfer;
-                        if in_tramp(next) != in_tramp(to) {
-                            self.counters.region_crossings += 1;
-                            self.counters.cycles += self.cost.cross_region;
+                        // `rip` store (control stays in-trace). Fully
+                        // covered by the static charge in fast mode.
+                        if !FAST {
+                            self.counters.transfers += 1;
+                            self.counters.cycles += self.cost.transfer;
+                            if in_tramp(next) != in_tramp(to) {
+                                self.counters.region_crossings += 1;
+                                self.counters.cycles += self.cost.cross_region;
+                            }
                         }
                     }
                     FastOp::ChargeCall { next, to } => {
@@ -1615,15 +1961,27 @@ impl<R: Runtime> Emu<R> {
                         // `push64`), then transfer accounting.
                         let rsp = self.cpu.regs[RSP].wrapping_sub(8);
                         self.cpu.regs[RSP] = rsp;
-                        if let Err(e) = self.store_at_rip(rsp, Width::W64, next, next) {
+                        if let Err(e) =
+                            self.store_fast::<FAST>(block, &mut mslot, rsp, Width::W64, next, next)
+                        {
+                            // The push is priced before it faults
+                            // (charge-before-access); the transfer
+                            // never happens, so drop the whole static
+                            // entry and recharge just the store.
+                            if FAST {
+                                self.counters.stores += 1;
+                                self.counters.cycles += self.cost.mem;
+                            }
                             self.cpu.rip = next;
-                            bail!(n, i, Err(e));
+                            bail!(n, i, i, Err(e));
                         }
-                        self.counters.transfers += 1;
-                        self.counters.cycles += self.cost.transfer;
-                        if in_tramp(next) != in_tramp(to) {
-                            self.counters.region_crossings += 1;
-                            self.counters.cycles += self.cost.cross_region;
+                        if !FAST {
+                            self.counters.transfers += 1;
+                            self.counters.cycles += self.cost.transfer;
+                            if in_tramp(next) != in_tramp(to) {
+                                self.counters.region_crossings += 1;
+                                self.counters.cycles += self.cost.cross_region;
+                            }
                         }
                     }
                     FastOp::JccInline {
@@ -1634,7 +1992,11 @@ impl<R: Runtime> Emu<R> {
                         side,
                     } => {
                         let taken = self.cpu.flags.cond(cond);
-                        if taken {
+                        // Predicted-taken is statically charged; on a
+                        // mispredict the side-exit rollback drops this
+                        // op's static entry, so the actual outcome is
+                        // always accounted exactly once.
+                        if taken && (!FAST || !expect_taken) {
                             self.counters.taken_branches += 1;
                             self.counters.cycles += self.cost.branch_taken;
                             if in_tramp(next) != in_tramp(to) {
@@ -1671,7 +2033,7 @@ impl<R: Runtime> Emu<R> {
                         } else {
                             cmp_cond(cond, w, av, bv)
                         };
-                        if taken {
+                        if taken && (!FAST || !expect_taken) {
                             self.counters.taken_branches += 1;
                             self.counters.cycles += self.cost.branch_taken;
                             if in_tramp(next) != in_tramp(to) {
@@ -1700,14 +2062,27 @@ impl<R: Runtime> Emu<R> {
                         // return address matches the build-time
                         // prediction.
                         let rsp = self.cpu.regs[RSP];
-                        match self.load_at_rip(rsp, Width::W64, next) {
+                        match self.load_fast::<FAST>(block, &mut mslot, rsp, Width::W64, next) {
                             Ok(t) => {
                                 self.cpu.regs[RSP] = rsp.wrapping_add(8);
-                                self.counters.transfers += 1;
-                                self.counters.cycles += self.cost.transfer;
-                                if in_tramp(next) != in_tramp(t) {
-                                    self.counters.region_crossings += 1;
-                                    self.counters.cycles += self.cost.cross_region;
+                                // A predicted return is fully covered
+                                // by the static charge (its crossing
+                                // was computed against `expect ==
+                                // t`). A mispredict loses its static
+                                // entry to the side-exit rollback, so
+                                // recharge everything against the
+                                // actual target.
+                                if !FAST || t != expect {
+                                    if FAST {
+                                        self.counters.loads += 1;
+                                        self.counters.cycles += self.cost.mem;
+                                    }
+                                    self.counters.transfers += 1;
+                                    self.counters.cycles += self.cost.transfer;
+                                    if in_tramp(next) != in_tramp(t) {
+                                        self.counters.region_crossings += 1;
+                                        self.counters.cycles += self.cost.cross_region;
+                                    }
                                 }
                                 if t != expect {
                                     self.cpu.rip = t;
@@ -1716,8 +2091,14 @@ impl<R: Runtime> Emu<R> {
                                 }
                             }
                             Err(e) => {
+                                // `step()` prices the pop before it
+                                // faults; the transfer never happens.
+                                if FAST {
+                                    self.counters.loads += 1;
+                                    self.counters.cycles += self.cost.mem;
+                                }
                                 self.cpu.rip = next;
-                                bail!(n, i, Err(e));
+                                bail!(n, i, i, Err(e));
                             }
                         }
                     }
@@ -1729,7 +2110,7 @@ impl<R: Runtime> Emu<R> {
                         self.noflags = false;
                         match r {
                             Ok(None) => {}
-                            done => bail!(n, i, done),
+                            done => bail!(n, i, i, done),
                         }
                     }
                     FastOp::Slow { idx } => {
@@ -1737,7 +2118,7 @@ impl<R: Runtime> Emu<R> {
                         self.cpu.rip = ti.next;
                         match self.exec(&ti.inst, ti.rip, ti.next) {
                             Ok(None) => {}
-                            done => bail!(n, i, done),
+                            done => bail!(n, i, i, done),
                         }
                     }
                 }
@@ -1754,6 +2135,12 @@ impl<R: Runtime> Emu<R> {
                 let unexecuted = (n - (i + 1)) as u64;
                 self.counters.instructions -= unexecuted;
                 self.counters.cycles -= per_inst * unexecuted;
+                if FAST {
+                    // Keep the static prefix up to (but excluding) the
+                    // exiting op: its actual outcome differed from the
+                    // prediction and was accounted dynamically inline.
+                    total.minus(charge[i]).revert(&mut self.counters);
+                }
                 executed += (i + 1) as u64;
                 if executed >= budget {
                     return (executed, Ok(None));
@@ -2018,12 +2405,31 @@ impl<R: Runtime> Emu<R> {
         RunResult::StepLimit
     }
 
+    /// Runs until exit, error or `max_steps` instructions using the
+    /// fast backend. Behaviorally identical to [`Emu::run`] (result,
+    /// counters, guest-visible state), fastest of the four tiers.
+    pub fn run_fast(&mut self, max_steps: u64) -> RunResult {
+        let mut remaining = max_steps;
+        while remaining > 0 {
+            let (executed, outcome) = self.step_fast(remaining);
+            remaining -= executed.min(remaining);
+            match outcome {
+                Ok(None) => {}
+                Ok(Some(result)) => return result,
+                Err(EmuError::AccessVetoed { error, .. }) => return RunResult::MemoryError(error),
+                Err(e) => return RunResult::Error(e),
+            }
+        }
+        RunResult::StepLimit
+    }
+
     /// Runs with the selected backend (see [`ExecBackend`]).
     pub fn run_backend(&mut self, backend: ExecBackend, max_steps: u64) -> RunResult {
         match backend {
             ExecBackend::Step => self.run(max_steps),
             ExecBackend::Superblock => self.run_superblock(max_steps),
             ExecBackend::Trace => self.run_trace(max_steps),
+            ExecBackend::Fast => self.run_fast(max_steps),
         }
     }
 }

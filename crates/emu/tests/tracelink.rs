@@ -6,8 +6,8 @@
 
 use redfat_elf::{Image, ImageKind, SegFlags, Segment};
 use redfat_emu::{syscalls, Emu, ErrorMode, ExecBackend, HostRuntime, RunResult};
-use redfat_vm::layout;
-use redfat_x86::{AluOp, Asm, Cond, Reg, Width};
+use redfat_vm::{layout, Prot};
+use redfat_x86::{AluOp, Asm, Cond, Mem, Reg, Width};
 
 /// Two-phase workload exercising every link kind. Phase 1 is a
 /// single-trace spin loop (the loop-closing `jne` is a direct terminal,
@@ -138,6 +138,141 @@ fn invalidation_severs_links_and_inline_caches_mid_loop() {
         snap(&emu),
         "state diverged across invalidation"
     );
+}
+
+/// Spin loop whose body stores and loads through the same data word, so
+/// the fast tier resolves both operands via host-pointer [`MemSlot`]s
+/// baked into the trace. Exits with rdi = sum(1..=600).
+///
+/// [`MemSlot`]: redfat_vm::MemSlot
+fn mem_loop() -> (Image, i64) {
+    let mut a = Asm::new(layout::CODE_BASE);
+    a.mov_ri(Width::W64, Reg::Rdi, 0);
+    a.mov_ri(Width::W64, Reg::Rsi, layout::GLOBALS_BASE as i64);
+    a.mov_ri(Width::W64, Reg::Rbx, 600);
+    let spin = a.label();
+    a.bind(spin).unwrap();
+    a.mov_mr(Width::W64, Mem::base(Reg::Rsi), Reg::Rbx);
+    a.alu_rm(AluOp::Add, Width::W64, Reg::Rdi, Mem::base(Reg::Rsi));
+    a.alu_ri(AluOp::Sub, Width::W64, Reg::Rbx, 1);
+    a.jcc_label(Cond::Ne, spin);
+    a.mov_ri(Width::W64, Reg::Rax, syscalls::EXIT as i64);
+    a.syscall();
+    let p = a.finish().unwrap();
+    let image = Image {
+        kind: ImageKind::Exec,
+        entry: layout::CODE_BASE,
+        segments: vec![
+            Segment::new(p.base, SegFlags::RX, p.bytes),
+            Segment::new(layout::GLOBALS_BASE, SegFlags::RW, vec![0; 4096]),
+        ],
+        symbols: vec![],
+    };
+    (image, 600 * 601 / 2)
+}
+
+#[test]
+fn self_modifying_invalidation_severs_host_pointer_cache() {
+    let (image, expect) = mem_loop();
+    // Warm the fast tier: the spin trace is built and its MemSlots are
+    // filled by the first iterations.
+    let mut emu = load(&image);
+    assert_eq!(
+        emu.run_backend(ExecBackend::Fast, 500),
+        RunResult::StepLimit
+    );
+    let before = emu.trace_stats();
+    assert!(before.hits > 0, "fast tier never reused a trace: {before}");
+
+    // Model a self-modifying write to the loop body. The trace -- and
+    // with it every baked host-pointer slot -- must be dropped, not
+    // consulted stale; the rebuild re-resolves the operands.
+    assert!(emu.invalidate_code(layout::CODE_BASE));
+    assert_eq!(
+        emu.run_backend(ExecBackend::Fast, 1_000_000),
+        RunResult::Exited(expect)
+    );
+    let after = emu.trace_stats();
+    assert_eq!(after.invalidations, 1);
+    assert!(after.misses > before.misses, "trace was not rebuilt");
+
+    // The interrupted-invalidated-resumed fast run must land on the
+    // uninterrupted step() state bit for bit, counters included.
+    let mut step = load(&image);
+    assert_eq!(
+        step.run_backend(ExecBackend::Step, 1_000_000),
+        RunResult::Exited(expect)
+    );
+    assert_eq!(
+        snap(&step),
+        snap(&emu),
+        "state diverged across invalidation"
+    );
+}
+
+#[test]
+fn segment_remap_forces_slow_path_fallback() {
+    let (image, expect) = mem_loop();
+    // Warm the fast tier, then remap: mapping a fresh segment and
+    // growing an existing one both bump the VM epoch, so every baked
+    // host-pointer slot goes stale at once and the next access per slot
+    // must take the tagged-TLB slow path and re-tag.
+    let mut emu = load(&image);
+    assert_eq!(
+        emu.run_backend(ExecBackend::Fast, 500),
+        RunResult::StepLimit
+    );
+    let epoch = emu.vm.epoch();
+    emu.vm.map(0x7100_0000, 4096, Prot::R | Prot::W, "remap");
+    emu.vm.grow(layout::GLOBALS_BASE, 8192);
+    assert!(emu.vm.epoch() > epoch, "remap/grow did not bump the epoch");
+
+    // Resuming must re-resolve through the new segment table -- the
+    // grown data segment's host storage may have moved -- and still
+    // land on the uninterrupted step() state exactly.
+    assert_eq!(
+        emu.run_backend(ExecBackend::Fast, 1_000_000),
+        RunResult::Exited(expect)
+    );
+    let mut step = load(&image);
+    assert_eq!(
+        step.run_backend(ExecBackend::Step, 1_000_000),
+        RunResult::Exited(expect)
+    );
+    assert_eq!(snap(&step), snap(&emu), "state diverged across remap");
+}
+
+#[test]
+fn fast_budget_expiry_mid_trace_retires_identical_counter_deltas() {
+    let (image, expect) = cross_segment_loop();
+    // Same boundary sweep as the trace-tier test above, against the
+    // fast tier: budgets landing inside the spin trace force the
+    // batched-counter prefix path, and every stop must show exactly the
+    // step interpreter's counter deltas (the static block charge rolled
+    // back to the retired prefix).
+    for budget in [1, 2, 3, 901, 902, 903, 910, 1500, 2500, 3901] {
+        let mut step = load(&image);
+        let mut fast = load(&image);
+        assert_eq!(
+            step.run_backend(ExecBackend::Step, budget),
+            RunResult::StepLimit
+        );
+        assert_eq!(
+            fast.run_backend(ExecBackend::Fast, budget),
+            RunResult::StepLimit
+        );
+        assert_eq!(snap(&step), snap(&fast), "divergence at budget {budget}");
+
+        let rs = step.run_backend(ExecBackend::Step, 1_000_000);
+        let rf = fast.run_backend(ExecBackend::Fast, 1_000_000);
+        assert_eq!(rs, RunResult::Exited(expect));
+        assert_eq!(rf, RunResult::Exited(expect));
+        assert_eq!(
+            snap(&step),
+            snap(&fast),
+            "post-resume divergence (budget {budget})"
+        );
+    }
 }
 
 #[test]

@@ -201,6 +201,10 @@ impl MemcheckRuntime {
 }
 
 impl Runtime for MemcheckRuntime {
+    // Every access is classified through the hook: the fast tier must
+    // not elide it.
+    const OBSERVES_MEMORY: bool = true;
+
     fn on_load(&mut self, vm: &mut Vm) {
         self.inner.on_load(vm);
     }

@@ -16,4 +16,4 @@ pub mod rng;
 mod space;
 
 pub use rng::Rng64;
-pub use space::{Prot, Vm, VmFault, VmFaultKind, VmSegmentInfo};
+pub use space::{MemSlot, Prot, Vm, VmFault, VmFaultKind, VmSegmentInfo};

@@ -94,9 +94,33 @@ pub struct VmSegmentInfo {
 }
 
 /// Entries in the direct-mapped lookup TLB (must be a power of two).
-const TLB_SIZE: usize = 64;
+/// Swept at 64/256/512 on the step interpreter, best-of-12 per
+/// workload (EXPERIMENTS.md "TLB size sweep"): 256 gains ~3% on gcc --
+/// the stand-in whose hot pages are most spread out -- and is noise on
+/// the page-compact workloads; 512 buys nothing further. A bigger
+/// table is only ~4 KiB of `Cell`s, not extra work per hit, so 256 is
+/// kept as the sweep winner.
+const TLB_SIZE: usize = 256;
 /// Log2 of the TLB page size (4 KiB).
 const TLB_SHIFT: u32 = 12;
+
+/// A host-resolution cache slot for [`Vm::read_cached`] /
+/// [`Vm::write_cached`]: `(page + 1, segment index, epoch)`, page tag 0
+/// = empty. The caller owns one slot per cached access site (the fast
+/// execution tier keeps one per memory-touching trace operand); a hit
+/// skips both the TLB probe and the protection check, so repeated
+/// accesses through the same operand resolve straight to the backing
+/// segment.
+///
+/// Safety of the skipped checks rests on two invariants: per-segment
+/// protections are immutable once mapped (there is no `mprotect`), and
+/// [`Vm::map`]/[`Vm::grow`] bump the epoch, which invalidates every
+/// outstanding slot at once (segment indices shift on `map`, backing
+/// storage reallocates on `grow`). A slot must only ever be used for
+/// one access kind (reads *or* writes, never both) against one `Vm`:
+/// the refill validates the protection for that kind only.
+#[derive(Debug, Clone, Default)]
+pub struct MemSlot(Cell<(u64, u32, u32)>);
 
 /// A sparse 64-bit address space backed by disjoint segments.
 ///
@@ -111,6 +135,10 @@ pub struct Vm {
     /// re-validated against the segment bounds on every hit, so a stale
     /// or colliding entry is a slow lookup, never a wrong one.
     tlb: [Cell<(u64, u32)>; TLB_SIZE],
+    /// Mapping epoch: bumped whenever segment indices or backing
+    /// storage can move ([`Vm::map`], [`Vm::grow`]). [`MemSlot`]s
+    /// record the epoch they were filled in and miss once it moves on.
+    epoch: u32,
 }
 
 impl Default for Vm {
@@ -125,14 +153,22 @@ impl Vm {
         Vm {
             segments: Vec::new(),
             tlb: std::array::from_fn(|_| Cell::new((0, 0))),
+            epoch: 0,
         }
     }
 
-    /// Drops every TLB entry (segment indices are about to change).
-    fn tlb_flush(&self) {
+    /// Drops every TLB entry (segment indices are about to change) and
+    /// bumps the epoch so outstanding [`MemSlot`]s miss.
+    fn tlb_flush(&mut self) {
         for c in &self.tlb {
             c.set((0, 0));
         }
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// The current mapping epoch (see [`MemSlot`]).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// Maps `size` zeroed bytes at `base`.
@@ -194,6 +230,11 @@ impl Vm {
             assert!(base + new_size <= next.base, "grow would overlap");
         }
         self.segments[idx].data.resize(new_size as usize, 0);
+        // Segment indices are unchanged, but the resize may have moved
+        // the backing storage and extended the valid range: retire
+        // outstanding [`MemSlot`]s (they cache resolution state, and
+        // the guest allocator calls `grow` mid-run).
+        self.epoch = self.epoch.wrapping_add(1);
     }
 
     /// Lists mapped segments.
@@ -360,6 +401,91 @@ impl Vm {
             write: true,
         })?;
         slot.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Segment index containing `addr`, without touching the TLB.
+    fn seg_idx(&self, addr: u64) -> Option<usize> {
+        let idx = self.segments.partition_point(|s| s.base <= addr);
+        if idx == 0 {
+            return None;
+        }
+        (addr < self.segments[idx - 1].end()).then_some(idx - 1)
+    }
+
+    /// Reads `N` bytes at `addr` through a caller-owned [`MemSlot`].
+    ///
+    /// On a slot hit (same page, same epoch) the access goes straight
+    /// to the cached segment: no TLB probe, no protection check (the
+    /// refill validated `Prot::R`, and protections are immutable). Any
+    /// miss -- first use, epoch bump, page change, out-of-segment
+    /// offset -- takes the cold path, which reproduces the exact fault
+    /// kinds of [`Vm::read`] and refills the slot on success.
+    #[inline]
+    pub fn read_cached<const N: usize>(
+        &self,
+        addr: u64,
+        slot: &MemSlot,
+    ) -> Result<[u8; N], VmFault> {
+        let page = addr >> TLB_SHIFT;
+        let (tpage, tidx, tepoch) = slot.0.get();
+        if tpage == page + 1 && tepoch == self.epoch {
+            let s = &self.segments[tidx as usize];
+            let off = addr.wrapping_sub(s.base) as usize;
+            if let Some(end) = off.checked_add(N) {
+                if let Some(slice) = s.data.get(off..end) {
+                    return Ok(slice.try_into().expect("N bytes"));
+                }
+            }
+        }
+        self.read_cached_slow(addr, slot)
+    }
+
+    #[cold]
+    fn read_cached_slow<const N: usize>(
+        &self,
+        addr: u64,
+        slot: &MemSlot,
+    ) -> Result<[u8; N], VmFault> {
+        let bytes: [u8; N] = self.read(addr, Prot::R)?;
+        if let Some(idx) = self.seg_idx(addr) {
+            slot.0
+                .set(((addr >> TLB_SHIFT) + 1, idx as u32, self.epoch));
+        }
+        Ok(bytes)
+    }
+
+    /// Writes bytes at `addr` through a caller-owned [`MemSlot`]; same
+    /// hit/refill contract as [`Vm::read_cached`], validating `Prot::W`.
+    #[inline]
+    pub fn write_cached(&mut self, addr: u64, bytes: &[u8], slot: &MemSlot) -> Result<(), VmFault> {
+        let page = addr >> TLB_SHIFT;
+        let (tpage, tidx, tepoch) = slot.0.get();
+        if tpage == page + 1 && tepoch == self.epoch {
+            let s = &mut self.segments[tidx as usize];
+            let off = addr.wrapping_sub(s.base) as usize;
+            if let Some(end) = off.checked_add(bytes.len()) {
+                if let Some(dst) = s.data.get_mut(off..end) {
+                    dst.copy_from_slice(bytes);
+                    return Ok(());
+                }
+            }
+        }
+        self.write_cached_slow(addr, bytes, slot)
+    }
+
+    #[cold]
+    fn write_cached_slow(
+        &mut self,
+        addr: u64,
+        bytes: &[u8],
+        slot: &MemSlot,
+    ) -> Result<(), VmFault> {
+        self.write(addr, bytes)?;
+        if let Some(idx) = self.seg_idx(addr) {
+            slot.0
+                .set(((addr >> TLB_SHIFT) + 1, idx as u32, self.epoch));
+        }
         Ok(())
     }
 
@@ -536,6 +662,66 @@ mod tests {
         let mut vm = Vm::new();
         vm.map_with_data(0x4000, 0x100, Prot::RX, "text", &[0xC3, 0x90]);
         assert_eq!(vm.fetch(0x4000, 2).unwrap(), &[0xC3, 0x90]);
+    }
+
+    #[test]
+    fn cached_reads_and_writes_roundtrip() {
+        let mut vm = Vm::new();
+        vm.map(0x1000, 0x1000, Prot::RW, "data");
+        let rs = MemSlot::default();
+        let ws = MemSlot::default();
+        // First access refills, repeats hit; values always fresh.
+        vm.write_cached(0x1008, &7u64.to_le_bytes(), &ws).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(vm.read_cached::<8>(0x1008, &rs).unwrap()),
+            7
+        );
+        vm.write_cached(0x1008, &9u64.to_le_bytes(), &ws).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(vm.read_cached::<8>(0x1008, &rs).unwrap()),
+            9
+        );
+    }
+
+    #[test]
+    fn cached_access_reproduces_fault_kinds() {
+        let mut vm = Vm::new();
+        vm.map(0x1000, 0x10, Prot::R, "ro");
+        let s = MemSlot::default();
+        assert_eq!(
+            vm.read_cached::<8>(0x5000, &s).unwrap_err().kind,
+            VmFaultKind::Unmapped
+        );
+        assert_eq!(
+            vm.read_cached::<8>(0x100C, &s).unwrap_err().kind,
+            VmFaultKind::Straddle
+        );
+        let w = MemSlot::default();
+        let err = vm.write_cached(0x1000, &[1], &w).unwrap_err();
+        assert_eq!(err.kind, VmFaultKind::Protection);
+        assert!(err.write);
+    }
+
+    #[test]
+    fn map_and_grow_bump_epoch_and_retire_slots() {
+        let mut vm = Vm::new();
+        vm.map(0x1000, 0x10, Prot::RW, "heap");
+        let e0 = vm.epoch();
+        let s = MemSlot::default();
+        vm.read_cached::<8>(0x1000, &s).unwrap(); // refill at e0
+        vm.grow(0x1000, 0x20);
+        assert_ne!(vm.epoch(), e0, "grow must retire outstanding slots");
+        // The stale slot misses, refills against the grown segment, and
+        // the newly valid range is reachable through it.
+        assert_eq!(vm.read_cached::<8>(0x1018, &s).unwrap(), [0; 8]);
+        let e1 = vm.epoch();
+        vm.write_u8(0x1004, 0x5A).unwrap();
+        // Mapping *below* the cached segment shifts its index; without
+        // the epoch check the slot would silently read the wrong
+        // segment (both are readable), so this is the dangerous case.
+        vm.map(0x100, 0x10, Prot::RW, "early");
+        assert_ne!(vm.epoch(), e1, "map must retire outstanding slots");
+        assert_eq!(vm.read_cached::<1>(0x1004, &s).unwrap(), [0x5A]);
     }
 
     #[test]

@@ -31,6 +31,9 @@ struct OracleRuntime {
 }
 
 impl Runtime for OracleRuntime {
+    // The oracle audits every access through the hook.
+    const OBSERVES_MEMORY: bool = true;
+
     fn on_load(&mut self, vm: &mut Vm) {
         self.inner.on_load(vm);
     }
