@@ -5,10 +5,11 @@
 pub mod service;
 
 use redfat_core::{
-    collect_allowlist, harden, instrument_profile, run_once, HardenConfig, LowFatPolicy,
+    collect_allowlist, harden, instrument_profile, run_once, try_run_backend_policy,
+    AllocPolicyKind, HardenConfig, LowFatPolicy,
 };
 use redfat_elf::Image;
-use redfat_emu::{Emu, ErrorMode, RunResult};
+use redfat_emu::{Emu, ErrorMode, ExecBackend, RunResult};
 use redfat_memcheck::{MemcheckLimits, MemcheckRuntime};
 use redfat_workloads::Workload;
 use std::collections::BTreeSet;
@@ -178,32 +179,75 @@ pub fn table1_row(wl: &Workload) -> Table1Row {
 /// (no allow-list), run ref in log mode, and count distinct erroring
 /// sites that are not planted real errors.
 pub fn false_positive_sites(wl: &Workload) -> usize {
+    false_positive_sites_policy(wl, AllocPolicyKind::default())
+}
+
+/// [`false_positive_sites`] with the runtime heap backed by the given
+/// allocator policy. The hardened image is identical across policies;
+/// only the placement decisions (and thus which intentional-OOB
+/// anti-idiom pointers land on live metadata) change.
+pub fn false_positive_sites_policy(wl: &Workload, policy: AllocPolicyKind) -> usize {
     let image = wl.image();
     // Merging would attribute a merged check's error to its first member
     // site; measure without merging for exact per-site attribution.
     let cfg = HardenConfig::with_batch(LowFatPolicy::All);
     let hardened = harden(&image, &cfg).expect("hardening");
-    let out = run_once(
+    let out = try_run_backend_policy(
         &hardened.image,
         wl.ref_input.clone(),
         ErrorMode::Log,
+        ExecBackend::Step,
         MAX_STEPS,
-    );
+        policy,
+    )
+    .expect("image loads");
     let sites: BTreeSet<u64> = out.errors.iter().map(|e| e.site).collect();
     sites.len().saturating_sub(wl.planted_errors)
 }
 
 /// Detection verdict for a vulnerable program under RedFat hardening.
 pub fn redfat_detects(image: &Image, attack_input: &[i64]) -> bool {
+    redfat_detects_policy(image, attack_input, AllocPolicyKind::default())
+}
+
+/// [`redfat_detects`] with the runtime heap backed by the given
+/// allocator policy.
+pub fn redfat_detects_policy(image: &Image, attack_input: &[i64], policy: AllocPolicyKind) -> bool {
     let cfg = HardenConfig::with_merge(LowFatPolicy::All);
     let hardened = harden(image, &cfg).expect("hardening");
-    let out = run_once(
+    let out = try_run_backend_policy(
         &hardened.image,
         attack_input.to_vec(),
         ErrorMode::Abort,
+        ExecBackend::Step,
         MAX_STEPS,
-    );
+        policy,
+    )
+    .expect("image loads");
     matches!(out.result, RunResult::MemoryError(_))
+}
+
+/// Parses `--alloc-policy <kind>` (or `--alloc-policy=<kind>`) from a
+/// bench binary's argument list; defaults to the paper's policy.
+///
+/// # Panics
+///
+/// Panics on an unknown policy name (bench binaries fail fast).
+pub fn policy_from_args(args: impl IntoIterator<Item = String>) -> AllocPolicyKind {
+    let mut policy = AllocPolicyKind::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--alloc-policy" {
+            it.next()
+        } else {
+            a.strip_prefix("--alloc-policy=").map(str::to_string)
+        };
+        if let Some(v) = value {
+            policy = AllocPolicyKind::parse(&v)
+                .unwrap_or_else(|| panic!("bad --alloc-policy {v:?} (lowfat|rand-lowfat)"));
+        }
+    }
+    policy
 }
 
 /// Detection verdict under the Memcheck baseline.

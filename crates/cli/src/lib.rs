@@ -18,11 +18,11 @@
 //! returns the text it would print.
 
 use redfat_core::{
-    collect_allowlist, harden_threaded, instrument_profile, try_run_backend, try_run_once,
+    collect_allowlist, harden_threaded, instrument_profile, try_run_backend_policy, try_run_once,
     AllowList, HardenConfig, LowFatPolicy,
 };
 use redfat_elf::Image;
-use redfat_emu::{Emu, ErrorMode, ExecBackend, RunResult};
+use redfat_emu::{AllocPolicyKind, Emu, ErrorMode, ExecBackend, RunResult};
 use redfat_memcheck::MemcheckRuntime;
 use redfat_parallel::resolve_threads;
 use std::fmt::Write as _;
@@ -63,17 +63,24 @@ commands:
                                        coverage-guided profiling (E9AFL-style)
   run     <in.elf> [--input v,v,..] [--log] [--memcheck] [--max-steps N]
           [--backend step|superblock|trace|fast] [--stats]
+          [--alloc-policy lowfat|rand-lowfat]
                                        --backend selects the execution tier
                                        (default step); --stats prints the
-                                       translation-cache counters afterwards
+                                       translation-cache counters afterwards;
+                                       --alloc-policy selects the heap backend
+                                       (default lowfat)
   disasm  <in.elf>                     linear disassembly of code segments
   analyze <in.elf> [--interproc]       per-site static analysis report
   analyze <in.elf> --callgraph         call graph + function summaries
                                        (text report followed by Graphviz DOT)
   stats   <in.elf>                     image and instrumentation-plan statistics
-  selftest [--quick] [--superblock] [--fast]
+  selftest [--quick] [--superblock] [--fast] [--alloc-policy lowfat|rand-lowfat]
                                        differential self-test: lockstep oracle,
-                                       round-trip fuzzer, allocator invariants;
+                                       round-trip fuzzer, allocator invariants
+                                       (the invariant campaign always covers
+                                       every allocator policy; --alloc-policy
+                                       picks the heap backend for the lockstep
+                                       runs);
                                        --superblock also runs the superblock
                                        and trace-linked execution backends
                                        against the step interpreter on every
@@ -107,6 +114,8 @@ harden options:
   --no-flow                 disable flow-sensitive provenance elimination
   --no-redundant            disable dominator-based redundant-check elimination
   --interproc               enable interprocedural call summaries (+interproc)
+  --alloc-policy <kind>     allocator backend the artifact is keyed to
+                            (lowfat | rand-lowfat; checks are backend-agnostic)
   --strip                   strip symbols before hardening";
 
 struct Args {
@@ -115,7 +124,7 @@ struct Args {
 }
 
 /// Flags that take a value.
-const VALUE_FLAGS: [&str; 11] = [
+const VALUE_FLAGS: [&str; 12] = [
     "-o",
     "--input",
     "--max-steps",
@@ -127,6 +136,7 @@ const VALUE_FLAGS: [&str; 11] = [
     "--cache-dir",
     "--workers",
     "--op",
+    "--alloc-policy",
 ];
 
 fn parse_args(argv: &[String]) -> Result<Args, CliError> {
@@ -190,6 +200,15 @@ impl Args {
             None => Ok(ExecBackend::Step),
             Some(s) => ExecBackend::parse(s)
                 .ok_or_else(|| err(format!("bad --backend {s:?} (step|superblock|trace|fast)"))),
+        }
+    }
+
+    /// Allocator backend: `--alloc-policy lowfat|rand-lowfat`.
+    fn alloc_policy(&self) -> Result<AllocPolicyKind, CliError> {
+        match self.flags.get("--alloc-policy").and_then(|v| v.as_deref()) {
+            None => Ok(AllocPolicyKind::default()),
+            Some(s) => AllocPolicyKind::parse(s)
+                .ok_or_else(|| err(format!("bad --alloc-policy {s:?} (lowfat|rand-lowfat)"))),
         }
     }
 
@@ -273,6 +292,7 @@ fn harden_config(args: &Args) -> Result<HardenConfig, CliError> {
         }
         cfg.interproc = true;
     }
+    cfg.alloc_policy = args.alloc_policy()?;
     Ok(cfg)
 }
 
@@ -434,8 +454,15 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
                 } else {
                     ErrorMode::Abort
                 };
-                let result = try_run_backend(&image, inputs, mode, backend, steps)
-                    .map_err(|e| err(format!("cannot load {input}: {e}")))?;
+                let result = try_run_backend_policy(
+                    &image,
+                    inputs,
+                    mode,
+                    backend,
+                    steps,
+                    args.alloc_policy()?,
+                )
+                .map_err(|e| err(format!("cannot load {input}: {e}")))?;
                 writeln!(out, "{:?}", result.result).ok();
                 for v in &result.io.out_ints {
                     writeln!(out, "{v}").ok();
@@ -527,7 +554,14 @@ pub fn run_cli(argv: &[String]) -> Result<String, CliError> {
             if args.has("--faults") {
                 run_faults(quick, args.threads()?, &mut out)?;
             } else {
-                run_selftest(quick, superblock, fast, args.threads()?, &mut out)?;
+                run_selftest(
+                    quick,
+                    superblock,
+                    fast,
+                    args.alloc_policy()?,
+                    args.threads()?,
+                    &mut out,
+                )?;
             }
         }
         "serve" => {
@@ -684,13 +718,15 @@ fn run_selftest(
     quick: bool,
     superblock: bool,
     fast: bool,
+    policy: AllocPolicyKind,
     threads: usize,
     out: &mut String,
 ) -> Result<(), CliError> {
     use redfat_core::selftest::{
-        allocator_invariants, backend_lockstep, lockstep_images, roundtrip_fuzz, shrink_input,
+        allocator_invariants, backend_lockstep_policy, lockstep_images_policy, roundtrip_fuzz,
     };
     let mut failures: Vec<String> = Vec::new();
+    writeln!(out, "alloc-policy: {policy}").ok();
 
     // Instruction round-trip: decode(encode(i)) == i, byte-identical.
     let rt_cases = if quick { 2_000 } else { 10_000 };
@@ -749,7 +785,7 @@ fn run_selftest(
             }
             for backend in backends {
                 for (kind, img) in [("baseline", &image), ("hardened", &hardened.image)] {
-                    let rep = backend_lockstep(img, &input, backend, max_steps);
+                    let rep = backend_lockstep_policy(img, &input, backend, max_steps, policy);
                     writeln!(
                         out,
                         "backend  {:<14} {:<10} {kind:<8} {:>9} blocks, {} divergences{}",
@@ -773,12 +809,13 @@ fn run_selftest(
                 }
             }
         }
-        let rep = lockstep_images(
+        let rep = lockstep_images_policy(
             &image,
             &hardened.image,
             &hardened.clobbers,
             &input,
             max_steps,
+            policy,
         );
         writeln!(
             out,
@@ -791,19 +828,21 @@ fn run_selftest(
         )
         .ok();
         if !rep.clean() || !rep.completed {
-            let shrunk = shrink_input(
+            let shrunk = redfat_core::selftest::shrink_input_policy(
                 &image,
                 &hardened.image,
                 &hardened.clobbers,
                 &input,
                 max_steps,
+                policy,
             );
-            let rep2 = lockstep_images(
+            let rep2 = lockstep_images_policy(
                 &image,
                 &hardened.image,
                 &hardened.clobbers,
                 &shrunk,
                 max_steps,
+                policy,
             );
             let detail = rep2
                 .divergences
@@ -835,12 +874,13 @@ fn run_selftest(
             ))
         })?;
         for input in [&case.benign_input, &case.attack_input] {
-            let rep = lockstep_images(
+            let rep = lockstep_images_policy(
                 &image,
                 &hardened.image,
                 &hardened.clobbers,
                 input,
                 max_steps,
+                policy,
             );
             jl_runs += 1;
             jl_reports += rep.hardened_errors;

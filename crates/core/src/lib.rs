@@ -51,4 +51,5 @@ pub use pipeline::{
     instrument_profile, ClobberInfo, ComponentCache, ComponentPlan, HardenError, HardenStats,
     Hardened,
 };
-pub use runner::{run_once, try_run_backend, try_run_once, RunOutcome};
+pub use redfat_lowfat::AllocPolicyKind;
+pub use runner::{run_once, try_run_backend, try_run_backend_policy, try_run_once, RunOutcome};

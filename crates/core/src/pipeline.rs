@@ -188,6 +188,7 @@ pub fn instrument_profile(image: &Image) -> Result<Hardened, HardenError> {
         instrument_reads: true,
         lowfat: LowFatPolicy::All,
         lowfat_only: false,
+        alloc_policy: redfat_lowfat::AllocPolicyKind::default(),
     };
     instrument(
         image,

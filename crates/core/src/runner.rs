@@ -69,7 +69,28 @@ pub fn try_run_backend(
     backend: ExecBackend,
     max_steps: u64,
 ) -> Result<RunOutcome, LoadError> {
-    let runtime = HostRuntime::new(mode).with_input(input);
+    try_run_backend_policy(
+        image,
+        input,
+        mode,
+        backend,
+        max_steps,
+        redfat_emu::AllocPolicyKind::default(),
+    )
+}
+
+/// [`try_run_backend`] with the runtime heap backed by an explicit
+/// allocator policy (the `--alloc-policy` knob). The hardened image is
+/// policy-independent; only the runtime's placement decisions change.
+pub fn try_run_backend_policy(
+    image: &Image,
+    input: Vec<i64>,
+    mode: ErrorMode,
+    backend: ExecBackend,
+    max_steps: u64,
+    policy: redfat_emu::AllocPolicyKind,
+) -> Result<RunOutcome, LoadError> {
+    let runtime = HostRuntime::with_policy(mode, policy).with_input(input);
     let mut emu = Emu::load_image(image, runtime)?;
     let result = emu.run_backend(backend, max_steps);
     let trace_stats = emu.trace_stats();

@@ -53,7 +53,9 @@ use crate::pipeline::{harden, ClobberInfo, HardenError};
 use crate::HardenConfig;
 use redfat_elf::Image;
 use redfat_emu::{syscalls, Emu, EmuError, ErrorMode, ExecBackend, HostRuntime, RunResult};
-use redfat_lowfat::{AllocError, LowFatConfig, ObjState, RedFatHeap, REDZONE_SIZE};
+use redfat_lowfat::{
+    AllocError, AllocPolicyKind, LowFatConfig, ObjState, RedFatHeap, REDZONE_SIZE,
+};
 use redfat_vm::{layout, Vm};
 use redfat_x86::{
     decode_one, encode, AluOp, Cond, Inst, Mem, MulDivOp, Op, Operands, Reg, Seg, ShiftOp, Width,
@@ -596,8 +598,22 @@ impl AllocReport {
     }
 }
 
-/// Checks the full Figure 3 layout contract for a live object.
-fn check_object(heap: &RedFatHeap, vm: &Vm, p: u64, size: u64, failures: &mut Vec<String>) {
+/// Checks the full Figure 3 layout contract for a live object, under
+/// whatever policy backs `heap` (the policy's allocation offset `delta`
+/// generalizes the paper's `ptr = base + 16` law to
+/// `ptr = base + 16 + delta` with extent metadata `delta + size`).
+///
+/// `fresh` objects must additionally sit in exactly the size class of
+/// their padded size; a resized-in-place object only has to *fit* its
+/// (possibly larger) slot.
+fn check_object(
+    heap: &RedFatHeap,
+    vm: &Vm,
+    p: u64,
+    size: u64,
+    fresh: bool,
+    failures: &mut Vec<String>,
+) {
     let mut fail = |msg: String| push_capped(failures, format!("ptr {p:#x} size {size}: {msg}"));
     let base = layout::lowfat_base(p);
     if base == 0 {
@@ -607,10 +623,17 @@ fn check_object(heap: &RedFatHeap, vm: &Vm, p: u64, size: u64, failures: &mut Ve
     if base > p {
         fail(format!("base {base:#x} above user pointer"));
     }
-    if p != base + REDZONE_SIZE {
+    let delta = heap.user_delta(base);
+    if heap.policy_kind() == AllocPolicyKind::LowFat && delta != 0 {
+        fail(format!("default policy produced a non-zero delta {delta}"));
+    }
+    if p != base + REDZONE_SIZE + delta {
         fail(format!(
-            "user pointer not base + {REDZONE_SIZE} (base {base:#x})"
+            "user pointer not base + {REDZONE_SIZE} + delta {delta} (base {base:#x})"
         ));
+    }
+    if !p.is_multiple_of(16) {
+        fail("user pointer not 16-byte aligned".into());
     }
     if layout::lowfat_base(base) != base {
         fail(format!(
@@ -619,35 +642,41 @@ fn check_object(heap: &RedFatHeap, vm: &Vm, p: u64, size: u64, failures: &mut Ve
         ));
     }
     let cls_size = layout::lowfat_size(p);
-    if cls_size < size + REDZONE_SIZE {
-        fail(format!("class size {cls_size} below size + redzone"));
+    if cls_size < delta + size + REDZONE_SIZE {
+        fail(format!(
+            "class size {cls_size} below delta + size + redzone"
+        ));
     }
-    match layout::class_for_size(size + REDZONE_SIZE) {
-        None => fail("class_for_size returned None for an allocated size".into()),
-        Some(idx) => {
-            if layout::class_size(idx) != cls_size {
-                fail(format!(
-                    "class_for_size/class_size disagree with lowfat_size: {} vs {cls_size}",
-                    layout::class_size(idx)
-                ));
+    if fresh {
+        match layout::class_for_size((size + REDZONE_SIZE).max(REDZONE_SIZE + 1)) {
+            None => fail("class_for_size returned None for an allocated size".into()),
+            Some(idx) => {
+                if layout::class_size(idx) != cls_size {
+                    fail(format!(
+                        "class_for_size/class_size disagree with lowfat_size: {} vs {cls_size}",
+                        layout::class_size(idx)
+                    ));
+                }
             }
         }
     }
+    let extent = delta + size;
     match vm.read_u64(base) {
-        Ok(meta) if meta == size => {}
-        Ok(meta) => fail(format!("SIZE metadata reads {meta}, expected {size}")),
-        Err(e) => fail(format!("SIZE metadata unreadable: {e:?}")),
+        Ok(meta) if meta == extent => {}
+        Ok(meta) => fail(format!("extent metadata reads {meta}, expected {extent}")),
+        Err(e) => fail(format!("extent metadata unreadable: {e:?}")),
     }
     if !heap.check_canary(vm, p) {
         fail("metadata canary check failed".into());
     }
-    if heap.object_size(vm, p) != Some(size) {
+    let want_size = if size == 0 { None } else { Some(size) };
+    if heap.object_size(vm, p) != want_size {
         fail(format!(
-            "object_size reports {:?}, expected Some({size})",
+            "object_size reports {:?}, expected {want_size:?}",
             heap.object_size(vm, p)
         ));
     }
-    if heap.state(vm, p) != ObjState::Allocated {
+    if size > 0 && heap.state(vm, p) != ObjState::Allocated {
         fail(format!(
             "state(ptr) = {:?}, expected Allocated",
             heap.state(vm, p)
@@ -667,7 +696,7 @@ fn check_object(heap: &RedFatHeap, vm: &Vm, p: u64, size: u64, failures: &mut Ve
             ));
         }
     }
-    if cls_size > size + REDZONE_SIZE && heap.state(vm, p + size) != ObjState::Padding {
+    if cls_size > extent + REDZONE_SIZE && heap.state(vm, p + size) != ObjState::Padding {
         fail(format!(
             "state(first padding byte) = {:?}, expected Padding",
             heap.state(vm, p + size)
@@ -675,16 +704,63 @@ fn check_object(heap: &RedFatHeap, vm: &Vm, p: u64, size: u64, failures: &mut Ve
     }
 }
 
-/// Runs `cases` randomized heap operations from `seed`, checking the
-/// redzone/metadata invariants after every mutation.
+/// Runs the Figure-3 invariant campaign against **every registered
+/// allocator policy** (the satellite generalization: uniqueness,
+/// alignment, red-zone disjointness and free-then-reuse transitions are
+/// policy-independent laws). Failures are prefixed with the policy name.
 pub fn allocator_invariants(cases: usize, seed: u64) -> AllocReport {
+    let mut total = 0;
+    let mut failures = Vec::new();
+    for policy in AllocPolicyKind::ALL {
+        let r = allocator_invariants_policy(cases, seed, policy);
+        total += r.cases;
+        for f in r.failures {
+            push_capped(&mut failures, format!("[{policy}] {f}"));
+        }
+    }
+    AllocReport {
+        cases: total,
+        failures,
+    }
+}
+
+/// Runs `cases` randomized heap operations from `seed` against one
+/// policy, checking the redzone/metadata invariants after every
+/// mutation.
+pub fn allocator_invariants_policy(
+    cases: usize,
+    seed: u64,
+    policy: AllocPolicyKind,
+) -> AllocReport {
     let mut rng = SplitMix64::new(seed);
     let mut vm = Vm::new();
-    let mut heap = RedFatHeap::new(LowFatConfig::default());
+    let mut heap = RedFatHeap::new(LowFatConfig {
+        policy,
+        ..LowFatConfig::default()
+    });
     heap.install(&mut vm);
     // Live objects: (user pointer, requested size, fill byte).
     let mut live: Vec<(u64, u64, u8)> = Vec::new();
+    // Slot bases of live objects (uniqueness) and of freed ones (reuse
+    // transition tracking).
+    let mut live_bases: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut freed_bases: std::collections::HashSet<u64> = std::collections::HashSet::new();
     let mut failures = Vec::new();
+    let note_alloc = |p: u64,
+                      live_bases: &mut std::collections::HashSet<u64>,
+                      freed_bases: &mut std::collections::HashSet<u64>,
+                      failures: &mut Vec<String>| {
+        let base = layout::lowfat_base(p);
+        if !live_bases.insert(base) {
+            push_capped(
+                failures,
+                format!("slot {base:#x} handed out while still live"),
+            );
+        }
+        // Free-then-reuse: a recycled slot must have gone through a
+        // free first (it is fine for it never to be reused at all).
+        freed_bases.remove(&base);
+    };
 
     for case in 0..cases {
         if failures.len() >= MAX_FAILURES {
@@ -699,7 +775,8 @@ pub fn allocator_invariants(cases: usize, seed: u64) -> AllocReport {
                     Ok(p) => {
                         vm.write_privileged(p, &vec![fill; size as usize])
                             .expect("fresh object mapped");
-                        check_object(&heap, &vm, p, size, &mut failures);
+                        note_alloc(p, &mut live_bases, &mut freed_bases, &mut failures);
+                        check_object(&heap, &vm, p, size, true, &mut failures);
                         live.push((p, size, fill));
                     }
                     Err(e) => push_capped(
@@ -714,7 +791,8 @@ pub fn allocator_invariants(cases: usize, seed: u64) -> AllocReport {
                 match heap.calloc(&mut vm, count, elem) {
                     Ok(p) => {
                         let size = count * elem;
-                        check_object(&heap, &vm, p, size, &mut failures);
+                        note_alloc(p, &mut live_bases, &mut freed_bases, &mut failures);
+                        check_object(&heap, &vm, p, size, true, &mut failures);
                         let data = vm.read_bytes(p, size as usize).expect("object mapped");
                         if data.iter().any(|&b| b != 0) {
                             push_capped(
@@ -739,7 +817,21 @@ pub fn allocator_invariants(cases: usize, seed: u64) -> AllocReport {
                 let new_size = 1 + rng.below(1024);
                 match heap.realloc(&mut vm, p, new_size) {
                     Ok(q) => {
-                        check_object(&heap, &vm, q, new_size, &mut failures);
+                        let old_base = layout::lowfat_base(p);
+                        let new_base = layout::lowfat_base(q);
+                        if new_base != old_base {
+                            // Moved: the old slot must be free now.
+                            live_bases.remove(&old_base);
+                            freed_bases.insert(old_base);
+                            note_alloc(q, &mut live_bases, &mut freed_bases, &mut failures);
+                            if heap.state(&vm, p) != ObjState::Free {
+                                push_capped(
+                                    &mut failures,
+                                    format!("case {case}: realloc source not freed after move"),
+                                );
+                            }
+                        }
+                        check_object(&heap, &vm, q, new_size, false, &mut failures);
                         let keep = old_size.min(new_size) as usize;
                         let data = vm.read_bytes(q, keep).expect("object mapped");
                         if data.iter().any(|&b| b != fill) {
@@ -771,6 +863,8 @@ pub fn allocator_invariants(cases: usize, seed: u64) -> AllocReport {
                     );
                     continue;
                 }
+                live_bases.remove(&layout::lowfat_base(p));
+                freed_bases.insert(layout::lowfat_base(p));
                 if heap.state(&vm, p) != ObjState::Free {
                     push_capped(
                         &mut failures,
@@ -801,6 +895,8 @@ pub fn allocator_invariants(cases: usize, seed: u64) -> AllocReport {
                     );
                     continue;
                 }
+                live_bases.remove(&layout::lowfat_base(p));
+                freed_bases.insert(layout::lowfat_base(p));
                 match heap.free(&mut vm, p) {
                     Err(AllocError::DoubleFree(_)) => {}
                     other => push_capped(
@@ -937,14 +1033,28 @@ pub fn backend_lockstep(
     backend: ExecBackend,
     max_steps: u64,
 ) -> BackendReport {
+    backend_lockstep_policy(image, input, backend, max_steps, AllocPolicyKind::default())
+}
+
+/// [`backend_lockstep`] with both runs backed by the given allocator
+/// policy. Both emulators use the same policy (and thus see the same
+/// deterministic pointer stream), so the oracle stays exact even under
+/// the randomized backend.
+pub fn backend_lockstep_policy(
+    image: &Image,
+    input: &[i64],
+    backend: ExecBackend,
+    max_steps: u64,
+    policy: AllocPolicyKind,
+) -> BackendReport {
     let mut sup = Emu::load_image(
         image,
-        HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
+        HostRuntime::with_policy(ErrorMode::Log, policy).with_input(input.to_vec()),
     )
     .expect("image loads");
     let mut refr = Emu::load_image(
         image,
-        HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
+        HostRuntime::with_policy(ErrorMode::Log, policy).with_input(input.to_vec()),
     )
     .expect("image loads");
     let mut report = BackendReport::default();
@@ -1152,12 +1262,13 @@ pub fn lockstep(
     max_steps: u64,
 ) -> Result<LockstepReport, HardenError> {
     let hardened = harden(image, config)?;
-    Ok(lockstep_images(
+    Ok(lockstep_images_policy(
         image,
         &hardened.image,
         &hardened.clobbers,
         input,
         max_steps,
+        config.alloc_policy,
     ))
 }
 
@@ -1170,8 +1281,29 @@ pub fn shrink_input(
     input: &[i64],
     max_steps: u64,
 ) -> Vec<i64> {
+    shrink_input_policy(
+        baseline,
+        hardened,
+        clobbers,
+        input,
+        max_steps,
+        AllocPolicyKind::default(),
+    )
+}
+
+/// [`shrink_input`] reproducing the divergence under the given allocator
+/// policy (a divergence seen under one backend need not reproduce under
+/// another).
+pub fn shrink_input_policy(
+    baseline: &Image,
+    hardened: &Image,
+    clobbers: &HashMap<u64, ClobberInfo>,
+    input: &[i64],
+    max_steps: u64,
+    policy: AllocPolicyKind,
+) -> Vec<i64> {
     minimize(input, |cand| {
-        !lockstep_images(baseline, hardened, clobbers, cand, max_steps).clean()
+        !lockstep_images_policy(baseline, hardened, clobbers, cand, max_steps, policy).clean()
     })
 }
 
@@ -1193,15 +1325,37 @@ pub fn lockstep_images(
     input: &[i64],
     max_steps: u64,
 ) -> LockstepReport {
+    lockstep_images_policy(
+        baseline,
+        hardened,
+        clobbers,
+        input,
+        max_steps,
+        AllocPolicyKind::default(),
+    )
+}
+
+/// [`lockstep_images`] with both runs backed by the given allocator
+/// policy. Baseline and hardened share the policy (deterministic per
+/// seed), so their pointer streams stay identical and every divergence
+/// is attributable to the instrumentation.
+pub fn lockstep_images_policy(
+    baseline: &Image,
+    hardened: &Image,
+    clobbers: &HashMap<u64, ClobberInfo>,
+    input: &[i64],
+    max_steps: u64,
+    policy: AllocPolicyKind,
+) -> LockstepReport {
     let disasm = redfat_analysis::disassemble(baseline);
     let mut base = Emu::load_image(
         baseline,
-        HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
+        HostRuntime::with_policy(ErrorMode::Log, policy).with_input(input.to_vec()),
     )
     .expect("image loads");
     let mut hard = Emu::load_image(
         hardened,
-        HostRuntime::new(ErrorMode::Log).with_input(input.to_vec()),
+        HostRuntime::with_policy(ErrorMode::Log, policy).with_input(input.to_vec()),
     )
     .expect("image loads");
 

@@ -42,3 +42,7 @@ pub use runtime::{
     SyscallOutcome,
 };
 pub use trace::{ExecBackend, SUPERBLOCK_CAP};
+
+/// Re-exported so runtime constructors can name a policy without
+/// depending on `redfat-lowfat` directly.
+pub use redfat_lowfat::AllocPolicyKind;

@@ -199,6 +199,21 @@ impl HostRuntime {
         HostRuntime::with_config(error_mode, LowFatConfig::default())
     }
 
+    /// Creates a runtime whose heap is backed by the given allocator
+    /// policy (default low-fat configuration otherwise).
+    pub fn with_policy(
+        error_mode: ErrorMode,
+        policy: redfat_lowfat::AllocPolicyKind,
+    ) -> HostRuntime {
+        HostRuntime::with_config(
+            error_mode,
+            LowFatConfig {
+                policy,
+                ..LowFatConfig::default()
+            },
+        )
+    }
+
     /// Creates a runtime with a custom allocator configuration.
     pub fn with_config(error_mode: ErrorMode, config: LowFatConfig) -> HostRuntime {
         HostRuntime {

@@ -15,6 +15,13 @@ pub enum AllocError {
     InvalidFree(u64),
     /// `free` of an object that is already free.
     DoubleFree(u64),
+    /// `calloc(count, elem)` whose byte count overflows `u64`.
+    CallocOverflow {
+        /// Element count.
+        count: u64,
+        /// Element size.
+        elem: u64,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -24,6 +31,9 @@ impl std::fmt::Display for AllocError {
             AllocError::OutOfMemory => write!(f, "subheap exhausted"),
             AllocError::InvalidFree(p) => write!(f, "invalid free of {p:#x}"),
             AllocError::DoubleFree(p) => write!(f, "double free of {p:#x}"),
+            AllocError::CallocOverflow { count, elem } => {
+                write!(f, "calloc({count}, {elem}) byte count overflows")
+            }
         }
     }
 }
@@ -33,6 +43,8 @@ impl std::error::Error for AllocError {}
 /// Allocator configuration.
 #[derive(Debug, Clone)]
 pub struct LowFatConfig {
+    /// Which placement policy backs the heap (the `--alloc-policy` knob).
+    pub policy: crate::AllocPolicyKind,
     /// Shuffle free-list reuse order (basic heap randomization, paper §8).
     pub randomize: bool,
     /// RNG seed for reproducible randomization.
@@ -50,6 +62,7 @@ pub struct LowFatConfig {
 impl Default for LowFatConfig {
     fn default() -> LowFatConfig {
         LowFatConfig {
+            policy: crate::AllocPolicyKind::LowFat,
             randomize: false,
             seed: 0x5EED_F00D,
             subheap_limit: 16 << 20,
@@ -132,36 +145,7 @@ impl LowFatAlloc {
     /// every lookup yields 0 and all checks degenerate to no-ops, exactly
     /// like running a RedFat binary without `libredfat.so`.
     pub fn install(&self, vm: &mut Vm) {
-        if !vm.is_mapped(layout::RUNTIME_BASE) {
-            let size = layout::SCRATCH_BASE + layout::SCRATCH_SIZE - layout::RUNTIME_BASE;
-            vm.map(layout::RUNTIME_BASE, size, Prot::RW, "libredfat");
-        }
-        // Reserve the head of every subheap region (zeroed ⇒ any metadata
-        // read there sees SIZE == 0 ⇒ Free). The real allocator reserves
-        // whole regions up front; this keeps cross-region stray pointers
-        // (e.g. `array - K` landing in the previous region) reporting a
-        // clean memory error instead of a segmentation fault.
-        for class in 1..=layout::NUM_CLASSES {
-            let region = layout::region_base(class);
-            if !vm.is_mapped(region) {
-                vm.map(region, 64 << 10, Prot::RW, &format!("subheap{class}"));
-            }
-            // Tail guard: stray pointers that underflow into the *end* of
-            // a neighboring region (the `array - K` anti-idiom) must read
-            // zeroed metadata, not fault.
-            let tail = layout::region_base(class + 1) - (64 << 10);
-            if !vm.is_mapped(tail) {
-                vm.map(tail, 64 << 10, Prot::RW, &format!("subheap{class}.tail"));
-            }
-        }
-        for (i, v) in layout::sizes_table().iter().enumerate() {
-            vm.write_privileged(layout::SIZES_TABLE + 8 * i as u64, &v.to_le_bytes())
-                .expect("runtime page mapped");
-        }
-        for (i, v) in layout::magics_table().iter().enumerate() {
-            vm.write_privileged(layout::MAGICS_TABLE + 8 * i as u64, &v.to_le_bytes())
-                .expect("runtime page mapped");
-        }
+        install_runtime_tables(vm);
     }
 
     /// Allocates `size` bytes, returning the object base address.
@@ -264,6 +248,102 @@ impl LowFatAlloc {
     /// Returns allocation statistics.
     pub fn stats(&self) -> AllocStats {
         self.stats
+    }
+}
+
+/// Installs the guest-side runtime state shared by every policy: the
+/// SIZES/MAGICS tables plus region head/tail guards. Policy independent
+/// by contract (DESIGN.md §14) -- generated check code reads only this.
+pub(crate) fn install_runtime_tables(vm: &mut Vm) {
+    if !vm.is_mapped(layout::RUNTIME_BASE) {
+        let size = layout::SCRATCH_BASE + layout::SCRATCH_SIZE - layout::RUNTIME_BASE;
+        vm.map(layout::RUNTIME_BASE, size, Prot::RW, "libredfat");
+    }
+    // Reserve the head of every subheap region (zeroed ⇒ any metadata
+    // read there sees SIZE == 0 ⇒ Free). The real allocator reserves
+    // whole regions up front; this keeps cross-region stray pointers
+    // (e.g. `array - K` landing in the previous region) reporting a
+    // clean memory error instead of a segmentation fault.
+    for class in 1..=layout::NUM_CLASSES {
+        let region = layout::region_base(class);
+        if !vm.is_mapped(region) {
+            vm.map(region, 64 << 10, Prot::RW, &format!("subheap{class}"));
+        }
+        // Tail guard: stray pointers that underflow into the *end* of
+        // a neighboring region (the `array - K` anti-idiom) must read
+        // zeroed metadata, not fault.
+        let tail = layout::region_base(class + 1) - (64 << 10);
+        if !vm.is_mapped(tail) {
+            vm.map(tail, 64 << 10, Prot::RW, &format!("subheap{class}.tail"));
+        }
+    }
+    for (i, v) in layout::sizes_table().iter().enumerate() {
+        vm.write_privileged(layout::SIZES_TABLE + 8 * i as u64, &v.to_le_bytes())
+            .expect("runtime page mapped");
+    }
+    for (i, v) in layout::magics_table().iter().enumerate() {
+        vm.write_privileged(layout::MAGICS_TABLE + 8 * i as u64, &v.to_le_bytes())
+            .expect("runtime page mapped");
+    }
+}
+
+impl crate::AllocPolicy for LowFatAlloc {
+    fn kind(&self) -> crate::AllocPolicyKind {
+        crate::AllocPolicyKind::LowFat
+    }
+
+    fn install(&self, vm: &mut Vm) {
+        install_runtime_tables(vm);
+    }
+
+    fn alloc_object(
+        &mut self,
+        vm: &mut Vm,
+        padded: u64,
+    ) -> Result<crate::policy::Placement, AllocError> {
+        // Deterministic placement: the user area always starts right
+        // after the redzone (delta 0).
+        let base = self.lowfat_malloc(vm, padded)?;
+        Ok(crate::policy::Placement { base, delta: 0 })
+    }
+
+    fn free_object(&mut self, vm: &mut Vm, base: u64) -> Result<(), AllocError> {
+        self.lowfat_free(vm, base)
+    }
+
+    fn delta_of(&self, _base: u64) -> u64 {
+        0
+    }
+
+    fn slot_is_live(&self, base: u64) -> bool {
+        // The default policy keeps no explicit live set: a slot is live
+        // iff it was ever handed out (below the bump frontier, aligned)
+        // and is not currently free or quarantined.
+        let class = layout::region_index(base);
+        if class == 0 || class > layout::NUM_CLASSES {
+            return false;
+        }
+        if !base.is_multiple_of(layout::class_size(class)) {
+            return false;
+        }
+        let heap = &self.subheaps[class - 1];
+        base >= layout::region_base(class).div_ceil(layout::class_size(class))
+            * layout::class_size(class)
+            && base < heap.next_fresh
+            && !heap.free_list.contains(&base)
+            && !heap.quarantine.contains(&base)
+    }
+
+    fn size(&self, ptr: u64) -> u64 {
+        LowFatAlloc::size(self, ptr)
+    }
+
+    fn base(&self, ptr: u64) -> u64 {
+        LowFatAlloc::base(self, ptr)
+    }
+
+    fn stats(&self) -> AllocStats {
+        LowFatAlloc::stats(self)
     }
 }
 

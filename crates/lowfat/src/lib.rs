@@ -20,7 +20,11 @@
 //! is the reproduction's analogue of `LD_PRELOAD`-ing `libredfat.so`.
 
 mod alloc;
+mod policy;
+mod rand_alloc;
 mod wrapper;
 
 pub use alloc::{AllocError, AllocStats, LowFatAlloc, LowFatConfig};
+pub use policy::{AllocPolicy, AllocPolicyKind, Placement};
+pub use rand_alloc::RandLowFatAlloc;
 pub use wrapper::{ObjState, RedFatHeap, REDZONE_SIZE};

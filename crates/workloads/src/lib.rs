@@ -19,11 +19,15 @@
 //!   suite in the style of Juliet CWE-122.
 //! * [`kraken::all`] -- the Kraken-like suite and [`kromium::build`], a
 //!   very large generated binary standing in for Chrome (§7.3).
+//! * [`skips::all`] -- computed-pointer slot-skip cases whose access
+//!   carries no provenance: the bug class that separates the
+//!   deterministic and randomized allocator policies.
 
 pub mod cve;
 pub mod juliet;
 pub mod kraken;
 pub mod kromium;
+pub mod skips;
 pub mod spec;
 
 use redfat_elf::Image;
